@@ -1,0 +1,284 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (see
+// DESIGN.md §5, experiments E1-E9). The expensive prequential suite runs
+// once (shared across table benchmarks, outside the timed region at the
+// paper's 0.1% batch fraction) on streams scaled by REPRO_BENCH_SCALE
+// (default 0.002, i.e. every stream floored to ~2000 instances); each
+// benchmark then regenerates and prints its table or figure. Absolute
+// numbers depend on the scale — the shape (who wins, who stays shallow)
+// is what these reproduce; run cmd/dmtbench -scale 1 for full-size runs.
+//
+// The Benchmark*Op benchmarks at the bottom are conventional per-op
+// micro-benchmarks of the hot paths.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/eval"
+	"repro/internal/glm"
+	"repro/internal/hoeffding"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return 0.1
+}
+
+var (
+	suiteOnce sync.Once
+	suiteRes  *eval.SuiteResult
+	suiteErr  error
+)
+
+// sharedSuite runs the full 8-model x 13-stream prequential suite once.
+func sharedSuite() (*eval.SuiteResult, error) {
+	suiteOnce.Do(func() {
+		suiteRes, suiteErr = eval.Suite{
+			Scale: benchScale(),
+			Seed:  42,
+		}.Run()
+	})
+	return suiteRes, suiteErr
+}
+
+func printOnce(b *testing.B, out string) {
+	if b.N >= 1 {
+		fmt.Println(out)
+	}
+}
+
+// BenchmarkTable1DataSets regenerates Table I (E1).
+func BenchmarkTable1DataSets(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Table1()
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+// BenchmarkTable2F1 regenerates Table II (E2).
+func BenchmarkTable2F1(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Table2()
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+// BenchmarkTable3Splits regenerates Table III (E3).
+func BenchmarkTable3Splits(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Table3()
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+// BenchmarkTable4Params regenerates Table IV (E4).
+func BenchmarkTable4Params(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Table4()
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+// BenchmarkTable5Time regenerates Table V (E5).
+func BenchmarkTable5Time(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Table5()
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+// BenchmarkTable6Summary regenerates Table VI (E6).
+func BenchmarkTable6Summary(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Table6()
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+// BenchmarkFigure3DriftSeries regenerates the Figure 3 panels (E7).
+func BenchmarkFigure3DriftSeries(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Figure3(20)
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+// BenchmarkFigure4Scatter regenerates Figure 4 (E8).
+func BenchmarkFigure4Scatter(b *testing.B) {
+	res, err := sharedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.Figure4()
+	}
+	b.StopTimer()
+	printOnce(b, out)
+}
+
+var (
+	ablationOnce sync.Once
+	ablationOut  string
+	ablationErr  error
+)
+
+// BenchmarkAblationStudy runs the DMT ablation study (E9).
+func BenchmarkAblationStudy(b *testing.B) {
+	ablationOnce.Do(func() {
+		ablationOut, ablationErr = eval.RunAblation(benchScale(), 42, nil)
+	})
+	if ablationErr != nil {
+		b.Fatal(ablationErr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = len(ablationOut)
+	}
+	b.StopTimer()
+	printOnce(b, ablationOut)
+}
+
+// --- Per-operation micro-benchmarks of the hot paths. ---
+
+func seaBatches(n, size int) []stream.Batch {
+	gen := synth.NewSEA(n*size, 0.1, 1)
+	out := make([]stream.Batch, n)
+	for i := range out {
+		b, err := stream.NextBatch(gen, size)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// BenchmarkDMTLearnBatchOp measures one DMT prequential training step on
+// a 100-row batch (SEA schema).
+func BenchmarkDMTLearnBatchOp(b *testing.B) {
+	batches := seaBatches(256, 100)
+	tree := core.New(core.Config{Seed: 1}, synth.NewSEA(100, 0.1, 1).Schema())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Learn(batches[i&255])
+	}
+}
+
+// BenchmarkDMTPredictOp measures one DMT prediction after training.
+func BenchmarkDMTPredictOp(b *testing.B) {
+	batches := seaBatches(256, 100)
+	tree := core.New(core.Config{Seed: 1}, synth.NewSEA(100, 0.1, 1).Schema())
+	for _, batch := range batches {
+		tree.Learn(batch)
+	}
+	x := batches[0].X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(x)
+	}
+}
+
+// BenchmarkADWINAddOp measures one ADWIN update.
+func BenchmarkADWINAddOp(b *testing.B) {
+	a := drift.NewADWIN(0.002)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i&1) * 0.5)
+	}
+}
+
+// BenchmarkGLMRowLossGradOp measures one logit loss+gradient evaluation.
+func BenchmarkGLMRowLossGradOp(b *testing.B) {
+	m := glm.New(50, 2, nil)
+	x := make([]float64, 50)
+	for j := range x {
+		x[j] = 0.5
+	}
+	grad := make([]float64, m.NumWeights())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RowLossGrad(x, i&1, grad)
+	}
+}
+
+// BenchmarkVFDTLearnOneOp measures one Hoeffding tree instance update.
+func BenchmarkVFDTLearnOneOp(b *testing.B) {
+	gen := synth.NewSEA(1_000_000, 0.1, 2)
+	tree := hoeffding.New(hoeffding.Config{Seed: 2}, gen.Schema())
+	insts := make([]stream.Instance, 4096)
+	for i := range insts {
+		insts[i], _ = gen.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := insts[i&4095]
+		tree.LearnOne(inst.X, inst.Y, 1)
+	}
+}

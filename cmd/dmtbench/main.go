@@ -1,0 +1,103 @@
+// Command dmtbench regenerates the paper's evaluation: Tables I-VI and
+// Figures 3-4 of "Dynamic Model Tree for Interpretable Data Stream
+// Learning" (ICDE 2022), plus the ablation study described in DESIGN.md.
+//
+// Usage:
+//
+//	dmtbench [-scale 0.05] [-seed 42] [-datasets SEA,Hyperplane]
+//	         [-models "DMT,VFDT (MC)"] [-table all|1..6] [-figure all|3|4]
+//	         [-ablation]
+//
+// Absolute numbers depend on the scale; the paper-reported values are
+// printed alongside each cell for shape comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.02, "fraction of each Table I stream to run (1 = full size)")
+		seed      = flag.Int64("seed", 42, "random seed for streams and models")
+		batch     = flag.Float64("batch", 0.001, "prequential batch fraction (paper: 0.001)")
+		dsFlag    = flag.String("datasets", "", "comma-separated data sets (default: all 13)")
+		modelFlag = flag.String("models", "", "comma-separated models (default: all 8)")
+		table     = flag.String("table", "all", "which table to print: all,1,2,3,4,5,6,none")
+		figure    = flag.String("figure", "all", "which figure to print: all,3,4,none")
+		ablation  = flag.Bool("ablation", false, "also run the DMT ablation study")
+		parallel  = flag.Int("parallel", 1, "concurrent (stream, model) evaluations; timing in Table V is only meaningful at 1")
+		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	suite := eval.Suite{
+		Scale:         *scale,
+		Seed:          *seed,
+		BatchFraction: *batch,
+		Datasets:      splitList(*dsFlag),
+		Models:        splitList(*modelFlag),
+		Parallel:      *parallel,
+	}
+	if !*quiet {
+		suite.Progress = os.Stderr
+	}
+
+	fmt.Printf("dmtbench: scale=%.3g seed=%d batch=%.4g\n\n", *scale, *seed, *batch)
+	res, err := suite.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtbench:", err)
+		os.Exit(1)
+	}
+
+	want := func(sel, key string) bool { return sel == "all" || sel == key }
+	if want(*table, "1") {
+		fmt.Println(res.Table1())
+	}
+	if want(*table, "2") {
+		fmt.Println(res.Table2())
+	}
+	if want(*table, "3") {
+		fmt.Println(res.Table3())
+	}
+	if want(*table, "4") {
+		fmt.Println(res.Table4())
+	}
+	if want(*table, "5") {
+		fmt.Println(res.Table5())
+	}
+	if want(*table, "6") {
+		fmt.Println(res.Table6())
+	}
+	if want(*figure, "3") {
+		fmt.Println(res.Figure3(20))
+	}
+	if want(*figure, "4") {
+		fmt.Println(res.Figure4())
+	}
+
+	if *ablation {
+		out, err := eval.RunAblation(*scale, *seed, suite.Progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtbench ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,144 @@
+// Command dmtrun evaluates one model on one stream prequentially and
+// prints the aggregate measures, a sliding-window F1 trace, and — for the
+// Dynamic Model Tree — the interpretable change log and final structure.
+//
+// Usage:
+//
+//	dmtrun -model DMT -dataset SEA -scale 0.05 [-seed 42] [-trace]
+//	dmtrun -model "VFDT (NBA)" -csv stream.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "DMT", "model name (see dmtbench for the list)")
+		dsName    = flag.String("dataset", "SEA", "Table I data set name")
+		csvPath   = flag.String("csv", "", "evaluate on a CSV stream instead of a Table I data set")
+		scale     = flag.Float64("scale", 0.05, "fraction of the Table I stream length")
+		seed      = flag.Int64("seed", 42, "random seed")
+		batch     = flag.Float64("batch", 0.001, "prequential batch fraction")
+		trace     = flag.Bool("trace", false, "print the sliding-window F1 series")
+	)
+	flag.Parse()
+
+	var strm stream.Stream
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		mem, err := stream.ReadCSV(f, *csvPath, 0)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		strm = mem
+	} else {
+		entry, err := datasets.ByName(*dsName)
+		if err != nil {
+			fail(err)
+		}
+		strm = entry.New(*scale, *seed)
+	}
+
+	clf, err := eval.NewClassifier(*modelName, strm.Schema(), *seed)
+	if err != nil {
+		fail(err)
+	}
+	res, err := eval.Prequential(clf, strm, eval.Options{BatchFraction: *batch})
+	if err != nil {
+		fail(err)
+	}
+
+	f1m, f1s := res.F1()
+	spm, sps := res.Splits()
+	pm, ps := res.Params()
+	tm, ts := res.Seconds()
+	fmt.Printf("%s on %s (%d iterations)\n", *modelName, strm.Schema().Name, len(res.Iters))
+	fmt.Printf("  F1:       %.3f ± %.3f\n", f1m, f1s)
+	fmt.Printf("  Splits:   %.1f ± %.1f\n", spm, sps)
+	fmt.Printf("  Params:   %.0f ± %.0f\n", pm, ps)
+	fmt.Printf("  Time/it:  %.4fs ± %.4fs\n", tm, ts)
+
+	if *trace {
+		series := eval.SlidingMean(res.Series(func(s eval.IterStats) float64 { return s.F1 }), 20)
+		fmt.Println("\nSliding-window F1 (w=20):")
+		step := len(series) / 25
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(series); i += step {
+			bar := int(math.Max(series[i], 0) * 50)
+			fmt.Printf("  iter %5d  %.3f  %s\n", i, series[i], stringsRepeat("#", bar))
+		}
+	}
+
+	if dmt, ok := clf.(*core.Tree); ok {
+		fmt.Println("\nFinal DMT structure:")
+		fmt.Print(indent(dmt.Describe()))
+		splits, replaces, prunes := dmt.Revisions()
+		fmt.Printf("\nStructural changes: %d splits, %d replacements, %d prunes\n", splits, replaces, prunes)
+		changes := dmt.Changes()
+		if len(changes) > 0 {
+			fmt.Println("Change log (most recent last):")
+			lo := 0
+			if len(changes) > 12 {
+				lo = len(changes) - 12
+				fmt.Printf("  ... %d earlier changes elided ...\n", lo)
+			}
+			for _, ev := range changes[lo:] {
+				fmt.Printf("  step %4d: %-7s depth=%d feature=%s <= %.4g  gain=%.1f (threshold %.1f)\n",
+					ev.Step, ev.Kind, ev.Depth, strm.Schema().FeatureName(ev.Feature), ev.Threshold, ev.Gain, ev.AICThreshold)
+			}
+		}
+	}
+}
+
+func stringsRepeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dmtrun:", err)
+	os.Exit(1)
+}

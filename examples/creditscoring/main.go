@@ -1,0 +1,119 @@
+// Credit scoring: the introduction's motivating use case — a regulated,
+// high-stakes streaming decision (loan default prediction) where the model
+// must stay accurate under concept drift AND remain explainable (GDPR-style
+// requirements, Section I of the paper).
+//
+// The example builds a synthetic credit-application stream whose risk
+// concept changes abruptly mid-stream (e.g. a macroeconomic shock), trains
+// a DMT and a VFDT side by side, and shows (a) the drift recovery of both
+// and (b) the per-applicant explanation the DMT's leaf models provide.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Feature layout of the synthetic credit stream.
+var featureNames = []string{
+	"income", "debt_ratio", "credit_history", "employment_years",
+	"loan_amount", "collateral", "age", "prior_defaults",
+}
+
+func main() {
+	schema := repro.Schema{
+		NumFeatures:  len(featureNames),
+		NumClasses:   2, // 0 = repaid, 1 = default
+		Name:         "CreditApplications",
+		FeatureNames: featureNames,
+	}
+
+	// A cluster surrogate with one abrupt drift at 50%: the "default"
+	// population shifts (changed macro conditions). ~12% default rate.
+	gen := repro.NewClusterStream(repro.ClusterConfig{
+		Name: schema.Name, Samples: 60_000,
+		Features: schema.NumFeatures, Classes: 2,
+		Priors: repro.MajorityPriors(2, 0.88),
+		Std:    0.14, LabelNoise: 0.04,
+		Drift: repro.DriftAbrupt, DriftPoints: []float64{0.5},
+		Seed: 7,
+	})
+	// Re-attach the named schema for readable explanations.
+	genSchema := gen.Schema()
+	genSchema.FeatureNames = featureNames
+	genSchema.Name = schema.Name
+
+	dmt := repro.NewDMT(repro.DMTConfig{Seed: 7}, genSchema)
+	vfdt := repro.NewVFDT(repro.VFDTConfig{Seed: 7}, genSchema)
+
+	resDMT, err := repro.Prequential(dmt, gen, repro.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen.Reset()
+	resVFDT, err := repro.Prequential(vfdt, gen, repro.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Credit scoring under a mid-stream macro shock (abrupt drift at 50%):")
+	for _, r := range []repro.EvalResult{resDMT, resVFDT} {
+		f1, std := r.F1()
+		sp, _ := r.Splits()
+		fmt.Printf("  %-10s F1 %.3f ± %.3f   splits %.1f\n", r.Model, f1, std, sp)
+	}
+
+	// Drift recovery: F1 in the 50 iterations before vs after the drift.
+	half := len(resDMT.Iters) / 2
+	window := 50
+	avg := func(r repro.EvalResult, lo, hi int) float64 {
+		var s float64
+		for _, it := range r.Iters[lo:hi] {
+			s += it.F1
+		}
+		return s / float64(hi-lo)
+	}
+	fmt.Printf("\nF1 around the drift (window %d iterations):\n", window)
+	fmt.Printf("  %-10s before %.3f | right after %.3f | recovered %.3f\n",
+		"DMT", avg(resDMT, half-window, half), avg(resDMT, half, half+window),
+		avg(resDMT, len(resDMT.Iters)-window, len(resDMT.Iters)))
+	fmt.Printf("  %-10s before %.3f | right after %.3f | recovered %.3f\n",
+		"VFDT", avg(resVFDT, half-window, half), avg(resVFDT, half, half+window),
+		avg(resVFDT, len(resVFDT.Iters)-window, len(resVFDT.Iters)))
+
+	// Per-applicant explanation: route one application to its leaf and
+	// read the default-risk weights of the local linear model.
+	applicant := []float64{0.35, 0.72, 0.28, 0.15, 0.66, 0.22, 0.41, 0.58}
+	pred := dmt.Predict(applicant)
+	weights := dmt.LeafWeights(applicant, 1)
+	fmt.Printf("\nApplicant decision: %s\n", map[int]string{0: "approve (predicted repaid)", 1: "review (predicted default)"}[pred])
+	fmt.Println("Local default-risk weights at this applicant's leaf:")
+	for j, w := range weights {
+		dir := "raises"
+		if w < 0 {
+			dir = "lowers"
+		}
+		fmt.Printf("  %-17s %+6.3f (%s risk as it grows)\n", featureNames[j], w, dir)
+	}
+
+	// Every structural change is attributable to a measured loss gain —
+	// the paper's notion of interpretable online learning (Section I-A).
+	fmt.Println("\nWhy did the model change? (DMT change log)")
+	changes := dmt.Changes()
+	if len(changes) == 0 {
+		fmt.Println("  no structural change: the risk concept stayed linear, so the")
+		fmt.Println("  minimality property kept the model at a single scorecard —")
+		fmt.Println("  the drift was absorbed by the leaf model's weights alone.")
+		return
+	}
+	lo := 0
+	if len(changes) > 8 {
+		lo = len(changes) - 8
+	}
+	for _, ev := range changes[lo:] {
+		fmt.Printf("  step %4d: %-7s on %s <= %.3f (gain %.1f over AIC threshold %.1f)\n",
+			ev.Step, ev.Kind, featureNames[ev.Feature], ev.Threshold, ev.Gain, ev.AICThreshold)
+	}
+}

@@ -1,0 +1,123 @@
+// Interpretability: demonstrate the properties the paper argues make the
+// DMT inherently interpretable (Sections I-A and III): (1) the deployed
+// model is small enough to print, (2) every structural change is linked
+// to a measured loss gain past an AIC confidence test, and (3) leaf models
+// expose local feature weights for subgroup-level explanations. The
+// example also verifies Property 2 empirically: when a concept simplifies
+// back to linear, the DMT prunes itself back toward a single model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+// twoPhaseStream emits a piecewise concept first (XOR-ish on x0, x1:
+// needs splits), then a plain linear concept (no splits needed).
+type twoPhaseStream struct {
+	rng     *rand.Rand
+	seed    int64
+	pos     int
+	samples int
+}
+
+func (s *twoPhaseStream) Schema() repro.Schema {
+	return repro.Schema{NumFeatures: 4, NumClasses: 2, Name: "TwoPhase",
+		FeatureNames: []string{"x0", "x1", "x2", "x3"}}
+}
+
+func (s *twoPhaseStream) Len() int { return s.samples }
+
+func (s *twoPhaseStream) Reset() {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.pos = 0
+}
+
+func (s *twoPhaseStream) Next() (repro.Instance, error) {
+	if s.pos >= s.samples {
+		return repro.Instance{}, repro.ErrEndOfStream
+	}
+	x := []float64{s.rng.Float64(), s.rng.Float64(), s.rng.Float64(), s.rng.Float64()}
+	var y int
+	if s.pos < s.samples/2 {
+		// Phase 1: piecewise concept — left/right of x0=0.5 have opposite
+		// linear rules. A single linear model cannot represent it.
+		if x[0] <= 0.5 {
+			if x[1] > 0.5 {
+				y = 1
+			}
+		} else {
+			if x[1] <= 0.5 {
+				y = 1
+			}
+		}
+	} else {
+		// Phase 2: plain linear concept.
+		if 2*x[1]+x[2]-x[3] > 1 {
+			y = 1
+		}
+	}
+	if s.rng.Float64() < 0.05 {
+		y = 1 - y
+	}
+	s.pos++
+	return repro.Instance{X: x, Y: y}, nil
+}
+
+func main() {
+	gen := &twoPhaseStream{seed: 11, samples: 160_000}
+	gen.Reset()
+	dmt := repro.NewDMT(repro.DMTConfig{Seed: 11}, gen.Schema())
+
+	res, err := repro.Prequential(dmt, gen, repro.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1) Complexity over the two phases: grows for the piecewise concept,
+	//    shrinks again once the concept turns linear (Property 2, model
+	//    minimality — the split no longer reduces the loss, so it goes).
+	iters := len(res.Iters)
+	checkpoints := []int{iters / 4, iters/2 - 1, 3 * iters / 4, iters - 1}
+	fmt.Println("Model size over the concept change (phase flips at 50%):")
+	for _, cp := range checkpoints {
+		fmt.Printf("  at %3.0f%%: splits=%.0f params=%.0f (F1 window %.3f)\n",
+			100*float64(cp)/float64(iters), res.Iters[cp].Splits, res.Iters[cp].Params,
+			windowMean(res, cp, 20))
+	}
+
+	// 2) The change log answers "why did you change?" — each entry cites
+	//    the loss gain that passed the AIC test of eq. (11).
+	fmt.Println("\nStructural change log:")
+	for _, ev := range dmt.Changes() {
+		fmt.Printf("  step %4d: %-7s depth=%d on %s <= %.3f  gain=%.1f (AIC threshold %.1f)\n",
+			ev.Step, ev.Kind, ev.Depth, gen.Schema().FeatureName(ev.Feature),
+			ev.Threshold, ev.Gain, ev.AICThreshold)
+	}
+
+	// 3) The final deployed model is small enough to print whole.
+	fmt.Println("\nFinal deployed model:")
+	fmt.Print(dmt.Describe())
+
+	// 4) Local explanations: feature weights of the leaf serving a point.
+	probe := []float64{0.3, 0.8, 0.5, 0.5}
+	fmt.Printf("\nLocal explanation at %v (class-1 weights of the serving leaf):\n", probe)
+	for j, w := range dmt.LeafWeights(probe, 1) {
+		fmt.Printf("  %s: %+6.3f\n", gen.Schema().FeatureName(j), w)
+	}
+}
+
+func windowMean(res repro.EvalResult, at, w int) float64 {
+	lo := at - w
+	if lo < 0 {
+		lo = 0
+	}
+	var s float64
+	for _, it := range res.Iters[lo : at+1] {
+		s += it.F1
+	}
+	return s / float64(at+1-lo)
+}

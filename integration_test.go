@@ -1,0 +1,142 @@
+package repro
+
+// Integration tests across modules: full prequential runs of every model
+// on small streams, with the paper's qualitative claims as assertions —
+// every model learns, the DMT stays far shallower than the Hoeffding
+// family at comparable quality, and the DMT recovers from abrupt drift.
+
+import (
+	"testing"
+)
+
+// runSEA evaluates one model on a fixed SEA stream and returns its result.
+func runSEA(t *testing.T, name string, samples int) EvalResult {
+	t.Helper()
+	gen := NewSEA(samples, 0.1, 42)
+	clf, err := NewClassifierByName(name, gen.Schema(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Prequential(clf, gen, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Every model must clear a sanity bar on SEA (random F1 under 10% noise
+// and ~36/64 class balance sits near 0.45; majority-vote F1 is 0).
+func TestIntegrationAllModelsLearnSEA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	for _, name := range []string{
+		"DMT", "FIMT-DD", "VFDT (MC)", "VFDT (NBA)", "HT-Ada", "EFDT",
+		"Forest Ens.", "Bagging Ens.",
+	} {
+		res := runSEA(t, name, 30_000)
+		f1, _ := res.F1()
+		if f1 < 0.5 {
+			t.Errorf("%s: F1 %.3f on SEA 30k — below the sanity bar", name, f1)
+		}
+	}
+}
+
+// The headline complexity claim (Tables III, Figure 3): at comparable F1,
+// the DMT needs a small fraction of the Hoeffding trees' splits.
+func TestIntegrationDMTStaysShallow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dmt := runSEA(t, "DMT", 60_000)
+	vfdt := runSEA(t, "VFDT (MC)", 60_000)
+
+	dmtF1, _ := dmt.F1()
+	vfdtF1, _ := vfdt.F1()
+	dmtSplits, _ := dmt.Splits()
+	vfdtSplits, _ := vfdt.Splits()
+
+	if dmtF1 < vfdtF1-0.05 {
+		t.Errorf("DMT F1 %.3f should be at least comparable to VFDT %.3f", dmtF1, vfdtF1)
+	}
+	if dmtSplits >= vfdtSplits/2 {
+		t.Errorf("DMT splits %.1f should be far below VFDT's %.1f", dmtSplits, vfdtSplits)
+	}
+}
+
+// Figure 3's drift story on the second SEA drift: the DMT's post-drift
+// dip must be bounded and it must recover.
+func TestIntegrationDMTDriftRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	res := runSEA(t, "DMT", 100_000)
+	f1 := res.Series(func(s IterStats) float64 { return s.F1 })
+	iters := len(f1)
+	drift := 2 * iters / 5 // second abrupt drift
+	w := 30
+
+	mean := func(lo, hi int) float64 {
+		var s float64
+		for _, v := range f1[lo:hi] {
+			s += v
+		}
+		return s / float64(hi-lo)
+	}
+	before := mean(drift-w, drift)
+	recovered := mean(drift+3*w, drift+6*w)
+	if recovered < before-0.12 {
+		t.Errorf("DMT did not recover from the drift: before %.3f, after %.3f", before, recovered)
+	}
+}
+
+// NBA leaves must beat MC leaves on the Gaussian-cluster surrogates (the
+// paper's Gas discussion, Section VI-E1).
+func TestIntegrationNBABeatsMCOnGas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	entry, err := DatasetByName("Gas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(name string) float64 {
+		strm := entry.New(0.3, 42)
+		clf, err := NewClassifierByName(name, strm.Schema(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Prequential(clf, strm, EvalOptions{MinBatchSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, _ := res.F1()
+		return f1
+	}
+	nba := run("VFDT (NBA)")
+	mc := run("VFDT (MC)")
+	if nba <= mc {
+		t.Errorf("NBA %.3f should beat MC %.3f on Gas*", nba, mc)
+	}
+}
+
+// The DMT must handle a multiclass Table I surrogate end to end.
+func TestIntegrationDMTMulticlass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	entry, err := DatasetByName("Insects-Abr.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strm := entry.New(0.05, 42)
+	dmt := NewDMT(DMTConfig{Seed: 42}, strm.Schema())
+	res, err := Prequential(dmt, strm, EvalOptions{MinBatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := res.F1()
+	if f1 < 0.4 {
+		t.Errorf("DMT macro F1 %.3f on Insects-Abr.*", f1)
+	}
+}

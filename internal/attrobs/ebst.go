@@ -1,0 +1,129 @@
+package attrobs
+
+import (
+	"math"
+
+	"repro/internal/split"
+)
+
+// EBST is the extended binary search tree of Ikonomovska et al.: it
+// indexes the observed values of one numeric feature and stores, at each
+// node, the target statistics of all observations with value <= the node's
+// key that were routed through it. An in-order traversal then yields, for
+// every distinct observed value, the exact left-branch target statistics,
+// from which the standard deviation reduction of each candidate threshold
+// follows. The paper cites E-BSTs as the memory-management strategy of
+// FIMT-DD (Section V-D).
+type EBST struct {
+	root     *ebstNode
+	size     int
+	maxNodes int
+}
+
+type ebstNode struct {
+	key         float64
+	le          split.TargetStats // stats of observations with value <= key at this node
+	left, right *ebstNode
+}
+
+// NewEBST returns a tree storing at most maxNodes distinct values; further
+// values merge into the nearest existing node, bounding memory.
+func NewEBST(maxNodes int) *EBST {
+	if maxNodes < 16 {
+		maxNodes = 16
+	}
+	return &EBST{maxNodes: maxNodes}
+}
+
+// Size returns the number of distinct stored keys.
+func (t *EBST) Size() int { return t.size }
+
+// Observe inserts a (feature value, target) observation.
+func (t *EBST) Observe(value, target, weight float64) {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return
+	}
+	if t.root == nil {
+		t.root = &ebstNode{key: value}
+		t.root.le.Add(target, weight)
+		t.size = 1
+		return
+	}
+	node := t.root
+	for {
+		if value <= node.key {
+			node.le.Add(target, weight)
+			if value == node.key {
+				return
+			}
+			if node.left == nil {
+				if t.size >= t.maxNodes {
+					return // statistics folded into this node's <= side
+				}
+				child := &ebstNode{key: value}
+				child.le.Add(target, weight)
+				node.left = child
+				t.size++
+				return
+			}
+			node = node.left
+		} else {
+			if node.right == nil {
+				if t.size >= t.maxNodes {
+					// Fold into the nearest key on the > side: attribute the
+					// mass to this node's key so totals stay consistent.
+					node.le.Add(target, weight)
+					return
+				}
+				child := &ebstNode{key: value}
+				child.le.Add(target, weight)
+				node.right = child
+				t.size++
+				return
+			}
+			node = node.right
+		}
+	}
+}
+
+// BestSDRSplit scans all candidate thresholds and returns the one with the
+// highest standard deviation reduction together with the runner-up merit
+// (needed for FIMT-DD's Hoeffding ratio test). total must be the target
+// statistics of every observation fed to Observe.
+func (t *EBST) BestSDRSplit(feature int, total split.TargetStats) (best CandidateSplit, second float64, ok bool) {
+	if t.root == nil || total.N < 2 {
+		return CandidateSplit{}, 0, false
+	}
+	best = CandidateSplit{Feature: feature, Merit: math.Inf(-1)}
+	second = math.Inf(-1)
+	var walk func(n *ebstNode, carry split.TargetStats) split.TargetStats
+	walk = func(n *ebstNode, carry split.TargetStats) split.TargetStats {
+		if n == nil {
+			return carry
+		}
+		// Left subtree first. Its return value is deliberately unused:
+		// n.le already includes the left subtree's mass, so the left
+		// total at this key is carry + n.le.
+		walk(n.left, carry)
+		leftStats := carry.Merge(n.le)
+		right := total.Sub(leftStats)
+		if leftStats.N >= 1 && right.N >= 1 {
+			m := split.SDR(total, leftStats, right)
+			if m > best.Merit {
+				second = best.Merit
+				best = CandidateSplit{Feature: feature, Threshold: n.key, Merit: m}
+			} else if m > second {
+				second = m
+			}
+		}
+		return walk(n.right, leftStats)
+	}
+	walk(t.root, split.TargetStats{})
+	if math.IsInf(best.Merit, -1) {
+		return CandidateSplit{}, 0, false
+	}
+	if math.IsInf(second, -1) {
+		second = 0
+	}
+	return best, second, true
+}

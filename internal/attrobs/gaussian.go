@@ -1,0 +1,118 @@
+// Package attrobs implements the per-feature attribute observers that the
+// Hoeffding-style trees use to propose and score candidate split points:
+// per-class Gaussian estimators for classification (the MOA approach) and
+// extended binary search trees (E-BST) for FIMT-DD's regression targets.
+package attrobs
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// CandidateSplit is a scored binary split proposal on one feature.
+type CandidateSplit struct {
+	Feature   int
+	Threshold float64
+	Merit     float64
+	// Post holds the estimated class distributions of the two branches
+	// (left: value <= threshold). Nil for regression observers.
+	Post [][]float64
+}
+
+// Gaussian observes one numeric feature with one Gaussian estimator per
+// class, following the classic VFDT numeric handling: candidate thresholds
+// are taken on an even grid between the observed minimum and maximum, and
+// branch class distributions are estimated from the per-class CDFs.
+type Gaussian struct {
+	perClass []stats.Gaussian
+	min, max float64
+	seen     bool
+	bins     int
+}
+
+// NewGaussian returns an observer over numClasses classes proposing at
+// most bins candidate thresholds (10 is the customary default).
+func NewGaussian(numClasses, bins int) *Gaussian {
+	if bins < 1 {
+		bins = 10
+	}
+	return &Gaussian{perClass: make([]stats.Gaussian, numClasses), bins: bins}
+}
+
+// Observe records a feature value for a class with the given weight.
+// Non-finite values are ignored.
+func (g *Gaussian) Observe(value float64, class int, weight float64) {
+	if class < 0 || class >= len(g.perClass) || math.IsNaN(value) || math.IsInf(value, 0) {
+		return
+	}
+	if !g.seen {
+		g.min, g.max, g.seen = value, value, true
+	} else {
+		if value < g.min {
+			g.min = value
+		}
+		if value > g.max {
+			g.max = value
+		}
+	}
+	g.perClass[class].AddWeighted(value, weight)
+}
+
+// ClassWeight returns the observed weight of a class.
+func (g *Gaussian) ClassWeight(class int) float64 {
+	if class < 0 || class >= len(g.perClass) {
+		return 0
+	}
+	return g.perClass[class].Weight()
+}
+
+// Pdf returns the per-class density at value (Naive Bayes likelihood).
+func (g *Gaussian) Pdf(value float64, class int) float64 {
+	if class < 0 || class >= len(g.perClass) || g.perClass[class].Weight() == 0 {
+		return 1 // uninformative
+	}
+	return g.perClass[class].Pdf(value)
+}
+
+// DistributionsAt estimates the class-count vectors of the two branches of
+// a threshold split using the Gaussian CDFs. EFDT uses it to re-score the
+// currently installed split of an inner node.
+func (g *Gaussian) DistributionsAt(threshold float64) (left, right []float64) {
+	c := len(g.perClass)
+	left = make([]float64, c)
+	right = make([]float64, c)
+	for k := 0; k < c; k++ {
+		w := g.perClass[k].Weight()
+		if w == 0 {
+			continue
+		}
+		l := g.perClass[k].WeightLessThan(threshold)
+		left[k] = l
+		right[k] = w - l
+	}
+	return left, right
+}
+
+// BestSplit returns the highest-merit candidate threshold for this
+// feature, or ok=false when the observer has no usable spread.
+func (g *Gaussian) BestSplit(feature int, merit func(post [][]float64) float64) (CandidateSplit, bool) {
+	if !g.seen || g.max <= g.min {
+		return CandidateSplit{}, false
+	}
+	best := CandidateSplit{Feature: feature, Merit: math.Inf(-1)}
+	step := (g.max - g.min) / float64(g.bins+1)
+	for i := 1; i <= g.bins; i++ {
+		t := g.min + step*float64(i)
+		l, r := g.DistributionsAt(t)
+		post := [][]float64{l, r}
+		m := merit(post)
+		if m > best.Merit {
+			best = CandidateSplit{Feature: feature, Threshold: t, Merit: m, Post: post}
+		}
+	}
+	if math.IsInf(best.Merit, -1) {
+		return CandidateSplit{}, false
+	}
+	return best, true
+}

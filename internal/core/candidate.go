@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/linalg"
+)
+
+// candidate accumulates the split-candidate statistics of Algorithm 1: for
+// the would-be left child C (rows with x[feature] <= value), the loss of
+// the parent model on C, the gradient of that loss, and the row count. The
+// right-child statistics are always derived as parent minus left, so they
+// are never stored (Algorithm 1, note before line 4).
+type candidate struct {
+	feature int
+	value   float64
+	loss    float64
+	grad    []float64
+	n       float64
+}
+
+// candKey identifies a candidate for deduplication.
+type candKey struct {
+	feature int
+	value   float64
+}
+
+// accepts reports whether the row falls into the candidate's left branch.
+func (c *candidate) accepts(x []float64) bool {
+	return x[c.feature] <= c.value
+}
+
+// observe folds one row's loss and gradient into the left-branch
+// statistics.
+func (c *candidate) observe(loss float64, grad []float64) {
+	c.loss += loss
+	linalg.Add(c.grad, grad)
+	c.n++
+}
+
+// candidateGain evaluates gain (3)/(4) for left statistics (cLoss, cGrad,
+// cN) against parent statistics (pLoss, pGrad, pN), using the
+// gradient-step loss approximation of eq. (7) on both branches:
+//
+//	L̂(C)  = L(Θ_S; C)  - lr/|C|  * ||∇L(Θ_S; C)||²
+//	L̂(C̄) = L(Θ_S; C̄) - lr/|C̄| * ||∇L(Θ_S; C̄)||²
+//	G      = referenceLoss - L̂(C) - L̂(C̄)
+//
+// referenceLoss is L(S) at a leaf (gain 3) or the subtree's summed leaf
+// loss at an inner node (gain 4). Returns ok=false when either branch has
+// fewer than minN observations.
+func candidateGain(referenceLoss float64, pLoss float64, pGrad []float64, pN float64,
+	cLoss float64, cGrad []float64, cN float64, lr, minN float64) (float64, bool) {
+	rN := pN - cN
+	if cN < minN || rN < minN {
+		return 0, false
+	}
+	leftHat := cLoss - lr/cN*linalg.Norm2Sq(cGrad)
+	rightLoss := pLoss - cLoss
+	rightHat := rightLoss - lr/rN*linalg.Norm2SqDiff(pGrad, cGrad)
+	return referenceLoss - leftHat - rightHat, true
+}

@@ -1,0 +1,138 @@
+// Package core implements the Dynamic Model Tree (DMT), the paper's
+// primary contribution (Sections IV–V): a binary model tree that keeps a
+// simple Generalized Linear Model at every node (leaf and inner), selects
+// splits by the loss-based gain functions (3)–(5), approximates candidate
+// losses with a single warm-started gradient step (eqs. 6–7), and gates
+// every structural change with the AIC-based confidence test (eq. 11).
+// Consistency with parent splits (Property 1) and model minimality
+// (Property 2) hold by construction; concept drift is handled without any
+// dedicated detector.
+package core
+
+import "math"
+
+// Config holds the DMT hyperparameters. The zero value is completed with
+// the defaults of Section V-D: learning rate 0.05, epsilon 1e-7, candidate
+// cap of three times the number of features, replacement rate 0.5.
+type Config struct {
+	// LearningRate is the constant SGD rate lambda of the simple models;
+	// it also scales the gradient term of the candidate-loss approximation
+	// of eq. (7). Default 0.05.
+	LearningRate float64
+	// Epsilon is the AIC confidence level of eq. (11): the tolerated
+	// relative probability that the rejected model was actually better.
+	// Smaller values make structural changes more conservative. Default
+	// 1e-7 (the paper's "10e-8").
+	Epsilon float64
+	// CandidateFactor caps the stored split-candidate statistics per node
+	// at CandidateFactor * NumFeatures. Default 3 (the paper's
+	// recommendation).
+	CandidateFactor int
+	// ReplacementRate is the fraction of the stored candidate pool that
+	// newly observed candidates may displace per time step. Default 0.5.
+	ReplacementRate float64
+	// MinBranchWeight is the minimum observation count required on both
+	// sides of a candidate before its gain is considered. Default 2.
+	MinBranchWeight float64
+	// RestructureGrace is the minimum observation count an inner node's
+	// epoch must reach before gains (4) and (5) are evaluated. Freshly
+	// split children are warm-started clones of the parent (Section IV-E)
+	// and need data to realise their advantage; without this grace a
+	// wide-feature node (parameter credit k > -log eps) would be pruned
+	// at the first check after splitting. Default 2000.
+	RestructureGrace float64
+	// Quantize rounds candidate split values to this many decimal places
+	// to bound the number of distinct candidates on continuous features
+	// (the features are normalised to [0,1] per Section VI-B). Default 3;
+	// negative disables quantisation.
+	Quantize int
+	// MaxDepth bounds tree growth; 0 means unbounded.
+	MaxDepth int
+	// Seed drives the random model initialisation and the candidate
+	// proposal sampling.
+	Seed int64
+
+	// Extensions the paper lists as future work (both off by default;
+	// Sections V-A and VI-E1).
+
+	// L1 adds an L1 proximal step of strength L1*LearningRate to every
+	// simple model after each time step, driving irrelevant feature
+	// weights to exactly zero — the sparsity-as-interpretability and
+	// online-feature-selection extension of Sections I-A and V-A.
+	L1 float64
+	// LRWarmupBoost (> 1) multiplies the learning rate of a node's first
+	// LRWarmupObs observations, decaying linearly back to LearningRate —
+	// the "dynamic learning rates" suggestion of Section VI-E1 for faster
+	// initial training of randomly initialised models. The candidate-loss
+	// approximation of eq. (7) always uses the base rate.
+	LRWarmupBoost float64
+	// LRWarmupObs is the warm-up length in observations (default 2000
+	// when LRWarmupBoost is set).
+	LRWarmupObs float64
+
+	// Ablation switches (all false in the paper's configuration).
+
+	// DisableInnerUpdates stops training the simple models of inner nodes
+	// after splitting (the FIMT-DD behaviour contrasted in Section IV-D).
+	// With inner updates off, gains (4) and (5) cannot be evaluated, so
+	// the tree also loses its pruning ability.
+	DisableInnerUpdates bool
+	// DisableWarmStart initialises child models with fresh random weights
+	// instead of the parent's parameters (Section IV-E discusses why
+	// warm-starting matters).
+	DisableWarmStart bool
+	// DisablePruning skips the inner-node gains (4) and (5), so the tree
+	// only ever grows (VFDT-like behaviour; breaks Property 2).
+	DisablePruning bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		c.Epsilon = 1e-7
+	}
+	if c.CandidateFactor <= 0 {
+		c.CandidateFactor = 3
+	}
+	if c.ReplacementRate <= 0 || c.ReplacementRate > 1 {
+		c.ReplacementRate = 0.5
+	}
+	if c.MinBranchWeight <= 0 {
+		c.MinBranchWeight = 2
+	}
+	if c.RestructureGrace <= 0 {
+		c.RestructureGrace = 2000
+	}
+	if c.Quantize == 0 {
+		c.Quantize = 3
+	}
+	if c.LRWarmupBoost > 1 && c.LRWarmupObs <= 0 {
+		c.LRWarmupObs = 2000
+	}
+	return c
+}
+
+// effectiveLR returns the SGD rate for a node that has seen n
+// observations, applying the optional linearly decaying warm-up boost.
+func (c Config) effectiveLR(n float64) float64 {
+	if c.LRWarmupBoost <= 1 || n >= c.LRWarmupObs {
+		return c.LearningRate
+	}
+	frac := n / c.LRWarmupObs
+	boost := c.LRWarmupBoost*(1-frac) + frac
+	return c.LearningRate * boost
+}
+
+// quantize rounds v to the configured number of decimals.
+func (c Config) quantize(v float64) float64 {
+	if c.Quantize < 0 {
+		return v
+	}
+	scale := math.Pow(10, float64(c.Quantize))
+	return math.Round(v*scale) / scale
+}
+
+// logEps returns -log(epsilon), the constant of the AIC thresholds.
+func (c Config) logEps() float64 { return -math.Log(c.Epsilon) }

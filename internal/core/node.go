@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/glm"
+	"repro/internal/linalg"
+	"repro/internal/stream"
+)
+
+// node is one DMT node. Leaf and inner nodes are structurally identical —
+// both train a simple model and maintain loss/gradient/count accumulators
+// and candidate statistics (Figure 2 of the paper) — an inner node
+// additionally carries a binary split (x[feature] <= threshold goes left).
+type node struct {
+	mod glm.Model
+
+	// Accumulators of Algorithm 1 (lines 1-3) over the node's current
+	// epoch: summed negative log-likelihood, summed gradient and count.
+	loss float64
+	grad []float64
+	n    float64
+
+	// Candidate statistics (Algorithm 1, lines 4-17), capped and
+	// partially replaceable per Section V-D.
+	cands   []*candidate
+	candSet map[candKey]struct{}
+
+	feature     int
+	threshold   float64
+	left, right *node
+	depth       int
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// resetEpoch clears the accumulators and the candidate pool. It runs when
+// the node splits or its subtree is replaced, so that the node's set I_t
+// and its children's sets J_t restart together and the union property
+// behind gains (4) and (5) holds (Lemma 2).
+func (n *node) resetEpoch() {
+	n.loss = 0
+	linalg.Zero(n.grad)
+	n.n = 0
+	n.cands = n.cands[:0]
+	n.candSet = map[candKey]struct{}{}
+}
+
+// hasCandidate reports whether the (feature, value) pair is stored.
+func (n *node) hasCandidate(k candKey) bool {
+	_, ok := n.candSet[k]
+	return ok
+}
+
+// candidateCap returns the pool capacity for m features.
+func candidateCap(cfg *Config, m int) int { return cfg.CandidateFactor * m }
+
+// updateStats performs the per-time-step statistics update of Algorithm 1
+// on this node: one pass over the batch computes each row's loss and
+// gradient once, feeding (a) the node accumulators, (b) every stored
+// candidate the row falls into, (c) the proposal candidates drawn from
+// this batch, and (d) the mean-gradient SGD step of the simple model.
+// Proposals are then admitted into the pool subject to the capacity and
+// replacement-rate policy of Section V-D.
+func (n *node) updateStats(cfg *Config, b stream.Batch, rng *rand.Rand) {
+	rows := b.Len()
+	if rows == 0 {
+		return
+	}
+	w := n.mod.NumWeights()
+	rowGrad := make([]float64, w)
+	batchGrad := make([]float64, w)
+	var batchLoss float64
+	var used float64
+
+	proposals := n.propose(cfg, b, rng)
+
+	for i := 0; i < rows; i++ {
+		x := b.X[i]
+		if !linalg.IsFinite(x) {
+			continue
+		}
+		y := b.Y[i]
+		li := n.mod.RowLossGrad(x, y, rowGrad)
+		batchLoss += li
+		linalg.Add(batchGrad, rowGrad)
+		used++
+		for _, c := range n.cands {
+			if c.accepts(x) {
+				c.observe(li, rowGrad)
+			}
+		}
+		for _, c := range proposals {
+			if c.accepts(x) {
+				c.observe(li, rowGrad)
+			}
+		}
+		// Per-instance SGD with a constant learning rate (Section V-A),
+		// optionally warm-up boosted (Section VI-E1). The same row
+		// gradient feeds the accumulators, the candidate statistics and
+		// the step — computed exactly once (Section IV-B).
+		n.mod.ApplyGrad(rowGrad, -cfg.effectiveLR(n.n+used))
+	}
+	if used == 0 {
+		return
+	}
+	if cfg.L1 > 0 {
+		// Proximal L1 step (sparsity extension): the per-instance
+		// proximal-SGD threshold lr*L1, aggregated over the batch.
+		n.mod.Shrink(cfg.L1 * cfg.LearningRate * used)
+	}
+
+	// Algorithm 1 lines 1-3: increment loss, gradient and count.
+	n.loss += batchLoss
+	linalg.Add(n.grad, batchGrad)
+	n.n += used
+
+	n.admit(cfg, proposals, batchLoss, batchGrad, used)
+}
+
+// propose draws new candidate values from the current batch. On a node's
+// first batch it proposes the three quartiles of every feature (filling
+// the default pool of size 3m in one step); afterwards it proposes one
+// randomly sampled row value per feature. Values are quantised and
+// deduplicated against the stored pool.
+func (n *node) propose(cfg *Config, b stream.Batch, rng *rand.Rand) []*candidate {
+	m := len(b.X[0])
+	w := n.mod.NumWeights()
+	var out []*candidate
+	seen := map[candKey]struct{}{}
+
+	add := func(feature int, value float64) {
+		v := cfg.quantize(value)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+		k := candKey{feature, v}
+		if n.hasCandidate(k) {
+			return
+		}
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		out = append(out, &candidate{feature: feature, value: v, grad: make([]float64, w)})
+	}
+
+	if len(n.cands) == 0 {
+		// Cold start: quartiles of each feature within the batch.
+		vals := make([]float64, 0, b.Len())
+		for j := 0; j < m; j++ {
+			vals = vals[:0]
+			for i := range b.X {
+				if v := b.X[i][j]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			sort.Float64s(vals)
+			for _, q := range []float64{0.25, 0.5, 0.75} {
+				add(j, vals[int(q*float64(len(vals)-1))])
+			}
+		}
+		return out
+	}
+
+	for j := 0; j < m; j++ {
+		i := rng.Intn(b.Len())
+		add(j, b.X[i][j])
+	}
+	return out
+}
+
+// admit ranks this batch's proposals by their batch-local gain estimate
+// and inserts them into the pool: free slots first, then replacement of
+// the weakest stored candidates, limited to ReplacementRate of the pool
+// per time step (Section V-D). Replaced candidates can always reappear
+// later if their importance returns after concept drift.
+func (n *node) admit(cfg *Config, proposals []*candidate, batchLoss float64, batchGrad []float64, used float64) {
+	if len(proposals) == 0 {
+		return
+	}
+	scored := proposals[:0]
+	gains := map[*candidate]float64{}
+	for _, p := range proposals {
+		g, ok := candidateGain(batchLoss, batchLoss, batchGrad, used, p.loss, p.grad, p.n, cfg.LearningRate, 1)
+		if !ok {
+			continue
+		}
+		gains[p] = g
+		scored = append(scored, p)
+	}
+	if len(scored) == 0 {
+		return
+	}
+	sort.Slice(scored, func(i, j int) bool { return gains[scored[i]] > gains[scored[j]] })
+
+	capSize := candidateCap(cfg, n.mod.NumFeatures())
+	idx := 0
+	for ; idx < len(scored) && len(n.cands) < capSize; idx++ {
+		n.insertCandidate(scored[idx])
+	}
+	if idx >= len(scored) {
+		return
+	}
+
+	// Replacement pass: the stored pool ranked by its lifetime gain
+	// estimate; only the weakest ReplacementRate fraction may be evicted
+	// this step.
+	maxRepl := int(cfg.ReplacementRate * float64(capSize))
+	if maxRepl == 0 {
+		return
+	}
+	storedGain := func(c *candidate) float64 {
+		g, ok := candidateGain(n.loss, n.loss, n.grad, n.n, c.loss, c.grad, c.n, cfg.LearningRate, 1)
+		if !ok {
+			return math.Inf(-1)
+		}
+		return g
+	}
+	order := make([]*candidate, len(n.cands))
+	copy(order, n.cands)
+	sort.Slice(order, func(i, j int) bool { return storedGain(order[i]) < storedGain(order[j]) })
+
+	replaced := 0
+	for _, victim := range order {
+		if idx >= len(scored) || replaced >= maxRepl {
+			break
+		}
+		p := scored[idx]
+		if gains[p] <= storedGain(victim) {
+			break // both lists are sorted; no further improvement possible
+		}
+		n.removeCandidate(victim)
+		n.insertCandidate(p)
+		idx++
+		replaced++
+	}
+}
+
+func (n *node) insertCandidate(c *candidate) {
+	k := candKey{c.feature, c.value}
+	if n.hasCandidate(k) {
+		return
+	}
+	if n.candSet == nil {
+		n.candSet = map[candKey]struct{}{}
+	}
+	n.candSet[k] = struct{}{}
+	n.cands = append(n.cands, c)
+}
+
+func (n *node) removeCandidate(c *candidate) {
+	delete(n.candSet, candKey{c.feature, c.value})
+	for i, existing := range n.cands {
+		if existing == c {
+			n.cands[i] = n.cands[len(n.cands)-1]
+			n.cands = n.cands[:len(n.cands)-1]
+			return
+		}
+	}
+}
+
+// bestCandidate evaluates gain (3) (at a leaf, referenceLoss = the node's
+// own accumulated loss) or gain (4) (at an inner node, referenceLoss = the
+// subtree's summed leaf loss) over the stored pool and returns the argmax.
+// skipCurrent excludes the currently installed split of an inner node.
+func (n *node) bestCandidate(cfg *Config, referenceLoss float64, skipCurrent bool) (*candidate, float64, bool) {
+	var best *candidate
+	bestGain := math.Inf(-1)
+	for _, c := range n.cands {
+		if skipCurrent && c.feature == n.feature && c.value == n.threshold {
+			continue
+		}
+		g, ok := candidateGain(referenceLoss, n.loss, n.grad, n.n, c.loss, c.grad, c.n,
+			cfg.LearningRate, cfg.MinBranchWeight)
+		if !ok {
+			continue
+		}
+		if g > bestGain {
+			best, bestGain = c, g
+		}
+	}
+	return best, bestGain, best != nil
+}
+
+// subtreeLeafStats walks the subtree and returns the summed leaf loss and
+// the number of leaves — the Σ_J L(J) and L_sub of gains (4) and (5).
+func subtreeLeafStats(n *node) (lossSum float64, leaves int) {
+	if n.isLeaf() {
+		return n.loss, 1
+	}
+	ll, lc := subtreeLeafStats(n.left)
+	rl, rc := subtreeLeafStats(n.right)
+	return ll + rl, lc + rc
+}

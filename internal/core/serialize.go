@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/glm"
+	"repro/internal/stream"
+)
+
+// The gob document types. All learner state round-trips except the
+// random-number generator, which cannot be exported from math/rand: a
+// loaded tree is re-seeded deterministically from Config.Seed and the
+// step counter, so a save/load cycle is reproducible, though its future
+// random draws (candidate proposals, fresh-model initialisation) differ
+// from an uninterrupted run.
+type treeDoc struct {
+	Version  int
+	Config   Config
+	Schema   stream.Schema
+	Step     int
+	Splits   int
+	Replaces int
+	Prunes   int
+	Changes  []ChangeEvent
+	Root     *nodeDoc
+}
+
+type nodeDoc struct {
+	Weights    []float64
+	Loss       float64
+	Grad       []float64
+	N          float64
+	Candidates []candDoc
+	Feature    int
+	Threshold  float64
+	Depth      int
+	Left       *nodeDoc
+	Right      *nodeDoc
+}
+
+type candDoc struct {
+	Feature int
+	Value   float64
+	Loss    float64
+	Grad    []float64
+	N       float64
+}
+
+const treeDocVersion = 1
+
+// Save serialises the full tree state (structure, simple-model weights,
+// loss/gradient accumulators, candidate statistics, change log) with
+// encoding/gob, so a stream learner can be checkpointed and resumed.
+func (t *Tree) Save(w io.Writer) error {
+	doc := treeDoc{
+		Version:  treeDocVersion,
+		Config:   t.cfg,
+		Schema:   t.schema,
+		Step:     t.step,
+		Splits:   t.splits,
+		Replaces: t.replaces,
+		Prunes:   t.prunes,
+		Changes:  t.Changes(),
+		Root:     encodeNode(t.root),
+	}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("core: save DMT: %w", err)
+	}
+	return nil
+}
+
+func encodeNode(n *node) *nodeDoc {
+	if n == nil {
+		return nil
+	}
+	doc := &nodeDoc{
+		Weights:   n.mod.Weights(),
+		Loss:      n.loss,
+		Grad:      append([]float64(nil), n.grad...),
+		N:         n.n,
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Depth:     n.depth,
+		Left:      encodeNode(n.left),
+		Right:     encodeNode(n.right),
+	}
+	for _, c := range n.cands {
+		doc.Candidates = append(doc.Candidates, candDoc{
+			Feature: c.feature, Value: c.value,
+			Loss: c.loss, Grad: append([]float64(nil), c.grad...), N: c.n,
+		})
+	}
+	return doc
+}
+
+// Load restores a tree saved with Save.
+func Load(r io.Reader) (*Tree, error) {
+	var doc treeDoc
+	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: load DMT: %w", err)
+	}
+	if doc.Version != treeDocVersion {
+		return nil, fmt.Errorf("core: load DMT: unsupported version %d", doc.Version)
+	}
+	if err := doc.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load DMT: %w", err)
+	}
+	if doc.Root == nil {
+		return nil, fmt.Errorf("core: load DMT: document has no root")
+	}
+	t := &Tree{
+		cfg:      doc.Config.withDefaults(),
+		schema:   doc.Schema,
+		step:     doc.Step,
+		splits:   doc.Splits,
+		replaces: doc.Replaces,
+		prunes:   doc.Prunes,
+		changes:  doc.Changes,
+		rng:      rand.New(rand.NewSource(doc.Config.Seed*1_000_003 + int64(doc.Step))),
+	}
+	root, err := t.decodeNode(doc.Root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.k = float64(t.root.mod.FreeParams())
+	return t, nil
+}
+
+func (t *Tree) decodeNode(doc *nodeDoc) (*node, error) {
+	mod := glm.New(t.schema.NumFeatures, t.schema.NumClasses, nil)
+	if len(doc.Weights) != mod.NumWeights() {
+		return nil, fmt.Errorf("core: load DMT: node weight length %d, schema wants %d",
+			len(doc.Weights), mod.NumWeights())
+	}
+	mod.SetWeights(doc.Weights)
+	if len(doc.Grad) != mod.NumWeights() {
+		return nil, fmt.Errorf("core: load DMT: node gradient length %d, schema wants %d",
+			len(doc.Grad), mod.NumWeights())
+	}
+	n := &node{
+		mod:       mod,
+		loss:      doc.Loss,
+		grad:      append([]float64(nil), doc.Grad...),
+		n:         doc.N,
+		feature:   doc.Feature,
+		threshold: doc.Threshold,
+		depth:     doc.Depth,
+		candSet:   map[candKey]struct{}{},
+	}
+	for _, c := range doc.Candidates {
+		if len(c.Grad) != mod.NumWeights() {
+			return nil, fmt.Errorf("core: load DMT: candidate gradient length %d", len(c.Grad))
+		}
+		n.insertCandidate(&candidate{
+			feature: c.Feature, value: c.Value,
+			loss: c.Loss, grad: append([]float64(nil), c.Grad...), n: c.N,
+		})
+	}
+	if (doc.Left == nil) != (doc.Right == nil) {
+		return nil, fmt.Errorf("core: load DMT: non-binary node in document")
+	}
+	if doc.Left != nil {
+		left, err := t.decodeNode(doc.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := t.decodeNode(doc.Right)
+		if err != nil {
+			return nil, err
+		}
+		n.left, n.right = left, right
+	}
+	return n, nil
+}

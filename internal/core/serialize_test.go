@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Save -> Load must preserve predictions, complexity, accumulators and
+// the change log exactly.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tree := New(Config{Seed: 31}, schema(3, 2))
+	for i := 0; i < 400; i++ {
+		tree.Learn(piecewiseBatch(rng, 100, 0.05))
+	}
+	if tree.Complexity().Inner == 0 {
+		t.Fatal("precondition: tree should have grown")
+	}
+
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Complexity() != tree.Complexity() {
+		t.Fatalf("complexity changed: %+v vs %+v", loaded.Complexity(), tree.Complexity())
+	}
+	s1, r1, p1 := tree.Revisions()
+	s2, r2, p2 := loaded.Revisions()
+	if s1 != s2 || r1 != r2 || p1 != p2 {
+		t.Fatal("revision counters changed")
+	}
+	if len(loaded.Changes()) != len(tree.Changes()) {
+		t.Fatal("change log changed")
+	}
+
+	// Identical predictions on fresh data.
+	test := piecewiseBatch(rng, 500, 0)
+	for i, x := range test.X {
+		if tree.Predict(x) != loaded.Predict(x) {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+		pa := tree.Proba(x, nil)
+		pb := loaded.Proba(x, nil)
+		for k := range pa {
+			if pa[k] != pb[k] {
+				t.Fatalf("probability %d/%d differs", i, k)
+			}
+		}
+	}
+
+	// The loaded tree must keep learning without degradation.
+	for i := 0; i < 100; i++ {
+		loaded.Learn(piecewiseBatch(rng, 100, 0.05))
+	}
+	if acc := accuracy(loaded, piecewiseBatch(rng, 1000, 0)); acc < 0.8 {
+		t.Fatalf("loaded tree degraded: accuracy %v", acc)
+	}
+}
+
+func TestSaveLoadMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tree := New(Config{Seed: 32}, schema(4, 5))
+	for i := 0; i < 100; i++ {
+		var b stream.Batch
+		for j := 0; j < 50; j++ {
+			x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+			b.X = append(b.X, x)
+			b.Y = append(b.Y, int(x[0]*5)%5)
+		}
+		tree.Learn(b)
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.5, 0.7, 0.9}
+	if tree.Predict(x) != loaded.Predict(x) {
+		t.Fatal("multiclass prediction differs")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSaveLoadPreservesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tree := New(Config{Seed: 33}, schema(3, 2))
+	for i := 0; i < 50; i++ {
+		tree.Learn(piecewiseBatch(rng, 100, 0.05))
+	}
+	nCands := len(tree.root.cands)
+	if nCands == 0 {
+		t.Fatal("precondition: root should hold candidates")
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.root.cands) != nCands {
+		t.Fatalf("candidates lost: %d vs %d", len(loaded.root.cands), nCands)
+	}
+	if len(loaded.root.candSet) != nCands {
+		t.Fatal("candidate index out of sync after load")
+	}
+}

@@ -1,0 +1,377 @@
+// Package datasets is the Table I registry: the 13 streams of the paper's
+// evaluation with their dimensions, majority-class shares and drift
+// profiles, factory functions producing the streams (faithful synthetic
+// generators for SEA/Agrawal/Hyperplane; Gaussian-cluster surrogates for
+// the real-world sets, see DESIGN.md §4), and the paper's reported Table
+// II–IV values so the experiment harness can print paper-vs-measured
+// comparisons.
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// Entry describes one evaluation stream.
+type Entry struct {
+	// Name as used in the paper's tables. Surrogate streams carry a "*"
+	// suffix in reports.
+	Name string
+	// Surrogate marks streams that stand in for unavailable real data.
+	Surrogate bool
+	// Samples, Features, Classes, MajorityCount reproduce Table I.
+	Samples       int
+	Features      int
+	Classes       int
+	MajorityCount int
+	// DriftNote summarises the drift profile.
+	DriftNote string
+	// New builds the stream scaled to scale*Samples observations (scale
+	// in (0,1]; a floor keeps tiny runs meaningful).
+	New func(scale float64, seed int64) stream.Stream
+
+	// PaperF1, PaperSplits and PaperParams are the mean values the paper
+	// reports in Tables II, III and IV, keyed by model name.
+	PaperF1     map[string]float64
+	PaperSplits map[string]float64
+	PaperParams map[string]float64
+}
+
+// DisplayName returns the name with a surrogate marker.
+func (e Entry) DisplayName() string {
+	if e.Surrogate {
+		return e.Name + "*"
+	}
+	return e.Name
+}
+
+// MajorityShare returns the majority-class fraction of Table I.
+func (e Entry) MajorityShare() float64 {
+	return float64(e.MajorityCount) / float64(e.Samples)
+}
+
+// scaled returns the sample count for a scale factor with a floor.
+func scaled(samples int, scale float64) int {
+	if scale <= 0 || scale >= 1 {
+		return samples
+	}
+	n := int(float64(samples) * scale)
+	const minSamples = 2000
+	if n < minSamples {
+		n = minSamples
+	}
+	if n > samples {
+		n = samples
+	}
+	return n
+}
+
+// Model name constants used for the paper-reference maps.
+const (
+	DMT     = "DMT"
+	FIMTDD  = "FIMT-DD"
+	VFDTMC  = "VFDT (MC)"
+	VFDTNBA = "VFDT (NBA)"
+	HTAda   = "HT-Ada"
+	EFDT    = "EFDT"
+	Forest  = "Forest Ens."
+	Bagging = "Bagging Ens."
+)
+
+// All returns the 13 entries of Table I in the paper's order.
+func All() []Entry {
+	return []Entry{
+		electricity(), airlines(), bank(), tueyeq(), poker(), kdd(),
+		covertype(), gas(), insectsAbrupt(), insectsIncremental(),
+		sea(), agrawal(), hyperplane(),
+	}
+}
+
+// ByName returns the entry with the given name (surrogate marker
+// optional).
+func ByName(name string) (Entry, error) {
+	for _, e := range All() {
+		if e.Name == name || e.DisplayName() == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("datasets: unknown data set %q", name)
+}
+
+// Names returns all entry names in order.
+func Names() []string {
+	entries := All()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+func f1Row(dmt, fimt, mc, nba, ada, efdt, forest, bag float64) map[string]float64 {
+	return map[string]float64{
+		DMT: dmt, FIMTDD: fimt, VFDTMC: mc, VFDTNBA: nba,
+		HTAda: ada, EFDT: efdt, Forest: forest, Bagging: bag,
+	}
+}
+
+func treeRow(dmt, fimt, mc, nba, ada, efdt float64) map[string]float64 {
+	return map[string]float64{
+		DMT: dmt, FIMTDD: fimt, VFDTMC: mc, VFDTNBA: nba, HTAda: ada, EFDT: efdt,
+	}
+}
+
+func electricity() Entry {
+	return Entry{
+		Name: "Electricity", Surrogate: true,
+		Samples: 45312, Features: 8, Classes: 2, MajorityCount: 26075,
+		DriftNote: "autocorrelated price-level shifts (random-walk drift)",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Electricity*", Samples: scaled(45312, scale),
+				Features: 8, Classes: 2,
+				Priors: synth.MajorityPriors(2, 0.575),
+				Std:    0.16, LabelNoise: 0.05,
+				Drift: synth.DriftWalk, WalkStd: 0.0008,
+				Seed: seed,
+			})
+		},
+		PaperF1:     f1Row(0.76, 0.78, 0.76, 0.80, 0.77, 0.77, 0.81, 0.81),
+		PaperSplits: treeRow(6.5, 52.0, 37.8, 76.7, 3.4, 10.9),
+		PaperParams: treeRow(33, 238, 77, 349, 8, 23),
+	}
+}
+
+func airlines() Entry {
+	return Entry{
+		Name: "Airlines", Surrogate: true,
+		Samples: 539383, Features: 7, Classes: 2, MajorityCount: 299119,
+		DriftNote: "slow incremental drift over a long stream",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Airlines*", Samples: scaled(539383, scale),
+				Features: 7, Classes: 2,
+				Priors: synth.MajorityPriors(2, 0.555),
+				Std:    0.18, LabelNoise: 0.08,
+				Drift: synth.DriftIncremental, DriftPoints: []float64{0.33, 0.66},
+				Seed: seed,
+			})
+		},
+		PaperF1:     f1Row(0.63, 0.55, 0.64, 0.65, 0.62, 0.60, 0.64, 0.65),
+		PaperSplits: treeRow(35.7, 4.9, 323.3, 647.6, 12.7, 15.2),
+		PaperParams: treeRow(146, 22, 648, 2594, 27, 31),
+	}
+}
+
+func bank() Entry {
+	return Entry{
+		Name: "Bank", Surrogate: true,
+		Samples: 45211, Features: 16, Classes: 2, MajorityCount: 39922,
+		DriftNote: "no known drift; strong class imbalance",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Bank*", Samples: scaled(45211, scale),
+				Features: 16, Classes: 2,
+				Priors: synth.MajorityPriors(2, 0.883),
+				Std:    0.15, LabelNoise: 0.03,
+				Drift: synth.DriftNone,
+				Seed:  seed,
+			})
+		},
+		PaperF1:     f1Row(0.88, 0.88, 0.87, 0.88, 0.88, 0.88, 0.89, 0.89),
+		PaperSplits: treeRow(2.3, 75.5, 21.9, 44.8, 5.6, 9.5),
+		PaperParams: treeRow(27, 649, 45, 388, 12, 20),
+	}
+}
+
+func tueyeq() Entry {
+	return Entry{
+		Name: "TueEyeQ", Surrogate: true,
+		Samples: 15762, Features: 76, Classes: 2, MajorityCount: 12975,
+		DriftNote: "four task blocks => abrupt drifts with intra-block ramps",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "TueEyeQ*", Samples: scaled(15762, scale),
+				Features: 76, Classes: 2,
+				Priors: synth.MajorityPriors(2, 0.823),
+				Std:    0.15, LabelNoise: 0.05,
+				Drift: synth.DriftAbrupt, DriftPoints: []float64{0.25, 0.5, 0.75},
+				Seed: seed,
+			})
+		},
+		PaperF1:     f1Row(0.79, 0.76, 0.77, 0.77, 0.77, 0.77, 0.78, 0.78),
+		PaperSplits: treeRow(1.4, 1.0, 10.6, 22.3, 2.3, 2.8),
+		PaperParams: treeRow(92, 76, 22, 896, 6, 7),
+	}
+}
+
+func poker() Entry {
+	return Entry{
+		Name: "Poker", Surrogate: true,
+		Samples: 1025000, Features: 10, Classes: 9, MajorityCount: 513701,
+		DriftNote: "no known drift; rule-like concept hard for all models",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Poker*", Samples: scaled(1025000, scale),
+				Features: 10, Classes: 9,
+				Priors: synth.MajorityPriors(9, 0.501),
+				Std:    0.30, LabelNoise: 0.10,
+				Drift: synth.DriftNone,
+				Seed:  seed,
+			})
+		},
+		PaperF1:     f1Row(0.44, 0.41, 0.47, 0.50, 0.47, 0.47, 0.50, 0.53),
+		PaperSplits: treeRow(9.0, 17.7, 84.7, 856.3, 58.0, 10.0),
+		PaperParams: treeRow(80, 150, 170, 6943, 144, 21),
+	}
+}
+
+func kdd() Entry {
+	return Entry{
+		Name: "KDD", Surrogate: true,
+		Samples: 494020, Features: 41, Classes: 23, MajorityCount: 280790,
+		DriftNote: "shuffled, stationary, near-perfectly separable",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "KDD*", Samples: scaled(494020, scale),
+				Features: 41, Classes: 23,
+				Priors:           synth.MajorityPriors(23, 0.568),
+				ClustersPerClass: 1,
+				Std:              0.04, LabelNoise: 0.002,
+				Drift: synth.DriftNone,
+				Seed:  seed,
+			})
+		},
+		PaperF1:     f1Row(0.99, 0.99, 0.96, 0.99, 0.96, 0.99, 0.99, 0.99),
+		PaperSplits: treeRow(24.8, 24.8, 25.6, 637.3, 25.4, 24.7),
+		PaperParams: treeRow(970, 971, 52, 24016, 52, 50),
+	}
+}
+
+func covertype() Entry {
+	return Entry{
+		Name: "Covertype", Surrogate: true,
+		Samples: 581012, Features: 54, Classes: 7, MajorityCount: 283301,
+		DriftNote: "no known drift; moderately separable multiclass",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Covertype*", Samples: scaled(581012, scale),
+				Features: 54, Classes: 7,
+				Priors: synth.MajorityPriors(7, 0.488),
+				Std:    0.14, LabelNoise: 0.05,
+				Drift: synth.DriftNone,
+				Seed:  seed,
+			})
+		},
+		PaperF1:     f1Row(0.80, 0.81, 0.72, 0.85, 0.67, 0.74, 0.74, 0.72),
+		PaperSplits: treeRow(10.7, 13.7, 356.8, 2861.1, 3.1, 9.4),
+		PaperParams: treeRow(474, 597, 715, 116270, 7, 20),
+	}
+}
+
+func gas() Entry {
+	return Entry{
+		Name: "Gas", Surrogate: true,
+		Samples: 13910, Features: 128, Classes: 6, MajorityCount: 3009,
+		DriftNote: "chemical sensor drift (slow random-walk drift)",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Gas*", Samples: scaled(13910, scale),
+				Features: 128, Classes: 6,
+				Priors: synth.MajorityPriors(6, 0.216),
+				Std:    0.10, LabelNoise: 0.03,
+				Drift: synth.DriftWalk, WalkStd: 0.0015,
+				Seed: seed,
+			})
+		},
+		PaperF1:     f1Row(0.82, 0.79, 0.29, 0.77, 0.22, 0.55, 0.80, 0.67),
+		PaperSplits: treeRow(9.3, 6.0, 0.7, 11.1, 0.2, 4.7),
+		PaperParams: treeRow(939, 640, 2, 1105, 1, 10),
+	}
+}
+
+func insectsAbrupt() Entry {
+	return Entry{
+		Name: "Insects-Abr.", Surrogate: true,
+		Samples: 355275, Features: 33, Classes: 6, MajorityCount: 101256,
+		DriftNote: "controlled abrupt drifts (temperature/humidity changes)",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Insects-Abr.*", Samples: scaled(355275, scale),
+				Features: 33, Classes: 6,
+				Priors: synth.MajorityPriors(6, 0.285),
+				Std:    0.13, LabelNoise: 0.05,
+				Drift: synth.DriftAbrupt, DriftPoints: []float64{0.2, 0.4, 0.6, 0.8},
+				Seed: seed,
+			})
+		},
+		PaperF1:     f1Row(0.73, 0.73, 0.64, 0.71, 0.59, 0.68, 0.72, 0.74),
+		PaperSplits: treeRow(9.1, 7.4, 41.3, 295.2, 8.0, 17.3),
+		PaperParams: treeRow(237, 198, 84, 7023, 17, 36),
+	}
+}
+
+func insectsIncremental() Entry {
+	return Entry{
+		Name: "Insects-Inc.", Surrogate: true,
+		Samples: 452044, Features: 33, Classes: 6, MajorityCount: 134717,
+		DriftNote: "controlled incremental drift",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewCluster(synth.ClusterConfig{
+				Name: "Insects-Inc.*", Samples: scaled(452044, scale),
+				Features: 33, Classes: 6,
+				Priors: synth.MajorityPriors(6, 0.298),
+				Std:    0.13, LabelNoise: 0.05,
+				Drift: synth.DriftIncremental, DriftPoints: []float64{0.25, 0.5, 0.75},
+				Seed: seed,
+			})
+		},
+		PaperF1:     f1Row(0.73, 0.72, 0.67, 0.72, 0.64, 0.65, 0.72, 0.75),
+		PaperSplits: treeRow(9.1, 10.6, 53.5, 380.3, 21.5, 15.9),
+		PaperParams: treeRow(238, 275, 108, 9042, 44, 33),
+	}
+}
+
+func sea() Entry {
+	return Entry{
+		Name:    "SEA",
+		Samples: 1000000, Features: 3, Classes: 2,
+		DriftNote: "synthetic, abrupt drifts every 200k observations",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewSEA(scaled(1000000, scale), 0.1, seed)
+		},
+		PaperF1:     f1Row(0.88, 0.78, 0.86, 0.86, 0.89, 0.87, 0.90, 0.90),
+		PaperSplits: treeRow(35.1, 1.0, 588.4, 1177.8, 131.4, 109.9),
+		PaperParams: treeRow(71, 3, 1178, 2357, 264, 221),
+	}
+}
+
+func agrawal() Entry {
+	return Entry{
+		Name:    "Agrawal",
+		Samples: 1000000, Features: 9, Classes: 2,
+		DriftNote: "synthetic, incremental drift in three windows",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewAgrawal(scaled(1000000, scale), 0.1, seed)
+		},
+		PaperF1:     f1Row(0.82, 0.64, 0.77, 0.79, 0.84, 0.82, 0.80, 0.84),
+		PaperSplits: treeRow(75.4, 65.8, 628.3, 1257.6, 158.2, 89.7),
+		PaperParams: treeRow(381, 333, 1258, 6292, 377, 180),
+	}
+}
+
+func hyperplane() Entry {
+	return Entry{
+		Name:    "Hyperplane",
+		Samples: 500000, Features: 50, Classes: 2,
+		DriftNote: "synthetic, continuous incremental drift",
+		New: func(scale float64, seed int64) stream.Stream {
+			return synth.NewHyperplane(scaled(500000, scale), 50, 0.1, seed)
+		},
+		PaperF1:     f1Row(0.84, 0.76, 0.65, 0.73, 0.66, 0.69, 0.64, 0.72),
+		PaperSplits: treeRow(2.2, 8.0, 277.9, 556.8, 188.7, 31.0),
+		PaperParams: treeRow(80, 229, 557, 14224, 378, 63),
+	}
+}

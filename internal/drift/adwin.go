@@ -1,0 +1,201 @@
+package drift
+
+import "math"
+
+// maxBucketsPerRow is the M parameter of the exponential histogram: each
+// row keeps at most M buckets before the two oldest merge into the next
+// row. M=5 is the value used by Bifet & Gavaldà.
+const maxBucketsPerRow = 5
+
+// bucket summarises 2^row observations: their count, sum and internal
+// sum of squared deviations (m2), allowing variance reconstruction.
+type bucket struct {
+	n   float64
+	sum float64
+	m2  float64
+}
+
+func (b bucket) mean() float64 { return b.sum / b.n }
+
+// mergeBuckets combines two summaries using the pairwise variance update.
+func mergeBuckets(a, b bucket) bucket {
+	if a.n == 0 {
+		return b
+	}
+	if b.n == 0 {
+		return a
+	}
+	n := a.n + b.n
+	delta := b.mean() - a.mean()
+	return bucket{
+		n:   n,
+		sum: a.sum + b.sum,
+		m2:  a.m2 + b.m2 + delta*delta*a.n*b.n/n,
+	}
+}
+
+// ADWIN is the ADWIN2 change detector: it maintains a variable-length
+// window of the most recent observations and shrinks it whenever two
+// sufficiently large sub-windows exhibit distinct enough means, using the
+// variance-sensitive bound of Bifet & Gavaldà (2007).
+//
+// The window is stored as an exponential histogram: rows[i] holds buckets
+// summarising 2^i observations each, newest data in row 0. Memory is
+// O(M log n) and all operations are amortised O(log n).
+type ADWIN struct {
+	delta      float64
+	rows       [][]bucket // rows[i]: oldest bucket first
+	width      float64
+	total      float64
+	clock      int // check for cuts every clock additions
+	sinceCheck int
+	detections int
+}
+
+// NewADWIN returns a detector with confidence parameter delta (smaller
+// delta means fewer false alarms; 0.002 is the customary default).
+func NewADWIN(delta float64) *ADWIN {
+	if delta <= 0 || delta >= 1 {
+		delta = 0.002
+	}
+	return &ADWIN{delta: delta, clock: 32}
+}
+
+// Reset implements Detector.
+func (a *ADWIN) Reset() {
+	a.rows = nil
+	a.width, a.total = 0, 0
+	a.sinceCheck = 0
+	// detections intentionally survives Reset so callers can keep counting.
+}
+
+// Width returns the current window length.
+func (a *ADWIN) Width() int { return int(a.width) }
+
+// Mean returns the mean of the current window (0 when empty).
+func (a *ADWIN) Mean() float64 {
+	if a.width == 0 {
+		return 0
+	}
+	return a.total / a.width
+}
+
+// NumDetections returns how many changes have been flagged so far.
+func (a *ADWIN) NumDetections() int { return a.detections }
+
+// Add inserts an observation and reports whether the window shrank due to
+// a detected change at this step.
+func (a *ADWIN) Add(x float64) bool {
+	a.insert(bucket{n: 1, sum: x})
+	a.compress()
+	a.sinceCheck++
+	if a.sinceCheck < a.clock || a.width < 10 {
+		return false
+	}
+	a.sinceCheck = 0
+	changed := false
+	for a.cutOnce() {
+		changed = true
+	}
+	if changed {
+		a.detections++
+	}
+	return changed
+}
+
+func (a *ADWIN) insert(b bucket) {
+	if len(a.rows) == 0 {
+		a.rows = append(a.rows, nil)
+	}
+	a.rows[0] = append(a.rows[0], b)
+	a.width += b.n
+	a.total += b.sum
+}
+
+// compress merges the two oldest buckets of any over-full row into the
+// next row, preserving the exponential-histogram invariant.
+func (a *ADWIN) compress() {
+	for i := 0; i < len(a.rows); i++ {
+		if len(a.rows[i]) <= maxBucketsPerRow {
+			continue
+		}
+		merged := mergeBuckets(a.rows[i][0], a.rows[i][1])
+		a.rows[i] = a.rows[i][2:]
+		if i+1 == len(a.rows) {
+			a.rows = append(a.rows, nil)
+		}
+		a.rows[i+1] = append(a.rows[i+1], merged)
+	}
+}
+
+// allBuckets returns the window's buckets ordered oldest first.
+func (a *ADWIN) allBuckets() []bucket {
+	var out []bucket
+	for i := len(a.rows) - 1; i >= 0; i-- {
+		out = append(out, a.rows[i]...)
+	}
+	return out
+}
+
+// windowVariance reconstructs the variance of the full window.
+func (a *ADWIN) windowVariance() float64 {
+	var acc bucket
+	for _, b := range a.allBuckets() {
+		acc = mergeBuckets(acc, b)
+	}
+	if acc.n <= 1 {
+		return 0
+	}
+	return acc.m2 / acc.n
+}
+
+// cutOnce scans cut points oldest-to-newest; if any split of the window
+// into W0 (old) and W1 (new) violates the bound, the oldest bucket is
+// dropped and true is returned.
+func (a *ADWIN) cutOnce() bool {
+	buckets := a.allBuckets()
+	if len(buckets) < 2 {
+		return false
+	}
+	variance := a.windowVariance()
+	n := a.width
+	total := a.total
+
+	var n0, sum0 float64
+	for i := 0; i < len(buckets)-1; i++ {
+		n0 += buckets[i].n
+		sum0 += buckets[i].sum
+		n1 := n - n0
+		if n0 < 5 || n1 < 5 {
+			continue
+		}
+		mean0 := sum0 / n0
+		mean1 := (total - sum0) / n1
+		if math.Abs(mean0-mean1) > a.cutThreshold(n0, n1, variance) {
+			a.dropOldest()
+			return true
+		}
+	}
+	return false
+}
+
+// cutThreshold is the variance-sensitive epsilon_cut of ADWIN2.
+func (a *ADWIN) cutThreshold(n0, n1, variance float64) float64 {
+	m := 1 / (1/n0 + 1/n1) // harmonic mean of the sub-window sizes
+	dd := math.Log(2 * math.Log(a.width) / a.delta)
+	return math.Sqrt(2/m*variance*dd) + 2/(3*m)*dd
+}
+
+// dropOldest removes the oldest bucket from the window.
+func (a *ADWIN) dropOldest() {
+	for i := len(a.rows) - 1; i >= 0; i-- {
+		if len(a.rows[i]) == 0 {
+			continue
+		}
+		b := a.rows[i][0]
+		a.rows[i] = a.rows[i][1:]
+		a.width -= b.n
+		a.total -= b.sum
+		return
+	}
+}

@@ -1,0 +1,15 @@
+// Package drift implements the change detectors the baselines rely on:
+// ADWIN (adaptive windowing with exponential histograms) for the adaptive
+// Hoeffding tree and the ensembles, and the Page-Hinkley test for FIMT-DD.
+// The Dynamic Model Tree itself needs neither — adaptation is built into
+// its gain functions — which is one of the paper's central claims
+// (Section IV-D).
+package drift
+
+// Detector is the common contract of the change detectors: feed a real
+// valued signal (typically a 0/1 error indicator) one observation at a
+// time; Add reports whether a change was flagged at this observation.
+type Detector interface {
+	Add(x float64) bool
+	Reset()
+}

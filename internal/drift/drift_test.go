@@ -1,0 +1,186 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestADWINStationaryNoFalseAlarms(t *testing.T) {
+	a := NewADWIN(0.002)
+	rng := rand.New(rand.NewSource(1))
+	alarms := 0
+	for i := 0; i < 20000; i++ {
+		v := 0.0
+		if rng.Float64() < 0.3 {
+			v = 1
+		}
+		if a.Add(v) {
+			alarms++
+		}
+	}
+	if alarms > 2 {
+		t.Fatalf("stationary Bernoulli(0.3): %d alarms, want near 0", alarms)
+	}
+	if m := a.Mean(); m < 0.25 || m > 0.35 {
+		t.Fatalf("window mean %v, want ~0.3", m)
+	}
+}
+
+func TestADWINDetectsAbruptShift(t *testing.T) {
+	a := NewADWIN(0.002)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		v := 0.0
+		if rng.Float64() < 0.1 {
+			v = 1
+		}
+		a.Add(v)
+	}
+	widthBefore := a.Width()
+	detected := false
+	for i := 0; i < 3000 && !detected; i++ {
+		v := 0.0
+		if rng.Float64() < 0.9 {
+			v = 1
+		}
+		detected = detected || a.Add(v)
+	}
+	if !detected {
+		t.Fatal("0.1 -> 0.9 shift not detected")
+	}
+	if a.Width() >= widthBefore+3000 {
+		t.Fatal("window did not shrink on detection")
+	}
+	if a.NumDetections() == 0 {
+		t.Fatal("detection counter not incremented")
+	}
+}
+
+func TestADWINMeanTracksRecentAfterShift(t *testing.T) {
+	a := NewADWIN(0.002)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		v := 0.0
+		if rng.Float64() < 0.2 {
+			v = 1
+		}
+		a.Add(v)
+	}
+	for i := 0; i < 4000; i++ {
+		v := 0.0
+		if rng.Float64() < 0.8 {
+			v = 1
+		}
+		a.Add(v)
+	}
+	if m := a.Mean(); m < 0.6 {
+		t.Fatalf("post-shift mean %v, want close to 0.8", m)
+	}
+}
+
+// Conservation: window width equals additions minus dropped mass; with no
+// detections it equals the number of additions exactly.
+func TestADWINWidthConservation(t *testing.T) {
+	a := NewADWIN(0.0001)
+	for i := 0; i < 5000; i++ {
+		a.Add(0.5) // constant signal: never a cut
+	}
+	if a.Width() != 5000 {
+		t.Fatalf("width %d, want 5000", a.Width())
+	}
+	if a.Mean() != 0.5 {
+		t.Fatalf("mean %v, want 0.5", a.Mean())
+	}
+}
+
+func TestADWINReset(t *testing.T) {
+	a := NewADWIN(0.002)
+	for i := 0; i < 100; i++ {
+		a.Add(1)
+	}
+	a.Reset()
+	if a.Width() != 0 || a.Mean() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestADWINDefaultDelta(t *testing.T) {
+	a := NewADWIN(-1)
+	if a.delta != 0.002 {
+		t.Fatalf("default delta = %v", a.delta)
+	}
+}
+
+func TestBucketMerge(t *testing.T) {
+	a := bucket{n: 2, sum: 2, m2: 0} // two 1s
+	b := bucket{n: 2, sum: 0, m2: 0} // two 0s
+	m := mergeBuckets(a, b)
+	if m.n != 4 || m.sum != 2 {
+		t.Fatalf("merge totals: %+v", m)
+	}
+	// variance of {1,1,0,0} is 0.25 -> m2 = 1
+	if m.m2 != 1 {
+		t.Fatalf("merge m2 = %v, want 1", m.m2)
+	}
+	// merging with empty is identity
+	if got := mergeBuckets(a, bucket{}); got != a {
+		t.Fatalf("merge with empty = %+v", got)
+	}
+}
+
+func TestPageHinkleyStationary(t *testing.T) {
+	ph := NewPageHinkley()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		v := 0.0
+		if rng.Float64() < 0.2 {
+			v = 1
+		}
+		if ph.Add(v) {
+			t.Fatalf("false alarm at %d on stationary signal", i)
+		}
+	}
+}
+
+func TestPageHinkleyDetectsIncrease(t *testing.T) {
+	ph := NewPageHinkley()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		v := 0.0
+		if rng.Float64() < 0.1 {
+			v = 1
+		}
+		ph.Add(v)
+	}
+	detected := false
+	for i := 0; i < 2000 && !detected; i++ {
+		v := 0.0
+		if rng.Float64() < 0.95 {
+			v = 1
+		}
+		detected = ph.Add(v)
+	}
+	if !detected {
+		t.Fatal("error-rate jump not detected")
+	}
+	// Detector resets after an alert: immediate re-alert must not happen.
+	if ph.Add(1) {
+		t.Fatal("alert directly after reset")
+	}
+}
+
+func TestPageHinkleyWarmup(t *testing.T) {
+	ph := NewPageHinkley()
+	ph.MinInstances = 100
+	// Massive jump inside the warm-up window must stay silent.
+	for i := 0; i < 99; i++ {
+		if ph.Add(1000) {
+			t.Fatalf("alert during warm-up at %d", i)
+		}
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	var _ Detector = NewADWIN(0.002)
+	var _ Detector = NewPageHinkley()
+}

@@ -1,0 +1,51 @@
+package drift
+
+// PageHinkley is the Page-Hinkley test for detecting increases in the mean
+// of a signal. FIMT-DD runs one detector per inner node on the absolute
+// prediction error and deletes the node's branch on an alert (the paper's
+// chosen "second adaptation strategy", Section VI-C).
+type PageHinkley struct {
+	// MinInstances is the warm-up length before alerts may fire.
+	MinInstances int
+	// Delta is the tolerance subtracted at every step (magnitude of
+	// allowed fluctuation), customarily 0.005.
+	Delta float64
+	// Lambda is the alert threshold on the cumulative statistic,
+	// customarily 50.
+	Lambda float64
+
+	n    int
+	mean float64
+	mT   float64
+	minT float64
+}
+
+// NewPageHinkley returns a detector with the customary defaults
+// (minInstances 30, delta 0.005, lambda 50).
+func NewPageHinkley() *PageHinkley {
+	return &PageHinkley{MinInstances: 30, Delta: 0.005, Lambda: 50}
+}
+
+// Reset implements Detector.
+func (p *PageHinkley) Reset() {
+	p.n, p.mean, p.mT, p.minT = 0, 0, 0, 0
+}
+
+// Add feeds an observation and reports whether the cumulative deviation
+// exceeded Lambda. The detector resets itself after an alert.
+func (p *PageHinkley) Add(x float64) bool {
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	p.mT += x - p.mean - p.Delta
+	if p.mT < p.minT {
+		p.minT = p.mT
+	}
+	if p.n < p.MinInstances {
+		return false
+	}
+	if p.mT-p.minT > p.Lambda {
+		p.Reset()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+// Package efdt implements the Extremely Fast Decision Tree (Hoeffding
+// Anytime Tree) of Manapragada, Webb & Salehi [14]: leaves split as soon
+// as the best candidate beats *not splitting* by the Hoeffding bound, and
+// inner nodes keep observing so their split decisions can be revisited —
+// replaced by a better attribute or retracted entirely. Following the
+// paper's configuration (Section VI-C), the minimum number of
+// observations between re-evaluations is 1,000 and leaves vote by
+// majority class.
+package efdt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// Config holds the EFDT hyperparameters.
+type Config struct {
+	// Tree configures the shared Hoeffding machinery. LeafMode is forced
+	// to MajorityClass.
+	Tree hoeffding.Config
+	// ReevalPeriod is the minimum observation weight between split
+	// re-evaluations at an inner node (default 1000, the paper's value).
+	ReevalPeriod float64
+}
+
+func (c Config) withDefaults() Config {
+	c.Tree.LeafMode = hoeffding.MajorityClass
+	c.Tree = c.Tree.WithDefaults()
+	if c.ReevalPeriod <= 0 {
+		c.ReevalPeriod = 1000
+	}
+	return c
+}
+
+// enode is an EFDT node; statistics are maintained at every node, leaf or
+// inner, so inner splits can be re-scored later.
+type enode struct {
+	stats       *hoeffding.NodeStats
+	feature     int
+	threshold   float64
+	left, right *enode
+	depth       int
+	sinceReeval float64
+}
+
+func (n *enode) isLeaf() bool { return n.left == nil }
+
+// Tree is the EFDT classifier.
+type Tree struct {
+	cfg    Config
+	schema stream.Schema
+	root   *enode
+	rng    *rand.Rand
+
+	replacements int
+	retractions  int
+}
+
+// New returns an empty EFDT.
+func New(cfg Config, schema stream.Schema) *Tree {
+	cfg = cfg.withDefaults()
+	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Tree.Seed + 3))}
+	t.root = t.newLeaf(0)
+	return t
+}
+
+func (t *Tree) newLeaf(depth int) *enode {
+	return &enode{stats: hoeffding.NewNodeStats(&t.cfg.Tree, t.schema, t.rng), depth: depth}
+}
+
+// Name implements model.Classifier.
+func (t *Tree) Name() string { return "EFDT" }
+
+// Learn implements model.Classifier.
+func (t *Tree) Learn(b stream.Batch) {
+	for i, x := range b.X {
+		t.learnOne(x, b.Y[i])
+	}
+}
+
+func (t *Tree) learnOne(x []float64, y int) {
+	cur := t.root
+	for {
+		cur.stats.Observe(x, y, 1)
+		if cur.isLeaf() {
+			t.attemptInitialSplit(cur)
+			return
+		}
+		cur.sinceReeval++
+		if cur.sinceReeval >= t.cfg.ReevalPeriod {
+			cur.sinceReeval = 0
+			if t.reevaluate(cur) {
+				// The node just became a leaf (or got fresh children);
+				// either way this instance's contribution is recorded.
+				return
+			}
+		}
+		if cur.isLeaf() {
+			return
+		}
+		if x[cur.feature] <= cur.threshold {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+}
+
+// attemptInitialSplit applies the HATT leaf rule: split as soon as the
+// best candidate's merit exceeds the merit of not splitting (zero) by the
+// Hoeffding bound, or the bound falls below the tie threshold while the
+// merit is positive.
+func (t *Tree) attemptInitialSplit(leaf *enode) {
+	if !leaf.stats.ShouldAttempt() || leaf.stats.Pure() {
+		return
+	}
+	if t.cfg.Tree.MaxDepth > 0 && leaf.depth >= t.cfg.Tree.MaxDepth {
+		return
+	}
+	best, _, ok := leaf.stats.BestSplits()
+	if !ok || best.Merit <= 0 {
+		return
+	}
+	eps := leaf.stats.Bound()
+	if best.Merit > eps || (eps < t.cfg.Tree.Tau && best.Merit > t.cfg.Tree.Tau) {
+		t.install(leaf, best.Feature, best.Threshold, best.Post)
+	}
+}
+
+// install turns the node into an inner node with fresh leaf children
+// (keeping its own statistics, which EFDT continues to update).
+func (t *Tree) install(n *enode, feature int, threshold float64, post [][]float64) {
+	n.feature, n.threshold = feature, threshold
+	n.left = t.newLeaf(n.depth + 1)
+	n.right = t.newLeaf(n.depth + 1)
+	if len(post) == 2 {
+		n.left.stats.SeedChild(post[0])
+		n.right.stats.SeedChild(post[1])
+	}
+	n.sinceReeval = 0
+}
+
+// currentSplitMerit re-scores the installed split from the node's own
+// (continuously updated) observers.
+func (t *Tree) currentSplitMerit(n *enode) float64 {
+	obs := n.stats
+	left, right := observerAt(obs, n.feature, n.threshold)
+	if left == nil {
+		return 0
+	}
+	return t.cfg.Tree.Criterion.Merit(obs.Counts(), [][]float64{left, right})
+}
+
+// observerAt returns the estimated branch distributions of splitting on
+// (feature, threshold) at this node.
+func observerAt(s *hoeffding.NodeStats, feature int, threshold float64) (left, right []float64) {
+	return s.DistributionsAt(feature, threshold)
+}
+
+// reevaluate revisits the split installed at n. It returns true when the
+// node changed structurally (split replaced or retracted).
+func (t *Tree) reevaluate(n *enode) bool {
+	best, _, ok := n.stats.BestSplits()
+	if !ok {
+		return false
+	}
+	eps := n.stats.Bound()
+	cur := t.currentSplitMerit(n)
+
+	// Retract: not splitting beats the installed split.
+	if 0-cur > eps {
+		n.left, n.right = nil, nil
+		t.retractions++
+		return true
+	}
+	// Replace: a different attribute is now confidently better.
+	if best.Feature != n.feature && best.Merit-cur > eps && best.Merit > 0 {
+		t.install(n, best.Feature, best.Threshold, best.Post)
+		t.replacements++
+		return true
+	}
+	return false
+}
+
+func (t *Tree) sortTo(x []float64) *enode {
+	cur := t.root
+	for !cur.isLeaf() {
+		if x[cur.feature] <= cur.threshold {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	return cur
+}
+
+// Predict implements model.Classifier.
+func (t *Tree) Predict(x []float64) int { return t.sortTo(x).stats.Predict(x) }
+
+// Proba implements model.ProbabilisticClassifier.
+func (t *Tree) Proba(x []float64, out []float64) []float64 {
+	return t.sortTo(x).stats.Proba(x, out)
+}
+
+func countNodes(n *enode) (inner, leaves, depth int) {
+	if n == nil {
+		return 0, 0, 0
+	}
+	if n.isLeaf() {
+		return 0, 1, 0
+	}
+	li, ll, ld := countNodes(n.left)
+	ri, rl, rd := countNodes(n.right)
+	d := ld
+	if rd > d {
+		d = rd
+	}
+	return li + ri + 1, ll + rl, d + 1
+}
+
+// Complexity implements model.Classifier (majority-class leaves).
+func (t *Tree) Complexity() model.Complexity {
+	inner, leaves, depth := countNodes(t.root)
+	return model.TreeComplexity(inner, leaves, depth, model.LeafMajority, t.schema.NumFeatures, t.schema.NumClasses)
+}
+
+// Revisions returns the number of split replacements and retractions.
+func (t *Tree) Revisions() (replacements, retractions int) {
+	return t.replacements, t.retractions
+}
+
+// String renders a compact shape description.
+func (t *Tree) String() string {
+	inner, leaves, depth := countNodes(t.root)
+	return fmt.Sprintf("EFDT{inner: %d, leaves: %d, depth: %d, repl: %d, retr: %d}",
+		inner, leaves, depth, t.replacements, t.retractions)
+}

@@ -1,0 +1,112 @@
+package efdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+func schema2() stream.Schema {
+	return stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "test"}
+}
+
+// featureConcept labels by one of the two features.
+func featureConcept(rng *rand.Rand, n int, feature int) stream.Batch {
+	var b stream.Batch
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[feature] > 0.5 {
+			y = 1
+		}
+		b.X = append(b.X, x)
+		b.Y = append(b.Y, y)
+	}
+	return b
+}
+
+func accuracy(t *Tree, b stream.Batch) float64 {
+	correct := 0
+	for i, x := range b.X {
+		if t.Predict(x) == b.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b.Len())
+}
+
+func TestLearnsQuickly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New(Config{}, schema2())
+	for i := 0; i < 40; i++ {
+		tree.Learn(featureConcept(rng, 200, 0))
+	}
+	if acc := accuracy(tree, featureConcept(rng, 1000, 0)); acc < 0.9 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	if tree.Complexity().Inner < 1 {
+		t.Fatal("EFDT should have split")
+	}
+}
+
+// EFDT's defining feature: it splits earlier than the VFDT rule would
+// (best vs nothing rather than best vs second best).
+func TestSplitsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := New(Config{}, schema2())
+	batches := 0
+	for tree.Complexity().Inner == 0 && batches < 100 {
+		tree.Learn(featureConcept(rng, 100, 0))
+		batches++
+	}
+	if batches >= 100 {
+		t.Fatal("EFDT never split on separable data")
+	}
+	if batches > 20 {
+		t.Fatalf("EFDT took %d batches (~%d instances) to split; expected early splitting", batches, batches*100)
+	}
+}
+
+func TestReevaluationAdaptsToFeatureSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := New(Config{}, schema2())
+	for i := 0; i < 50; i++ {
+		tree.Learn(featureConcept(rng, 200, 0))
+	}
+	// The concept moves to the other feature; re-evaluation must either
+	// replace the root split or retract it and re-grow.
+	for i := 0; i < 250; i++ {
+		tree.Learn(featureConcept(rng, 200, 1))
+	}
+	if acc := accuracy(tree, featureConcept(rng, 1000, 1)); acc < 0.8 {
+		repl, retr := tree.Revisions()
+		t.Fatalf("post-swap accuracy %v (replacements %d, retractions %d)", acc, repl, retr)
+	}
+}
+
+func TestComplexityMajorityCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree := New(Config{}, schema2())
+	for i := 0; i < 40; i++ {
+		tree.Learn(featureConcept(rng, 200, 0))
+	}
+	comp := tree.Complexity()
+	if comp.Splits != float64(comp.Inner) {
+		t.Fatalf("EFDT splits %v != inner %d (MC leaves)", comp.Splits, comp.Inner)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.ReevalPeriod != 1000 {
+		t.Fatalf("ReevalPeriod default = %v, want the paper's 1000", cfg.ReevalPeriod)
+	}
+	if cfg.Tree.Criterion == nil {
+		t.Fatal("inner tree config not defaulted")
+	}
+}
+
+var _ model.Classifier = (*Tree)(nil)
+var _ model.ProbabilisticClassifier = (*Tree)(nil)

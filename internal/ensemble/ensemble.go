@@ -1,0 +1,276 @@
+// Package ensemble implements the two Hoeffding-tree ensembles of the
+// paper's comparison (Section VI-C): an Adaptive Random Forest [42] and a
+// Leveraging Bagging ensemble [27], both with 3 VFDT weak learners
+// configured like the stand-alone VFDT (MC) model.
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/drift"
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// poisson draws from Poisson(lambda) via Knuth's method (lambda is small).
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Config holds the shared ensemble hyperparameters.
+type Config struct {
+	// Size is the number of weak learners (paper: 3).
+	Size int
+	// Lambda is the Poisson weighting intensity (customary 6).
+	Lambda float64
+	// Tree configures the weak learners (VFDT MC per the paper).
+	Tree hoeffding.Config
+	// WarnDelta and DriftDelta are the ADWIN confidences of the warning
+	// and drift detectors (ARF defaults 0.01 and 0.001).
+	WarnDelta  float64
+	DriftDelta float64
+	// Seed drives the Poisson sampling and subspace selection.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = 3
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 6
+	}
+	if c.WarnDelta <= 0 {
+		c.WarnDelta = 0.01
+	}
+	if c.DriftDelta <= 0 {
+		c.DriftDelta = 0.001
+	}
+	c.Tree.LeafMode = hoeffding.MajorityClass
+	c.Tree = c.Tree.WithDefaults()
+	return c
+}
+
+// arfMember is one Adaptive Random Forest learner with its detectors and
+// optional background tree.
+type arfMember struct {
+	tree       *hoeffding.Tree
+	background *hoeffding.Tree
+	warn       *drift.ADWIN
+	det        *drift.ADWIN
+}
+
+// ARF is the Adaptive Random Forest: Poisson(lambda) online bagging,
+// per-leaf random feature subspaces of size round(sqrt(m))+1, a warning
+// detector that starts a background tree, and a drift detector that swaps
+// it in.
+type ARF struct {
+	cfg     Config
+	schema  stream.Schema
+	members []*arfMember
+	rng     *rand.Rand
+	swaps   int
+}
+
+// NewARF returns an Adaptive Random Forest for the schema.
+func NewARF(cfg Config, schema stream.Schema) *ARF {
+	cfg = cfg.withDefaults()
+	if cfg.Tree.SubspaceSize <= 0 {
+		cfg.Tree.SubspaceSize = int(math.Round(math.Sqrt(float64(schema.NumFeatures)))) + 1
+	}
+	a := &ARF{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 6))}
+	for i := 0; i < cfg.Size; i++ {
+		a.members = append(a.members, &arfMember{
+			tree: a.newTree(int64(i)),
+			warn: drift.NewADWIN(cfg.WarnDelta),
+			det:  drift.NewADWIN(cfg.DriftDelta),
+		})
+	}
+	return a
+}
+
+func (a *ARF) newTree(salt int64) *hoeffding.Tree {
+	cfg := a.cfg.Tree
+	cfg.Seed = a.cfg.Seed*31 + salt
+	return hoeffding.New(cfg, a.schema)
+}
+
+// Name implements model.Classifier.
+func (a *ARF) Name() string { return "Forest Ens." }
+
+// Learn implements model.Classifier.
+func (a *ARF) Learn(b stream.Batch) {
+	for i, x := range b.X {
+		a.learnOne(x, b.Y[i])
+	}
+}
+
+func (a *ARF) learnOne(x []float64, y int) {
+	for i, m := range a.members {
+		errSignal := 0.0
+		if m.tree.Predict(x) != y {
+			errSignal = 1
+		}
+		if m.warn.Add(errSignal) && m.background == nil {
+			m.background = a.newTree(int64(i)*101 + int64(m.warn.NumDetections()))
+		}
+		if m.det.Add(errSignal) {
+			if m.background != nil {
+				m.tree = m.background
+				m.background = nil
+			} else {
+				m.tree = a.newTree(int64(i)*131 + int64(m.det.NumDetections()))
+			}
+			m.warn.Reset()
+			m.det.Reset()
+			a.swaps++
+		}
+		w := poisson(a.rng, a.cfg.Lambda)
+		if w == 0 {
+			continue
+		}
+		m.tree.LearnOne(x, y, float64(w))
+		if m.background != nil {
+			m.background.LearnOne(x, y, float64(w))
+		}
+	}
+}
+
+// Predict implements model.Classifier with accuracy-weighted voting: each
+// member votes with weight 1 minus its monitored error rate.
+func (a *ARF) Predict(x []float64) int {
+	votes := make([]float64, a.schema.NumClasses)
+	for _, m := range a.members {
+		w := 1 - m.warn.Mean()
+		if w <= 0 {
+			w = 0.01
+		}
+		votes[m.tree.Predict(x)] += w
+	}
+	return argmax(votes)
+}
+
+// Complexity implements model.Classifier, summing the deployed members.
+func (a *ARF) Complexity() model.Complexity {
+	var total model.Complexity
+	for _, m := range a.members {
+		total = total.Add(m.tree.Complexity())
+	}
+	return total
+}
+
+// Swaps returns the number of member replacements so far.
+func (a *ARF) Swaps() int { return a.swaps }
+
+// LevBag is the Leveraging Bagging ensemble: Poisson(lambda) input
+// weighting with one ADWIN per member; when a member's ADWIN flags change,
+// that member is reset.
+type LevBag struct {
+	cfg    Config
+	schema stream.Schema
+	trees  []*hoeffding.Tree
+	mons   []*drift.ADWIN
+	rng    *rand.Rand
+	resets int
+}
+
+// NewLevBag returns a Leveraging Bagging ensemble for the schema.
+func NewLevBag(cfg Config, schema stream.Schema) *LevBag {
+	cfg = cfg.withDefaults()
+	l := &LevBag{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 7))}
+	for i := 0; i < cfg.Size; i++ {
+		l.trees = append(l.trees, l.newTree(int64(i)))
+		l.mons = append(l.mons, drift.NewADWIN(0.002))
+	}
+	return l
+}
+
+func (l *LevBag) newTree(salt int64) *hoeffding.Tree {
+	cfg := l.cfg.Tree
+	cfg.SubspaceSize = 0 // leveraging bagging uses all features
+	cfg.Seed = l.cfg.Seed*37 + salt
+	return hoeffding.New(cfg, l.schema)
+}
+
+// Name implements model.Classifier.
+func (l *LevBag) Name() string { return "Bagging Ens." }
+
+// Learn implements model.Classifier.
+func (l *LevBag) Learn(b stream.Batch) {
+	for i, x := range b.X {
+		l.learnOne(x, b.Y[i])
+	}
+}
+
+func (l *LevBag) learnOne(x []float64, y int) {
+	changed := false
+	for i, tr := range l.trees {
+		errSignal := 0.0
+		if tr.Predict(x) != y {
+			errSignal = 1
+		}
+		if l.mons[i].Add(errSignal) {
+			changed = true
+		}
+		w := poisson(l.rng, l.cfg.Lambda)
+		if w > 0 {
+			tr.LearnOne(x, y, float64(w))
+		}
+	}
+	if !changed {
+		return
+	}
+	// Leveraging Bagging resets the member with the highest monitored
+	// error estimate when any detector fires (Bifet et al. [27]).
+	worst := 0
+	for i := range l.trees {
+		if l.mons[i].Mean() > l.mons[worst].Mean() {
+			worst = i
+		}
+	}
+	l.resets++
+	l.trees[worst] = l.newTree(int64(worst)*151 + int64(l.resets))
+	l.mons[worst].Reset()
+}
+
+// Predict implements model.Classifier by majority vote.
+func (l *LevBag) Predict(x []float64) int {
+	votes := make([]float64, l.schema.NumClasses)
+	for _, tr := range l.trees {
+		votes[tr.Predict(x)]++
+	}
+	return argmax(votes)
+}
+
+// Complexity implements model.Classifier, summing the members.
+func (l *LevBag) Complexity() model.Complexity {
+	var total model.Complexity
+	for _, tr := range l.trees {
+		total = total.Add(tr.Complexity())
+	}
+	return total
+}
+
+// Resets returns the number of member resets so far.
+func (l *LevBag) Resets() int { return l.resets }
+
+func argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

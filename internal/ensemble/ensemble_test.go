@@ -1,0 +1,156 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+func schema2() stream.Schema {
+	return stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "test"}
+}
+
+func conceptBatch(rng *rand.Rand, n int, inverted bool) stream.Batch {
+	var b stream.Batch
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		if inverted {
+			y = 1 - y
+		}
+		b.X = append(b.X, x)
+		b.Y = append(b.Y, y)
+	}
+	return b
+}
+
+func accuracy(c model.Classifier, b stream.Batch) float64 {
+	correct := 0
+	for i, x := range b.X {
+		if c.Predict(x) == b.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b.Len())
+}
+
+func TestPoissonMeanAndSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := float64(poisson(rng, 6))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-6) > 0.15 {
+		t.Fatalf("Poisson(6) mean = %v", mean)
+	}
+	if math.Abs(variance-6) > 0.4 {
+		t.Fatalf("Poisson(6) variance = %v", variance)
+	}
+}
+
+func TestARFLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	arf := NewARF(Config{Seed: 2}, schema2())
+	for i := 0; i < 60; i++ {
+		arf.Learn(conceptBatch(rng, 200, false))
+	}
+	if acc := accuracy(arf, conceptBatch(rng, 1000, false)); acc < 0.85 {
+		t.Fatalf("ARF accuracy %v", acc)
+	}
+}
+
+func TestARFAdaptsToDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arf := NewARF(Config{Seed: 3}, schema2())
+	for i := 0; i < 60; i++ {
+		arf.Learn(conceptBatch(rng, 200, false))
+	}
+	for i := 0; i < 120; i++ {
+		arf.Learn(conceptBatch(rng, 200, true))
+	}
+	if acc := accuracy(arf, conceptBatch(rng, 1000, true)); acc < 0.75 {
+		t.Fatalf("ARF post-drift accuracy %v (swaps %d)", acc, arf.Swaps())
+	}
+}
+
+func TestARFComplexitySumsMembers(t *testing.T) {
+	arf := NewARF(Config{Size: 3, Seed: 4}, schema2())
+	comp := arf.Complexity()
+	if comp.Leaves != 3 {
+		t.Fatalf("3 empty trees should report 3 leaves, got %d", comp.Leaves)
+	}
+}
+
+func TestARFSubspaceDefault(t *testing.T) {
+	schema := stream.Schema{NumFeatures: 16, NumClasses: 2, Name: "wide"}
+	arf := NewARF(Config{Seed: 5}, schema)
+	want := int(math.Round(math.Sqrt(16))) + 1
+	if arf.cfg.Tree.SubspaceSize != want {
+		t.Fatalf("subspace = %d, want %d", arf.cfg.Tree.SubspaceSize, want)
+	}
+}
+
+func TestLevBagLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	lb := NewLevBag(Config{Seed: 6}, schema2())
+	for i := 0; i < 60; i++ {
+		lb.Learn(conceptBatch(rng, 200, false))
+	}
+	if acc := accuracy(lb, conceptBatch(rng, 1000, false)); acc < 0.85 {
+		t.Fatalf("LevBag accuracy %v", acc)
+	}
+}
+
+func TestLevBagResetsOnDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lb := NewLevBag(Config{Seed: 7}, schema2())
+	for i := 0; i < 60; i++ {
+		lb.Learn(conceptBatch(rng, 200, false))
+	}
+	for i := 0; i < 120; i++ {
+		lb.Learn(conceptBatch(rng, 200, true))
+	}
+	if lb.Resets() == 0 {
+		t.Fatal("no member reset under a full concept inversion")
+	}
+	if acc := accuracy(lb, conceptBatch(rng, 1000, true)); acc < 0.75 {
+		t.Fatalf("LevBag post-drift accuracy %v", acc)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Size != 3 {
+		t.Fatalf("paper uses 3 weak learners, got %d", cfg.Size)
+	}
+	if cfg.Lambda != 6 {
+		t.Fatalf("lambda = %v", cfg.Lambda)
+	}
+	if cfg.Tree.LeafMode != hoeffding.MajorityClass {
+		t.Fatal("weak learners must be VFDT (MC)")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewARF(Config{}, schema2()).Name() != "Forest Ens." {
+		t.Fatal("ARF name")
+	}
+	if NewLevBag(Config{}, schema2()).Name() != "Bagging Ens." {
+		t.Fatal("LevBag name")
+	}
+}
+
+var _ model.Classifier = (*ARF)(nil)
+var _ model.Classifier = (*LevBag)(nil)

@@ -1,0 +1,320 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// memorizer predicts the label of rows it has already been trained on and
+// class 0 otherwise — a probe for the test-then-train ordering.
+type memorizer struct {
+	seen    map[string]int
+	batches int
+}
+
+func newMemorizer() *memorizer { return &memorizer{seen: map[string]int{}} }
+
+func (m *memorizer) Learn(b stream.Batch) {
+	m.batches++
+	for i, x := range b.X {
+		m.seen[fmt.Sprint(x)] = b.Y[i]
+	}
+}
+
+func (m *memorizer) Predict(x []float64) int {
+	if y, ok := m.seen[fmt.Sprint(x)]; ok {
+		return y
+	}
+	return 0
+}
+
+func (m *memorizer) Complexity() model.Complexity { return model.Complexity{} }
+func (m *memorizer) Name() string                 { return "memorizer" }
+
+// uniqueRowStream emits n distinct rows, all labelled 1.
+func uniqueRowStream(n int) stream.Stream {
+	var b stream.Batch
+	for i := 0; i < n; i++ {
+		b.X = append(b.X, []float64{float64(i) / float64(n), 0.5})
+		b.Y = append(b.Y, 1)
+	}
+	return stream.NewMemory(stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "unique"}, b)
+}
+
+// Prequential must test BEFORE training: a memorizer never sees a row
+// before being scored on it, so per-batch accuracy stays 0.
+func TestPrequentialTestsBeforeTraining(t *testing.T) {
+	mem := newMemorizer()
+	res, err := Prequential(mem, uniqueRowStream(1000), Options{BatchFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 100 {
+		t.Fatalf("iterations = %d, want 100", len(res.Iters))
+	}
+	for i, it := range res.Iters {
+		if it.Accuracy != 0 {
+			t.Fatalf("iteration %d scored %v — training leaked before testing", i, it.Accuracy)
+		}
+	}
+	if mem.batches != 100 {
+		t.Fatalf("Learn called %d times", mem.batches)
+	}
+}
+
+func TestPrequentialBatchSizing(t *testing.T) {
+	mem := newMemorizer()
+	// Default fraction 0.001 on 5000 rows -> batch 5, 1000 iterations.
+	res, err := Prequential(mem, uniqueRowStream(5000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 1000 {
+		t.Fatalf("iterations = %d, want 1000", len(res.Iters))
+	}
+	// Tiny stream: batch floors to 1.
+	res, err = Prequential(newMemorizer(), uniqueRowStream(50), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 50 {
+		t.Fatalf("floored batch iterations = %d, want 50", len(res.Iters))
+	}
+}
+
+func TestPrequentialMaxIters(t *testing.T) {
+	res, err := Prequential(newMemorizer(), uniqueRowStream(1000), Options{BatchFraction: 0.01, MaxIters: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 7 {
+		t.Fatalf("MaxIters ignored: %d", len(res.Iters))
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	res := Result{Iters: []IterStats{
+		{F1: 0.5, Splits: 2}, {F1: 0.7, Splits: 4}, {F1: 0.9, Splits: 6},
+	}}
+	mean, std := res.F1()
+	if mean != 0.7 {
+		t.Fatalf("F1 mean = %v", mean)
+	}
+	if std <= 0.16 || std >= 0.17 {
+		t.Fatalf("F1 std = %v", std)
+	}
+	sm, _ := res.Splits()
+	if sm != 4 {
+		t.Fatalf("splits mean = %v", sm)
+	}
+	series := res.Series(func(s IterStats) float64 { return s.F1 })
+	if len(series) != 3 || series[1] != 0.7 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestSlidingMeanMatchesNaive(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6}
+	got := SlidingMean(series, 3)
+	want := []float64{1, 1.5, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SlidingMean = %v, want %v", got, want)
+		}
+	}
+	stds := SlidingStd(series, 3)
+	if stds[0] != 0 || stds[3] <= 0 {
+		t.Fatalf("SlidingStd = %v", stds)
+	}
+}
+
+func TestRankSymbols(t *testing.T) {
+	// Higher better: 0.9 best, 0.1 worst.
+	syms := rankSymbols([]float64{0.9, 0.5, 0.1, 0.6}, true)
+	if syms[0] != "++" || syms[2] != "--" {
+		t.Fatalf("symbols = %v", syms)
+	}
+	// Lower better inverts.
+	syms = rankSymbols([]float64{10, 50, 90, 40}, false)
+	if syms[0] != "++" || syms[2] != "--" {
+		t.Fatalf("lower-better symbols = %v", syms)
+	}
+	if got := rankSymbols(nil, true); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestNewClassifierAllNames(t *testing.T) {
+	schema := stream.Schema{NumFeatures: 3, NumClasses: 2, Name: "t"}
+	for _, name := range AllModels() {
+		c, err := NewClassifier(name, schema, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("built %q, asked for %q", c.Name(), name)
+		}
+		// Must survive a learn/predict round trip.
+		c.Learn(stream.Batch{X: [][]float64{{0.1, 0.2, 0.3}}, Y: []int{1}})
+		if y := c.Predict([]float64{0.1, 0.2, 0.3}); y < 0 || y > 1 {
+			t.Fatalf("%s predicted %d", name, y)
+		}
+	}
+	if _, err := NewClassifier("nope", schema, 1); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestModelLists(t *testing.T) {
+	if len(StandaloneModels()) != 6 {
+		t.Fatalf("paper compares 6 stand-alone models, got %d", len(StandaloneModels()))
+	}
+	if len(AllModels()) != 8 {
+		t.Fatalf("paper's Table II has 8 models, got %d", len(AllModels()))
+	}
+}
+
+func TestSuiteSmallRunRendersAllTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run in -short mode")
+	}
+	suite := Suite{
+		Scale:    0.001, // floors to 2000 samples per stream
+		Seed:     1,
+		Datasets: []string{"SEA", "Gas"},
+		Models:   []string{NameDMT, NameVFDTMC},
+	}
+	res, err := suite.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := []struct {
+		name, out string
+	}{
+		{"Table1", res.Table1()},
+		{"Table2", res.Table2()},
+		{"Table3", res.Table3()},
+		{"Table4", res.Table4()},
+		{"Table5", res.Table5()},
+		{"Table6", res.Table6()},
+		{"Figure3", res.Figure3(20)},
+		{"Figure4", res.Figure4()},
+	}
+	for _, tb := range tables {
+		if strings.TrimSpace(tb.out) == "" {
+			t.Fatalf("%s rendered empty", tb.name)
+		}
+	}
+	// Table II must carry both models, both data sets and the paper refs.
+	t2 := res.Table2()
+	for _, want := range []string{"DMT", "VFDT (MC)", "SEA", "Gas*", "(p:"} {
+		if !strings.Contains(t2, want) {
+			t.Fatalf("Table2 missing %q:\n%s", want, t2)
+		}
+	}
+	// Figure 3 includes only the panels that ran (SEA here).
+	if !strings.Contains(res.Figure3(20), "SEA") {
+		t.Fatal("Figure3 lacks the SEA panel")
+	}
+}
+
+// Parallel execution must produce byte-identical results to sequential:
+// every job owns its stream and classifier seeded from the suite seed.
+func TestSuiteParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run")
+	}
+	base := Suite{
+		Scale:    0.001,
+		Seed:     7,
+		Datasets: []string{"SEA", "Electricity"},
+		Models:   []string{NameDMT, NameVFDTMC},
+	}
+	seq, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Parallel = 4
+	parRes, err := par.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ds, byModel := range seq.Results {
+		for m, r1 := range byModel {
+			r2 := parRes.Results[ds][m]
+			if len(r1.Iters) != len(r2.Iters) {
+				t.Fatalf("%s/%s: iter counts differ", ds, m)
+			}
+			f1a, _ := r1.F1()
+			f1b, _ := r2.F1()
+			if f1a != f1b {
+				t.Fatalf("%s/%s: F1 differs %v vs %v", ds, m, f1a, f1b)
+			}
+			s1, _ := r1.Splits()
+			s2, _ := r2.Splits()
+			if s1 != s2 {
+				t.Fatalf("%s/%s: splits differ", ds, m)
+			}
+		}
+	}
+}
+
+func TestSuiteUnknownInputs(t *testing.T) {
+	if _, err := (Suite{Datasets: []string{"nope"}}).Run(); err == nil {
+		t.Fatal("unknown data set must error")
+	}
+	if _, err := (Suite{Datasets: []string{"SEA"}, Models: []string{"nope"}, Scale: 0.001}).Run(); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestPrequentialMinBatchSize(t *testing.T) {
+	// 1000 rows at fraction 0.001 would be batch 1; the floor lifts it.
+	res, err := Prequential(newMemorizer(), uniqueRowStream(1000), Options{MinBatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 20 {
+		t.Fatalf("iterations = %d, want 20 (batch 50)", len(res.Iters))
+	}
+}
+
+func TestRunAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run")
+	}
+	out, err := RunAblation(0.001, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Piecewise", "DMT (paper defaults)", "DMT no pruning", "SEA"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestTableRenderer(t *testing.T) {
+	tb := newTable("Title", "A", "LongHeader")
+	tb.addRow("x", "y")
+	out := tb.render()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "LongHeader") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	out := asciiChart("chart", []string{"a", "b"},
+		[][]float64{{0, 0.5, 1}, {1, 0.5, 0}}, 30, 8)
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "*=a") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	if got := asciiChart("empty", nil, nil, 30, 8); !strings.Contains(got, "no data") {
+		t.Fatal("empty chart")
+	}
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/efdt"
+	"repro/internal/ensemble"
+	"repro/internal/fimtdd"
+	"repro/internal/hatada"
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// Model names as used in the paper's tables.
+const (
+	NameDMT     = "DMT"
+	NameFIMTDD  = "FIMT-DD"
+	NameVFDTMC  = "VFDT (MC)"
+	NameVFDTNBA = "VFDT (NBA)"
+	NameHTAda   = "HT-Ada"
+	NameEFDT    = "EFDT"
+	NameForest  = "Forest Ens."
+	NameBagging = "Bagging Ens."
+)
+
+// StandaloneModels are the six stand-alone classifiers of Tables II-V in
+// the paper's row order.
+func StandaloneModels() []string {
+	return []string{NameDMT, NameFIMTDD, NameVFDTMC, NameVFDTNBA, NameHTAda, NameEFDT}
+}
+
+// EnsembleModels are the two reference ensembles of Table II.
+func EnsembleModels() []string {
+	return []string{NameForest, NameBagging}
+}
+
+// AllModels returns stand-alone models followed by the ensembles.
+func AllModels() []string {
+	return append(StandaloneModels(), EnsembleModels()...)
+}
+
+// TreeModels are the models whose complexity Tables III/IV report (all
+// stand-alone models).
+func TreeModels() []string { return StandaloneModels() }
+
+// NewClassifier builds a fresh classifier by its paper name, configured
+// exactly as in Section VI-C.
+func NewClassifier(name string, schema stream.Schema, seed int64) (model.Classifier, error) {
+	switch name {
+	case NameDMT:
+		return core.New(core.Config{Seed: seed}, schema), nil
+	case NameFIMTDD:
+		return fimtdd.New(fimtdd.Config{Seed: seed}, schema), nil
+	case NameVFDTMC:
+		return hoeffding.New(hoeffding.Config{LeafMode: hoeffding.MajorityClass, Seed: seed}, schema), nil
+	case NameVFDTNBA:
+		return hoeffding.New(hoeffding.Config{LeafMode: hoeffding.NaiveBayesAdaptive, Seed: seed}, schema), nil
+	case NameHTAda:
+		return hatada.New(hatada.Config{Tree: hoeffding.Config{Seed: seed}}, schema), nil
+	case NameEFDT:
+		return efdt.New(efdt.Config{Tree: hoeffding.Config{Seed: seed}}, schema), nil
+	case NameForest:
+		return ensemble.NewARF(ensemble.Config{Seed: seed}, schema), nil
+	case NameBagging:
+		return ensemble.NewLevBag(ensemble.Config{Seed: seed}, schema), nil
+	}
+	return nil, fmt.Errorf("eval: unknown model %q", name)
+}

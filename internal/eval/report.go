@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// fmtMS renders "mean ± std" with the given number of decimals.
+func fmtMS(mean, std float64, decimals int) string {
+	return fmt.Sprintf("%.*f ± %.*f", decimals, mean, decimals, std)
+}
+
+// table is a minimal fixed-width text table builder.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+func newTable(title string, header ...string) *table {
+	return &table{title: title, header: header}
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// rankSymbols assigns the paper's Table VI methodology to a score vector:
+// best "++", worst "--", otherwise "+" when at or above the median and
+// "-" below. higherBetter selects the orientation.
+func rankSymbols(scores []float64, higherBetter bool) []string {
+	n := len(scores)
+	out := make([]string, n)
+	if n == 0 {
+		return out
+	}
+	oriented := make([]float64, n)
+	for i, s := range scores {
+		if higherBetter {
+			oriented[i] = s
+		} else {
+			oriented[i] = -s
+		}
+	}
+	best, worst := 0, 0
+	for i, s := range oriented {
+		if s > oriented[best] {
+			best = i
+		}
+		if s < oriented[worst] {
+			worst = i
+		}
+	}
+	sorted := append([]float64(nil), oriented...)
+	sort.Float64s(sorted)
+	median := sorted[n/2]
+	if n%2 == 0 {
+		median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	for i, s := range oriented {
+		switch {
+		case i == best:
+			out[i] = "++"
+		case i == worst:
+			out[i] = "--"
+		case s >= median:
+			out[i] = "+"
+		default:
+			out[i] = "-"
+		}
+	}
+	return out
+}
+
+// asciiChart renders multiple series as a small text line chart: one
+// symbol per series, y rescaled to the joint range, x resampled to width.
+func asciiChart(title string, names []string, series [][]float64, width, height int) string {
+	if len(series) == 0 || len(series[0]) == 0 {
+		return title + " (no data)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	symbols := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		sym := symbols[si%len(symbols)]
+		for col := 0; col < width; col++ {
+			idx := col * (len(s) - 1) / maxInt(width-1, 1)
+			v := s[idx]
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row >= 0 && row < height {
+				grid[row][col] = sym
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for r, rowBytes := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%6.2f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%6.2f", lo)
+		}
+		sb.WriteString(label + " |" + string(rowBytes) + "\n")
+	}
+	sb.WriteString("        " + strings.Repeat("-", width) + "\n")
+	legend := make([]string, len(names))
+	for i, n := range names {
+		legend[i] = fmt.Sprintf("%c=%s", symbols[i%len(symbols)], n)
+	}
+	sb.WriteString("        " + strings.Join(legend, "  ") + "\n")
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

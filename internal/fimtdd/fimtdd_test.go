@@ -1,0 +1,141 @@
+package fimtdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+func schema2() stream.Schema {
+	return stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "test"}
+}
+
+func conceptBatch(rng *rand.Rand, n int, inverted bool) stream.Batch {
+	var b stream.Batch
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0]+0.5*x[1] > 0.75 {
+			y = 1
+		}
+		if inverted {
+			y = 1 - y
+		}
+		b.X = append(b.X, x)
+		b.Y = append(b.Y, y)
+	}
+	return b
+}
+
+func accuracy(t *Tree, b stream.Batch) float64 {
+	correct := 0
+	for i, x := range b.X {
+		if t.Predict(x) == b.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b.Len())
+}
+
+func TestLearnsLinearConcept(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New(Config{Seed: 1}, schema2())
+	for i := 0; i < 100; i++ {
+		tree.Learn(conceptBatch(rng, 200, false))
+	}
+	if acc := accuracy(tree, conceptBatch(rng, 1000, false)); acc < 0.85 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestPageHinkleyPrunesOnDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := New(Config{Seed: 2}, schema2())
+	for i := 0; i < 100; i++ {
+		tree.Learn(conceptBatch(rng, 200, false))
+	}
+	if tree.Complexity().Inner == 0 {
+		t.Skip("tree did not grow; prune test not applicable")
+	}
+	for i := 0; i < 200; i++ {
+		tree.Learn(conceptBatch(rng, 200, true))
+	}
+	if tree.Prunes() == 0 {
+		t.Fatal("Page-Hinkley never deleted a branch under a full concept inversion")
+	}
+	if acc := accuracy(tree, conceptBatch(rng, 1000, true)); acc < 0.75 {
+		t.Fatalf("post-drift accuracy %v", acc)
+	}
+}
+
+func TestComplexityModelLeafCounting(t *testing.T) {
+	tree := New(Config{Seed: 3}, schema2())
+	comp := tree.Complexity()
+	// Root-only binary tree with a linear leaf: 1 split, m params.
+	if comp.Splits != 1 || comp.Params != 2 {
+		t.Fatalf("root complexity = %+v, want splits 1, params 2", comp)
+	}
+}
+
+func TestMulticlassTargetEncoding(t *testing.T) {
+	schema := stream.Schema{NumFeatures: 2, NumClasses: 3, Name: "m3"}
+	tree := New(Config{Seed: 4}, schema)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 150; i++ {
+		var b stream.Batch
+		for j := 0; j < 100; j++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			y := 0
+			switch {
+			case x[0] > 0.66:
+				y = 2
+			case x[0] > 0.33:
+				y = 1
+			}
+			b.X = append(b.X, x)
+			b.Y = append(b.Y, y)
+		}
+		tree.Learn(b)
+	}
+	correct := 0
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		want := 0
+		switch {
+		case x[0] > 0.66:
+			want = 2
+		case x[0] > 0.33:
+			want = 1
+		}
+		if tree.Predict(x) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 600; acc < 0.75 {
+		t.Fatalf("multiclass accuracy %v", acc)
+	}
+}
+
+func TestIgnoresOutOfRangeLabels(t *testing.T) {
+	tree := New(Config{Seed: 5}, schema2())
+	tree.Learn(stream.Batch{X: [][]float64{{0.5, 0.5}}, Y: []int{9}})
+	// No panic and no growth.
+	if tree.Complexity().Inner != 0 {
+		t.Fatal("bad label caused growth")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.LearningRate != 0.01 || cfg.Delta != 0.01 || cfg.Tau != 0.05 {
+		t.Fatalf("paper defaults wrong: %+v", cfg)
+	}
+	if cfg.PHDelta != 0.005 || cfg.PHLambda != 50 {
+		t.Fatalf("Page-Hinkley defaults wrong: %+v", cfg)
+	}
+}
+
+var _ model.Classifier = (*Tree)(nil)
+var _ model.ProbabilisticClassifier = (*Tree)(nil)

@@ -1,0 +1,576 @@
+// Package glm implements the Generalized Linear Models the paper uses as
+// simple models (Section V-A): binary logit and multinomial logit
+// (softmax with a reference class), trained by stochastic gradient descent
+// with a constant learning rate, under the negative log-likelihood loss
+// (Section V-B).
+//
+// The multinomial model keeps c-1 weight vectors with class 0 as the
+// reference class, so the number of free parameters is (c-1)*(m+1) — the k
+// that enters the AIC-based confidence test of eq. (11).
+package glm
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Model is the simple-model contract shared by the Dynamic Model Tree and
+// the FIMT-DD classification variant. Implementations are deterministic
+// given their construction seed.
+type Model interface {
+	// Step performs one gradient-descent step on the batch using the mean
+	// gradient and the given learning rate (eq. 6 semantics). Rows with
+	// non-finite features are skipped.
+	Step(X [][]float64, Y []int, lr float64)
+	// Loss returns the summed negative log-likelihood of the batch under
+	// the current parameters.
+	Loss(X [][]float64, Y []int) float64
+	// LossGrad returns the summed negative log-likelihood and accumulates
+	// the summed gradient into grad, which must have length NumWeights.
+	// grad is NOT zeroed first, so callers can accumulate across calls.
+	LossGrad(X [][]float64, Y []int, grad []float64) float64
+	// RowLossGrad returns the negative log-likelihood of one labelled row
+	// and overwrites grad (length NumWeights) with the row's gradient.
+	// Non-finite rows and out-of-range labels yield zero loss and a zero
+	// gradient. The Dynamic Model Tree computes each row gradient once and
+	// reuses it for the SGD step, the node accumulators and every
+	// candidate's statistics (the efficiency argument of Section IV-B).
+	RowLossGrad(x []float64, y int, grad []float64) float64
+	// ApplyGrad adds factor*grad to the flattened parameters; the SGD
+	// step of eq. (6) is ApplyGrad(gradSum, -lr/n).
+	ApplyGrad(grad []float64, factor float64)
+	// Proba writes the class-probability vector for x into out (length
+	// NumClasses) and returns it. A nil out allocates.
+	Proba(x []float64, out []float64) []float64
+	// Predict returns the most probable class for x.
+	Predict(x []float64) int
+	// NumWeights is the length of the flattened parameter/gradient vector.
+	NumWeights() int
+	// FreeParams is the number of free parameters k for the AIC test.
+	FreeParams() int
+	// NumClasses returns c.
+	NumClasses() int
+	// NumFeatures returns m.
+	NumFeatures() int
+	// Weights returns a copy of the flattened parameter vector.
+	Weights() []float64
+	// SetWeights overwrites the parameters from a flattened vector of
+	// length NumWeights (used to warm-start child models from a parent).
+	SetWeights(w []float64)
+	// Shrink applies L1 proximal soft-thresholding to the feature
+	// weights (biases are exempt): w <- sign(w) * max(0, |w|-threshold).
+	// This is the sparsity / online-feature-selection extension the
+	// paper's introduction links to interpretability (Section I-A) and
+	// Section V-A lists as future work.
+	Shrink(threshold float64)
+	// Sparsity returns the fraction of feature weights that are exactly
+	// zero (biases excluded).
+	Sparsity() float64
+	// Clone returns an independent deep copy.
+	Clone() Model
+}
+
+// New returns a binary logit for numClasses == 2 and a multinomial logit
+// otherwise. Initial weights are drawn uniformly from [-initScale,
+// +initScale] using rng; a nil rng yields zero initial weights.
+func New(numFeatures, numClasses int, rng *rand.Rand) Model {
+	const initScale = 0.05
+	if numClasses < 2 {
+		numClasses = 2
+	}
+	if numClasses == 2 {
+		l := NewLogit(numFeatures)
+		if rng != nil {
+			for i := range l.w {
+				l.w[i] = (rng.Float64()*2 - 1) * initScale
+			}
+		}
+		return l
+	}
+	s := NewSoftmax(numFeatures, numClasses)
+	if rng != nil {
+		for i := range s.w {
+			s.w[i] = (rng.Float64()*2 - 1) * initScale
+		}
+	}
+	return s
+}
+
+// clipProb bounds p away from 0 and 1 so log stays finite.
+func clipProb(p float64) float64 {
+	const eps = 1e-12
+	return linalg.Clip(p, eps, 1-eps)
+}
+
+// sigmoid is the numerically stable logistic function.
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func rowFinite(x []float64) bool { return linalg.IsFinite(x) }
+
+// Logit is a binary logistic-regression model with m feature weights and a
+// bias stored at index m.
+type Logit struct {
+	w []float64 // len m+1, bias last
+	m int
+}
+
+// NewLogit returns a zero-initialised binary logit over m features.
+func NewLogit(m int) *Logit {
+	return &Logit{w: make([]float64, m+1), m: m}
+}
+
+// score returns w·x + b.
+func (l *Logit) score(x []float64) float64 {
+	s := l.w[l.m]
+	for j := 0; j < l.m; j++ {
+		s += l.w[j] * x[j]
+	}
+	return s
+}
+
+// Step implements Model using the mean gradient of the batch.
+func (l *Logit) Step(X [][]float64, Y []int, lr float64) {
+	n := len(Y)
+	if n == 0 {
+		return
+	}
+	grad := make([]float64, len(l.w))
+	used := 0
+	for i, x := range X {
+		if !rowFinite(x) {
+			continue
+		}
+		used++
+		p := sigmoid(l.score(x))
+		d := p - float64(Y[i])
+		for j := 0; j < l.m; j++ {
+			grad[j] += d * x[j]
+		}
+		grad[l.m] += d
+	}
+	if used == 0 {
+		return
+	}
+	linalg.Axpy(-lr/float64(used), grad, l.w)
+}
+
+// Loss implements Model.
+func (l *Logit) Loss(X [][]float64, Y []int) float64 {
+	var loss float64
+	for i, x := range X {
+		if !rowFinite(x) {
+			continue
+		}
+		p := clipProb(sigmoid(l.score(x)))
+		if Y[i] == 1 {
+			loss -= math.Log(p)
+		} else {
+			loss -= math.Log(1 - p)
+		}
+	}
+	return loss
+}
+
+// LossGrad implements Model.
+func (l *Logit) LossGrad(X [][]float64, Y []int, grad []float64) float64 {
+	if len(grad) != len(l.w) {
+		panic("glm: LossGrad gradient length mismatch")
+	}
+	var loss float64
+	for i, x := range X {
+		if !rowFinite(x) {
+			continue
+		}
+		p := sigmoid(l.score(x))
+		pc := clipProb(p)
+		if Y[i] == 1 {
+			loss -= math.Log(pc)
+		} else {
+			loss -= math.Log(1 - pc)
+		}
+		d := p - float64(Y[i])
+		for j := 0; j < l.m; j++ {
+			grad[j] += d * x[j]
+		}
+		grad[l.m] += d
+	}
+	return loss
+}
+
+// RowLossGrad implements Model.
+func (l *Logit) RowLossGrad(x []float64, y int, grad []float64) float64 {
+	if len(grad) != len(l.w) {
+		panic("glm: RowLossGrad gradient length mismatch")
+	}
+	linalg.Zero(grad)
+	if !rowFinite(x) || y < 0 || y > 1 {
+		return 0
+	}
+	p := sigmoid(l.score(x))
+	pc := clipProb(p)
+	var loss float64
+	if y == 1 {
+		loss = -math.Log(pc)
+	} else {
+		loss = -math.Log(1 - pc)
+	}
+	d := p - float64(y)
+	for j := 0; j < l.m; j++ {
+		grad[j] = d * x[j]
+	}
+	grad[l.m] = d
+	return loss
+}
+
+// ApplyGrad implements Model.
+func (l *Logit) ApplyGrad(grad []float64, factor float64) {
+	linalg.Axpy(factor, grad, l.w)
+}
+
+// Proba implements Model.
+func (l *Logit) Proba(x []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, 2)
+	}
+	p := sigmoid(l.score(x))
+	out[0], out[1] = 1-p, p
+	return out
+}
+
+// Predict implements Model.
+func (l *Logit) Predict(x []float64) int {
+	if l.score(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumWeights implements Model.
+func (l *Logit) NumWeights() int { return len(l.w) }
+
+// FreeParams implements Model.
+func (l *Logit) FreeParams() int { return len(l.w) }
+
+// NumClasses implements Model.
+func (l *Logit) NumClasses() int { return 2 }
+
+// NumFeatures implements Model.
+func (l *Logit) NumFeatures() int { return l.m }
+
+// Weights implements Model.
+func (l *Logit) Weights() []float64 { return linalg.Clone(l.w) }
+
+// SetWeights implements Model.
+func (l *Logit) SetWeights(w []float64) {
+	if len(w) != len(l.w) {
+		panic("glm: SetWeights length mismatch")
+	}
+	copy(l.w, w)
+}
+
+// Clone implements Model.
+func (l *Logit) Clone() Model {
+	return &Logit{w: linalg.Clone(l.w), m: l.m}
+}
+
+// Shrink implements Model.
+func (l *Logit) Shrink(threshold float64) {
+	softThreshold(l.w[:l.m], threshold)
+}
+
+// Sparsity implements Model.
+func (l *Logit) Sparsity() float64 {
+	return zeroFraction(l.w[:l.m])
+}
+
+// FeatureWeights returns the per-feature weights (excluding the bias),
+// which is the quantity the paper points to for local feature-based
+// explanations (Section I-C).
+func (l *Logit) FeatureWeights() []float64 { return linalg.Clone(l.w[:l.m]) }
+
+// Bias returns the intercept.
+func (l *Logit) Bias() float64 { return l.w[l.m] }
+
+// Softmax is a multinomial logit with a reference class: classes 1..c-1
+// each own a weight row of length m+1 (bias last); class 0's logit is 0.
+type Softmax struct {
+	w       []float64 // (c-1) rows * (m+1) cols, flattened row-major
+	m, c    int
+	scratch []float64 // probability buffer reused on hot paths
+}
+
+// scratchBuf returns a reusable length-c buffer.
+func (s *Softmax) scratchBuf() []float64 {
+	if len(s.scratch) != s.c {
+		s.scratch = make([]float64, s.c)
+	}
+	return s.scratch
+}
+
+// NewSoftmax returns a zero-initialised multinomial logit over m features
+// and c classes (c >= 3; use Logit for c == 2).
+func NewSoftmax(m, c int) *Softmax {
+	return &Softmax{w: make([]float64, (c-1)*(m+1)), m: m, c: c}
+}
+
+// row returns the weight row of class k (1-based class index into 0-based
+// row k-1).
+func (s *Softmax) row(k int) []float64 {
+	stride := s.m + 1
+	return s.w[(k-1)*stride : k*stride]
+}
+
+// logits writes the c raw scores into out (length c).
+func (s *Softmax) logits(x []float64, out []float64) {
+	out[0] = 0
+	for k := 1; k < s.c; k++ {
+		r := s.row(k)
+		z := r[s.m]
+		for j := 0; j < s.m; j++ {
+			z += r[j] * x[j]
+		}
+		out[k] = z
+	}
+}
+
+// probaInto computes class probabilities stably into out (length c).
+func (s *Softmax) probaInto(x []float64, out []float64) {
+	s.logits(x, out)
+	lse := linalg.LogSumExp(out)
+	for k := range out {
+		out[k] = math.Exp(out[k] - lse)
+	}
+}
+
+// Step implements Model.
+func (s *Softmax) Step(X [][]float64, Y []int, lr float64) {
+	n := len(Y)
+	if n == 0 {
+		return
+	}
+	grad := make([]float64, len(s.w))
+	p := make([]float64, s.c)
+	used := 0
+	for i, x := range X {
+		if !rowFinite(x) {
+			continue
+		}
+		used++
+		s.probaInto(x, p)
+		stride := s.m + 1
+		for k := 1; k < s.c; k++ {
+			d := p[k]
+			if Y[i] == k {
+				d -= 1
+			}
+			base := (k - 1) * stride
+			for j := 0; j < s.m; j++ {
+				grad[base+j] += d * x[j]
+			}
+			grad[base+s.m] += d
+		}
+	}
+	if used == 0 {
+		return
+	}
+	linalg.Axpy(-lr/float64(used), grad, s.w)
+}
+
+// Loss implements Model.
+func (s *Softmax) Loss(X [][]float64, Y []int) float64 {
+	var loss float64
+	p := make([]float64, s.c)
+	for i, x := range X {
+		if !rowFinite(x) {
+			continue
+		}
+		s.probaInto(x, p)
+		y := Y[i]
+		if y < 0 || y >= s.c {
+			continue
+		}
+		loss -= math.Log(clipProb(p[y]))
+	}
+	return loss
+}
+
+// LossGrad implements Model.
+func (s *Softmax) LossGrad(X [][]float64, Y []int, grad []float64) float64 {
+	if len(grad) != len(s.w) {
+		panic("glm: LossGrad gradient length mismatch")
+	}
+	var loss float64
+	p := make([]float64, s.c)
+	stride := s.m + 1
+	for i, x := range X {
+		if !rowFinite(x) {
+			continue
+		}
+		s.probaInto(x, p)
+		y := Y[i]
+		if y < 0 || y >= s.c {
+			continue
+		}
+		loss -= math.Log(clipProb(p[y]))
+		for k := 1; k < s.c; k++ {
+			d := p[k]
+			if y == k {
+				d -= 1
+			}
+			base := (k - 1) * stride
+			for j := 0; j < s.m; j++ {
+				grad[base+j] += d * x[j]
+			}
+			grad[base+s.m] += d
+		}
+	}
+	return loss
+}
+
+// RowLossGrad implements Model.
+func (s *Softmax) RowLossGrad(x []float64, y int, grad []float64) float64 {
+	if len(grad) != len(s.w) {
+		panic("glm: RowLossGrad gradient length mismatch")
+	}
+	linalg.Zero(grad)
+	if !rowFinite(x) || y < 0 || y >= s.c {
+		return 0
+	}
+	p := s.scratchBuf()
+	s.probaInto(x, p)
+	loss := -math.Log(clipProb(p[y]))
+	stride := s.m + 1
+	for k := 1; k < s.c; k++ {
+		d := p[k]
+		if y == k {
+			d -= 1
+		}
+		base := (k - 1) * stride
+		for j := 0; j < s.m; j++ {
+			grad[base+j] = d * x[j]
+		}
+		grad[base+s.m] = d
+	}
+	return loss
+}
+
+// ApplyGrad implements Model.
+func (s *Softmax) ApplyGrad(grad []float64, factor float64) {
+	linalg.Axpy(factor, grad, s.w)
+}
+
+// Proba implements Model.
+func (s *Softmax) Proba(x []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, s.c)
+	}
+	s.probaInto(x, out)
+	return out
+}
+
+// Predict implements Model.
+func (s *Softmax) Predict(x []float64) int {
+	z := s.scratchBuf()
+	s.logits(x, z)
+	return linalg.ArgMax(z)
+}
+
+// NumWeights implements Model.
+func (s *Softmax) NumWeights() int { return len(s.w) }
+
+// FreeParams implements Model.
+func (s *Softmax) FreeParams() int { return len(s.w) }
+
+// NumClasses implements Model.
+func (s *Softmax) NumClasses() int { return s.c }
+
+// NumFeatures implements Model.
+func (s *Softmax) NumFeatures() int { return s.m }
+
+// Weights implements Model.
+func (s *Softmax) Weights() []float64 { return linalg.Clone(s.w) }
+
+// SetWeights implements Model.
+func (s *Softmax) SetWeights(w []float64) {
+	if len(w) != len(s.w) {
+		panic("glm: SetWeights length mismatch")
+	}
+	copy(s.w, w)
+}
+
+// Clone implements Model.
+func (s *Softmax) Clone() Model {
+	return &Softmax{w: linalg.Clone(s.w), m: s.m, c: s.c}
+}
+
+// Shrink implements Model.
+func (s *Softmax) Shrink(threshold float64) {
+	for k := 1; k < s.c; k++ {
+		r := s.row(k)
+		softThreshold(r[:s.m], threshold)
+	}
+}
+
+// Sparsity implements Model.
+func (s *Softmax) Sparsity() float64 {
+	var total, zero float64
+	for k := 1; k < s.c; k++ {
+		r := s.row(k)
+		total += float64(s.m)
+		zero += zeroFraction(r[:s.m]) * float64(s.m)
+	}
+	if total == 0 {
+		return 0
+	}
+	return zero / total
+}
+
+// softThreshold applies the L1 proximal operator in place.
+func softThreshold(w []float64, threshold float64) {
+	if threshold <= 0 {
+		return
+	}
+	for i, v := range w {
+		switch {
+		case v > threshold:
+			w[i] = v - threshold
+		case v < -threshold:
+			w[i] = v + threshold
+		default:
+			w[i] = 0
+		}
+	}
+}
+
+// zeroFraction returns the share of exactly-zero entries.
+func zeroFraction(w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	zero := 0
+	for _, v := range w {
+		if v == 0 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(w))
+}
+
+// ClassWeights returns a copy of the feature weights of class k (excluding
+// the bias). Class 0 is the reference class with implicit zero weights.
+func (s *Softmax) ClassWeights(k int) []float64 {
+	out := make([]float64, s.m)
+	if k <= 0 || k >= s.c {
+		return out
+	}
+	copy(out, s.row(k)[:s.m])
+	return out
+}

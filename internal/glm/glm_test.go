@@ -1,0 +1,391 @@
+package glm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// numericGrad estimates dLoss/dW by central finite differences.
+func numericGrad(m Model, X [][]float64, Y []int) []float64 {
+	const h = 1e-6
+	w := m.Weights()
+	grad := make([]float64, len(w))
+	for i := range w {
+		orig := w[i]
+		w[i] = orig + h
+		m.SetWeights(w)
+		up := m.Loss(X, Y)
+		w[i] = orig - h
+		m.SetWeights(w)
+		down := m.Loss(X, Y)
+		w[i] = orig
+		grad[i] = (up - down) / (2 * h)
+	}
+	m.SetWeights(w)
+	return grad
+}
+
+func randomBatch(rng *rand.Rand, n, m, c int) ([][]float64, []int) {
+	X := make([][]float64, n)
+	Y := make([]int, n)
+	for i := range X {
+		X[i] = make([]float64, m)
+		for j := range X[i] {
+			X[i][j] = rng.Float64()
+		}
+		Y[i] = rng.Intn(c)
+	}
+	return X, Y
+}
+
+// Property: analytic gradients match finite differences for both model
+// families.
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	for _, c := range []int{2, 3, 5} {
+		rng := rand.New(rand.NewSource(int64(c)))
+		m := New(4, c, rng)
+		X, Y := randomBatch(rng, 12, 4, c)
+		analytic := make([]float64, m.NumWeights())
+		m.LossGrad(X, Y, analytic)
+		numeric := numericGrad(m, X, Y)
+		for i := range analytic {
+			if !almostEq(analytic[i], numeric[i], 1e-4) {
+				t.Fatalf("c=%d weight %d: analytic %v vs numeric %v", c, i, analytic[i], numeric[i])
+			}
+		}
+	}
+}
+
+// Property: RowLossGrad summed over rows equals LossGrad of the batch.
+func TestRowLossGradConsistency(t *testing.T) {
+	for _, c := range []int{2, 4} {
+		rng := rand.New(rand.NewSource(int64(10 + c)))
+		m := New(3, c, rng)
+		X, Y := randomBatch(rng, 20, 3, c)
+		batchGrad := make([]float64, m.NumWeights())
+		batchLoss := m.LossGrad(X, Y, batchGrad)
+		rowGrad := make([]float64, m.NumWeights())
+		sumGrad := make([]float64, m.NumWeights())
+		var sumLoss float64
+		for i := range X {
+			sumLoss += m.RowLossGrad(X[i], Y[i], rowGrad)
+			linalg.Add(sumGrad, rowGrad)
+		}
+		if !almostEq(batchLoss, sumLoss, 1e-10) {
+			t.Fatalf("c=%d: batch loss %v vs row sum %v", c, batchLoss, sumLoss)
+		}
+		for i := range batchGrad {
+			if !almostEq(batchGrad[i], sumGrad[i], 1e-10) {
+				t.Fatalf("c=%d grad %d: %v vs %v", c, i, batchGrad[i], sumGrad[i])
+			}
+		}
+	}
+}
+
+// Property: probabilities are a distribution for arbitrary inputs.
+func TestProbaSumsToOne(t *testing.T) {
+	for _, c := range []int{2, 3, 7} {
+		m := New(5, c, rand.New(rand.NewSource(int64(c))))
+		f := func(raw [5]float64) bool {
+			x := raw[:]
+			for i := range x {
+				x[i] = math.Mod(x[i], 10)
+				if math.IsNaN(x[i]) {
+					x[i] = 0
+				}
+			}
+			p := m.Proba(x, nil)
+			var sum float64
+			for _, v := range p {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+				sum += v
+			}
+			return almostEq(sum, 1, 1e-9)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+	}
+}
+
+func TestPredictAgreesWithProba(t *testing.T) {
+	for _, c := range []int{2, 5} {
+		rng := rand.New(rand.NewSource(int64(c * 3)))
+		m := New(4, c, rng)
+		for trial := 0; trial < 100; trial++ {
+			x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+			p := m.Proba(x, nil)
+			if m.Predict(x) != linalg.ArgMax(p) {
+				t.Fatalf("c=%d: Predict disagrees with argmax Proba", c)
+			}
+		}
+	}
+}
+
+// SGD on a separable problem must drive the loss down and fit the data.
+func TestSGDLearnsSeparableProblem(t *testing.T) {
+	for _, c := range []int{2, 3} {
+		rng := rand.New(rand.NewSource(int64(c)))
+		m := New(2, c, rng)
+		// class k clusters around (k/c, k/c)
+		var X [][]float64
+		var Y []int
+		for i := 0; i < 600; i++ {
+			k := rng.Intn(c)
+			base := float64(k) / float64(c)
+			X = append(X, []float64{base + 0.05*rng.NormFloat64(), base + 0.05*rng.NormFloat64()})
+			Y = append(Y, k)
+		}
+		before := m.Loss(X, Y)
+		for epoch := 0; epoch < 300; epoch++ {
+			m.Step(X, Y, 0.5)
+		}
+		after := m.Loss(X, Y)
+		if after >= before {
+			t.Fatalf("c=%d: loss did not decrease (%v -> %v)", c, before, after)
+		}
+		correct := 0
+		for i := range X {
+			if m.Predict(X[i]) == Y[i] {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(X)); acc < 0.9 {
+			t.Fatalf("c=%d: accuracy %v after training", c, acc)
+		}
+	}
+}
+
+func TestFreeParams(t *testing.T) {
+	if got := New(10, 2, nil).FreeParams(); got != 11 {
+		t.Fatalf("binary k = %d, want 11 (m+1)", got)
+	}
+	if got := New(10, 9, nil).FreeParams(); got != 88 {
+		t.Fatalf("9-class k = %d, want 88 ((c-1)*(m+1))", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for _, c := range []int{2, 3} {
+		rng := rand.New(rand.NewSource(99))
+		m := New(3, c, rng)
+		clone := m.Clone()
+		X, Y := randomBatch(rng, 10, 3, c)
+		m.Step(X, Y, 0.5)
+		w1, w2 := m.Weights(), clone.Weights()
+		same := true
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("c=%d: clone shares parameters", c)
+		}
+	}
+}
+
+func TestSetWeightsRoundTrip(t *testing.T) {
+	for _, c := range []int{2, 4} {
+		m := New(3, c, rand.New(rand.NewSource(5)))
+		w := m.Weights()
+		m2 := New(3, c, nil)
+		m2.SetWeights(w)
+		x := []float64{0.3, 0.6, 0.9}
+		p1 := m.Proba(x, nil)
+		p2 := m2.Proba(x, nil)
+		for i := range p1 {
+			if !almostEq(p1[i], p2[i], 1e-12) {
+				t.Fatalf("c=%d: SetWeights round trip changed predictions", c)
+			}
+		}
+	}
+}
+
+func TestNonFiniteRowsIgnored(t *testing.T) {
+	for _, c := range []int{2, 3} {
+		m := New(2, c, rand.New(rand.NewSource(8)))
+		bad := [][]float64{{math.NaN(), 1}, {math.Inf(1), 0}}
+		badY := []int{0, 1}
+		if loss := m.Loss(bad, badY); loss != 0 {
+			t.Fatalf("c=%d: loss on non-finite rows = %v, want 0", c, loss)
+		}
+		grad := make([]float64, m.NumWeights())
+		if loss := m.LossGrad(bad, badY, grad); loss != 0 {
+			t.Fatalf("c=%d: LossGrad loss = %v", c, loss)
+		}
+		for _, g := range grad {
+			if g != 0 {
+				t.Fatalf("c=%d: gradient leaked from non-finite rows", c)
+			}
+		}
+		before := m.Weights()
+		m.Step(bad, badY, 0.5)
+		after := m.Weights()
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("c=%d: Step moved weights on non-finite batch", c)
+			}
+		}
+	}
+}
+
+func TestOutOfRangeLabelsIgnored(t *testing.T) {
+	m := New(2, 3, nil)
+	grad := make([]float64, m.NumWeights())
+	loss := m.RowLossGrad([]float64{0.5, 0.5}, 7, grad)
+	if loss != 0 {
+		t.Fatalf("out-of-range label loss = %v", loss)
+	}
+}
+
+func TestLogitFeatureWeightsAndBias(t *testing.T) {
+	l := NewLogit(3)
+	l.SetWeights([]float64{1, 2, 3, 4})
+	fw := l.FeatureWeights()
+	if len(fw) != 3 || fw[2] != 3 {
+		t.Fatalf("FeatureWeights = %v", fw)
+	}
+	if l.Bias() != 4 {
+		t.Fatalf("Bias = %v", l.Bias())
+	}
+	// returned slice is a copy
+	fw[0] = 99
+	if l.FeatureWeights()[0] != 1 {
+		t.Fatal("FeatureWeights leaked internal state")
+	}
+}
+
+func TestSoftmaxClassWeights(t *testing.T) {
+	s := NewSoftmax(2, 3)
+	// rows: class1 = [1,2,b=3], class2 = [4,5,b=6]
+	s.SetWeights([]float64{1, 2, 3, 4, 5, 6})
+	if w := s.ClassWeights(0); w[0] != 0 || w[1] != 0 {
+		t.Fatal("reference class weights must be zero")
+	}
+	if w := s.ClassWeights(2); w[0] != 4 || w[1] != 5 {
+		t.Fatalf("class 2 weights = %v", w)
+	}
+	if w := s.ClassWeights(99); w[0] != 0 {
+		t.Fatal("out-of-range class should give zeros")
+	}
+}
+
+func TestApplyGradMatchesManualUpdate(t *testing.T) {
+	m := New(2, 2, rand.New(rand.NewSource(3)))
+	w := m.Weights()
+	g := []float64{1, -2, 0.5}
+	m.ApplyGrad(g, -0.1)
+	got := m.Weights()
+	for i := range w {
+		want := w[i] - 0.1*g[i]
+		if !almostEq(got[i], want, 1e-12) {
+			t.Fatalf("ApplyGrad[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestNewClassFloor(t *testing.T) {
+	m := New(2, 0, nil) // floors to binary
+	if m.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d", m.NumClasses())
+	}
+}
+
+func TestShrinkSoftThresholds(t *testing.T) {
+	l := NewLogit(3)
+	l.SetWeights([]float64{0.5, -0.05, 0.02, 1.0}) // bias = 1.0
+	l.Shrink(0.1)
+	w := l.Weights()
+	if !almostEq(w[0], 0.4, 1e-12) || w[1] != 0 || w[2] != 0 {
+		t.Fatalf("Shrink weights = %v", w)
+	}
+	if w[3] != 1.0 {
+		t.Fatal("Shrink must not touch the bias")
+	}
+	if got := l.Sparsity(); !almostEq(got, 2.0/3, 1e-12) {
+		t.Fatalf("Sparsity = %v", got)
+	}
+	// Non-positive threshold is a no-op.
+	before := l.Weights()
+	l.Shrink(0)
+	after := l.Weights()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Shrink(0) changed weights")
+		}
+	}
+}
+
+func TestShrinkSoftmax(t *testing.T) {
+	s := NewSoftmax(2, 3)
+	s.SetWeights([]float64{0.3, -0.01, 5, 0.02, -0.4, 7}) // biases 5 and 7
+	s.Shrink(0.05)
+	w := s.Weights()
+	if !almostEq(w[0], 0.25, 1e-12) || w[1] != 0 || w[3] != 0 || !almostEq(w[4], -0.35, 1e-12) {
+		t.Fatalf("softmax Shrink = %v", w)
+	}
+	if w[2] != 5 || w[5] != 7 {
+		t.Fatal("softmax Shrink touched biases")
+	}
+	if got := s.Sparsity(); !almostEq(got, 0.5, 1e-12) {
+		t.Fatalf("softmax Sparsity = %v", got)
+	}
+}
+
+// With L1 shrinkage during training, irrelevant feature weights must stay
+// pinned near zero while the informative ones grow well clear of them
+// (the operator's exact-zero semantics are covered by
+// TestShrinkSoftThresholds; here the stochastic equilibrium matters).
+func TestL1SeparatesInformativeFromIrrelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewLogit(6)
+	grad := make([]float64, m.NumWeights())
+	for step := 0; step < 20000; step++ {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		y := 0
+		if 3*x[0]-3*x[1] > 0 { // only features 0 and 1 matter
+			y = 1
+		}
+		m.RowLossGrad(x, y, grad)
+		m.ApplyGrad(grad, -0.05)
+		m.Shrink(0.001) // per-step proximal operator
+	}
+	w := m.Weights()
+	minInformative := math.Min(math.Abs(w[0]), math.Abs(w[1]))
+	if minInformative < 0.5 {
+		t.Fatalf("informative weights crushed: %v", w)
+	}
+	for j := 2; j < 6; j++ {
+		if math.Abs(w[j]) > 0.25*minInformative {
+			t.Fatalf("irrelevant weight %d not suppressed: %v", j, w)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := New(4, 3, rand.New(rand.NewSource(42)))
+	b := New(4, 3, rand.New(rand.NewSource(42)))
+	wa, wb := a.Weights(), b.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same seed produced different initial weights")
+		}
+	}
+	if wa[0] == 0 {
+		t.Fatal("seeded init should be non-zero")
+	}
+}

@@ -1,0 +1,101 @@
+package hatada
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+func schema2() stream.Schema {
+	return stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "test"}
+}
+
+// conceptBatch labels y=1 iff x0 > 0.5, optionally inverted.
+func conceptBatch(rng *rand.Rand, n int, inverted bool) stream.Batch {
+	var b stream.Batch
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		if inverted {
+			y = 1 - y
+		}
+		b.X = append(b.X, x)
+		b.Y = append(b.Y, y)
+	}
+	return b
+}
+
+func accuracy(t *Tree, b stream.Batch) float64 {
+	correct := 0
+	for i, x := range b.X {
+		if t.Predict(x) == b.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b.Len())
+}
+
+func TestLearnsStationaryConcept(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New(Config{}, schema2())
+	for i := 0; i < 60; i++ {
+		tree.Learn(conceptBatch(rng, 200, false))
+	}
+	if acc := accuracy(tree, conceptBatch(rng, 1000, false)); acc < 0.9 {
+		t.Fatalf("accuracy %v on a stationary concept", acc)
+	}
+}
+
+func TestAdaptsToAbruptFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := New(Config{}, schema2())
+	for i := 0; i < 60; i++ {
+		tree.Learn(conceptBatch(rng, 200, false))
+	}
+	// Flip the concept entirely; the tree must recover.
+	for i := 0; i < 120; i++ {
+		tree.Learn(conceptBatch(rng, 200, true))
+	}
+	if acc := accuracy(tree, conceptBatch(rng, 1000, true)); acc < 0.8 {
+		t.Fatalf("post-drift accuracy %v — no adaptation", acc)
+	}
+}
+
+func TestComplexityMajorityCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := New(Config{}, schema2())
+	for i := 0; i < 60; i++ {
+		tree.Learn(conceptBatch(rng, 200, false))
+	}
+	comp := tree.Complexity()
+	if comp.Splits != float64(comp.Inner) {
+		t.Fatalf("HT-Ada splits %v must equal inner count %d (MC leaves)", comp.Splits, comp.Inner)
+	}
+}
+
+func TestProbaIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree := New(Config{}, schema2())
+	tree.Learn(conceptBatch(rng, 500, false))
+	p := tree.Proba([]float64{0.5, 0.5}, nil)
+	if len(p) != 2 || p[0]+p[1] < 0.999 || p[0]+p[1] > 1.001 {
+		t.Fatalf("proba %v", p)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.ADWINDelta != 0.002 || cfg.CompareEvery != 200 || cfg.MinCompareWidth != 300 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.Tree.Criterion == nil {
+		t.Fatal("inner tree config not defaulted")
+	}
+}
+
+var _ model.Classifier = (*Tree)(nil)

@@ -1,0 +1,258 @@
+package hoeffding
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+func binarySchema(m int) stream.Schema {
+	return stream.Schema{NumFeatures: m, NumClasses: 2, Name: "test"}
+}
+
+// axisBatch labels y=1 iff x0 > 0.5 — a one-split concept.
+func axisBatch(rng *rand.Rand, n int) stream.Batch {
+	var b stream.Batch
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		b.X = append(b.X, x)
+		b.Y = append(b.Y, y)
+	}
+	return b
+}
+
+func TestVFDTLearnsAxisConcept(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New(Config{Seed: 1}, binarySchema(2))
+	for i := 0; i < 50; i++ {
+		tree.Learn(axisBatch(rng, 200))
+	}
+	comp := tree.Complexity()
+	if comp.Inner < 1 {
+		t.Fatal("tree never split on a trivially separable concept")
+	}
+	correct := 0
+	test := axisBatch(rng, 1000)
+	for i, x := range test.X {
+		if tree.Predict(x) == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 1000; acc < 0.9 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestVFDTGracePeriodGatesSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := New(Config{GracePeriod: 1e9, Seed: 2}, binarySchema(2))
+	for i := 0; i < 20; i++ {
+		tree.Learn(axisBatch(rng, 100))
+	}
+	if tree.Complexity().Inner != 0 {
+		t.Fatal("split happened despite an enormous grace period")
+	}
+}
+
+func TestVFDTPureLeafNeverSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := New(Config{Seed: 3}, binarySchema(2))
+	var b stream.Batch
+	for i := 0; i < 5000; i++ {
+		b.X = append(b.X, []float64{rng.Float64(), rng.Float64()})
+		b.Y = append(b.Y, 0) // single class
+	}
+	tree.Learn(b)
+	if tree.Complexity().Inner != 0 {
+		t.Fatal("pure stream must not split")
+	}
+}
+
+func TestVFDTComplexityCounting(t *testing.T) {
+	// MC leaves: splits = inner only; params = inner + leaves.
+	tree := New(Config{Seed: 4}, binarySchema(2))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		tree.Learn(axisBatch(rng, 200))
+	}
+	comp := tree.Complexity()
+	if comp.Splits != float64(comp.Inner) {
+		t.Fatalf("MC splits = %v, want inner count %d", comp.Splits, comp.Inner)
+	}
+	if comp.Params != float64(comp.Inner+comp.Leaves) {
+		t.Fatalf("MC params = %v, want %d", comp.Params, comp.Inner+comp.Leaves)
+	}
+	if comp.Leaves != comp.Inner+1 {
+		t.Fatalf("binary tree: leaves %d, inner %d", comp.Leaves, comp.Inner)
+	}
+}
+
+func TestNBALeafTracksBothPredictors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := (&Config{LeafMode: NaiveBayesAdaptive}).withTestDefaults()
+	s := NewNodeStats(cfg, binarySchema(2), nil)
+	// Gaussian-separable data: NB should win over majority class.
+	for i := 0; i < 3000; i++ {
+		y := rng.Intn(2)
+		x := []float64{0.2 + 0.6*float64(y) + 0.05*rng.NormFloat64(), rng.Float64()}
+		s.Observe(x, y, 1)
+	}
+	if s.nbOK <= s.mcOK {
+		t.Fatalf("NB correct %v should beat MC correct %v on separable data", s.nbOK, s.mcOK)
+	}
+	// And the adaptive leaf must therefore use NB.
+	x := []float64{0.82, 0.5}
+	if s.Predict(x) != 1 {
+		t.Fatal("NBA leaf failed to use the better NB model")
+	}
+}
+
+// withTestDefaults mirrors the package defaulting for direct NodeStats
+// construction in tests.
+func (c *Config) withTestDefaults() *Config {
+	cfg := c.WithDefaults()
+	return &cfg
+}
+
+func TestNodeStatsProba(t *testing.T) {
+	cfg := (&Config{}).withTestDefaults()
+	s := NewNodeStats(cfg, binarySchema(2), nil)
+	p := s.Proba([]float64{0.5, 0.5}, nil)
+	if p[0] != 0.5 || p[1] != 0.5 {
+		t.Fatalf("empty leaf proba %v, want uniform", p)
+	}
+	s.Observe([]float64{0.1, 0.1}, 0, 3)
+	s.Observe([]float64{0.9, 0.9}, 1, 1)
+	p = s.Proba([]float64{0.5, 0.5}, nil)
+	if p[0] != 0.75 || p[1] != 0.25 {
+		t.Fatalf("count-based proba %v", p)
+	}
+}
+
+func TestNodeStatsIgnoresBadObservations(t *testing.T) {
+	cfg := (&Config{}).withTestDefaults()
+	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s.Observe([]float64{0.5, 0.5}, -1, 1)
+	s.Observe([]float64{0.5, 0.5}, 9, 1)
+	s.Observe([]float64{0.5, 0.5}, 0, 0)
+	if s.Weight() != 0 {
+		t.Fatal("bad observations recorded")
+	}
+}
+
+func TestSubspaceRestriction(t *testing.T) {
+	cfg := (&Config{SubspaceSize: 2}).withTestDefaults()
+	rng := rand.New(rand.NewSource(7))
+	s := NewNodeStats(cfg, stream.Schema{NumFeatures: 10, NumClasses: 2}, rng)
+	if len(s.featureSet()) != 2 {
+		t.Fatalf("subspace size = %d, want 2", len(s.featureSet()))
+	}
+	// Features outside the subspace receive no observations.
+	for i := 0; i < 100; i++ {
+		x := make([]float64, 10)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		s.Observe(x, rng.Intn(2), 1)
+	}
+	inSubspace := map[int]bool{}
+	for _, j := range s.featureSet() {
+		inSubspace[j] = true
+	}
+	for j := 0; j < 10; j++ {
+		w := s.observers[j].ClassWeight(0) + s.observers[j].ClassWeight(1)
+		if inSubspace[j] && w == 0 {
+			t.Fatalf("subspace feature %d not observed", j)
+		}
+		if !inSubspace[j] && w != 0 {
+			t.Fatalf("non-subspace feature %d observed", j)
+		}
+	}
+}
+
+func TestWeightedLearning(t *testing.T) {
+	// Weight w must equal w repetitions for the class counts.
+	cfg := (&Config{}).withTestDefaults()
+	a := NewNodeStats(cfg, binarySchema(2), nil)
+	b := NewNodeStats(cfg, binarySchema(2), nil)
+	x := []float64{0.3, 0.7}
+	a.Observe(x, 1, 3)
+	for i := 0; i < 3; i++ {
+		b.Observe(x, 1, 1)
+	}
+	if a.Weight() != b.Weight() || a.Counts()[1] != b.Counts()[1] {
+		t.Fatal("weighted observation != repeated observations")
+	}
+}
+
+func TestTreeName(t *testing.T) {
+	if got := New(Config{}, binarySchema(2)).Name(); got != "VFDT (MC)" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := New(Config{LeafMode: NaiveBayesAdaptive}, binarySchema(2)).Name(); got != "VFDT (NBA)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestMaxDepthBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tree := New(Config{MaxDepth: 1, Seed: 8}, binarySchema(2))
+	for i := 0; i < 100; i++ {
+		tree.Learn(axisBatch(rng, 200))
+	}
+	if d := tree.Complexity().Depth; d > 1 {
+		t.Fatalf("depth %d exceeds MaxDepth 1", d)
+	}
+}
+
+func TestSeedChildDistribution(t *testing.T) {
+	cfg := (&Config{}).withTestDefaults()
+	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s.SeedChild([]float64{3, 7})
+	if s.Weight() != 10 || s.MajorityClass() != 1 {
+		t.Fatalf("seeded stats: weight %v, majority %d", s.Weight(), s.MajorityClass())
+	}
+}
+
+func TestNaiveBayesLeafMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree := New(Config{LeafMode: NaiveBayes, Seed: 11}, binarySchema(2))
+	// Gaussian-separable stream where NB shines before any split.
+	var b stream.Batch
+	for i := 0; i < 500; i++ {
+		y := rng.Intn(2)
+		b.X = append(b.X, []float64{0.2 + 0.6*float64(y) + 0.05*rng.NormFloat64(), rng.Float64()})
+		b.Y = append(b.Y, y)
+	}
+	tree.Learn(b)
+	if tree.Predict([]float64{0.85, 0.5}) != 1 || tree.Predict([]float64{0.15, 0.5}) != 0 {
+		t.Fatal("NB leaf not discriminating before splits")
+	}
+	p := tree.Proba([]float64{0.85, 0.5}, nil)
+	if p[1] < 0.8 {
+		t.Fatalf("NB leaf proba %v", p)
+	}
+	if tree.Name() != "VFDT (NB)" {
+		t.Fatalf("Name = %q", tree.Name())
+	}
+}
+
+func TestNodeStatsBound(t *testing.T) {
+	cfg := (&Config{}).withTestDefaults()
+	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s.Observe([]float64{0.1, 0.1}, 0, 100)
+	b100 := s.Bound()
+	s.Observe([]float64{0.9, 0.9}, 1, 300)
+	if b400 := s.Bound(); b400 >= b100 {
+		t.Fatalf("bound must shrink with weight: %v -> %v", b100, b400)
+	}
+}
+
+var _ model.Classifier = (*Tree)(nil)
+var _ model.ProbabilisticClassifier = (*Tree)(nil)

@@ -1,0 +1,323 @@
+// Package hoeffding implements the Very Fast Decision Tree (VFDT) of
+// Domingos & Hulten [11] with binary numeric splits, information-gain (or
+// Gini) merits, the Hoeffding bound split test, and three leaf modes:
+// majority class ("VFDT (MC)"), Naive Bayes, and adaptive Naive Bayes
+// ("VFDT (NBA)" [31]). The NodeStats type is shared with the adaptive
+// Hoeffding tree (internal/hatada) and EFDT (internal/efdt) substrates.
+package hoeffding
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/attrobs"
+	"repro/internal/linalg"
+	"repro/internal/nbayes"
+	"repro/internal/split"
+	"repro/internal/stream"
+)
+
+// LeafMode selects the leaf prediction strategy.
+type LeafMode int
+
+const (
+	// MajorityClass predicts the most frequent class at the leaf.
+	MajorityClass LeafMode = iota
+	// NaiveBayes predicts with a Gaussian Naive Bayes model at the leaf.
+	NaiveBayes
+	// NaiveBayesAdaptive predicts with whichever of majority class and
+	// Naive Bayes has been more accurate at this leaf so far [31].
+	NaiveBayesAdaptive
+)
+
+// String returns the report label of the mode.
+func (m LeafMode) String() string {
+	switch m {
+	case MajorityClass:
+		return "MC"
+	case NaiveBayes:
+		return "NB"
+	case NaiveBayesAdaptive:
+		return "NBA"
+	}
+	return "?"
+}
+
+// Config collects the hyperparameters of the Hoeffding tree family. The
+// defaults follow the scikit-multiflow configuration the paper evaluates
+// (Section VI-C): delta 1e-7, tie threshold 0.05, grace period 200,
+// information gain, binary splits only.
+type Config struct {
+	// GracePeriod is the weight a leaf must accumulate between split
+	// attempts (default 200).
+	GracePeriod float64
+	// Delta is the Hoeffding bound confidence (default 1e-7).
+	Delta float64
+	// Tau is the tie-break threshold (default 0.05).
+	Tau float64
+	// Criterion scores candidate splits (default split.InfoGain).
+	Criterion split.Criterion
+	// LeafMode selects the leaf predictor (default MajorityClass).
+	LeafMode LeafMode
+	// Bins is the number of candidate thresholds per numeric observer
+	// (default 10).
+	Bins int
+	// MaxDepth bounds tree growth; 0 means unbounded.
+	MaxDepth int
+	// SubspaceSize, when positive, restricts each leaf to a random subset
+	// of features of this size (the Adaptive Random Forest uses
+	// round(sqrt(m))+1). Zero uses all features.
+	SubspaceSize int
+	// Seed drives the subspace sampling.
+	Seed int64
+}
+
+// WithDefaults fills unset fields with the paper's defaults. Wrapping
+// trees (HT-Ada, EFDT, the ensembles) must call it before sharing the
+// config with NodeStats.
+func (c Config) WithDefaults() Config {
+	if c.GracePeriod <= 0 {
+		c.GracePeriod = 200
+	}
+	if c.Delta <= 0 {
+		c.Delta = 1e-7
+	}
+	if c.Tau <= 0 {
+		c.Tau = 0.05
+	}
+	if c.Criterion == nil {
+		c.Criterion = split.InfoGain{}
+	}
+	if c.Bins <= 0 {
+		c.Bins = 10
+	}
+	return c
+}
+
+// NodeStats holds the sufficient statistics of one growing node: the class
+// distribution, per-feature observers, the optional Naive Bayes leaf model
+// and the adaptive-mode accuracy counters. It is reused by the HAT and
+// EFDT trees, whose inner nodes also keep observing.
+type NodeStats struct {
+	cfg       *Config
+	schema    stream.Schema
+	counts    []float64
+	observers []*attrobs.Gaussian
+	features  []int // observed feature subset; nil means all
+	nb        *nbayes.Model
+	mcOK      float64
+	nbOK      float64
+	seen      float64
+	lastEval  float64
+}
+
+// NewNodeStats returns empty statistics for one node. rng is only used
+// when cfg.SubspaceSize is positive.
+func NewNodeStats(cfg *Config, schema stream.Schema, rng *rand.Rand) *NodeStats {
+	s := &NodeStats{
+		cfg:       cfg,
+		schema:    schema,
+		counts:    make([]float64, schema.NumClasses),
+		observers: make([]*attrobs.Gaussian, schema.NumFeatures),
+	}
+	for j := range s.observers {
+		s.observers[j] = attrobs.NewGaussian(schema.NumClasses, cfg.Bins)
+	}
+	if cfg.LeafMode != MajorityClass {
+		s.nb = nbayes.New(schema.NumFeatures, schema.NumClasses)
+	}
+	if cfg.SubspaceSize > 0 && cfg.SubspaceSize < schema.NumFeatures && rng != nil {
+		s.features = rng.Perm(schema.NumFeatures)[:cfg.SubspaceSize]
+		sort.Ints(s.features)
+	}
+	return s
+}
+
+// featureSet returns the observed features (all when no subspace).
+func (s *NodeStats) featureSet() []int {
+	if s.features != nil {
+		return s.features
+	}
+	all := make([]int, s.schema.NumFeatures)
+	for j := range all {
+		all[j] = j
+	}
+	return all
+}
+
+// Observe updates the statistics with a labelled instance. For the
+// adaptive mode it first scores both candidate predictors on the instance
+// (test-then-update inside the leaf).
+func (s *NodeStats) Observe(x []float64, y int, w float64) {
+	if y < 0 || y >= len(s.counts) || w <= 0 {
+		return
+	}
+	if s.cfg.LeafMode == NaiveBayesAdaptive && s.seen > 0 {
+		if s.MajorityClass() == y {
+			s.mcOK += w
+		}
+		if s.nb.Predict(x) == y {
+			s.nbOK += w
+		}
+	}
+	s.counts[y] += w
+	s.seen += w
+	for _, j := range s.featureSet() {
+		s.observers[j].Observe(x[j], y, w)
+	}
+	if s.nb != nil {
+		s.nb.Observe(x, y, w)
+	}
+}
+
+// Weight returns the accumulated observation weight.
+func (s *NodeStats) Weight() float64 { return s.seen }
+
+// Counts returns the class-count vector (not a copy).
+func (s *NodeStats) Counts() []float64 { return s.counts }
+
+// MajorityClass returns the most frequent class (0 when empty).
+func (s *NodeStats) MajorityClass() int {
+	k := linalg.ArgMax(s.counts)
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// Pure reports whether at most one class has been observed.
+func (s *NodeStats) Pure() bool {
+	nonzero := 0
+	for _, c := range s.counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// Predict returns the class predicted under the configured leaf mode.
+func (s *NodeStats) Predict(x []float64) int {
+	switch s.cfg.LeafMode {
+	case NaiveBayes:
+		if s.nb.Total() > 0 {
+			return s.nb.Predict(x)
+		}
+	case NaiveBayesAdaptive:
+		if s.nb.Total() > 0 && s.nbOK > s.mcOK {
+			return s.nb.Predict(x)
+		}
+	}
+	return s.MajorityClass()
+}
+
+// Proba writes class probabilities into out under the configured mode.
+func (s *NodeStats) Proba(x []float64, out []float64) []float64 {
+	c := s.schema.NumClasses
+	if out == nil {
+		out = make([]float64, c)
+	}
+	useNB := false
+	switch s.cfg.LeafMode {
+	case NaiveBayes:
+		useNB = s.nb != nil && s.nb.Total() > 0
+	case NaiveBayesAdaptive:
+		useNB = s.nb != nil && s.nb.Total() > 0 && s.nbOK > s.mcOK
+	}
+	if useNB {
+		return s.nb.Proba(x, out)
+	}
+	if s.seen == 0 {
+		for k := range out {
+			out[k] = 1 / float64(c)
+		}
+		return out
+	}
+	for k := range out {
+		out[k] = s.counts[k] / s.seen
+	}
+	return out
+}
+
+// SeedChild pre-loads the class counts of a fresh child node with the
+// estimated branch distribution of the split that created it, mirroring
+// the MOA behaviour that keeps majority-class predictions sensible
+// immediately after a split.
+func (s *NodeStats) SeedChild(dist []float64) {
+	for k, v := range dist {
+		if k < len(s.counts) && v > 0 {
+			s.counts[k] = v
+			s.seen += v
+		}
+	}
+}
+
+// BestSplits returns the two highest-merit candidates across the observed
+// features, ordered best first. ok is false when no feature has usable
+// spread.
+func (s *NodeStats) BestSplits() (best, second attrobs.CandidateSplit, ok bool) {
+	best.Merit, second.Merit = math.Inf(-1), math.Inf(-1)
+	merit := func(post [][]float64) float64 {
+		return s.cfg.Criterion.Merit(s.counts, post)
+	}
+	for _, j := range s.featureSet() {
+		cand, found := s.observers[j].BestSplit(j, merit)
+		if !found {
+			continue
+		}
+		if cand.Merit > best.Merit {
+			second = best
+			best = cand
+		} else if cand.Merit > second.Merit {
+			second = cand
+		}
+		ok = true
+	}
+	return best, second, ok
+}
+
+// DistributionsAt estimates the branch class distributions of splitting
+// this node on (feature, threshold), from the node's own observers.
+func (s *NodeStats) DistributionsAt(feature int, threshold float64) (left, right []float64) {
+	if feature < 0 || feature >= len(s.observers) {
+		return nil, nil
+	}
+	return s.observers[feature].DistributionsAt(threshold)
+}
+
+// ShouldAttempt reports whether enough weight accumulated since the last
+// split attempt (the grace-period gate) and marks the attempt.
+func (s *NodeStats) ShouldAttempt() bool {
+	if s.seen-s.lastEval < s.cfg.GracePeriod {
+		return false
+	}
+	s.lastEval = s.seen
+	return true
+}
+
+// Bound returns the current Hoeffding bound for this node's weight.
+func (s *NodeStats) Bound() float64 {
+	return split.HoeffdingBound(s.cfg.Criterion.Range(s.schema.NumClasses), s.cfg.Delta, s.seen)
+}
+
+// DecideSplit applies the VFDT split rule: split on best when
+// best-second > epsilon or epsilon < tau, requiring positive merit.
+func (s *NodeStats) DecideSplit() (attrobs.CandidateSplit, bool) {
+	if s.Pure() {
+		return attrobs.CandidateSplit{}, false
+	}
+	best, second, ok := s.BestSplits()
+	if !ok || best.Merit <= 0 {
+		return attrobs.CandidateSplit{}, false
+	}
+	eps := s.Bound()
+	secondMerit := 0.0
+	if !math.IsInf(second.Merit, -1) {
+		secondMerit = second.Merit
+	}
+	if best.Merit-secondMerit > eps || eps < s.cfg.Tau {
+		return best, true
+	}
+	return attrobs.CandidateSplit{}, false
+}

@@ -1,0 +1,150 @@
+package hoeffding
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// node is one tree node: a leaf carries statistics, an inner node a binary
+// numeric split (x[feature] <= threshold goes left).
+type node struct {
+	stats       *NodeStats
+	feature     int
+	threshold   float64
+	left, right *node
+	depth       int
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// sortTo routes x to its leaf.
+func (n *node) sortTo(x []float64) *node {
+	cur := n
+	for !cur.isLeaf() {
+		if x[cur.feature] <= cur.threshold {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	return cur
+}
+
+// Tree is a Hoeffding tree (VFDT). The zero value is not usable; construct
+// with New.
+type Tree struct {
+	cfg    Config
+	schema stream.Schema
+	root   *node
+	rng    *rand.Rand
+	splits int // lifetime split count, for diagnostics
+}
+
+// New returns an empty Hoeffding tree for the schema.
+func New(cfg Config, schema stream.Schema) *Tree {
+	cfg = cfg.WithDefaults()
+	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	t.root = &node{stats: NewNodeStats(&t.cfg, schema, t.rng)}
+	return t
+}
+
+// Name implements model.Classifier.
+func (t *Tree) Name() string {
+	if t.cfg.LeafMode == MajorityClass {
+		return "VFDT (MC)"
+	}
+	return "VFDT (" + t.cfg.LeafMode.String() + ")"
+}
+
+// Schema returns the stream schema the tree was built for.
+func (t *Tree) Schema() stream.Schema { return t.schema }
+
+// Learn implements model.Classifier with unit instance weights.
+func (t *Tree) Learn(b stream.Batch) {
+	for i, x := range b.X {
+		t.LearnOne(x, b.Y[i], 1)
+	}
+}
+
+// LearnOne updates the tree with one weighted instance (the ensembles use
+// Poisson weights).
+func (t *Tree) LearnOne(x []float64, y int, w float64) {
+	leaf := t.root.sortTo(x)
+	leaf.stats.Observe(x, y, w)
+	if !leaf.stats.ShouldAttempt() {
+		return
+	}
+	if t.cfg.MaxDepth > 0 && leaf.depth >= t.cfg.MaxDepth {
+		return
+	}
+	cand, ok := leaf.stats.DecideSplit()
+	if !ok {
+		return
+	}
+	t.splitLeaf(leaf, cand.Feature, cand.Threshold, cand.Post)
+}
+
+// splitLeaf converts a leaf into an inner node with two fresh children.
+func (t *Tree) splitLeaf(leaf *node, feature int, threshold float64, post [][]float64) {
+	leaf.feature = feature
+	leaf.threshold = threshold
+	leaf.left = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng), depth: leaf.depth + 1}
+	leaf.right = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng), depth: leaf.depth + 1}
+	if len(post) == 2 {
+		leaf.left.stats.SeedChild(post[0])
+		leaf.right.stats.SeedChild(post[1])
+	}
+	leaf.stats = nil // inner nodes of a plain VFDT stop observing
+	t.splits++
+}
+
+// Predict implements model.Classifier.
+func (t *Tree) Predict(x []float64) int {
+	return t.root.sortTo(x).stats.Predict(x)
+}
+
+// Proba implements model.ProbabilisticClassifier.
+func (t *Tree) Proba(x []float64, out []float64) []float64 {
+	return t.root.sortTo(x).stats.Proba(x, out)
+}
+
+// countNodes returns (inner, leaves, depth).
+func countNodes(n *node) (inner, leaves, depth int) {
+	if n == nil {
+		return 0, 0, 0
+	}
+	if n.isLeaf() {
+		return 0, 1, 0
+	}
+	li, ll, ld := countNodes(n.left)
+	ri, rl, rd := countNodes(n.right)
+	d := ld
+	if rd > d {
+		d = rd
+	}
+	return li + ri + 1, ll + rl, d + 1
+}
+
+// Complexity implements model.Classifier with the paper's counting:
+// majority leaves contribute no splits; NB/NBA leaves count as model
+// leaves.
+func (t *Tree) Complexity() model.Complexity {
+	inner, leaves, depth := countNodes(t.root)
+	kind := model.LeafMajority
+	if t.cfg.LeafMode != MajorityClass {
+		kind = model.LeafModel
+	}
+	return model.TreeComplexity(inner, leaves, depth, kind, t.schema.NumFeatures, t.schema.NumClasses)
+}
+
+// LifetimeSplits returns the number of split events since construction.
+func (t *Tree) LifetimeSplits() int { return t.splits }
+
+// String renders a compact description of the tree shape.
+func (t *Tree) String() string {
+	inner, leaves, depth := countNodes(t.root)
+	return fmt.Sprintf("%s{inner: %d, leaves: %d, depth: %d}", t.Name(), inner, leaves, depth)
+}

@@ -1,0 +1,175 @@
+// Package linalg provides the small dense vector operations used by the
+// simple models and split statistics throughout the repository. All
+// functions operate on plain []float64 slices and avoid allocation where a
+// destination slice is supplied.
+package linalg
+
+import "math"
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; Dot panics otherwise, since a length mismatch is always a
+// programming error in this code base.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[i] += alpha*x[i] in place.
+func Axpy(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Add computes dst[i] += x[i] in place.
+func Add(dst, x []float64) {
+	if len(x) != len(dst) {
+		panic("linalg: Add length mismatch")
+	}
+	for i, v := range x {
+		dst[i] += v
+	}
+}
+
+// Sub returns a new slice holding a[i]-b[i].
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: Sub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = v - b[i]
+	}
+	return out
+}
+
+// SubInto writes a[i]-b[i] into dst, which must have the same length.
+func SubInto(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("linalg: SubInto length mismatch")
+	}
+	for i, v := range a {
+		dst[i] = v - b[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2Sq returns the squared Euclidean norm of x.
+func Norm2Sq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Norm2Sq(x)) }
+
+// Norm2SqDiff returns the squared Euclidean norm of a-b without allocating.
+func Norm2SqDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Norm2SqDiff length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// ArgMax returns the index of the largest element of x, or -1 for an empty
+// slice. Ties resolve to the lowest index.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Clip bounds v into [lo, hi].
+func Clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// IsFinite reports whether every element of x is finite (no NaN or Inf).
+func IsFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// LogSumExp returns log(sum_i exp(x[i])) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}

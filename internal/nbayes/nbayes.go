@@ -1,0 +1,91 @@
+// Package nbayes implements the Gaussian Naive Bayes model used in the
+// leaves of the "VFDT (NBA)" baseline [31]: class priors from counts and
+// per-class Gaussian likelihoods per numeric feature.
+package nbayes
+
+import (
+	"math"
+
+	"repro/internal/attrobs"
+	"repro/internal/linalg"
+)
+
+// Model is an incrementally trained Gaussian Naive Bayes classifier.
+type Model struct {
+	classCounts []float64
+	observers   []*attrobs.Gaussian
+	total       float64
+}
+
+// New returns an empty model over m features and c classes.
+func New(m, c int) *Model {
+	obs := make([]*attrobs.Gaussian, m)
+	for j := range obs {
+		obs[j] = attrobs.NewGaussian(c, 10)
+	}
+	return &Model{classCounts: make([]float64, c), observers: obs}
+}
+
+// Observe incorporates a labelled instance with the given weight.
+func (nb *Model) Observe(x []float64, y int, w float64) {
+	if y < 0 || y >= len(nb.classCounts) || w <= 0 {
+		return
+	}
+	nb.classCounts[y] += w
+	nb.total += w
+	for j, v := range x {
+		nb.observers[j].Observe(v, y, w)
+	}
+}
+
+// LogPosteriors writes unnormalised class log-posteriors into out.
+func (nb *Model) LogPosteriors(x []float64, out []float64) []float64 {
+	c := len(nb.classCounts)
+	if out == nil {
+		out = make([]float64, c)
+	}
+	for k := 0; k < c; k++ {
+		if nb.classCounts[k] == 0 {
+			out[k] = math.Inf(-1)
+			continue
+		}
+		lp := math.Log(nb.classCounts[k] / (nb.total + 1e-12))
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lp += math.Log(nb.observers[j].Pdf(v, k) + 1e-12)
+		}
+		out[k] = lp
+	}
+	return out
+}
+
+// Predict returns the class with the highest posterior; with no
+// observations it returns 0.
+func (nb *Model) Predict(x []float64) int {
+	if nb.total == 0 {
+		return 0
+	}
+	lp := nb.LogPosteriors(x, nil)
+	return linalg.ArgMax(lp)
+}
+
+// Proba writes normalised class probabilities into out.
+func (nb *Model) Proba(x []float64, out []float64) []float64 {
+	lp := nb.LogPosteriors(x, out)
+	lse := linalg.LogSumExp(lp)
+	if math.IsInf(lse, -1) {
+		for k := range lp {
+			lp[k] = 1 / float64(len(lp))
+		}
+		return lp
+	}
+	for k := range lp {
+		lp[k] = math.Exp(lp[k] - lse)
+	}
+	return lp
+}
+
+// Total returns the observed weight.
+func (nb *Model) Total() float64 { return nb.total }

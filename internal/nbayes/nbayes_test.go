@@ -1,0 +1,114 @@
+package nbayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLearnsSeparatedGaussians(t *testing.T) {
+	nb := New(2, 3)
+	rng := rand.New(rand.NewSource(1))
+	centers := [][]float64{{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}}
+	for i := 0; i < 3000; i++ {
+		k := rng.Intn(3)
+		x := []float64{
+			centers[k][0] + 0.05*rng.NormFloat64(),
+			centers[k][1] + 0.05*rng.NormFloat64(),
+		}
+		nb.Observe(x, k, 1)
+	}
+	correct := 0
+	trials := 500
+	for i := 0; i < trials; i++ {
+		k := rng.Intn(3)
+		x := []float64{
+			centers[k][0] + 0.05*rng.NormFloat64(),
+			centers[k][1] + 0.05*rng.NormFloat64(),
+		}
+		if nb.Predict(x) == k {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(trials); acc < 0.95 {
+		t.Fatalf("accuracy %v on well-separated clusters", acc)
+	}
+}
+
+func TestPriorsMatter(t *testing.T) {
+	nb := New(1, 2)
+	rng := rand.New(rand.NewSource(2))
+	// Identical likelihoods; class 0 has 9x the prior mass.
+	for i := 0; i < 9000; i++ {
+		nb.Observe([]float64{0.5 + 0.1*rng.NormFloat64()}, 0, 1)
+	}
+	for i := 0; i < 1000; i++ {
+		nb.Observe([]float64{0.5 + 0.1*rng.NormFloat64()}, 1, 1)
+	}
+	if nb.Predict([]float64{0.5}) != 0 {
+		t.Fatal("prior-dominant class not predicted")
+	}
+	p := nb.Proba([]float64{0.5}, nil)
+	if p[0] < 0.7 {
+		t.Fatalf("posterior %v should favour class 0 strongly", p)
+	}
+}
+
+func TestProbaIsDistribution(t *testing.T) {
+	nb := New(3, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		nb.Observe([]float64{rng.Float64(), rng.Float64(), rng.Float64()}, rng.Intn(4), 1)
+	}
+	p := nb.Proba([]float64{0.5, 0.5, 0.5}, nil)
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("bad probability %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	nb := New(2, 3)
+	if nb.Predict([]float64{0.5, 0.5}) != 0 {
+		t.Fatal("empty model should predict 0")
+	}
+	p := nb.Proba([]float64{0.5, 0.5}, nil)
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("empty model proba %v, want uniform", p)
+		}
+	}
+}
+
+func TestIgnoresBadInput(t *testing.T) {
+	nb := New(2, 2)
+	nb.Observe([]float64{0.5, 0.5}, -1, 1)
+	nb.Observe([]float64{0.5, 0.5}, 5, 1)
+	nb.Observe([]float64{0.5, 0.5}, 0, -2)
+	if nb.Total() != 0 {
+		t.Fatal("bad observations recorded")
+	}
+	// NaN features are skipped per-feature, not fatally.
+	nb.Observe([]float64{math.NaN(), 0.5}, 0, 1)
+	if nb.Total() != 1 {
+		t.Fatal("NaN row dropped entirely")
+	}
+	if got := nb.Predict([]float64{math.NaN(), 0.5}); got != 0 {
+		t.Fatalf("prediction with NaN feature = %d", got)
+	}
+}
+
+func TestUnseenClassGetsZeroPosterior(t *testing.T) {
+	nb := New(1, 3)
+	nb.Observe([]float64{0.5}, 0, 1)
+	lp := nb.LogPosteriors([]float64{0.5}, nil)
+	if !math.IsInf(lp[1], -1) || !math.IsInf(lp[2], -1) {
+		t.Fatalf("unseen classes should be -Inf: %v", lp)
+	}
+}

@@ -1,0 +1,193 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestEntropyKnownValues(t *testing.T) {
+	if got := entropy([]float64{5, 5}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("H(1/2,1/2) = %v, want 1", got)
+	}
+	if got := entropy([]float64{10, 0}); got != 0 {
+		t.Fatalf("H(1,0) = %v, want 0", got)
+	}
+	if got := entropy([]float64{1, 1, 1, 1}); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("H(uniform 4) = %v, want 2", got)
+	}
+	if got := entropy(nil); got != 0 {
+		t.Fatalf("H(empty) = %v", got)
+	}
+}
+
+func TestGiniKnownValues(t *testing.T) {
+	if got := gini([]float64{5, 5}); !almostEq(got, 0.5, 1e-12) {
+		t.Fatalf("gini(1/2,1/2) = %v", got)
+	}
+	if got := gini([]float64{10, 0}); got != 0 {
+		t.Fatalf("gini(pure) = %v", got)
+	}
+}
+
+func TestInfoGainPerfectSplit(t *testing.T) {
+	pre := []float64{10, 10}
+	post := [][]float64{{10, 0}, {0, 10}}
+	if got := (InfoGain{}).Merit(pre, post); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("perfect split merit = %v, want 1", got)
+	}
+	// Useless split: same distribution in both branches.
+	useless := [][]float64{{5, 5}, {5, 5}}
+	if got := (InfoGain{}).Merit(pre, useless); !almostEq(got, 0, 1e-12) {
+		t.Fatalf("useless split merit = %v, want 0", got)
+	}
+}
+
+// Property: information gain is never negative when the branches
+// partition the parent.
+func TestInfoGainNonNegativeOnPartitions(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint8) bool {
+		left := []float64{float64(a0), float64(a1)}
+		right := []float64{float64(b0), float64(b1)}
+		pre := []float64{left[0] + right[0], left[1] + right[1]}
+		if pre[0]+pre[1] == 0 {
+			return true
+		}
+		return (InfoGain{}).Merit(pre, [][]float64{left, right}) >= -1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniGainPerfectSplit(t *testing.T) {
+	pre := []float64{10, 10}
+	post := [][]float64{{10, 0}, {0, 10}}
+	if got := (GiniGain{}).Merit(pre, post); !almostEq(got, 0.5, 1e-12) {
+		t.Fatalf("perfect gini gain = %v, want 0.5", got)
+	}
+}
+
+func TestCriterionRanges(t *testing.T) {
+	if (InfoGain{}).Range(2) != 1 {
+		t.Fatal("info gain range for c=2 must be 1")
+	}
+	if got := (InfoGain{}).Range(8); !almostEq(got, 3, 1e-12) {
+		t.Fatalf("info gain range c=8 = %v, want 3", got)
+	}
+	if (InfoGain{}).Range(0) != 1 {
+		t.Fatal("range floor")
+	}
+	if (GiniGain{}).Range(99) != 1 {
+		t.Fatal("gini range must be 1")
+	}
+}
+
+func TestHoeffdingBound(t *testing.T) {
+	// Known value: R=1, delta=0.05, n=100.
+	want := math.Sqrt(math.Log(20) / 200)
+	if got := HoeffdingBound(1, 0.05, 100); !almostEq(got, want, 1e-12) {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+	// Monotone: shrinks with n, grows with R, grows as delta shrinks.
+	if HoeffdingBound(1, 0.05, 1000) >= HoeffdingBound(1, 0.05, 100) {
+		t.Fatal("bound must shrink with n")
+	}
+	if HoeffdingBound(2, 0.05, 100) <= HoeffdingBound(1, 0.05, 100) {
+		t.Fatal("bound must grow with R")
+	}
+	if HoeffdingBound(1, 0.01, 100) <= HoeffdingBound(1, 0.05, 100) {
+		t.Fatal("bound must grow as delta shrinks")
+	}
+	if !math.IsInf(HoeffdingBound(1, 0.05, 0), 1) {
+		t.Fatal("n=0 should give +Inf")
+	}
+}
+
+func TestTargetStats(t *testing.T) {
+	var s TargetStats
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v, 1)
+	}
+	if s.N != 8 || s.Sum != 40 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !almostEq(s.Std(), 2, 1e-12) {
+		t.Fatalf("std = %v, want 2", s.Std())
+	}
+}
+
+// Property: Merge then Sub round-trips.
+func TestTargetStatsMergeSub(t *testing.T) {
+	f := func(av, bv [5]float64) bool {
+		var a, b TargetStats
+		for _, v := range av {
+			a.Add(math.Mod(v, 1e3), 1)
+		}
+		for _, v := range bv {
+			b.Add(math.Mod(v, 1e3), 1)
+		}
+		m := a.Merge(b)
+		back := m.Sub(b)
+		return almostEq(back.N, a.N, 1e-9) && almostEq(back.Sum, a.Sum, 1e-9) && almostEq(back.SumSq, a.SumSq, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDRPerfectSplit(t *testing.T) {
+	// Parent holds two constant groups; splitting them removes all
+	// deviation: SDR = parent std.
+	var parent, left, right TargetStats
+	for i := 0; i < 50; i++ {
+		parent.Add(0, 1)
+		parent.Add(10, 1)
+		left.Add(0, 1)
+		right.Add(10, 1)
+	}
+	sdr := SDR(parent, left, right)
+	if !almostEq(sdr, parent.Std(), 1e-12) {
+		t.Fatalf("perfect SDR = %v, want %v", sdr, parent.Std())
+	}
+	// Useless split: same distribution on both sides -> SDR ~ 0.
+	var l2, r2 TargetStats
+	rng := rand.New(rand.NewSource(1))
+	var p2 TargetStats
+	for i := 0; i < 2000; i++ {
+		v := rng.NormFloat64()
+		p2.Add(v, 1)
+		if i%2 == 0 {
+			l2.Add(v, 1)
+		} else {
+			r2.Add(v, 1)
+		}
+	}
+	if sdr := SDR(p2, l2, r2); sdr > 0.05 {
+		t.Fatalf("useless SDR = %v, want ~0", sdr)
+	}
+}
+
+func TestSDREmptyParent(t *testing.T) {
+	if SDR(TargetStats{}, TargetStats{}, TargetStats{}) != 0 {
+		t.Fatal("empty parent SDR must be 0")
+	}
+}
+
+func TestStdDegenerate(t *testing.T) {
+	var s TargetStats
+	s.Add(5, 1)
+	if s.Std() != 0 {
+		t.Fatal("single observation std must be 0")
+	}
+	// Numerical guard: tiny negative variance from cancellation.
+	s2 := TargetStats{N: 2, Sum: 2e8, SumSq: 2e16 - 1e-6}
+	if math.IsNaN(s2.Std()) {
+		t.Fatal("Std must not be NaN on cancellation")
+	}
+}

@@ -1,0 +1,174 @@
+package stats
+
+// Confusion is a c-by-c confusion matrix for single-label classification.
+// Rows are true classes, columns predicted classes.
+type Confusion struct {
+	n     int
+	cells []float64
+	total float64
+}
+
+// NewConfusion returns an empty confusion matrix over n classes.
+func NewConfusion(n int) *Confusion {
+	return &Confusion{n: n, cells: make([]float64, n*n)}
+}
+
+// Add records a prediction with unit weight. Out-of-range labels are
+// ignored rather than panicking: streams may emit labels the schema has not
+// announced, and dropping them is the defensive choice for a monitor.
+func (c *Confusion) Add(trueClass, predClass int) { c.AddWeighted(trueClass, predClass, 1) }
+
+// AddWeighted records a prediction with the given weight.
+func (c *Confusion) AddWeighted(trueClass, predClass int, w float64) {
+	if trueClass < 0 || trueClass >= c.n || predClass < 0 || predClass >= c.n {
+		return
+	}
+	c.cells[trueClass*c.n+predClass] += w
+	c.total += w
+}
+
+// Reset clears the matrix.
+func (c *Confusion) Reset() {
+	for i := range c.cells {
+		c.cells[i] = 0
+	}
+	c.total = 0
+}
+
+// Classes returns the number of classes.
+func (c *Confusion) Classes() int { return c.n }
+
+// Total returns the total recorded weight.
+func (c *Confusion) Total() float64 { return c.total }
+
+// At returns the weight in cell (trueClass, predClass).
+func (c *Confusion) At(trueClass, predClass int) float64 {
+	return c.cells[trueClass*c.n+predClass]
+}
+
+// Accuracy returns the fraction of correctly classified weight.
+func (c *Confusion) Accuracy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var correct float64
+	for i := 0; i < c.n; i++ {
+		correct += c.cells[i*c.n+i]
+	}
+	return correct / c.total
+}
+
+// classCounts returns, for class k: true positives, false positives and
+// false negatives.
+func (c *Confusion) classCounts(k int) (tp, fp, fn float64) {
+	tp = c.cells[k*c.n+k]
+	for j := 0; j < c.n; j++ {
+		if j == k {
+			continue
+		}
+		fn += c.cells[k*c.n+j]
+		fp += c.cells[j*c.n+k]
+	}
+	return tp, fp, fn
+}
+
+// F1Class returns precision, recall and F1 for a single class.
+func (c *Confusion) F1Class(k int) (precision, recall, f1 float64) {
+	tp, fp, fn := c.classCounts(k)
+	if tp+fp > 0 {
+		precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		recall = tp / (tp + fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// F1Binary returns the F1 score of the positive class (class 1) of a
+// two-class problem. For matrices with more than two classes it falls back
+// to MacroF1.
+func (c *Confusion) F1Binary() float64 {
+	if c.n != 2 {
+		return c.MacroF1()
+	}
+	_, _, f1 := c.F1Class(1)
+	return f1
+}
+
+// MacroF1 returns the unweighted mean of the per-class F1 scores over the
+// classes that appear (as truth or prediction) in the matrix.
+func (c *Confusion) MacroF1() float64 {
+	var sum float64
+	var seen int
+	for k := 0; k < c.n; k++ {
+		tp, fp, fn := c.classCounts(k)
+		if tp+fp+fn == 0 {
+			continue // class absent from this window
+		}
+		seen++
+		_, _, f1 := c.F1Class(k)
+		sum += f1
+	}
+	if seen == 0 {
+		return 0
+	}
+	return sum / float64(seen)
+}
+
+// MicroF1 returns the micro-averaged F1, which for single-label
+// classification equals accuracy.
+func (c *Confusion) MicroF1() float64 { return c.Accuracy() }
+
+// WeightedF1 returns the support-weighted mean of the per-class F1 scores.
+func (c *Confusion) WeightedF1() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum float64
+	for k := 0; k < c.n; k++ {
+		var support float64
+		for j := 0; j < c.n; j++ {
+			support += c.cells[k*c.n+j]
+		}
+		if support == 0 {
+			continue
+		}
+		_, _, f1 := c.F1Class(k)
+		sum += f1 * support
+	}
+	return sum / c.total
+}
+
+// F1 returns the paper's F1 measure: binary-class F1 of the positive class
+// for two-class problems, macro F1 otherwise.
+func (c *Confusion) F1() float64 {
+	if c.n == 2 {
+		return c.F1Binary()
+	}
+	return c.MacroF1()
+}
+
+// Kappa returns Cohen's kappa: chance-corrected agreement, the customary
+// complement to accuracy in stream evaluation (robust to imbalance).
+func (c *Confusion) Kappa() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	observed := c.Accuracy()
+	var expected float64
+	for k := 0; k < c.n; k++ {
+		var rowSum, colSum float64
+		for j := 0; j < c.n; j++ {
+			rowSum += c.cells[k*c.n+j]
+			colSum += c.cells[j*c.n+k]
+		}
+		expected += (rowSum / c.total) * (colSum / c.total)
+	}
+	if expected >= 1 {
+		return 0
+	}
+	return (observed - expected) / (1 - expected)
+}

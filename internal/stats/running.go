@@ -1,0 +1,144 @@
+// Package stats provides the running statistics used across the stream
+// learners: Welford mean/variance accumulators, weighted Gaussian
+// estimators for numeric attribute observers, confusion matrices with the
+// F1 family of scores, and fixed-size sliding windows for the figure
+// aggregations of the paper.
+package stats
+
+import "math"
+
+// Running accumulates a weighted mean and variance incrementally using
+// Welford's algorithm. The zero value is an empty accumulator ready to use.
+type Running struct {
+	weight float64
+	mean   float64
+	m2     float64
+	min    float64
+	max    float64
+	seen   bool
+}
+
+// Add incorporates the observation x with unit weight.
+func (r *Running) Add(x float64) { r.AddWeighted(x, 1) }
+
+// AddWeighted incorporates the observation x with the given positive
+// weight. Non-positive weights are ignored.
+func (r *Running) AddWeighted(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	if !r.seen {
+		r.min, r.max, r.seen = x, x, true
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.weight += w
+	delta := x - r.mean
+	r.mean += delta * w / r.weight
+	r.m2 += w * delta * (x - r.mean)
+}
+
+// Merge folds the contents of other into r. Both accumulators remain valid.
+func (r *Running) Merge(other *Running) {
+	if other.weight == 0 {
+		return
+	}
+	if r.weight == 0 {
+		*r = *other
+		return
+	}
+	total := r.weight + other.weight
+	delta := other.mean - r.mean
+	r.mean += delta * other.weight / total
+	r.m2 += other.m2 + delta*delta*r.weight*other.weight/total
+	r.weight = total
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+}
+
+// Weight returns the total observation weight.
+func (r *Running) Weight() float64 { return r.weight }
+
+// Mean returns the running mean, or 0 when empty.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the population variance, or 0 when fewer than two units of
+// weight have been observed.
+func (r *Running) Var() float64 {
+	if r.weight <= 1 {
+		return 0
+	}
+	return r.m2 / r.weight
+}
+
+// SampleVar returns the Bessel-corrected sample variance.
+func (r *Running) SampleVar() float64 {
+	if r.weight <= 1 {
+		return 0
+	}
+	return r.m2 / (r.weight - 1)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// SampleStd returns the sample standard deviation.
+func (r *Running) SampleStd() float64 { return math.Sqrt(r.SampleVar()) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (r *Running) Max() float64 { return r.max }
+
+// Reset returns the accumulator to its empty state.
+func (r *Running) Reset() { *r = Running{} }
+
+// Gaussian is a weighted Gaussian density estimator built on Running. It is
+// the per-class numeric attribute model used by the Hoeffding tree
+// observers and the Gaussian Naive Bayes leaves.
+type Gaussian struct {
+	Running
+}
+
+// Pdf returns the Gaussian density at x. With fewer than two observations
+// the estimator falls back to a narrow default bandwidth so that a single
+// observation still yields a usable likelihood.
+func (g *Gaussian) Pdf(x float64) float64 {
+	sd := g.Std()
+	if sd < 1e-9 {
+		sd = 1e-3
+	}
+	d := (x - g.Mean()) / sd
+	return math.Exp(-0.5*d*d) / (sd * math.Sqrt(2*math.Pi))
+}
+
+// Cdf returns the Gaussian cumulative distribution at x.
+func (g *Gaussian) Cdf(x float64) float64 {
+	sd := g.Std()
+	if sd < 1e-9 {
+		// Degenerate distribution: step function at the mean.
+		switch {
+		case x < g.Mean():
+			return 0
+		default:
+			return 1
+		}
+	}
+	return 0.5 * math.Erfc(-(x-g.Mean())/(sd*math.Sqrt2))
+}
+
+// WeightLessThan estimates the observation weight with attribute value
+// below x (the left branch mass of a candidate threshold).
+func (g *Gaussian) WeightLessThan(x float64) float64 {
+	return g.Weight() * g.Cdf(x)
+}

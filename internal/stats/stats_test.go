@@ -1,0 +1,349 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// twoPass computes mean and population variance directly.
+func twoPass(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}
+
+// Property: Welford matches the two-pass computation.
+func TestRunningMatchesTwoPass(t *testing.T) {
+	f := func(raw [16]float64) bool {
+		xs := raw[:]
+		for i := range xs {
+			xs[i] = math.Mod(xs[i], 1e6) // keep magnitudes sane
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		var r Running
+		for _, v := range xs {
+			r.Add(v)
+		}
+		mean, variance := twoPass(xs)
+		return almostEq(r.Mean(), mean, 1e-9) && almostEq(r.Var(), variance, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two accumulators equals accumulating the
+// concatenation.
+func TestRunningMerge(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		var r1, r2, all Running
+		for _, v := range a {
+			v = math.Mod(v, 1e6)
+			r1.Add(v)
+			all.Add(v)
+		}
+		for _, v := range b {
+			v = math.Mod(v, 1e6)
+			r2.Add(v)
+			all.Add(v)
+		}
+		r1.Merge(&r2)
+		return almostEq(r1.Mean(), all.Mean(), 1e-9) &&
+			almostEq(r1.Var(), all.Var(), 1e-6) &&
+			r1.Weight() == all.Weight()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningWeighted(t *testing.T) {
+	var a, b Running
+	// weight 2 == adding twice
+	a.AddWeighted(3, 2)
+	b.Add(3)
+	b.Add(3)
+	if !almostEq(a.Mean(), b.Mean(), 1e-12) || !almostEq(a.Var(), b.Var(), 1e-12) {
+		t.Fatalf("weighted add mismatch: %v vs %v", a, b)
+	}
+	// non-positive weights are ignored
+	before := a
+	a.AddWeighted(100, 0)
+	a.AddWeighted(100, -1)
+	if a != before {
+		t.Fatal("non-positive weight changed accumulator")
+	}
+}
+
+func TestRunningMinMaxReset(t *testing.T) {
+	var r Running
+	for _, v := range []float64{3, -1, 7, 2} {
+		r.Add(v)
+	}
+	if r.Min() != -1 || r.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	r.Reset()
+	if r.Weight() != 0 || r.Mean() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestRunningSampleVar(t *testing.T) {
+	var r Running
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if !almostEq(r.Var(), 4, 1e-12) {
+		t.Fatalf("Var = %v, want 4", r.Var())
+	}
+	if !almostEq(r.SampleVar(), 32.0/7, 1e-12) {
+		t.Fatalf("SampleVar = %v, want %v", r.SampleVar(), 32.0/7)
+	}
+	if !almostEq(r.Std(), 2, 1e-12) {
+		t.Fatalf("Std = %v", r.Std())
+	}
+}
+
+func TestGaussianPdfCdf(t *testing.T) {
+	var g Gaussian
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		g.Add(5 + 2*rng.NormFloat64())
+	}
+	if !almostEq(g.Mean(), 5, 0.05) {
+		t.Fatalf("mean = %v", g.Mean())
+	}
+	if !almostEq(g.Std(), 2, 0.05) {
+		t.Fatalf("std = %v", g.Std())
+	}
+	if !almostEq(g.Cdf(5), 0.5, 0.02) {
+		t.Fatalf("Cdf(mean) = %v, want 0.5", g.Cdf(5))
+	}
+	if g.Cdf(0) >= g.Cdf(10) {
+		t.Fatal("Cdf not monotone")
+	}
+	// pdf peaks at the mean
+	if g.Pdf(5) <= g.Pdf(9) {
+		t.Fatal("Pdf not peaked at mean")
+	}
+	if !almostEq(g.WeightLessThan(5), g.Weight()/2, 0.05*g.Weight()) {
+		t.Fatalf("WeightLessThan(mean) = %v", g.WeightLessThan(5))
+	}
+}
+
+func TestGaussianDegenerate(t *testing.T) {
+	var g Gaussian
+	g.Add(3)
+	g.Add(3)
+	// Degenerate distribution: step CDF.
+	if g.Cdf(2.999) != 0 || g.Cdf(3) != 1 {
+		t.Fatalf("degenerate Cdf: %v / %v", g.Cdf(2.999), g.Cdf(3))
+	}
+	if g.Pdf(3) <= 0 {
+		t.Fatal("degenerate Pdf must stay positive")
+	}
+}
+
+func TestConfusionBinaryF1(t *testing.T) {
+	c := NewConfusion(2)
+	// tp=6, fp=2, fn=1, tn=3
+	for i := 0; i < 6; i++ {
+		c.Add(1, 1)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(0, 1)
+	}
+	c.Add(1, 0)
+	for i := 0; i < 3; i++ {
+		c.Add(0, 0)
+	}
+	precision, recall, f1 := c.F1Class(1)
+	if !almostEq(precision, 0.75, 1e-12) {
+		t.Fatalf("precision = %v", precision)
+	}
+	if !almostEq(recall, 6.0/7, 1e-12) {
+		t.Fatalf("recall = %v", recall)
+	}
+	wantF1 := 2 * 0.75 * (6.0 / 7) / (0.75 + 6.0/7)
+	if !almostEq(f1, wantF1, 1e-12) || !almostEq(c.F1Binary(), wantF1, 1e-12) {
+		t.Fatalf("f1 = %v, want %v", f1, wantF1)
+	}
+	if !almostEq(c.Accuracy(), 0.75, 1e-12) {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+	if !almostEq(c.MicroF1(), c.Accuracy(), 1e-12) {
+		t.Fatal("micro F1 must equal accuracy")
+	}
+}
+
+func TestConfusionMacroSkipsAbsentClasses(t *testing.T) {
+	c := NewConfusion(4)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(1, 0)
+	// classes 2,3 absent entirely -> macro over classes 0,1 only
+	_, _, f0 := c.F1Class(0)
+	_, _, f1 := c.F1Class(1)
+	if !almostEq(c.MacroF1(), (f0+f1)/2, 1e-12) {
+		t.Fatalf("macro = %v, want %v", c.MacroF1(), (f0+f1)/2)
+	}
+}
+
+func TestConfusionPerfectAndWorst(t *testing.T) {
+	c := NewConfusion(3)
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 5; i++ {
+			c.Add(k, k)
+		}
+	}
+	if c.MacroF1() != 1 || c.Accuracy() != 1 || c.WeightedF1() != 1 {
+		t.Fatal("perfect predictions should give 1.0 everywhere")
+	}
+	c.Reset()
+	c.Add(0, 1)
+	c.Add(1, 2)
+	c.Add(2, 0)
+	if c.MacroF1() != 0 || c.Accuracy() != 0 {
+		t.Fatal("all-wrong predictions should give 0.0")
+	}
+}
+
+func TestConfusionIgnoresOutOfRange(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(5, 0)
+	c.Add(0, 5)
+	c.Add(-1, 0)
+	if c.Total() != 0 {
+		t.Fatal("out-of-range labels must be ignored")
+	}
+	if c.F1() != 0 || c.Accuracy() != 0 {
+		t.Fatal("empty matrix scores must be 0")
+	}
+}
+
+func TestConfusionF1Dispatch(t *testing.T) {
+	bin := NewConfusion(2)
+	bin.Add(1, 1)
+	bin.Add(0, 0)
+	if !almostEq(bin.F1(), bin.F1Binary(), 1e-12) {
+		t.Fatal("binary dispatch")
+	}
+	multi := NewConfusion(3)
+	multi.Add(1, 1)
+	multi.Add(2, 0)
+	if !almostEq(multi.F1(), multi.MacroF1(), 1e-12) {
+		t.Fatal("multiclass dispatch")
+	}
+}
+
+func TestKappa(t *testing.T) {
+	// Perfect agreement: kappa 1.
+	c := NewConfusion(2)
+	for i := 0; i < 10; i++ {
+		c.Add(i%2, i%2)
+	}
+	if !almostEq(c.Kappa(), 1, 1e-12) {
+		t.Fatalf("perfect kappa = %v", c.Kappa())
+	}
+	// Majority-only predictions on imbalanced data: accuracy high, kappa 0.
+	c.Reset()
+	for i := 0; i < 90; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(1, 0)
+	}
+	if c.Accuracy() != 0.9 {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+	if !almostEq(c.Kappa(), 0, 1e-12) {
+		t.Fatalf("majority-vote kappa = %v, want 0", c.Kappa())
+	}
+	// Known hand example: 2x2 with counts tp=20 fn=5 fp=10 tn=15.
+	c.Reset()
+	c.AddWeighted(1, 1, 20)
+	c.AddWeighted(1, 0, 5)
+	c.AddWeighted(0, 1, 10)
+	c.AddWeighted(0, 0, 15)
+	observed := 35.0 / 50
+	expected := (25.0/50)*(30.0/50) + (25.0/50)*(20.0/50)
+	want := (observed - expected) / (1 - expected)
+	if !almostEq(c.Kappa(), want, 1e-12) {
+		t.Fatalf("kappa = %v, want %v", c.Kappa(), want)
+	}
+	// Empty matrix.
+	empty := NewConfusion(3)
+	if empty.Kappa() != 0 {
+		t.Fatal("empty kappa")
+	}
+}
+
+func TestWindowMeanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewWindow(5)
+	var history []float64
+	for i := 0; i < 100; i++ {
+		v := rng.NormFloat64()
+		history = append(history, v)
+		w.Add(v)
+		lo := len(history) - 5
+		if lo < 0 {
+			lo = 0
+		}
+		mean, variance := twoPass(history[lo:])
+		if !almostEq(w.Mean(), mean, 1e-9) {
+			t.Fatalf("step %d: window mean %v, want %v", i, w.Mean(), mean)
+		}
+		if !almostEq(w.Std(), math.Sqrt(variance), 1e-9) {
+			t.Fatalf("step %d: window std %v, want %v", i, w.Std(), math.Sqrt(variance))
+		}
+	}
+}
+
+func TestWindowValuesOrderAndReset(t *testing.T) {
+	w := NewWindow(3)
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Add(v)
+	}
+	vals := w.Values()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+	if !w.Full() || w.Len() != 3 {
+		t.Fatal("window should be full with 3 items")
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestWindowCapacityFloor(t *testing.T) {
+	w := NewWindow(0) // floors to 1
+	w.Add(1)
+	w.Add(2)
+	if w.Len() != 1 || w.Mean() != 2 {
+		t.Fatalf("capacity floor broken: len=%d mean=%v", w.Len(), w.Mean())
+	}
+}

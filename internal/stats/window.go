@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// Window is a fixed-capacity sliding window over float64 observations with
+// O(1) mean queries. It backs the sliding-window aggregation (window size
+// 20) used for the Figure 3 series of the paper.
+type Window struct {
+	buf  []float64
+	head int
+	size int
+	sum  float64
+}
+
+// NewWindow returns a sliding window holding at most capacity observations.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Add pushes x, evicting the oldest observation when full.
+func (w *Window) Add(x float64) {
+	if w.size == len(w.buf) {
+		w.sum -= w.buf[w.head]
+		w.buf[w.head] = x
+		w.head = (w.head + 1) % len(w.buf)
+	} else {
+		w.buf[(w.head+w.size)%len(w.buf)] = x
+		w.size++
+	}
+	w.sum += x
+}
+
+// Len returns the number of stored observations.
+func (w *Window) Len() int { return w.size }
+
+// Full reports whether the window has reached capacity.
+func (w *Window) Full() bool { return w.size == len(w.buf) }
+
+// Mean returns the mean of the stored observations (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.size == 0 {
+		return 0
+	}
+	return w.sum / float64(w.size)
+}
+
+// Std returns the population standard deviation of the stored observations.
+func (w *Window) Std() float64 {
+	if w.size < 2 {
+		return 0
+	}
+	mean := w.Mean()
+	var m2 float64
+	for i := 0; i < w.size; i++ {
+		d := w.buf[(w.head+i)%len(w.buf)] - mean
+		m2 += d * d
+	}
+	return math.Sqrt(m2 / float64(w.size))
+}
+
+// Values returns the stored observations oldest-first in a fresh slice.
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.size)
+	for i := 0; i < w.size; i++ {
+		out[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	return out
+}
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.head, w.size, w.sum = 0, 0, 0
+}

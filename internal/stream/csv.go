@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the whole stream to w as CSV with a header row of feature
+// names followed by "class". It returns the number of rows written.
+func WriteCSV(w io.Writer, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	schema := s.Schema()
+
+	header := make([]string, schema.NumFeatures+1)
+	for j := 0; j < schema.NumFeatures; j++ {
+		header[j] = schema.FeatureName(j)
+	}
+	header[schema.NumFeatures] = "class"
+	if err := cw.Write(header); err != nil {
+		return 0, fmt.Errorf("stream: write csv header: %w", err)
+	}
+
+	record := make([]string, schema.NumFeatures+1)
+	rows := 0
+	for {
+		inst, err := s.Next()
+		if err == ErrEnd {
+			break
+		}
+		if err != nil {
+			return rows, err
+		}
+		for j, v := range inst.X {
+			record[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		record[schema.NumFeatures] = strconv.Itoa(inst.Y)
+		if err := cw.Write(record); err != nil {
+			return rows, fmt.Errorf("stream: write csv row %d: %w", rows, err)
+		}
+		rows++
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return rows, err
+	}
+	return rows, bw.Flush()
+}
+
+// ReadCSV parses a CSV produced by WriteCSV (header row, numeric features,
+// integer class in the last column) into an in-memory stream. numClasses
+// may be 0, in which case it is inferred as max(label)+1.
+func ReadCSV(r io.Reader, name string, numClasses int) (*Memory, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("stream: read csv header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("stream: csv needs at least one feature and a class column, got %d columns", len(header))
+	}
+	m := len(header) - 1
+	names := make([]string, m)
+	copy(names, header[:m])
+
+	var batch Batch
+	maxLabel := 0
+	for row := 0; ; row++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: read csv row %d: %w", row, err)
+		}
+		if len(record) != m+1 {
+			return nil, fmt.Errorf("stream: csv row %d has %d columns, want %d", row, len(record), m+1)
+		}
+		x := make([]float64, m)
+		for j := 0; j < m; j++ {
+			v, err := strconv.ParseFloat(record[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: csv row %d col %d: %w", row, j, err)
+			}
+			x[j] = v
+		}
+		y, err := strconv.Atoi(record[m])
+		if err != nil {
+			return nil, fmt.Errorf("stream: csv row %d class: %w", row, err)
+		}
+		if y < 0 {
+			return nil, fmt.Errorf("stream: csv row %d has negative class %d", row, y)
+		}
+		if y > maxLabel {
+			maxLabel = y
+		}
+		batch.X = append(batch.X, x)
+		batch.Y = append(batch.Y, y)
+	}
+	if numClasses <= 0 {
+		numClasses = maxLabel + 1
+	}
+	if numClasses < 2 {
+		numClasses = 2
+	}
+	schema := Schema{NumFeatures: m, NumClasses: numClasses, Name: name, FeatureNames: names}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return NewMemory(schema, batch), nil
+}

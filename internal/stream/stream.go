@@ -1,0 +1,217 @@
+// Package stream defines the data model shared by every learner in this
+// repository: single instances, batches, stream schemas, and the Stream
+// interface implemented by the synthetic generators, surrogate data sets
+// and in-memory replays. It also provides CSV encoding and decoding so
+// streams can be materialised to disk and replayed.
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Schema describes a classification stream: the feature dimensionality and
+// the number of target classes. Following the paper's preprocessing
+// (Section VI-B), all features are numeric and normalised to [0, 1];
+// categorical variables are factorised to numeric codes before scaling.
+type Schema struct {
+	// NumFeatures is the number of input features m.
+	NumFeatures int
+	// NumClasses is the number of target classes c (>= 2).
+	NumClasses int
+	// Name identifies the stream in reports (e.g. "SEA", "Electricity*").
+	Name string
+	// FeatureNames optionally labels the features for interpretability
+	// output. When nil, callers should synthesise x0..x{m-1}.
+	FeatureNames []string
+}
+
+// Validate reports whether the schema is internally consistent.
+func (s Schema) Validate() error {
+	if s.NumFeatures < 1 {
+		return fmt.Errorf("stream: schema %q has %d features, need >= 1", s.Name, s.NumFeatures)
+	}
+	if s.NumClasses < 2 {
+		return fmt.Errorf("stream: schema %q has %d classes, need >= 2", s.Name, s.NumClasses)
+	}
+	if s.FeatureNames != nil && len(s.FeatureNames) != s.NumFeatures {
+		return fmt.Errorf("stream: schema %q names %d of %d features", s.Name, len(s.FeatureNames), s.NumFeatures)
+	}
+	return nil
+}
+
+// FeatureName returns the display name of feature j.
+func (s Schema) FeatureName(j int) string {
+	if s.FeatureNames != nil && j >= 0 && j < len(s.FeatureNames) {
+		return s.FeatureNames[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}
+
+// Instance is one labelled observation.
+type Instance struct {
+	X []float64
+	Y int
+}
+
+// Batch is a column-free, row-major mini-batch: X[i] is the feature vector
+// of the i-th row and Y[i] its label. The prequential evaluator feeds
+// batches of 0.1% of the stream (Section VI-A); instance-incremental
+// learning uses batches of size 1.
+type Batch struct {
+	X [][]float64
+	Y []int
+}
+
+// Len returns the number of rows.
+func (b Batch) Len() int { return len(b.Y) }
+
+// Slice returns rows [lo, hi) without copying the underlying data.
+func (b Batch) Slice(lo, hi int) Batch {
+	return Batch{X: b.X[lo:hi], Y: b.Y[lo:hi]}
+}
+
+// Validate checks rectangular shape and label range against the schema.
+func (b Batch) Validate(s Schema) error {
+	if len(b.X) != len(b.Y) {
+		return fmt.Errorf("stream: batch has %d feature rows but %d labels", len(b.X), len(b.Y))
+	}
+	for i, row := range b.X {
+		if len(row) != s.NumFeatures {
+			return fmt.Errorf("stream: row %d has %d features, schema wants %d", i, len(row), s.NumFeatures)
+		}
+		if b.Y[i] < 0 || b.Y[i] >= s.NumClasses {
+			return fmt.Errorf("stream: row %d has label %d outside [0,%d)", i, b.Y[i], s.NumClasses)
+		}
+	}
+	return nil
+}
+
+// ErrEnd signals stream exhaustion from Stream.Next.
+var ErrEnd = errors.New("stream: end of stream")
+
+// Stream produces labelled instances in a fixed order. Implementations are
+// not safe for concurrent use; the evaluator drives them sequentially, as
+// prequential evaluation requires (Section VI-A).
+type Stream interface {
+	// Schema describes the produced instances.
+	Schema() Schema
+	// Next returns the next instance or ErrEnd when exhausted. The returned
+	// feature slice must not be retained by the stream (callers own it).
+	Next() (Instance, error)
+	// Reset rewinds the stream to its beginning, replaying the identical
+	// sequence (same seed).
+	Reset()
+}
+
+// Sized is implemented by streams with a known finite length.
+type Sized interface {
+	// Len returns the total number of instances the stream will produce.
+	Len() int
+}
+
+// NextBatch draws up to n instances from s into a fresh batch. It returns
+// ErrEnd only when no instance at all could be drawn.
+func NextBatch(s Stream, n int) (Batch, error) {
+	b := Batch{X: make([][]float64, 0, n), Y: make([]int, 0, n)}
+	for i := 0; i < n; i++ {
+		inst, err := s.Next()
+		if err != nil {
+			if errors.Is(err, ErrEnd) {
+				break
+			}
+			return Batch{}, err
+		}
+		b.X = append(b.X, inst.X)
+		b.Y = append(b.Y, inst.Y)
+	}
+	if b.Len() == 0 {
+		return Batch{}, ErrEnd
+	}
+	return b, nil
+}
+
+// Take materialises up to n instances into memory.
+func Take(s Stream, n int) Batch {
+	b, err := NextBatch(s, n)
+	if err != nil {
+		return Batch{}
+	}
+	return b
+}
+
+// Memory is an in-memory stream replaying a fixed batch. It implements
+// Stream and Sized.
+type Memory struct {
+	schema Schema
+	data   Batch
+	pos    int
+}
+
+// NewMemory wraps data in a replayable stream. The batch is not copied.
+func NewMemory(schema Schema, data Batch) *Memory {
+	return &Memory{schema: schema, data: data}
+}
+
+// Schema implements Stream.
+func (m *Memory) Schema() Schema { return m.schema }
+
+// Len implements Sized.
+func (m *Memory) Len() int { return m.data.Len() }
+
+// Next implements Stream. The returned feature slice is a copy, so callers
+// may mutate it freely.
+func (m *Memory) Next() (Instance, error) {
+	if m.pos >= m.data.Len() {
+		return Instance{}, ErrEnd
+	}
+	x := make([]float64, len(m.data.X[m.pos]))
+	copy(x, m.data.X[m.pos])
+	inst := Instance{X: x, Y: m.data.Y[m.pos]}
+	m.pos++
+	return inst, nil
+}
+
+// Reset implements Stream.
+func (m *Memory) Reset() { m.pos = 0 }
+
+// Limit wraps a stream and stops it after n instances; it is how the
+// evaluation harness scales the Table I workloads down for CI-sized runs.
+type Limit struct {
+	inner Stream
+	n     int
+	done  int
+}
+
+// NewLimit returns a stream producing at most n instances of inner.
+func NewLimit(inner Stream, n int) *Limit { return &Limit{inner: inner, n: n} }
+
+// Schema implements Stream.
+func (l *Limit) Schema() Schema { return l.inner.Schema() }
+
+// Len implements Sized.
+func (l *Limit) Len() int {
+	if s, ok := l.inner.(Sized); ok && s.Len() < l.n {
+		return s.Len()
+	}
+	return l.n
+}
+
+// Next implements Stream.
+func (l *Limit) Next() (Instance, error) {
+	if l.done >= l.n {
+		return Instance{}, ErrEnd
+	}
+	inst, err := l.inner.Next()
+	if err != nil {
+		return Instance{}, err
+	}
+	l.done++
+	return inst, nil
+}
+
+// Reset implements Stream.
+func (l *Limit) Reset() {
+	l.inner.Reset()
+	l.done = 0
+}

@@ -1,0 +1,264 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() Schema {
+	return Schema{NumFeatures: 3, NumClasses: 2, Name: "test"}
+}
+
+func testBatch() Batch {
+	return Batch{
+		X: [][]float64{{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}, {0.7, 0.8, 0.9}},
+		Y: []int{0, 1, 0},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := testSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schema{
+		{NumFeatures: 0, NumClasses: 2},
+		{NumFeatures: 2, NumClasses: 1},
+		{NumFeatures: 2, NumClasses: 2, FeatureNames: []string{"only-one"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSchemaFeatureName(t *testing.T) {
+	s := testSchema()
+	if s.FeatureName(1) != "x1" {
+		t.Fatalf("default name = %q", s.FeatureName(1))
+	}
+	s.FeatureNames = []string{"a", "b", "c"}
+	if s.FeatureName(2) != "c" {
+		t.Fatalf("named = %q", s.FeatureName(2))
+	}
+	if s.FeatureName(99) != "x99" {
+		t.Fatalf("out of range = %q", s.FeatureName(99))
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	b := testBatch()
+	if err := b.Validate(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ragged := Batch{X: [][]float64{{1}}, Y: []int{0}}
+	if err := ragged.Validate(testSchema()); err == nil {
+		t.Fatal("expected ragged-row error")
+	}
+	badLabel := Batch{X: [][]float64{{1, 2, 3}}, Y: []int{7}}
+	if err := badLabel.Validate(testSchema()); err == nil {
+		t.Fatal("expected label-range error")
+	}
+	mismatch := Batch{X: [][]float64{{1, 2, 3}}, Y: []int{0, 1}}
+	if err := mismatch.Validate(testSchema()); err == nil {
+		t.Fatal("expected row/label count error")
+	}
+}
+
+func TestBatchSlice(t *testing.T) {
+	b := testBatch()
+	s := b.Slice(1, 3)
+	if s.Len() != 2 || s.Y[0] != 1 {
+		t.Fatalf("Slice = %+v", s)
+	}
+}
+
+func TestMemoryReplayAndCopy(t *testing.T) {
+	m := NewMemory(testSchema(), testBatch())
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	first, err := m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned slice must not corrupt the stream.
+	first.X[0] = 999
+	m.Reset()
+	again, _ := m.Next()
+	if again.X[0] != 0.1 {
+		t.Fatal("Memory.Next leaked its backing array")
+	}
+	// Exhaustion.
+	m.Reset()
+	for i := 0; i < 3; i++ {
+		if _, err := m.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Next(); !errors.Is(err, ErrEnd) {
+		t.Fatalf("want ErrEnd, got %v", err)
+	}
+}
+
+func TestNextBatch(t *testing.T) {
+	m := NewMemory(testSchema(), testBatch())
+	b, err := NextBatch(m, 2)
+	if err != nil || b.Len() != 2 {
+		t.Fatalf("NextBatch = %v, %v", b.Len(), err)
+	}
+	b, err = NextBatch(m, 5) // only 1 left
+	if err != nil || b.Len() != 1 {
+		t.Fatalf("tail batch = %v, %v", b.Len(), err)
+	}
+	if _, err = NextBatch(m, 1); !errors.Is(err, ErrEnd) {
+		t.Fatalf("want ErrEnd, got %v", err)
+	}
+}
+
+func TestTake(t *testing.T) {
+	m := NewMemory(testSchema(), testBatch())
+	b := Take(m, 10)
+	if b.Len() != 3 {
+		t.Fatalf("Take = %d rows", b.Len())
+	}
+	if Take(m, 10).Len() != 0 {
+		t.Fatal("Take on exhausted stream should be empty")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	m := NewMemory(testSchema(), testBatch())
+	l := NewLimit(m, 2)
+	if l.Len() != 2 {
+		t.Fatalf("Limit.Len = %d", l.Len())
+	}
+	n := 0
+	for {
+		_, err := l.Next()
+		if errors.Is(err, ErrEnd) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("Limit emitted %d", n)
+	}
+	l.Reset()
+	if _, err := l.Next(); err != nil {
+		t.Fatal("Reset should allow reading again")
+	}
+	// Limit larger than the stream reports the inner length.
+	l2 := NewLimit(NewMemory(testSchema(), testBatch()), 100)
+	if l2.Len() != 3 {
+		t.Fatalf("Limit.Len over-long = %d", l2.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := NewMemory(testSchema(), testBatch())
+	var buf bytes.Buffer
+	rows, err := WriteCSV(&buf, m)
+	if err != nil || rows != 3 {
+		t.Fatalf("WriteCSV = %d, %v", rows, err)
+	}
+	back, err := ReadCSV(&buf, "test", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Schema().NumFeatures != 3 {
+		t.Fatalf("round trip shape: %d rows, %d features", back.Len(), back.Schema().NumFeatures)
+	}
+	orig := testBatch()
+	for i := 0; i < 3; i++ {
+		inst, err := back.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Y != orig.Y[i] {
+			t.Fatalf("row %d label %d, want %d", i, inst.Y, orig.Y[i])
+		}
+		for j := range inst.X {
+			if inst.X[j] != orig.X[i][j] {
+				t.Fatalf("row %d col %d: %v != %v", i, j, inst.X[j], orig.X[i][j])
+			}
+		}
+	}
+}
+
+// Property: random batches survive the CSV round trip bit-exactly.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		m := 1 + rng.Intn(6)
+		c := 2 + rng.Intn(4)
+		var b Batch
+		for i := 0; i < n; i++ {
+			row := make([]float64, m)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			b.X = append(b.X, row)
+			b.Y = append(b.Y, rng.Intn(c))
+		}
+		schema := Schema{NumFeatures: m, NumClasses: c, Name: "prop"}
+		var buf bytes.Buffer
+		if _, err := WriteCSV(&buf, NewMemory(schema, b)); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf, "prop", c)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			inst, err := back.Next()
+			if err != nil || inst.Y != b.Y[i] {
+				return false
+			}
+			for j := range inst.X {
+				if inst.X[j] != b.X[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no header
+		"a\n1\n",                  // single column
+		"a,class\nnope,0\n",       // bad float
+		"a,class\n1,zero\n",       // bad label
+		"a,class\n1,-3\n",         // negative label
+		"a,b,class\n1,2,0\n3,1\n", // ragged row
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "bad", 0); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestReadCSVInfersClasses(t *testing.T) {
+	in := "a,class\n0.5,0\n0.6,4\n"
+	m, err := ReadCSV(strings.NewReader(in), "inferred", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema().NumClasses != 5 {
+		t.Fatalf("inferred classes = %d, want 5", m.Schema().NumClasses)
+	}
+}

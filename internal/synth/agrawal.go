@@ -1,0 +1,188 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Agrawal is the Agrawal generator: nine mixed-type features describing a
+// loan applicant and ten classic classification functions. The paper's
+// configuration uses a 1M stream with incremental drift between
+// observations 100k-200k, 300k-500k and 800k-900k (Section VI-B): inside a
+// drift window the active classification function blends into the next
+// one with a sigmoid switching probability (the scikit-multiflow
+// semantics), and numeric features carry 10% perturbation noise. Features
+// are emitted min-max normalised to [0, 1].
+type Agrawal struct {
+	seed         int64
+	samples      int
+	perturbation float64
+
+	rng *rand.Rand
+	pos int
+}
+
+// agrawalDriftWindows are the fractional [start, end) drift windows; the
+// active function index increments across each window.
+var agrawalDriftWindows = [][2]float64{{0.1, 0.2}, {0.3, 0.5}, {0.8, 0.9}}
+
+// NewAgrawal returns the paper's Agrawal stream.
+func NewAgrawal(samples int, perturbation float64, seed int64) *Agrawal {
+	if samples <= 0 {
+		samples = 1_000_000
+	}
+	a := &Agrawal{seed: seed, samples: samples, perturbation: perturbation}
+	a.Reset()
+	return a
+}
+
+// Schema implements stream.Stream.
+func (a *Agrawal) Schema() stream.Schema {
+	return stream.Schema{
+		NumFeatures: 9,
+		NumClasses:  2,
+		Name:        "Agrawal",
+		FeatureNames: []string{
+			"salary", "commission", "age", "elevel", "car", "zipcode", "hvalue", "hyears", "loan",
+		},
+	}
+}
+
+// Len implements stream.Sized.
+func (a *Agrawal) Len() int { return a.samples }
+
+// Reset implements stream.Stream.
+func (a *Agrawal) Reset() {
+	a.rng = rand.New(rand.NewSource(a.seed))
+	a.pos = 0
+}
+
+// activeFunction returns the classification function for position pos,
+// blending across drift windows with a sigmoid switch probability.
+func (a *Agrawal) activeFunction(pos int) int {
+	frac := float64(pos) / float64(a.samples)
+	fn := 0
+	for _, w := range agrawalDriftWindows {
+		switch {
+		case frac >= w[1]:
+			fn++
+		case frac >= w[0]:
+			// Inside the window: probability of the next concept follows
+			// the scikit-multiflow sigmoid over the window width.
+			center := (w[0] + w[1]) / 2
+			width := w[1] - w[0]
+			p := 1 / (1 + math.Exp(-8*(frac-center)/width))
+			if a.rng.Float64() < p {
+				fn++
+			}
+			return fn
+		}
+	}
+	return fn
+}
+
+// Next implements stream.Stream.
+func (a *Agrawal) Next() (stream.Instance, error) {
+	if a.pos >= a.samples {
+		return stream.Instance{}, stream.ErrEnd
+	}
+	rng := a.rng
+
+	salary := 20000 + rng.Float64()*130000
+	commission := 0.0
+	if salary < 75000 {
+		commission = 10000 + rng.Float64()*65000
+	}
+	age := float64(20 + rng.Intn(61))
+	elevel := float64(rng.Intn(5))
+	car := float64(1 + rng.Intn(20))
+	zipcode := float64(rng.Intn(9))
+	hvalue := (9 - zipcode) * 100000 * (0.5 + rng.Float64())
+	hyears := float64(1 + rng.Intn(30))
+	loan := rng.Float64() * 500000
+
+	fn := a.activeFunction(a.pos)
+	y := agrawalLabel(fn, salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan)
+
+	if a.perturbation > 0 {
+		perturb := func(v, lo, hi float64) float64 {
+			v += (rng.Float64()*2 - 1) * a.perturbation * (hi - lo)
+			return clamp(v, lo, hi)
+		}
+		salary = perturb(salary, 20000, 150000)
+		if commission > 0 {
+			commission = perturb(commission, 10000, 75000)
+		}
+		age = perturb(age, 20, 80)
+		hvalue = perturb(hvalue, 0, 900000*1.5)
+		hyears = perturb(hyears, 1, 30)
+		loan = perturb(loan, 0, 500000)
+	}
+
+	x := []float64{
+		norm(salary, 20000, 150000),
+		norm(commission, 0, 75000),
+		norm(age, 20, 80),
+		elevel / 4,
+		(car - 1) / 19,
+		zipcode / 8,
+		norm(hvalue, 0, 900000*1.5),
+		norm(hyears, 1, 30),
+		norm(loan, 0, 500000),
+	}
+	a.pos++
+	return stream.Instance{X: x, Y: y}, nil
+}
+
+// agrawalLabel evaluates classification functions 0-3 of the Agrawal
+// family (group A -> class 0, group B -> class 1).
+func agrawalLabel(fn int, salary, commission, age, elevel, _, _, hvalue, hyears, loan float64) int {
+	groupA := false
+	switch fn % 4 {
+	case 0:
+		groupA = age < 40 || age >= 60
+	case 1:
+		switch {
+		case age < 40:
+			groupA = salary >= 50000 && salary <= 100000
+		case age < 60:
+			groupA = salary >= 75000 && salary <= 125000
+		default:
+			groupA = salary >= 25000 && salary <= 75000
+		}
+	case 2:
+		switch {
+		case age < 40:
+			groupA = elevel == 0 || elevel == 1
+		case age < 60:
+			groupA = elevel >= 1 && elevel <= 3
+		default:
+			groupA = elevel >= 2
+		}
+	case 3:
+		disposable := 0.67*(salary+commission) - 0.2*loan - 20000
+		equity := 0.0
+		if hyears >= 20 {
+			equity = 0.1 * hvalue * (hyears - 20)
+		}
+		groupA = disposable-5000*elevel+0.1*equity > 0
+	}
+	if groupA {
+		return 0
+	}
+	return 1
+}
+
+func norm(v, lo, hi float64) float64 { return clamp((v-lo)/(hi-lo), 0, 1) }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

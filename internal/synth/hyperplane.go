@@ -1,0 +1,107 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Hyperplane is the rotating-hyperplane generator: features are uniform
+// in [0,1]^m, the label indicates on which side of a moving hyperplane
+// the point falls, and a subset of the weights drifts continuously —
+// incremental concept drift over the whole stream (Section VI-B). Labels
+// flip with the noise probability (the paper's 10% perturbation).
+type Hyperplane struct {
+	seed          int64
+	samples       int
+	features      int
+	driftFeatures int
+	magChange     float64
+	sigma         float64 // probability of a drift direction flip
+	noise         float64
+
+	rng        *rand.Rand
+	pos        int
+	weights    []float64
+	directions []float64
+}
+
+// NewHyperplane returns the paper's Hyperplane stream: 50 features,
+// continuous incremental drift, 10% noise.
+func NewHyperplane(samples, features int, noise float64, seed int64) *Hyperplane {
+	if samples <= 0 {
+		samples = 500_000
+	}
+	if features <= 0 {
+		features = 50
+	}
+	h := &Hyperplane{
+		seed:          seed,
+		samples:       samples,
+		features:      features,
+		driftFeatures: features / 5,
+		magChange:     0.001,
+		sigma:         0.1,
+		noise:         noise,
+	}
+	if h.driftFeatures < 2 {
+		h.driftFeatures = 2
+	}
+	h.Reset()
+	return h
+}
+
+// Schema implements stream.Stream.
+func (h *Hyperplane) Schema() stream.Schema {
+	return stream.Schema{NumFeatures: h.features, NumClasses: 2, Name: "Hyperplane"}
+}
+
+// Len implements stream.Sized.
+func (h *Hyperplane) Len() int { return h.samples }
+
+// Reset implements stream.Stream.
+func (h *Hyperplane) Reset() {
+	h.rng = rand.New(rand.NewSource(h.seed))
+	h.pos = 0
+	h.weights = make([]float64, h.features)
+	h.directions = make([]float64, h.features)
+	for j := range h.weights {
+		h.weights[j] = h.rng.Float64()
+		h.directions[j] = 1
+	}
+}
+
+// Next implements stream.Stream.
+func (h *Hyperplane) Next() (stream.Instance, error) {
+	if h.pos >= h.samples {
+		return stream.Instance{}, stream.ErrEnd
+	}
+	x := make([]float64, h.features)
+	var dot, wsum float64
+	for j := range x {
+		x[j] = h.rng.Float64()
+		dot += h.weights[j] * x[j]
+		wsum += h.weights[j]
+	}
+	y := 0
+	if dot >= wsum/2 {
+		y = 1
+	}
+	if h.noise > 0 && h.rng.Float64() < h.noise {
+		y = 1 - y
+	}
+
+	// Incremental rotation: the first driftFeatures weights move by
+	// magChange each step; each direction flips with probability sigma.
+	for j := 0; j < h.driftFeatures; j++ {
+		h.weights[j] += h.directions[j] * h.magChange
+		if h.weights[j] < 0 || h.weights[j] > 1 {
+			h.directions[j] = -h.directions[j]
+			h.weights[j] = clamp(h.weights[j], 0, 1)
+		} else if h.rng.Float64() < h.sigma {
+			h.directions[j] = -h.directions[j]
+		}
+	}
+	h.pos++
+	return stream.Instance{X: x, Y: y}, nil
+}

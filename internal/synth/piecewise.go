@@ -1,0 +1,103 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Piecewise generates a genuinely non-linear stream: the feature space is
+// split at x0 = 0.5 and each side follows its own random linear rule, so
+// a single linear model cannot represent the concept and a Model Tree
+// must split (the Figure 1 situation). Optional abrupt drifts re-draw
+// both rules. It is the structure-sensitive workload of the ablation
+// study (E9): pruning, warm-starting and inner-node updates all become
+// observable on it.
+type Piecewise struct {
+	seed    int64
+	samples int
+	m       int
+	noise   float64
+	drifts  int
+
+	rules [][]float64 // per concept: 2 rules of m weights + bias each
+	rng   *rand.Rand
+	pos   int
+}
+
+// NewPiecewise returns a piecewise stream over m features with the given
+// number of abrupt drifts (equal-length segments).
+func NewPiecewise(samples, m int, noise float64, drifts int, seed int64) *Piecewise {
+	if samples <= 0 {
+		samples = 100_000
+	}
+	if m < 2 {
+		m = 2
+	}
+	if drifts < 0 {
+		drifts = 0
+	}
+	p := &Piecewise{seed: seed, samples: samples, m: m, noise: noise, drifts: drifts}
+	ruleRng := rand.New(rand.NewSource(seed*6151 + 11))
+	for concept := 0; concept <= drifts; concept++ {
+		for side := 0; side < 2; side++ {
+			rule := make([]float64, m+1)
+			for j := 0; j < m; j++ {
+				rule[j] = ruleRng.NormFloat64() * 3
+			}
+			// Centre the bias so both labels occur on each side.
+			var mid float64
+			for j := 0; j < m; j++ {
+				mid += rule[j] * 0.5
+			}
+			rule[m] = -mid
+			p.rules = append(p.rules, rule)
+		}
+	}
+	p.Reset()
+	return p
+}
+
+// Schema implements stream.Stream.
+func (p *Piecewise) Schema() stream.Schema {
+	return stream.Schema{NumFeatures: p.m, NumClasses: 2, Name: "Piecewise"}
+}
+
+// Len implements stream.Sized.
+func (p *Piecewise) Len() int { return p.samples }
+
+// Reset implements stream.Stream.
+func (p *Piecewise) Reset() {
+	p.rng = rand.New(rand.NewSource(p.seed))
+	p.pos = 0
+}
+
+// Next implements stream.Stream.
+func (p *Piecewise) Next() (stream.Instance, error) {
+	if p.pos >= p.samples {
+		return stream.Instance{}, stream.ErrEnd
+	}
+	x := make([]float64, p.m)
+	for j := range x {
+		x[j] = p.rng.Float64()
+	}
+	segment := p.pos / (p.samples/(p.drifts+1) + 1)
+	side := 0
+	if x[0] > 0.5 {
+		side = 1
+	}
+	rule := p.rules[segment*2+side]
+	score := rule[p.m]
+	for j := 0; j < p.m; j++ {
+		score += rule[j] * x[j]
+	}
+	y := 0
+	if score > 0 {
+		y = 1
+	}
+	if p.noise > 0 && p.rng.Float64() < p.noise {
+		y = 1 - y
+	}
+	p.pos++
+	return stream.Instance{X: x, Y: y}, nil
+}

@@ -1,0 +1,208 @@
+// Package repro is the public API of this reproduction of "Dynamic Model
+// Tree for Interpretable Data Stream Learning" (Haug, Broelemann, Kasneci;
+// ICDE 2022). It exposes the Dynamic Model Tree, every baseline of the
+// paper's evaluation, the stream generators and surrogate data sets of
+// Table I, and the prequential evaluation harness that regenerates the
+// paper's tables and figures.
+//
+// Quickstart:
+//
+//	gen := repro.NewSEA(100_000, 0.1, 42)
+//	dmt := repro.NewDMT(repro.DMTConfig{Seed: 42}, gen.Schema())
+//	res, err := repro.Prequential(dmt, gen, repro.EvalOptions{})
+//	if err != nil { ... }
+//	f1, _ := res.F1()
+//
+// See examples/ for runnable programs and cmd/dmtbench for the full
+// experiment suite.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/efdt"
+	"repro/internal/ensemble"
+	"repro/internal/eval"
+	"repro/internal/fimtdd"
+	"repro/internal/hatada"
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// Data model aliases.
+type (
+	// Schema describes a classification stream (features, classes, name).
+	Schema = stream.Schema
+	// Instance is one labelled observation.
+	Instance = stream.Instance
+	// Batch is a row-major mini-batch.
+	Batch = stream.Batch
+	// Stream produces labelled instances; all generators implement it.
+	Stream = stream.Stream
+	// Classifier is the batch-incremental online classifier contract.
+	Classifier = model.Classifier
+	// Complexity is the paper's split/parameter accounting (Section VI-D2).
+	Complexity = model.Complexity
+)
+
+// ErrEndOfStream signals stream exhaustion from Stream.Next.
+var ErrEndOfStream = stream.ErrEnd
+
+// Dynamic Model Tree (the paper's contribution).
+type (
+	// DMT is the Dynamic Model Tree classifier.
+	DMT = core.Tree
+	// DMTConfig holds the DMT hyperparameters (Section V-D defaults).
+	DMTConfig = core.Config
+	// DMTChange describes one interpretable structural change of a DMT.
+	DMTChange = core.ChangeEvent
+)
+
+// NewDMT returns a Dynamic Model Tree for the schema.
+func NewDMT(cfg DMTConfig, schema Schema) *DMT { return core.New(cfg, schema) }
+
+// LoadDMT restores a Dynamic Model Tree checkpointed with (*DMT).Save.
+func LoadDMT(r io.Reader) (*DMT, error) { return core.Load(r) }
+
+// Baselines of the paper's comparison (Section VI-C).
+type (
+	// VFDT is the Hoeffding tree baseline; LeafMode selects MC/NB/NBA.
+	VFDT = hoeffding.Tree
+	// VFDTConfig holds the Hoeffding tree hyperparameters.
+	VFDTConfig = hoeffding.Config
+	// HTAda is the adaptive Hoeffding tree baseline.
+	HTAda = hatada.Tree
+	// HTAdaConfig holds its hyperparameters.
+	HTAdaConfig = hatada.Config
+	// EFDT is the Extremely Fast Decision Tree baseline.
+	EFDT = efdt.Tree
+	// EFDTConfig holds its hyperparameters.
+	EFDTConfig = efdt.Config
+	// FIMTDD is the FIMT-DD classification-variant baseline.
+	FIMTDD = fimtdd.Tree
+	// FIMTDDConfig holds its hyperparameters.
+	FIMTDDConfig = fimtdd.Config
+	// ARF is the Adaptive Random Forest ensemble.
+	ARF = ensemble.ARF
+	// LevBag is the Leveraging Bagging ensemble.
+	LevBag = ensemble.LevBag
+	// EnsembleConfig configures both ensembles.
+	EnsembleConfig = ensemble.Config
+)
+
+// Leaf modes of the VFDT.
+const (
+	LeafMajorityClass      = hoeffding.MajorityClass
+	LeafNaiveBayes         = hoeffding.NaiveBayes
+	LeafNaiveBayesAdaptive = hoeffding.NaiveBayesAdaptive
+)
+
+// NewVFDT returns a Hoeffding tree (VFDT) for the schema.
+func NewVFDT(cfg VFDTConfig, schema Schema) *VFDT { return hoeffding.New(cfg, schema) }
+
+// NewHTAda returns an adaptive Hoeffding tree for the schema.
+func NewHTAda(cfg HTAdaConfig, schema Schema) *HTAda { return hatada.New(cfg, schema) }
+
+// NewEFDT returns an Extremely Fast Decision Tree for the schema.
+func NewEFDT(cfg EFDTConfig, schema Schema) *EFDT { return efdt.New(cfg, schema) }
+
+// NewFIMTDD returns the FIMT-DD classification variant for the schema.
+func NewFIMTDD(cfg FIMTDDConfig, schema Schema) *FIMTDD { return fimtdd.New(cfg, schema) }
+
+// NewARF returns an Adaptive Random Forest for the schema.
+func NewARF(cfg EnsembleConfig, schema Schema) *ARF { return ensemble.NewARF(cfg, schema) }
+
+// NewLevBag returns a Leveraging Bagging ensemble for the schema.
+func NewLevBag(cfg EnsembleConfig, schema Schema) *LevBag { return ensemble.NewLevBag(cfg, schema) }
+
+// NewClassifierByName builds any of the paper's models by its table name
+// ("DMT", "FIMT-DD", "VFDT (MC)", "VFDT (NBA)", "HT-Ada", "EFDT",
+// "Forest Ens.", "Bagging Ens.") configured as in Section VI-C.
+func NewClassifierByName(name string, schema Schema, seed int64) (Classifier, error) {
+	return eval.NewClassifier(name, schema, seed)
+}
+
+// Stream generators (Section VI-B).
+type (
+	// SEA is the SEA generator with abrupt drifts.
+	SEA = synth.SEA
+	// Agrawal is the Agrawal generator with incremental drift windows.
+	Agrawal = synth.Agrawal
+	// Hyperplane is the rotating-hyperplane generator.
+	Hyperplane = synth.Hyperplane
+	// ClusterStream is the Gaussian-cluster surrogate generator.
+	ClusterStream = synth.Cluster
+	// ClusterConfig parameterises a ClusterStream.
+	ClusterConfig = synth.ClusterConfig
+	// DriftKind selects a surrogate drift mechanism.
+	DriftKind = synth.DriftKind
+)
+
+// Surrogate drift mechanisms.
+const (
+	DriftNone        = synth.DriftNone
+	DriftAbrupt      = synth.DriftAbrupt
+	DriftIncremental = synth.DriftIncremental
+	DriftWalk        = synth.DriftWalk
+)
+
+// NewSEA returns a SEA stream (samples, label-noise probability, seed).
+func NewSEA(samples int, noise float64, seed int64) *SEA { return synth.NewSEA(samples, noise, seed) }
+
+// NewAgrawal returns an Agrawal stream with the paper's drift windows.
+func NewAgrawal(samples int, perturbation float64, seed int64) *Agrawal {
+	return synth.NewAgrawal(samples, perturbation, seed)
+}
+
+// NewHyperplane returns a rotating-hyperplane stream.
+func NewHyperplane(samples, features int, noise float64, seed int64) *Hyperplane {
+	return synth.NewHyperplane(samples, features, noise, seed)
+}
+
+// NewClusterStream returns a Gaussian-cluster surrogate stream.
+func NewClusterStream(cfg ClusterConfig) *ClusterStream { return synth.NewCluster(cfg) }
+
+// MajorityPriors builds class priors with the given majority share.
+func MajorityPriors(classes int, majorityShare float64) []float64 {
+	return synth.MajorityPriors(classes, majorityShare)
+}
+
+// Table I registry.
+type DatasetEntry = datasets.Entry
+
+// Datasets returns the 13 Table I entries in the paper's order.
+func Datasets() []DatasetEntry { return datasets.All() }
+
+// DatasetByName looks up one Table I entry.
+func DatasetByName(name string) (DatasetEntry, error) { return datasets.ByName(name) }
+
+// Evaluation harness (Section VI-A).
+type (
+	// EvalOptions configures a prequential run.
+	EvalOptions = eval.Options
+	// EvalResult is one model's prequential run on one stream.
+	EvalResult = eval.Result
+	// IterStats are the per-iteration measurements.
+	IterStats = eval.IterStats
+	// ExperimentSuite runs the full reproduction.
+	ExperimentSuite = eval.Suite
+	// ExperimentResult holds a suite's results and renders the paper's
+	// tables and figures.
+	ExperimentResult = eval.SuiteResult
+)
+
+// Prequential runs test-then-train evaluation of a classifier on a
+// stream (batches of EvalOptions.BatchFraction, default 0.1%).
+func Prequential(c Classifier, s Stream, opts EvalOptions) (EvalResult, error) {
+	return eval.Prequential(c, s, opts)
+}
+
+// NewMemoryStream wraps in-memory data in a replayable stream.
+func NewMemoryStream(schema Schema, data Batch) Stream { return stream.NewMemory(schema, data) }
+
+// LimitStream caps a stream at n instances.
+func LimitStream(s Stream, n int) Stream { return stream.NewLimit(s, n) }
