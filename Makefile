@@ -1,0 +1,29 @@
+# CI entry points. `make ci` is the gate: vet + build + tests + a short
+# race pass over the concurrency-sensitive paths (Scorer, Runner,
+# registry).
+
+GO ?= go
+
+.PHONY: all ci vet build test race bench fmt
+
+all: ci
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l .

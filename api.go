@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"repro/internal/hoeffding"
+	"repro/internal/registry"
+)
+
+// Serving-oriented construction: every learner package self-registers a
+// factory in the model registry, and New builds any of them by name with
+// functional options — callers never touch the per-model config structs.
+//
+//	dmt, err := repro.New("DMT", schema, repro.WithSeed(42))
+//	vfdt, err := repro.New("VFDT", schema, repro.WithLeafMode(repro.LeafNaiveBayesAdaptive))
+type (
+	// Option is a functional model option (see the With... constructors).
+	Option = registry.Option
+	// ModelParams is the flattened hyperparameter bag options write into;
+	// custom factories registered via Register receive it resolved.
+	ModelParams = registry.Params
+	// ModelFactory builds a classifier from a schema and resolved params.
+	ModelFactory = registry.Factory
+)
+
+// New builds a registered model by name. The paper's eight table names
+// ("DMT", "FIMT-DD", "VFDT (MC)", "VFDT (NBA)", "HT-Ada", "EFDT",
+// "Forest Ens.", "Bagging Ens.") are always available, plus the extra
+// baselines "VFDT", "VFDT (NB)", "GLM" and "Naive Bayes". Zero options
+// reproduce the paper's Section VI-C configuration.
+func New(name string, schema Schema, opts ...Option) (Classifier, error) {
+	return registry.New(name, schema, opts...)
+}
+
+// MustNew is New for initialisation paths where a failure is fatal.
+func MustNew(name string, schema Schema, opts ...Option) Classifier {
+	return registry.MustNew(name, schema, opts...)
+}
+
+// Register adds a model factory under a new name; it panics on duplicate
+// names (a process-start programmer error). Use it to plug external
+// learners into the evaluation harness and the serving API.
+func Register(name string, f ModelFactory) { registry.Register(name, f) }
+
+// Models returns every registered model name, sorted.
+func Models() []string { return registry.Names() }
+
+// ModelRegistered reports whether a model name is known.
+func ModelRegistered(name string) bool { return registry.Registered(name) }
+
+// VFDTLeafMode selects the VFDT leaf predictor (see the Leaf... consts).
+type VFDTLeafMode = hoeffding.LeafMode
+
+// Functional options. Zero / unset values always mean "the package
+// default", which is the paper's configuration.
+
+// WithSeed fixes every source of randomness of the model.
+func WithSeed(seed int64) Option { return registry.WithSeed(seed) }
+
+// WithLearningRate sets the SGD rate of GLM-based models (DMT, FIMT-DD,
+// the GLM baseline).
+func WithLearningRate(lr float64) Option { return registry.WithLearningRate(lr) }
+
+// WithEpsilon sets the DMT's AIC confidence level (eq. 11).
+func WithEpsilon(eps float64) Option { return registry.WithEpsilon(eps) }
+
+// WithCandidateFactor caps DMT split candidates at factor*NumFeatures.
+func WithCandidateFactor(f int) Option { return registry.WithCandidateFactor(f) }
+
+// WithReplacementRate sets the DMT candidate-pool churn rate.
+func WithReplacementRate(r float64) Option { return registry.WithReplacementRate(r) }
+
+// WithRestructureGrace sets the DMT inner-node restructure grace weight.
+func WithRestructureGrace(g float64) Option { return registry.WithRestructureGrace(g) }
+
+// WithL1 enables the DMT/GLM sparsity extension with the given strength.
+func WithL1(l1 float64) Option { return registry.WithL1(l1) }
+
+// WithMaxDepth bounds tree growth (0 = unbounded).
+func WithMaxDepth(d int) Option { return registry.WithMaxDepth(d) }
+
+// WithGracePeriod sets the Hoeffding-family split-attempt grace weight.
+func WithGracePeriod(g float64) Option { return registry.WithGracePeriod(g) }
+
+// WithDelta sets the Hoeffding bound confidence.
+func WithDelta(d float64) Option { return registry.WithDelta(d) }
+
+// WithTau sets the Hoeffding tie-break threshold.
+func WithTau(t float64) Option { return registry.WithTau(t) }
+
+// WithBins sets the candidate thresholds per numeric observer.
+func WithBins(b int) Option { return registry.WithBins(b) }
+
+// WithLeafMode selects the leaf predictor of the generic "VFDT" model.
+func WithLeafMode(m VFDTLeafMode) Option {
+	return registry.WithLeafMode(registry.LeafMode(m))
+}
+
+// WithADWINDelta sets the HT-Ada per-node monitor confidence.
+func WithADWINDelta(d float64) Option { return registry.WithADWINDelta(d) }
+
+// WithReevalPeriod sets the EFDT split re-evaluation weight.
+func WithReevalPeriod(w float64) Option { return registry.WithReevalPeriod(w) }
+
+// WithEnsembleSize sets the number of ensemble members.
+func WithEnsembleSize(n int) Option { return registry.WithEnsembleSize(n) }
+
+// WithLambda sets the ensembles' Poisson weighting intensity.
+func WithLambda(l float64) Option { return registry.WithLambda(l) }
+
+// WithPageHinkley sets FIMT-DD's Page-Hinkley detector parameters.
+func WithPageHinkley(delta, lambda float64) Option {
+	return registry.WithPageHinkley(delta, lambda)
+}

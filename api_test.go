@@ -1,0 +1,205 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// All eight paper model names round-trip through the registry: New builds
+// them, and each model reports the registered name back.
+func TestRegistryRoundTripPaperModels(t *testing.T) {
+	schema := Schema{NumFeatures: 3, NumClasses: 2, Name: "t"}
+	names := []string{"DMT", "FIMT-DD", "VFDT (MC)", "VFDT (NBA)", "HT-Ada", "EFDT", "Forest Ens.", "Bagging Ens."}
+	for _, name := range names {
+		if !ModelRegistered(name) {
+			t.Fatalf("%q not registered", name)
+		}
+		c, err := New(name, schema, WithSeed(7))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("built %q, asked for %q", c.Name(), name)
+		}
+		c.Learn(Batch{X: [][]float64{{0.1, 0.2, 0.3}}, Y: []int{1}})
+		if y := c.Predict([]float64{0.1, 0.2, 0.3}); y < 0 || y > 1 {
+			t.Fatalf("%s predicted %d", name, y)
+		}
+	}
+}
+
+// The extra baselines registered beyond the paper's table.
+func TestRegistryExtraBaselines(t *testing.T) {
+	schema := Schema{NumFeatures: 2, NumClasses: 3, Name: "t"}
+	for _, name := range []string{"VFDT", "VFDT (NB)", "GLM", "Naive Bayes"} {
+		c, err := New(name, schema, WithSeed(1))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		c.Learn(Batch{X: [][]float64{{0.2, 0.8}, {0.9, 0.1}}, Y: []int{0, 2}})
+		if y := c.Predict([]float64{0.5, 0.5}); y < 0 || y > 2 {
+			t.Fatalf("%s predicted %d", name, y)
+		}
+	}
+}
+
+func TestNewUnknownModelAndBadSchema(t *testing.T) {
+	if _, err := New("nope", Schema{NumFeatures: 1, NumClasses: 2, Name: "t"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := New("DMT", Schema{NumFeatures: 0, NumClasses: 2, Name: "t"}); err == nil {
+		t.Fatal("invalid schema must error")
+	}
+	if len(Models()) < 8 {
+		t.Fatalf("Models() = %v, want at least the 8 paper names", Models())
+	}
+}
+
+// Functional options are equivalent to direct struct configuration: the
+// same seed and hyperparameters produce identical models.
+func TestOptionsMatchStructConfig(t *testing.T) {
+	genA := NewSEA(4000, 0.1, 9)
+	genB := NewSEA(4000, 0.1, 9)
+
+	viaOpts, err := New("DMT", genA.Schema(),
+		WithSeed(9), WithLearningRate(0.1), WithEpsilon(1e-5), WithCandidateFactor(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStruct := NewDMT(DMTConfig{Seed: 9, LearningRate: 0.1, Epsilon: 1e-5, CandidateFactor: 2}, genB.Schema())
+
+	resA, err := Prequential(viaOpts, genA, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Prequential(viaStruct, genB, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Iters) != len(resB.Iters) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(resA.Iters), len(resB.Iters))
+	}
+	for i := range resA.Iters {
+		a, b := resA.Iters[i], resB.Iters[i]
+		a.Seconds, b.Seconds = 0, 0 // wall clock is not deterministic
+		if a != b {
+			t.Fatalf("iteration %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for _, x := range [][]float64{{0.1, 0.5, 0.9}, {0.9, 0.2, 0.4}, {0.5, 0.5, 0.5}} {
+		if viaOpts.Predict(x) != viaStruct.Predict(x) {
+			t.Fatalf("predictions diverge at %v", x)
+		}
+	}
+}
+
+// The VFDT option path matches the typed constructor too.
+func TestOptionsMatchStructConfigVFDT(t *testing.T) {
+	genA := NewSEA(3000, 0.1, 4)
+	genB := NewSEA(3000, 0.1, 4)
+	viaOpts, err := New("VFDT", genA.Schema(),
+		WithSeed(4), WithLeafMode(LeafNaiveBayesAdaptive), WithGracePeriod(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStruct := NewVFDT(VFDTConfig{Seed: 4, LeafMode: LeafNaiveBayesAdaptive, GracePeriod: 100}, genB.Schema())
+	resA, err := Prequential(viaOpts, genA, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Prequential(viaStruct, genB, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resA.Iters {
+		if resA.Iters[i].F1 != resB.Iters[i].F1 {
+			t.Fatalf("iteration %d F1 differs", i)
+		}
+	}
+}
+
+// cancellingStream cancels its context after emitting a fixed number of
+// instances, simulating an operator stopping a long run mid-flight.
+type cancellingStream struct {
+	inner   Stream
+	cancel  context.CancelFunc
+	after   int
+	emitted int
+}
+
+func (c *cancellingStream) Schema() Schema { return c.inner.Schema() }
+func (c *cancellingStream) Len() int       { return 100_000 }
+func (c *cancellingStream) Reset()         { c.inner.Reset(); c.emitted = 0 }
+func (c *cancellingStream) Next() (Instance, error) {
+	if c.emitted == c.after {
+		c.cancel()
+	}
+	c.emitted++
+	return c.inner.Next()
+}
+
+// Cancelling a context mid-run stops Prequential at the next check and
+// returns ctx.Err() alongside the iterations finished so far.
+func TestPrequentialContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	strm := &cancellingStream{inner: NewSEA(100_000, 0.1, 2), cancel: cancel, after: 500}
+	dmt := MustNew("DMT", strm.Schema(), WithSeed(2))
+
+	res, err := PrequentialContext(ctx, dmt, strm, EvalOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 100k-instance stream -> 100-row batches; cancellation fires inside
+	// batch 6, so only the 5 completed iterations are reported.
+	if len(res.Iters) == 0 || len(res.Iters) > 6 {
+		t.Fatalf("got %d iterations, want a handful before cancellation", len(res.Iters))
+	}
+}
+
+// An already-cancelled context returns immediately with zero iterations.
+func TestPrequentialContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gen := NewSEA(10_000, 0.1, 3)
+	dmt := MustNew("DMT", gen.Schema(), WithSeed(3))
+	res, err := PrequentialContext(ctx, dmt, gen, EvalOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Iters) != 0 {
+		t.Fatalf("got %d iterations on a dead context", len(res.Iters))
+	}
+}
+
+// Suite cancellation propagates through the Runner.
+func TestSuiteRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	suite := ExperimentSuite{Scale: 0.001, Datasets: []string{"SEA"}, Models: []string{"DMT"}}
+	if _, err := suite.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A custom factory registered through the facade is buildable by name and
+// receives the resolved option parameters.
+func TestRegisterCustomFactory(t *testing.T) {
+	var got ModelParams
+	Register("test-custom-model", func(schema Schema, p ModelParams) (Classifier, error) {
+		got = p
+		return MustNew("GLM", schema, WithSeed(p.Seed)), nil
+	})
+	c, err := New("test-custom-model", Schema{NumFeatures: 2, NumClasses: 2, Name: "t"},
+		WithSeed(11), WithLearningRate(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 11 || got.LearningRate != 0.25 {
+		t.Fatalf("factory params = %+v", got)
+	}
+	if c == nil {
+		t.Fatal("nil classifier")
+	}
+}

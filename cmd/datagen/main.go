@@ -11,8 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/datasets"
-	"repro/internal/stream"
+	"repro"
 )
 
 func main() {
@@ -24,7 +23,7 @@ func main() {
 	)
 	flag.Parse()
 
-	entry, err := datasets.ByName(*dsName)
+	entry, err := repro.DatasetByName(*dsName)
 	if err != nil {
 		fail(err)
 	}
@@ -39,7 +38,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	rows, err := stream.WriteCSV(w, strm)
+	rows, err := repro.WriteCSVStream(w, strm)
 	if err != nil {
 		fail(err)
 	}

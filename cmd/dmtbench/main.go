@@ -1,24 +1,31 @@
 // Command dmtbench regenerates the paper's evaluation: Tables I-VI and
 // Figures 3-4 of "Dynamic Model Tree for Interpretable Data Stream
 // Learning" (ICDE 2022), plus the ablation study described in DESIGN.md.
+// Ctrl-C cancels the remaining runs.
 //
 // Usage:
 //
 //	dmtbench [-scale 0.05] [-seed 42] [-datasets SEA,Hyperplane]
 //	         [-models "DMT,VFDT (MC)"] [-table all|1..6] [-figure all|3|4]
-//	         [-ablation]
+//	         [-parallel N] [-ablation]
 //
 // Absolute numbers depend on the scale; the paper-reported values are
-// printed alongside each cell for shape comparison.
+// printed alongside each cell for shape comparison. -parallel fans the
+// experiment cells across workers with identical results; keep it at 1
+// when the Table V timings matter.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
-	"repro/internal/eval"
+	"repro"
 )
 
 func main() {
@@ -31,12 +38,15 @@ func main() {
 		table     = flag.String("table", "all", "which table to print: all,1,2,3,4,5,6,none")
 		figure    = flag.String("figure", "all", "which figure to print: all,3,4,none")
 		ablation  = flag.Bool("ablation", false, "also run the DMT ablation study")
-		parallel  = flag.Int("parallel", 1, "concurrent (stream, model) evaluations; timing in Table V is only meaningful at 1")
+		parallel  = flag.Int("parallel", 1, fmt.Sprintf("concurrent experiment cells (this machine: up to %d); timing in Table V is only meaningful at 1", runtime.GOMAXPROCS(0)))
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
 
-	suite := eval.Suite{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	suite := repro.ExperimentSuite{
 		Scale:         *scale,
 		Seed:          *seed,
 		BatchFraction: *batch,
@@ -48,9 +58,12 @@ func main() {
 		suite.Progress = os.Stderr
 	}
 
-	fmt.Printf("dmtbench: scale=%.3g seed=%d batch=%.4g\n\n", *scale, *seed, *batch)
-	res, err := suite.Run()
-	if err != nil {
+	fmt.Printf("dmtbench: scale=%.3g seed=%d batch=%.4g parallel=%d\n\n", *scale, *seed, *batch, *parallel)
+	res, err := suite.RunContext(ctx)
+	switch {
+	case errors.Is(err, context.Canceled) && res != nil:
+		fmt.Fprintln(os.Stderr, "dmtbench: interrupted — rendering the completed runs")
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "dmtbench:", err)
 		os.Exit(1)
 	}
@@ -82,7 +95,7 @@ func main() {
 	}
 
 	if *ablation {
-		out, err := eval.RunAblation(*scale, *seed, suite.Progress)
+		out, err := repro.RunAblation(*scale, *seed, suite.Progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmtbench ablation:", err)
 			os.Exit(1)

@@ -1,6 +1,8 @@
 // Command dmtrun evaluates one model on one stream prequentially and
 // prints the aggregate measures, a sliding-window F1 trace, and — for the
 // Dynamic Model Tree — the interpretable change log and final structure.
+// The run is cancellable: Ctrl-C stops at the next iteration and the
+// measures collected so far are still reported.
 //
 // Usage:
 //
@@ -9,55 +11,68 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/eval"
-	"repro/internal/stream"
+	"repro"
 )
 
 func main() {
 	var (
-		modelName = flag.String("model", "DMT", "model name (see dmtbench for the list)")
+		modelName = flag.String("model", "DMT", "registered model name (see -list)")
 		dsName    = flag.String("dataset", "SEA", "Table I data set name")
 		csvPath   = flag.String("csv", "", "evaluate on a CSV stream instead of a Table I data set")
 		scale     = flag.Float64("scale", 0.05, "fraction of the Table I stream length")
 		seed      = flag.Int64("seed", 42, "random seed")
 		batch     = flag.Float64("batch", 0.001, "prequential batch fraction")
 		trace     = flag.Bool("trace", false, "print the sliding-window F1 series")
+		list      = flag.Bool("list", false, "list registered models and exit")
 	)
 	flag.Parse()
 
-	var strm stream.Stream
+	if *list {
+		fmt.Println(strings.Join(repro.Models(), "\n"))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var strm repro.Stream
 	if *csvPath != "" {
 		f, err := os.Open(*csvPath)
 		if err != nil {
 			fail(err)
 		}
-		mem, err := stream.ReadCSV(f, *csvPath, 0)
+		mem, err := repro.ReadCSVStream(f, *csvPath, 0)
 		f.Close()
 		if err != nil {
 			fail(err)
 		}
 		strm = mem
 	} else {
-		entry, err := datasets.ByName(*dsName)
+		entry, err := repro.DatasetByName(*dsName)
 		if err != nil {
 			fail(err)
 		}
 		strm = entry.New(*scale, *seed)
 	}
 
-	clf, err := eval.NewClassifier(*modelName, strm.Schema(), *seed)
+	clf, err := repro.New(*modelName, strm.Schema(), repro.WithSeed(*seed))
 	if err != nil {
 		fail(err)
 	}
-	res, err := eval.Prequential(clf, strm, eval.Options{BatchFraction: *batch})
-	if err != nil {
+	res, err := repro.PrequentialContext(ctx, clf, strm, repro.EvalOptions{BatchFraction: *batch})
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "dmtrun: interrupted — reporting partial results")
+	case err != nil:
 		fail(err)
 	}
 
@@ -72,7 +87,7 @@ func main() {
 	fmt.Printf("  Time/it:  %.4fs ± %.4fs\n", tm, ts)
 
 	if *trace {
-		series := eval.SlidingMean(res.Series(func(s eval.IterStats) float64 { return s.F1 }), 20)
+		series := repro.SlidingMean(res.Series(func(s repro.IterStats) float64 { return s.F1 }), 20)
 		fmt.Println("\nSliding-window F1 (w=20):")
 		step := len(series) / 25
 		if step < 1 {
@@ -80,11 +95,11 @@ func main() {
 		}
 		for i := 0; i < len(series); i += step {
 			bar := int(math.Max(series[i], 0) * 50)
-			fmt.Printf("  iter %5d  %.3f  %s\n", i, series[i], stringsRepeat("#", bar))
+			fmt.Printf("  iter %5d  %.3f  %s\n", i, series[i], strings.Repeat("#", bar))
 		}
 	}
 
-	if dmt, ok := clf.(*core.Tree); ok {
+	if dmt, ok := clf.(*repro.DMT); ok {
 		fmt.Println("\nFinal DMT structure:")
 		fmt.Print(indent(dmt.Describe()))
 		splits, replaces, prunes := dmt.Revisions()
@@ -105,37 +120,12 @@ func main() {
 	}
 }
 
-func stringsRepeat(s string, n int) string {
-	out := ""
-	for i := 0; i < n; i++ {
-		out += s
-	}
-	return out
-}
-
 func indent(s string) string {
 	out := ""
-	for _, line := range splitLines(s) {
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
 		out += "  " + line + "\n"
 	}
 	return out
-}
-
-func splitLines(s string) []string {
-	var lines []string
-	cur := ""
-	for _, r := range s {
-		if r == '\n' {
-			lines = append(lines, cur)
-			cur = ""
-			continue
-		}
-		cur += string(r)
-	}
-	if cur != "" {
-		lines = append(lines, cur)
-	}
-	return lines
 }
 
 func fail(err error) {

@@ -20,7 +20,7 @@ func main() {
 
 	// --- Process 1: train on the first half, checkpoint, exit. ---
 	gen := repro.NewSEA(samples, 0.1, 42)
-	dmt := repro.NewDMT(repro.DMTConfig{Seed: 42}, gen.Schema())
+	dmt := repro.MustNew("DMT", gen.Schema(), repro.WithSeed(42)).(*repro.DMT)
 
 	half := repro.LimitStream(gen, samples/2)
 	if _, err := repro.Prequential(dmt, half, repro.EvalOptions{}); err != nil {
@@ -56,7 +56,7 @@ func main() {
 
 	// --- Control: one uninterrupted run over the full stream. ---
 	gen2 := repro.NewSEA(samples, 0.1, 42)
-	control := repro.NewDMT(repro.DMTConfig{Seed: 42}, gen2.Schema())
+	control := repro.MustNew("DMT", gen2.Schema(), repro.WithSeed(42))
 	resControl, err := repro.Prequential(control, gen2, repro.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)

@@ -45,8 +45,9 @@ func main() {
 	genSchema.FeatureNames = featureNames
 	genSchema.Name = schema.Name
 
-	dmt := repro.NewDMT(repro.DMTConfig{Seed: 7}, genSchema)
-	vfdt := repro.NewVFDT(repro.VFDTConfig{Seed: 7}, genSchema)
+	// Registry construction with functional options — the serving API.
+	dmt := repro.MustNew("DMT", genSchema, repro.WithSeed(7)).(*repro.DMT)
+	vfdt := repro.MustNew("VFDT (MC)", genSchema, repro.WithSeed(7))
 
 	resDMT, err := repro.Prequential(dmt, gen, repro.EvalOptions{})
 	if err != nil {

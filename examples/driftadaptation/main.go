@@ -20,7 +20,7 @@ func main() {
 	results := map[string]repro.EvalResult{}
 	for _, name := range models {
 		gen := repro.NewSEA(samples, 0.1, 42) // 4 abrupt drifts
-		clf, err := repro.NewClassifierByName(name, gen.Schema(), 42)
+		clf, err := repro.New(name, gen.Schema(), repro.WithSeed(42))
 		if err != nil {
 			log.Fatal(err)
 		}

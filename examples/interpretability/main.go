@@ -70,7 +70,7 @@ func (s *twoPhaseStream) Next() (repro.Instance, error) {
 func main() {
 	gen := &twoPhaseStream{seed: 11, samples: 160_000}
 	gen.Reset()
-	dmt := repro.NewDMT(repro.DMTConfig{Seed: 11}, gen.Schema())
+	dmt := repro.MustNew("DMT", gen.Schema(), repro.WithSeed(11)).(*repro.DMT)
 
 	res, err := repro.Prequential(dmt, gen, repro.EvalOptions{})
 	if err != nil {

@@ -1,11 +1,15 @@
 // Quickstart: train a Dynamic Model Tree prequentially on the SEA stream
-// and print the paper's headline measures — predictive quality (F1) and
-// interpretability (number of splits).
+// through the serving API — registry construction with functional
+// options, a cancellable run, and a Scorer serving concurrent predictions
+// while the model keeps learning.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync/atomic"
+	"time"
 
 	"repro"
 )
@@ -15,25 +19,48 @@ func main() {
 	// concept drifts (Section VI-B of the paper).
 	gen := repro.NewSEA(50_000, 0.1, 42)
 
-	// A Dynamic Model Tree with the paper's default hyperparameters:
-	// logit simple models (binary target), learning rate 0.05, AIC
-	// epsilon 1e-7, candidate cap 3m (Section V-D).
-	dmt := repro.NewDMT(repro.DMTConfig{Seed: 42}, gen.Schema())
-
-	// Prequential (test-then-train) evaluation with 0.1% batches.
-	res, err := repro.Prequential(dmt, gen, repro.EvalOptions{})
+	// Build the model by registered name. Options replace config structs;
+	// zero options reproduce the paper's Section V-D defaults (logit
+	// simple models, learning rate 0.05, AIC epsilon 1e-7).
+	dmt, err := repro.New("DMT", gen.Schema(), repro.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Wrap it for serving: readers may call Predict at any time while the
+	// learning loop holds the write path.
+	scorer := repro.NewScorer(dmt)
+
+	// Serve predictions concurrently with training (online learning's
+	// whole point: the deployed model is the training model).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var served atomic.Int64
+	go func() {
+		probe := []float64{0.5, 0.5, 0.5}
+		for ctx.Err() == nil {
+			scorer.Predict(probe)
+			served.Add(1)
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	// Prequential (test-then-train) evaluation with 0.1% batches,
+	// cancellable through the context.
+	res, err := repro.PrequentialContext(ctx, scorer, gen, repro.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cancel()
+
 	f1Mean, f1Std := res.F1()
 	splitsMean, _ := res.Splits()
-	fmt.Printf("DMT on SEA (%d iterations)\n", len(res.Iters))
+	fmt.Printf("DMT on SEA (%d iterations, %d predictions served during training)\n",
+		len(res.Iters), served.Load())
 	fmt.Printf("  F1:     %.3f ± %.3f\n", f1Mean, f1Std)
 	fmt.Printf("  Splits: %.1f (avg over time)\n", splitsMean)
-	fmt.Printf("  Final:  %v\n", dmt)
 
 	// The final tree remains human-readable — the whole point.
 	fmt.Println("\nDeployed model:")
-	fmt.Print(dmt.Describe())
+	fmt.Print(dmt.(*repro.DMT).Describe())
 }

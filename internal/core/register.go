@@ -1,0 +1,25 @@
+package core
+
+import (
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// init registers the Dynamic Model Tree under its paper table name so the
+// public repro.New facade and the evaluation harness can build it without
+// importing this package directly.
+func init() {
+	registry.Register("DMT", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return New(Config{
+			LearningRate:     p.LearningRate,
+			Epsilon:          p.Epsilon,
+			CandidateFactor:  p.CandidateFactor,
+			ReplacementRate:  p.ReplacementRate,
+			RestructureGrace: p.RestructureGrace,
+			L1:               p.L1,
+			MaxDepth:         p.MaxDepth,
+			Seed:             p.Seed,
+		}, schema), nil
+	})
+}

@@ -1,0 +1,25 @@
+package efdt
+
+import (
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// init registers the Extremely Fast Decision Tree under its paper name.
+func init() {
+	registry.Register("EFDT", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return New(Config{
+			Tree: hoeffding.Config{
+				GracePeriod: p.GracePeriod,
+				Delta:       p.Delta,
+				Tau:         p.Tau,
+				Bins:        p.Bins,
+				MaxDepth:    p.MaxDepth,
+				Seed:        p.Seed,
+			},
+			ReevalPeriod: p.ReevalPeriod,
+		}, schema), nil
+	})
+}

@@ -1,0 +1,35 @@
+package ensemble
+
+import (
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// ensembleConfig maps the registry parameter bag onto the shared ensemble
+// config; zero values defer to the package defaults.
+func ensembleConfig(p registry.Params) Config {
+	return Config{
+		Size:   p.EnsembleSize,
+		Lambda: p.Lambda,
+		Tree: hoeffding.Config{
+			GracePeriod: p.GracePeriod,
+			Delta:       p.Delta,
+			Tau:         p.Tau,
+			Bins:        p.Bins,
+			MaxDepth:    p.MaxDepth,
+		},
+		Seed: p.Seed,
+	}
+}
+
+// init registers both reference ensembles under their paper table names.
+func init() {
+	registry.Register("Forest Ens.", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return NewARF(ensembleConfig(p), schema), nil
+	})
+	registry.Register("Bagging Ens.", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return NewLevBag(ensembleConfig(p), schema), nil
+	})
+}

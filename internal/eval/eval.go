@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -108,6 +109,13 @@ func (r Result) Series(metric func(IterStats) float64) []float64 {
 // iteration a batch of BatchFraction of the stream is first scored
 // (confusion matrix -> F1) and then used to train the model.
 func Prequential(c model.Classifier, s stream.Stream, opts Options) (Result, error) {
+	return PrequentialContext(context.Background(), c, s, opts)
+}
+
+// PrequentialContext is Prequential with cancellation: the context is
+// checked before every test-then-train iteration, and a cancelled run
+// returns the iterations finished so far together with ctx.Err().
+func PrequentialContext(ctx context.Context, c model.Classifier, s stream.Stream, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	schema := s.Schema()
 	if err := schema.Validate(); err != nil {
@@ -125,9 +133,15 @@ func Prequential(c model.Classifier, s stream.Stream, opts Options) (Result, err
 	res := Result{Model: c.Name(), Dataset: schema.Name}
 	conf := stats.NewConfusion(schema.NumClasses)
 	for iter := 0; opts.MaxIters == 0 || iter < opts.MaxIters; iter++ {
-		b, err := stream.NextBatch(s, batch)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		b, err := stream.NextBatchContext(ctx, s, batch)
 		if errors.Is(err, stream.ErrEnd) {
 			break
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return res, err
 		}
 		if err != nil {
 			return res, fmt.Errorf("eval: reading batch %d: %w", iter, err)

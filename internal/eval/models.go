@@ -1,16 +1,21 @@
 package eval
 
 import (
-	"fmt"
-
-	"repro/internal/core"
-	"repro/internal/efdt"
-	"repro/internal/ensemble"
-	"repro/internal/fimtdd"
-	"repro/internal/hatada"
-	"repro/internal/hoeffding"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/stream"
+
+	// The learner packages self-register their factories; the blank
+	// imports pull the init-time registrations in so any evaluation entry
+	// point can build every paper model by name.
+	_ "repro/internal/core"
+	_ "repro/internal/efdt"
+	_ "repro/internal/ensemble"
+	_ "repro/internal/fimtdd"
+	_ "repro/internal/glm"
+	_ "repro/internal/hatada"
+	_ "repro/internal/hoeffding"
+	_ "repro/internal/nbayes"
 )
 
 // Model names as used in the paper's tables.
@@ -45,26 +50,9 @@ func AllModels() []string {
 // stand-alone models).
 func TreeModels() []string { return StandaloneModels() }
 
-// NewClassifier builds a fresh classifier by its paper name, configured
-// exactly as in Section VI-C.
+// NewClassifier builds a fresh classifier by its paper name via the model
+// registry; the zero parameter bag plus the seed reproduces the paper's
+// Section VI-C configuration exactly.
 func NewClassifier(name string, schema stream.Schema, seed int64) (model.Classifier, error) {
-	switch name {
-	case NameDMT:
-		return core.New(core.Config{Seed: seed}, schema), nil
-	case NameFIMTDD:
-		return fimtdd.New(fimtdd.Config{Seed: seed}, schema), nil
-	case NameVFDTMC:
-		return hoeffding.New(hoeffding.Config{LeafMode: hoeffding.MajorityClass, Seed: seed}, schema), nil
-	case NameVFDTNBA:
-		return hoeffding.New(hoeffding.Config{LeafMode: hoeffding.NaiveBayesAdaptive, Seed: seed}, schema), nil
-	case NameHTAda:
-		return hatada.New(hatada.Config{Tree: hoeffding.Config{Seed: seed}}, schema), nil
-	case NameEFDT:
-		return efdt.New(efdt.Config{Tree: hoeffding.Config{Seed: seed}}, schema), nil
-	case NameForest:
-		return ensemble.NewARF(ensemble.Config{Seed: seed}, schema), nil
-	case NameBagging:
-		return ensemble.NewLevBag(ensemble.Config{Seed: seed}, schema), nil
-	}
-	return nil, fmt.Errorf("eval: unknown model %q", name)
+	return registry.New(name, schema, registry.WithSeed(seed))
 }

@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/datasets"
+)
+
+// Cell is one experiment cell of a suite: a model evaluated prequentially
+// on one stream with a fixed seed. Cells are self-contained — every cell
+// builds its own stream and classifier — so a Runner can execute them in
+// any order and on any number of workers without changing the results.
+type Cell struct {
+	Dataset datasets.Entry
+	Model   string
+	// Seed fixes this cell's stream and model. CellSeed derives
+	// scheduling-independent per-cell seeds from a base seed.
+	Seed int64
+}
+
+// CellSeed derives a deterministic per-cell seed from a base seed and the
+// cell's coordinates (FNV-1a over the names, folded with the base). Two
+// cells of the same suite never share streams or model initialisation,
+// and the derivation does not depend on worker scheduling.
+func CellSeed(base int64, dataset, model string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, dataset)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, model)
+	// Clear the sign bit after folding in the base so derived seeds stay
+	// non-negative even for negative bases — several generators treat
+	// the seed as an offset.
+	return (base ^ int64(h.Sum64())) & 0x7fffffffffffffff
+}
+
+// Runner executes experiment cells concurrently. It is the engine behind
+// Suite.Run and the serving-oriented replacement for driving Prequential
+// by hand: cells fan out across Workers goroutines, each cell owns its
+// stream and classifier, and the merged SuiteResult is byte-identical to
+// a sequential run of the same cells — the parallelisation the paper
+// defers to future work (Section V-D) without giving up reproducibility.
+type Runner struct {
+	// Workers is the degree of parallelism (<= 0: GOMAXPROCS).
+	Workers int
+	// Scale shrinks every stream to Scale * its original length
+	// (<= 0 or > 1 means full size).
+	Scale float64
+	// BatchFraction is the prequential batch size (default 0.001).
+	BatchFraction float64
+	// MinBatchSize floors the batch size (default 32 on scaled streams).
+	MinBatchSize int
+	// Progress, when non-nil, receives one line per finished cell.
+	Progress io.Writer
+}
+
+func (r Runner) workers(cells int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run evaluates every cell and merges the results into a SuiteResult.
+// The first cell failure cancels the remaining cells via the derived
+// context and returns (nil, that error). A cancelled parent context
+// returns the cells completed so far together with ctx.Err(), so a long
+// interrupted grid keeps its finished work.
+func (r Runner) Run(ctx context.Context, cells []Cell) (*SuiteResult, error) {
+	scale := r.Scale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+
+	out := &SuiteResult{Results: map[string]map[string]Result{}}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.Dataset.Name] {
+			seen[c.Dataset.Name] = true
+			out.Entries = append(out.Entries, c.Dataset)
+			out.Results[c.Dataset.Name] = map[string]Result{}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex // guards Results and Progress
+		failOnce sync.Once  // guards the first-error capture and the cancel
+		firstErr error
+		wg       sync.WaitGroup
+		next     = make(chan Cell)
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	runCell := func(c Cell) error {
+		strm := c.Dataset.New(scale, c.Seed)
+		clf, err := NewClassifier(c.Model, strm.Schema(), c.Seed)
+		if err != nil {
+			return err
+		}
+		res, err := PrequentialContext(ctx, clf, strm, Options{
+			BatchFraction: r.BatchFraction,
+			MinBatchSize:  r.MinBatchSize,
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				// Cancelled mid-cell: not a cell failure. The partial
+				// cell is dropped; completed cells stay in the result.
+				return nil
+			}
+			return fmt.Errorf("eval: %s on %s: %w", c.Model, c.Dataset.Name, err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out.Results[c.Dataset.Name][c.Model] = res
+		if r.Progress != nil {
+			f1, _ := res.F1()
+			sp, _ := res.Splits()
+			fmt.Fprintf(r.Progress, "done: %-12s on %-14s F1=%.3f splits=%.1f iters=%d\n",
+				c.Model, c.Dataset.DisplayName(), f1, sp, len(res.Iters))
+		}
+		return nil
+	}
+
+	for w := 0; w < r.workers(len(cells)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				if ctx.Err() != nil {
+					continue // drain remaining cells after cancellation
+				}
+				if err := runCell(c); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for _, c := range cells {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,11 +1,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
-	"sync"
 
 	"repro/internal/datasets"
 )
@@ -53,6 +53,9 @@ func (s Suite) withDefaults() Suite {
 	if len(s.Models) == 0 {
 		s.Models = AllModels()
 	}
+	if s.Parallel < 1 {
+		s.Parallel = 1
+	}
 	return s
 }
 
@@ -64,93 +67,52 @@ type SuiteResult struct {
 	Results map[string]map[string]Result
 }
 
-// job is one (stream, model) evaluation of a suite.
-type job struct {
-	entry datasets.Entry
-	model string
-}
-
-// Run executes the suite, sequentially or with Parallel workers. Every
-// job builds its own stream and classifier from the suite seed, so the
-// results are identical regardless of the degree of parallelism.
-func (s Suite) Run() (*SuiteResult, error) {
+// Cells expands the suite into its experiment cells (every selected model
+// on every selected stream, all sharing the suite seed — the paper's
+// protocol, where every model sees the identical stream).
+func (s Suite) Cells() ([]Cell, error) {
 	s = s.withDefaults()
-	out := &SuiteResult{Suite: s, Results: map[string]map[string]Result{}}
-
-	var jobs []job
+	var cells []Cell
 	for _, dsName := range s.Datasets {
 		entry, err := datasets.ByName(dsName)
 		if err != nil {
 			return nil, err
 		}
-		out.Entries = append(out.Entries, entry)
-		out.Results[entry.Name] = map[string]Result{}
 		for _, modelName := range s.Models {
-			jobs = append(jobs, job{entry: entry, model: modelName})
+			cells = append(cells, Cell{Dataset: entry, Model: modelName, Seed: s.Seed})
 		}
 	}
+	return cells, nil
+}
 
-	workers := s.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
+// Run executes the suite, sequentially or with Parallel workers.
+func (s Suite) Run() (*SuiteResult, error) {
+	return s.RunContext(context.Background())
+}
 
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-		next     = make(chan job)
-	)
-	runOne := func(j job) error {
-		strm := j.entry.New(s.Scale, s.Seed)
-		clf, err := NewClassifier(j.model, strm.Schema(), s.Seed)
-		if err != nil {
-			return err
-		}
-		res, err := Prequential(clf, strm, Options{BatchFraction: s.BatchFraction, MinBatchSize: s.MinBatchSize})
-		if err != nil {
-			return fmt.Errorf("eval: %s on %s: %w", j.model, j.entry.Name, err)
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		out.Results[j.entry.Name][j.model] = res
-		if s.Progress != nil {
-			f1, _ := res.F1()
-			sp, _ := res.Splits()
-			fmt.Fprintf(s.Progress, "done: %-12s on %-14s F1=%.3f splits=%.1f iters=%d\n",
-				j.model, j.entry.DisplayName(), f1, sp, len(res.Iters))
-		}
-		return nil
+// RunContext executes the suite under a context: cancellation stops the
+// in-flight cells at their next iteration and returns the completed
+// cells together with ctx.Err(). Every cell builds its own stream and
+// classifier from the suite seed, so the results are identical
+// regardless of the degree of parallelism.
+func (s Suite) RunContext(ctx context.Context) (*SuiteResult, error) {
+	s = s.withDefaults()
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
 	}
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				if err := runOne(j); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
+	r := Runner{
+		Workers:       s.Parallel,
+		Scale:         s.Scale,
+		BatchFraction: s.BatchFraction,
+		MinBatchSize:  s.MinBatchSize,
+		Progress:      s.Progress,
 	}
-	for _, j := range jobs {
-		next <- j
+	out, err := r.Run(ctx, cells)
+	if out != nil {
+		out.Suite = s
 	}
-	close(next)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return out, err
 }
 
 // driftDatasets are the Table I streams with known concept drift, used by

@@ -1,0 +1,23 @@
+package fimtdd
+
+import (
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// init registers the FIMT-DD classification variant under its paper name.
+func init() {
+	registry.Register("FIMT-DD", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return New(Config{
+			LearningRate: p.LearningRate,
+			Delta:        p.Delta,
+			Tau:          p.Tau,
+			GracePeriod:  p.GracePeriod,
+			PHDelta:      p.PHDelta,
+			PHLambda:     p.PHLambda,
+			MaxDepth:     p.MaxDepth,
+			Seed:         p.Seed,
+		}, schema), nil
+	})
+}

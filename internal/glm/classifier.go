@@ -1,0 +1,66 @@
+package glm
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// Classifier adapts a single GLM (the DMT's simple model) to the
+// repository-wide classifier contract: a structureless linear baseline —
+// exactly what a depth-0 DMT that never splits would serve.
+type Classifier struct {
+	m      Model
+	lr     float64
+	l1     float64
+	schema stream.Schema
+}
+
+// NewClassifier returns a stand-alone GLM baseline. lr <= 0 uses the
+// DMT's default rate of 0.05; l1 > 0 adds a proximal L1 step per batch.
+func NewClassifier(schema stream.Schema, lr, l1 float64, seed int64) *Classifier {
+	if lr <= 0 {
+		lr = 0.05
+	}
+	rng := rand.New(rand.NewSource(seed + 5))
+	return &Classifier{
+		m:      New(schema.NumFeatures, schema.NumClasses, rng),
+		lr:     lr,
+		l1:     l1,
+		schema: schema,
+	}
+}
+
+// Name implements model.Classifier.
+func (c *Classifier) Name() string { return "GLM" }
+
+// Learn implements model.Classifier with one mean-gradient SGD step.
+func (c *Classifier) Learn(b stream.Batch) {
+	if b.Len() == 0 {
+		return
+	}
+	c.m.Step(b.X, b.Y, c.lr)
+	if c.l1 > 0 {
+		c.m.Shrink(c.l1 * c.lr)
+	}
+}
+
+// Predict implements model.Classifier.
+func (c *Classifier) Predict(x []float64) int { return c.m.Predict(x) }
+
+// Proba implements model.ProbabilisticClassifier.
+func (c *Classifier) Proba(x []float64, out []float64) []float64 { return c.m.Proba(x, out) }
+
+// Complexity implements model.Classifier: one model leaf, no splits.
+func (c *Classifier) Complexity() model.Complexity {
+	return model.TreeComplexity(0, 1, 0, model.LeafModel, c.schema.NumFeatures, c.schema.NumClasses)
+}
+
+// init registers the stand-alone linear baseline.
+func init() {
+	registry.Register("GLM", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return NewClassifier(schema, p.LearningRate, p.L1, p.Seed), nil
+	})
+}

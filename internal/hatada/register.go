@@ -1,0 +1,25 @@
+package hatada
+
+import (
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// init registers the adaptive Hoeffding tree under its paper table name.
+func init() {
+	registry.Register("HT-Ada", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return New(Config{
+			Tree: hoeffding.Config{
+				GracePeriod: p.GracePeriod,
+				Delta:       p.Delta,
+				Tau:         p.Tau,
+				Bins:        p.Bins,
+				MaxDepth:    p.MaxDepth,
+				Seed:        p.Seed,
+			},
+			ADWINDelta: p.ADWINDelta,
+		}, schema), nil
+	})
+}

@@ -1,0 +1,39 @@
+package hoeffding
+
+import (
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// treeConfig maps the registry's flat parameter bag onto a Hoeffding
+// config; the zero values defer to WithDefaults as usual.
+func treeConfig(p registry.Params) Config {
+	return Config{
+		GracePeriod: p.GracePeriod,
+		Delta:       p.Delta,
+		Tau:         p.Tau,
+		Bins:        p.Bins,
+		MaxDepth:    p.MaxDepth,
+		Seed:        p.Seed,
+	}
+}
+
+// init registers the VFDT under its paper table names (fixed leaf modes)
+// plus a generic "VFDT" that honours Params.LeafMode.
+func init() {
+	register := func(name string, mode LeafMode, useParamMode bool) {
+		registry.Register(name, func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+			cfg := treeConfig(p)
+			cfg.LeafMode = mode
+			if useParamMode {
+				cfg.LeafMode = LeafMode(p.LeafMode)
+			}
+			return New(cfg, schema), nil
+		})
+	}
+	register("VFDT (MC)", MajorityClass, false)
+	register("VFDT (NB)", NaiveBayes, false)
+	register("VFDT (NBA)", NaiveBayesAdaptive, false)
+	register("VFDT", MajorityClass, true)
+}

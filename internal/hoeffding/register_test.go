@@ -1,0 +1,27 @@
+package hoeffding
+
+import (
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// registry.LeafMode mirrors hoeffding.LeafMode without an import (the
+// registry must not depend on learner packages). Pin the value mapping
+// so a reordered or inserted constant on either side fails loudly
+// instead of silently building the wrong leaf predictor.
+func TestRegistryLeafModeValuesMatch(t *testing.T) {
+	pairs := []struct {
+		reg  registry.LeafMode
+		tree LeafMode
+	}{
+		{registry.LeafMajorityClass, MajorityClass},
+		{registry.LeafNaiveBayes, NaiveBayes},
+		{registry.LeafNaiveBayesAdaptive, NaiveBayesAdaptive},
+	}
+	for _, p := range pairs {
+		if int(p.reg) != int(p.tree) {
+			t.Fatalf("registry.LeafMode %d != hoeffding.LeafMode %d (%s)", p.reg, p.tree, p.tree)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package nbayes
+
+import (
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// Classifier adapts the Gaussian Naive Bayes model to the repository-wide
+// classifier contract, making it available as a stand-alone structureless
+// baseline through the registry (the paper uses it only inside VFDT (NBA)
+// leaves).
+type Classifier struct {
+	m      *Model
+	schema stream.Schema
+}
+
+// NewClassifier returns an empty stand-alone Naive Bayes classifier.
+func NewClassifier(schema stream.Schema) *Classifier {
+	return &Classifier{m: New(schema.NumFeatures, schema.NumClasses), schema: schema}
+}
+
+// Name implements model.Classifier.
+func (c *Classifier) Name() string { return "Naive Bayes" }
+
+// Learn implements model.Classifier.
+func (c *Classifier) Learn(b stream.Batch) {
+	for i, x := range b.X {
+		c.m.Observe(x, b.Y[i], 1)
+	}
+}
+
+// Predict implements model.Classifier.
+func (c *Classifier) Predict(x []float64) int { return c.m.Predict(x) }
+
+// Proba implements model.ProbabilisticClassifier.
+func (c *Classifier) Proba(x []float64, out []float64) []float64 { return c.m.Proba(x, out) }
+
+// Complexity implements model.Classifier: a single model leaf under the
+// paper's counting (no splits to report).
+func (c *Classifier) Complexity() model.Complexity {
+	return model.TreeComplexity(0, 1, 0, model.LeafModel, c.schema.NumFeatures, c.schema.NumClasses)
+}
+
+// init registers the stand-alone baseline.
+func init() {
+	registry.Register("Naive Bayes", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
+		return NewClassifier(schema), nil
+	})
+}

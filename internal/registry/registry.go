@@ -1,0 +1,219 @@
+// Package registry is the model registry behind the public serving API:
+// every learner package self-registers a factory under its paper table
+// name (plus aliases) in an init function, and the facade's
+// repro.New(name, schema, opts...) resolves names here. The registry
+// decouples the evaluation harness and the serving layer from the
+// concrete learner packages — adding a model is one Register call, with
+// no central switch to edit.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// LeafMode mirrors the Hoeffding-tree leaf predictor selection without
+// importing the hoeffding package (which itself registers here). The
+// values match hoeffding.LeafMode by construction.
+type LeafMode int
+
+const (
+	// LeafMajorityClass predicts the most frequent class at the leaf.
+	LeafMajorityClass LeafMode = iota
+	// LeafNaiveBayes predicts with a Gaussian Naive Bayes leaf model.
+	LeafNaiveBayes
+	// LeafNaiveBayesAdaptive picks the more accurate of the two per leaf.
+	LeafNaiveBayesAdaptive
+)
+
+// Params is the flattened hyperparameter bag that functional options
+// write into. Each factory maps the fields it understands onto its own
+// config struct; zero values always mean "use the package default", so an
+// empty Params reproduces the paper's Section VI-C configuration exactly.
+type Params struct {
+	// Seed drives every source of randomness of the built model.
+	Seed int64
+	// LearningRate of GLM leaf/node models (DMT default 0.05, FIMT-DD
+	// 0.01, GLM baseline 0.05).
+	LearningRate float64
+	// Epsilon is the DMT's AIC confidence level (default 1e-7).
+	Epsilon float64
+	// CandidateFactor caps DMT split candidates at factor*m (default 3).
+	CandidateFactor int
+	// ReplacementRate is the DMT candidate-pool churn rate (default 0.5).
+	ReplacementRate float64
+	// RestructureGrace is the DMT inner-node grace weight (default 2000).
+	RestructureGrace float64
+	// L1 is the DMT's optional proximal L1 strength (default 0 = off).
+	L1 float64
+	// MaxDepth bounds tree growth; 0 means unbounded.
+	MaxDepth int
+	// GracePeriod is the Hoeffding-family weight between split attempts
+	// (default 200).
+	GracePeriod float64
+	// Delta is the Hoeffding bound confidence (default 1e-7; FIMT-DD 0.01).
+	Delta float64
+	// Tau is the Hoeffding tie-break threshold (default 0.05).
+	Tau float64
+	// Bins is the number of candidate thresholds per numeric observer
+	// (default 10).
+	Bins int
+	// LeafMode selects the VFDT leaf predictor (only the generic "VFDT"
+	// registration honours it; the "(MC)"/"(NB)"/"(NBA)" names are fixed).
+	LeafMode LeafMode
+	// ADWINDelta is the HT-Ada per-node monitor confidence (default 0.002).
+	ADWINDelta float64
+	// ReevalPeriod is the EFDT split re-evaluation weight (default 1000).
+	ReevalPeriod float64
+	// EnsembleSize is the number of ensemble members (default 3).
+	EnsembleSize int
+	// Lambda is the ensembles' Poisson weighting intensity (default 6).
+	Lambda float64
+	// PHDelta and PHLambda parameterise FIMT-DD's Page-Hinkley detectors
+	// (defaults 0.005 and 50).
+	PHDelta  float64
+	PHLambda float64
+}
+
+// Option mutates one Params field; options compose left to right.
+type Option func(*Params)
+
+// WithSeed fixes every source of randomness of the model.
+func WithSeed(seed int64) Option { return func(p *Params) { p.Seed = seed } }
+
+// WithLearningRate sets the SGD rate of GLM-based models.
+func WithLearningRate(lr float64) Option { return func(p *Params) { p.LearningRate = lr } }
+
+// WithEpsilon sets the DMT's AIC confidence level (eq. 11).
+func WithEpsilon(eps float64) Option { return func(p *Params) { p.Epsilon = eps } }
+
+// WithCandidateFactor caps DMT split candidates at factor*NumFeatures.
+func WithCandidateFactor(f int) Option { return func(p *Params) { p.CandidateFactor = f } }
+
+// WithReplacementRate sets the DMT candidate-pool churn rate.
+func WithReplacementRate(r float64) Option { return func(p *Params) { p.ReplacementRate = r } }
+
+// WithRestructureGrace sets the DMT inner-node restructure grace weight.
+func WithRestructureGrace(g float64) Option { return func(p *Params) { p.RestructureGrace = g } }
+
+// WithL1 enables the DMT's sparsity extension with the given strength.
+func WithL1(l1 float64) Option { return func(p *Params) { p.L1 = l1 } }
+
+// WithMaxDepth bounds tree growth (0 = unbounded).
+func WithMaxDepth(d int) Option { return func(p *Params) { p.MaxDepth = d } }
+
+// WithGracePeriod sets the Hoeffding-family split-attempt grace weight.
+func WithGracePeriod(g float64) Option { return func(p *Params) { p.GracePeriod = g } }
+
+// WithDelta sets the Hoeffding bound confidence.
+func WithDelta(d float64) Option { return func(p *Params) { p.Delta = d } }
+
+// WithTau sets the Hoeffding tie-break threshold.
+func WithTau(t float64) Option { return func(p *Params) { p.Tau = t } }
+
+// WithBins sets the candidate thresholds per numeric observer.
+func WithBins(b int) Option { return func(p *Params) { p.Bins = b } }
+
+// WithLeafMode selects the VFDT leaf predictor for the generic "VFDT"
+// registration.
+func WithLeafMode(m LeafMode) Option { return func(p *Params) { p.LeafMode = m } }
+
+// WithADWINDelta sets the HT-Ada per-node monitor confidence.
+func WithADWINDelta(d float64) Option { return func(p *Params) { p.ADWINDelta = d } }
+
+// WithReevalPeriod sets the EFDT split re-evaluation weight.
+func WithReevalPeriod(w float64) Option { return func(p *Params) { p.ReevalPeriod = w } }
+
+// WithEnsembleSize sets the number of ensemble members.
+func WithEnsembleSize(n int) Option { return func(p *Params) { p.EnsembleSize = n } }
+
+// WithLambda sets the ensembles' Poisson weighting intensity.
+func WithLambda(l float64) Option { return func(p *Params) { p.Lambda = l } }
+
+// WithPageHinkley sets FIMT-DD's Page-Hinkley detector parameters.
+func WithPageHinkley(delta, lambda float64) Option {
+	return func(p *Params) { p.PHDelta, p.PHLambda = delta, lambda }
+}
+
+// Factory builds a classifier for a schema from a resolved Params bag.
+type Factory func(schema stream.Schema, p Params) (model.Classifier, error)
+
+var (
+	mu        sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register adds a factory under a model name. It is meant to be called
+// from learner-package init functions and panics on an empty name, a nil
+// factory, or a duplicate registration — all three are programmer errors
+// that must surface at process start, not at serve time.
+func Register(name string, f Factory) {
+	if strings.TrimSpace(name) == "" {
+		panic("registry: Register with empty model name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("registry: Register(%q) with nil factory", name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("registry: Register(%q) called twice", name))
+	}
+	factories[name] = f
+}
+
+// Registered reports whether a model name is known.
+func Registered(name string) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	_, ok := factories[name]
+	return ok
+}
+
+// Names returns every registered model name, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a classifier by registered name. The schema is validated up
+// front so misconfigured serving paths fail before any learning starts.
+func New(name string, schema stream.Schema, opts ...Option) (model.Classifier, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	mu.RLock()
+	f, ok := factories[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown model %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	var p Params
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&p)
+		}
+	}
+	return f(schema, p)
+}
+
+// MustNew is New for initialisation paths where a failure is fatal.
+func MustNew(name string, schema stream.Schema, opts ...Option) model.Classifier {
+	c, err := New(name, schema, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

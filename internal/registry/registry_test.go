@@ -1,0 +1,107 @@
+package registry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// fake is a registry-only test classifier.
+type fake struct{ p Params }
+
+func (f *fake) Learn(stream.Batch)           {}
+func (f *fake) Predict([]float64) int        { return 0 }
+func (f *fake) Complexity() model.Complexity { return model.Complexity{} }
+func (f *fake) Name() string                 { return "fake" }
+
+func fakeFactory(schema stream.Schema, p Params) (model.Classifier, error) {
+	return &fake{p: p}, nil
+}
+
+var schema = stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "t"}
+
+func TestRegisterNewRoundTrip(t *testing.T) {
+	Register("test-fake", fakeFactory)
+	if !Registered("test-fake") {
+		t.Fatal("test-fake not registered")
+	}
+	c, err := New("test-fake", schema,
+		WithSeed(3), WithLearningRate(0.5), WithEpsilon(1e-3), WithGracePeriod(50),
+		WithDelta(0.1), WithTau(0.2), WithBins(7), WithMaxDepth(4),
+		WithLeafMode(LeafNaiveBayes), WithADWINDelta(0.01), WithReevalPeriod(9),
+		WithEnsembleSize(5), WithLambda(2), WithCandidateFactor(6),
+		WithReplacementRate(0.3), WithRestructureGrace(10), WithL1(0.05),
+		WithPageHinkley(0.1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.(*fake).p
+	want := Params{
+		Seed: 3, LearningRate: 0.5, Epsilon: 1e-3, GracePeriod: 50,
+		Delta: 0.1, Tau: 0.2, Bins: 7, MaxDepth: 4,
+		LeafMode: LeafNaiveBayes, ADWINDelta: 0.01, ReevalPeriod: 9,
+		EnsembleSize: 5, Lambda: 2, CandidateFactor: 6,
+		ReplacementRate: 0.3, RestructureGrace: 10, L1: 0.05,
+		PHDelta: 0.1, PHLambda: 7,
+	}
+	if p != want {
+		t.Fatalf("params = %+v, want %+v", p, want)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("definitely-unknown", schema); err == nil ||
+		!strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("unknown model error = %v", err)
+	}
+	if _, err := New("DMT", stream.Schema{NumFeatures: 0, NumClasses: 2}); err == nil {
+		t.Fatal("invalid schema must error")
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register("", fakeFactory) })
+	mustPanic("nil factory", func() { Register("test-nil", nil) })
+	Register("test-dup", fakeFactory)
+	mustPanic("duplicate", func() { Register("test-dup", fakeFactory) })
+}
+
+func TestNamesSortedAndConcurrentAccess(t *testing.T) {
+	Register("test-zzz", fakeFactory)
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	// Registry reads must be goroutine-safe (serving builds models on
+	// demand from many goroutines).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := New("test-zzz", schema, WithSeed(int64(j))); err != nil {
+					t.Error(err)
+					return
+				}
+				Names()
+				Registered("test-zzz")
+			}
+		}()
+	}
+	wg.Wait()
+}

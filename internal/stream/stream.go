@@ -6,6 +6,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -110,12 +111,43 @@ type Sized interface {
 	Len() int
 }
 
+// ContextStream is optionally implemented by streams whose production can
+// block (network taps, queues, rate-limited replays): NextContext must
+// honour cancellation. Purely computational streams need not implement
+// it — NextWithContext checks the context for them.
+type ContextStream interface {
+	Stream
+	// NextContext is Next with cancellation: it returns ctx.Err() as soon
+	// as the context is done.
+	NextContext(ctx context.Context) (Instance, error)
+}
+
+// NextWithContext draws one instance, honouring cancellation: it returns
+// ctx.Err() when the context is done, delegates to NextContext when the
+// stream supports it, and falls back to plain Next otherwise.
+func NextWithContext(ctx context.Context, s Stream) (Instance, error) {
+	if err := ctx.Err(); err != nil {
+		return Instance{}, err
+	}
+	if cs, ok := s.(ContextStream); ok {
+		return cs.NextContext(ctx)
+	}
+	return s.Next()
+}
+
 // NextBatch draws up to n instances from s into a fresh batch. It returns
 // ErrEnd only when no instance at all could be drawn.
 func NextBatch(s Stream, n int) (Batch, error) {
+	return NextBatchContext(context.Background(), s, n)
+}
+
+// NextBatchContext is NextBatch with cancellation: the context is checked
+// before every instance, and its error aborts the batch immediately (the
+// partial batch is dropped — a cancelled run must not train on it).
+func NextBatchContext(ctx context.Context, s Stream, n int) (Batch, error) {
 	b := Batch{X: make([][]float64, 0, n), Y: make([]int, 0, n)}
 	for i := 0; i < n; i++ {
-		inst, err := s.Next()
+		inst, err := NextWithContext(ctx, s)
 		if err != nil {
 			if errors.Is(err, ErrEnd) {
 				break

@@ -5,13 +5,25 @@
 // Table I, and the prequential evaluation harness that regenerates the
 // paper's tables and figures.
 //
-// Quickstart:
+// Quickstart (registry + functional options, the serving API):
 //
 //	gen := repro.NewSEA(100_000, 0.1, 42)
-//	dmt := repro.NewDMT(repro.DMTConfig{Seed: 42}, gen.Schema())
-//	res, err := repro.Prequential(dmt, gen, repro.EvalOptions{})
+//	dmt, err := repro.New("DMT", gen.Schema(), repro.WithSeed(42))
+//	if err != nil { ... }
+//	res, err := repro.PrequentialContext(ctx, dmt, gen, repro.EvalOptions{})
 //	if err != nil { ... }
 //	f1, _ := res.F1()
+//
+// Every learner package self-registers in the model registry, so New
+// builds any of the paper's eight models (plus the extra baselines) by
+// table name; functional options (WithSeed, WithLearningRate, ...) replace
+// direct config-struct wiring. Register plugs external learners into the
+// same registry. For serving reads during learning, wrap any model in a
+// NewScorer; for fanning whole experiment grids across cores, use the
+// Runner (or ExperimentSuite with Parallel > 1).
+//
+// The typed constructors below (NewDMT, NewVFDT, ...) remain for callers
+// that want compile-time configs and the concrete tree types.
 //
 // See examples/ for runnable programs and cmd/dmtbench for the full
 // experiment suite.
@@ -45,6 +57,9 @@ type (
 	Stream = stream.Stream
 	// Classifier is the batch-incremental online classifier contract.
 	Classifier = model.Classifier
+	// ProbabilisticClassifier is implemented by models exposing class
+	// probabilities.
+	ProbabilisticClassifier = model.ProbabilisticClassifier
 	// Complexity is the paper's split/parameter accounting (Section VI-D2).
 	Complexity = model.Complexity
 )
@@ -206,3 +221,12 @@ func NewMemoryStream(schema Schema, data Batch) Stream { return stream.NewMemory
 
 // LimitStream caps a stream at n instances.
 func LimitStream(s Stream, n int) Stream { return stream.NewLimit(s, n) }
+
+// WriteCSVStream materialises a stream to CSV and returns the row count.
+func WriteCSVStream(w io.Writer, s Stream) (int, error) { return stream.WriteCSV(w, s) }
+
+// ReadCSVStream loads a CSV stream into a replayable in-memory stream.
+// numClasses 0 infers the class count from the labels.
+func ReadCSVStream(r io.Reader, name string, numClasses int) (Stream, error) {
+	return stream.ReadCSV(r, name, numClasses)
+}

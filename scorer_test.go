@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+)
+
+// Hammer a Scorer-wrapped DMT with concurrent Predict/Proba calls while a
+// learning loop trains it. Run under -race this verifies the serving
+// path: goroutine-safe reads during online learning.
+func TestScorerConcurrentPredictDuringLearn(t *testing.T) {
+	gen := NewSEA(20_000, 0.1, 1)
+	scorer := NewScorer(MustNew("DMT", gen.Schema(), WithSeed(1)))
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := []float64{float64(r) / readers, 0.5, 0.5}
+			var proba []float64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if y := scorer.Predict(probe); y < 0 || y > 1 {
+					t.Errorf("reader %d got class %d", r, y)
+					return
+				}
+				proba = scorer.Proba(probe, proba)
+				_ = scorer.Complexity()
+			}
+		}(r)
+	}
+
+	// The learning loop: batches of 100, test-then-train through the same
+	// Scorer the readers are using.
+	if _, err := Prequential(scorer, gen, EvalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if scorer.Complexity().Leaves < 1 {
+		t.Fatal("scorer wrapped model did not learn")
+	}
+	if scorer.Name() != "DMT" {
+		t.Fatalf("Name() = %q", scorer.Name())
+	}
+	if scorer.Unwrap() == nil {
+		t.Fatal("Unwrap() = nil")
+	}
+}
+
+// The one-hot fallback for models without a probabilistic interface.
+func TestScorerProbaFallback(t *testing.T) {
+	s := NewScorer(constClassifier{})
+	p := s.Proba([]float64{0.1, 0.2}, make([]float64, 2))
+	if p[0] != 0 || p[1] != 1 {
+		t.Fatalf("one-hot fallback = %v", p)
+	}
+	if p = s.Proba([]float64{0.1, 0.2}, nil); len(p) != 2 || p[1] != 1 {
+		t.Fatalf("nil-out fallback = %v", p)
+	}
+}
+
+// constClassifier is a minimal non-probabilistic classifier.
+type constClassifier struct{}
+
+func (constClassifier) Learn(Batch)            {}
+func (constClassifier) Predict([]float64) int  { return 1 }
+func (constClassifier) Complexity() Complexity { return Complexity{} }
+func (constClassifier) Name() string           { return "const" }
