@@ -1,10 +1,19 @@
 # CI entry points. `make ci` is the gate: vet + build + tests + a short
 # race pass over the concurrency-sensitive paths (Scorer, Runner,
 # registry).
+#
+# `make bench` runs the Benchmark*Op hot-path micro-benchmarks with
+# -benchmem and writes BENCH_PR2.json (ns/op, B/op, allocs/op per
+# benchmark, joined with the recorded pre-candidate-index baseline in
+# bench/BASELINE_PR2.txt), so the perf trajectory is tracked from PR 2
+# onward. `make bench-all` additionally replays the full table/figure
+# reproduction benchmarks.
 
 GO ?= go
+BENCH_TXT ?= /tmp/repro_bench_current.txt
+BENCHTIME ?= 1s
 
-.PHONY: all ci vet build test race bench fmt
+.PHONY: all ci vet build test race bench bench-all fmt
 
 all: ci
 
@@ -23,6 +32,12 @@ race:
 	$(GO) test -race -short ./...
 
 bench:
+	$(GO) test -run '^$$' -bench 'Op$$' -benchmem -benchtime $(BENCHTIME) ./... > $(BENCH_TXT)
+	@cat $(BENCH_TXT)
+	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR2.txt -out BENCH_PR2.json
+	@echo "wrote BENCH_PR2.json"
+
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 fmt:

@@ -1,0 +1,40 @@
+package repro
+
+import (
+	"testing"
+)
+
+// Serving-path allocation regression: a Scorer wrapping a warmed DMT must
+// answer Predict and Proba (with a caller-supplied out buffer) without
+// allocating, and steady-state Learn through the public API must stay at
+// zero allocations too — the candidate index and the per-tree scratch
+// arena absorb all per-batch working memory.
+func TestScorerServingZeroAllocs(t *testing.T) {
+	batches := linearBenchBatches(8, 16, 100, 9)
+	tree := NewDMT(DMTConfig{Seed: 4}, Schema{NumFeatures: 8, NumClasses: 2, Name: "alloc"})
+	for _, b := range batches {
+		tree.Learn(b)
+	}
+	if tree.Complexity().Inner != 0 {
+		t.Skip("tree split during warm-up; steady state not reachable with this data")
+	}
+	s := NewScorer(tree)
+	x := batches[0].X[0]
+	out := make([]float64, 2)
+	s.Predict(x)
+	s.Proba(x, out)
+
+	if avg := testing.AllocsPerRun(200, func() { s.Predict(x) }); avg != 0 {
+		t.Fatalf("Scorer.Predict allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { s.Proba(x, out) }); avg != 0 {
+		t.Fatalf("Scorer.Proba allocates %.2f allocs/op, want 0", avg)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		s.Learn(batches[i&15])
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state Scorer.Learn allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -264,6 +265,57 @@ func BenchmarkGLMRowLossGradOp(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.RowLossGrad(x, i&1, grad)
+	}
+}
+
+// linearBenchBatches builds count batches of size rows over m uniform
+// features labelled by a fixed linear rule — a steady-state workload (the
+// DMT does not split on a linear concept, Property 2), so the benchmarks
+// below measure the per-batch hot path rather than structural changes.
+func linearBenchBatches(m, count, size int, seed int64) []stream.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	out := make([]stream.Batch, count)
+	for k := range out {
+		X := make([][]float64, size)
+		Y := make([]int, size)
+		for i := 0; i < size; i++ {
+			x := make([]float64, m)
+			s := -0.5 * float64(m) * 0.5
+			for j := range x {
+				x[j] = rng.Float64()
+				s += w[j] * x[j]
+			}
+			X[i] = x
+			if s > 0 {
+				Y[i] = 1
+			}
+		}
+		out[k] = stream.Batch{X: X, Y: Y}
+	}
+	return out
+}
+
+// BenchmarkLearnOp measures one steady-state DMT Learn call (100-row
+// batch) across feature widths. This is the acceptance benchmark of the
+// candidate-index optimisation; `make bench` records it in BENCH_PR2.json.
+func BenchmarkLearnOp(b *testing.B) {
+	for _, m := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			batches := linearBenchBatches(m, 64, 100, 7)
+			tree := core.New(core.Config{Seed: 1}, stream.Schema{NumFeatures: m, NumClasses: 2, Name: "bench"})
+			for _, bt := range batches {
+				tree.Learn(bt) // warm up: fill the candidate pool, size buffers
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.Learn(batches[i&63])
+			}
+		})
 	}
 }
 

@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` text output into JSON,
+// optionally joining it with a recorded baseline run to compute per-
+// benchmark speedups. It backs `make bench`, which tracks the hot-path
+// perf trajectory (ns/op, B/op, allocs/op) in BENCH_PR2.json from PR 2
+// onward.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Op$' -benchmem ./... > current.txt
+//	benchjson -new current.txt -old bench/BASELINE_PR2.txt -out BENCH_PR2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line, e.g.
+// "BenchmarkLearnOp/m=50-8   1992   617543 ns/op   32479 B/op   127 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// Result is one benchmark measurement, joined with its baseline when the
+// baseline run contains the same benchmark name.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineBytesPerOp  float64 `json:"baseline_b_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+type doc struct {
+	Note       string   `json:"note"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func parse(path string) (map[string]Result, []string, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[string]Result{}
+	var order []string
+	start := 0
+	for pos := 0; pos <= len(raw); pos++ {
+		if pos != len(raw) && raw[pos] != '\n' {
+			continue
+		}
+		line := string(raw[start:pos])
+		start = pos + 1
+		mm := benchLine.FindStringSubmatch(line)
+		if mm == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(mm[2], 10, 64)
+		ns, _ := strconv.ParseFloat(mm[3], 64)
+		var bytesOp, allocsOp float64
+		if mm[4] != "" {
+			bytesOp, _ = strconv.ParseFloat(mm[4], 64)
+		}
+		if mm[5] != "" {
+			allocsOp, _ = strconv.ParseFloat(mm[5], 64)
+		}
+		if _, dup := out[mm[1]]; !dup {
+			order = append(order, mm[1])
+		}
+		out[mm[1]] = Result{Name: mm[1], Iters: iters, NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp}
+	}
+	return out, order, nil
+}
+
+func main() {
+	newPath := flag.String("new", "-", "current `go test -bench` output ('-' = stdin)")
+	oldPath := flag.String("old", "", "optional baseline `go test -bench` output")
+	outPath := flag.String("out", "", "output JSON path (default stdout)")
+	note := flag.String("note", "micro-benchmarks of the candidate-index hot paths; speedup = baseline_ns/current_ns", "note embedded in the document")
+	flag.Parse()
+
+	cur, order, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	base := map[string]Result{}
+	if *oldPath != "" {
+		if base, _, err = parse(*oldPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	d := doc{Note: *note}
+	sort.Strings(order)
+	for _, name := range order {
+		r := cur[name]
+		if b, ok := base[name]; ok {
+			r.BaselineNsPerOp = b.NsPerOp
+			r.BaselineBytesPerOp = b.BytesPerOp
+			r.BaselineAllocsPerOp = b.AllocsPerOp
+			if r.NsPerOp > 0 {
+				r.Speedup = b.NsPerOp / r.NsPerOp
+			}
+		}
+		d.Benchmarks = append(d.Benchmarks, r)
+	}
+
+	enc, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// benchBatches builds steady-state linear batches over m features (the
+// tree does not split on a linear concept, so the candidate pool settles).
+func benchBatches(m, count, size int, seed int64) []stream.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	out := make([]stream.Batch, count)
+	for k := range out {
+		X := make([][]float64, size)
+		Y := make([]int, size)
+		for i := 0; i < size; i++ {
+			x := make([]float64, m)
+			s := -0.25 * float64(m)
+			for j := range x {
+				x[j] = rng.Float64()
+				s += w[j] * x[j]
+			}
+			X[i] = x
+			if s > 0 {
+				Y[i] = 1
+			}
+		}
+		out[k] = stream.Batch{X: X, Y: Y}
+	}
+	return out
+}
+
+// BenchmarkCandidateScanOp measures one node-level statistics update
+// (candidate accumulation + proposal admission) on a warmed node with a
+// full candidate pool — the inner loop the candidate index optimises.
+func BenchmarkCandidateScanOp(b *testing.B) {
+	for _, m := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			batches := benchBatches(m, 16, 100, 11)
+			tree := New(Config{Seed: 1}, stream.Schema{NumFeatures: m, NumClasses: 2, Name: "bench"})
+			n := tree.root
+			for _, bt := range batches {
+				tree.updateStats(n, bt) // fill the pool
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.updateStats(n, batches[i&15])
+			}
+		})
+	}
+}

@@ -4,37 +4,13 @@ import (
 	"repro/internal/linalg"
 )
 
-// candidate accumulates the split-candidate statistics of Algorithm 1: for
-// the would-be left child C (rows with x[feature] <= value), the loss of
-// the parent model on C, the gradient of that loss, and the row count. The
-// right-child statistics are always derived as parent minus left, so they
-// are never stored (Algorithm 1, note before line 4).
-type candidate struct {
-	feature int
-	value   float64
-	loss    float64
-	grad    []float64
-	n       float64
-}
-
-// candKey identifies a candidate for deduplication.
-type candKey struct {
-	feature int
-	value   float64
-}
-
-// accepts reports whether the row falls into the candidate's left branch.
-func (c *candidate) accepts(x []float64) bool {
-	return x[c.feature] <= c.value
-}
-
-// observe folds one row's loss and gradient into the left-branch
-// statistics.
-func (c *candidate) observe(loss float64, grad []float64) {
-	c.loss += loss
-	linalg.Add(c.grad, grad)
-	c.n++
-}
+// Split-candidate statistics accumulate, for the would-be left child C
+// (rows with x[feature] <= value), the loss of the parent model on C, the
+// gradient of that loss, and the row count. The right-child statistics
+// are always derived as parent minus left, so they are never stored
+// (Algorithm 1, note before line 4). The storage itself lives in the
+// per-feature sorted-threshold index (candindex.go); this file keeps the
+// gain arithmetic.
 
 // candidateGain evaluates gain (3)/(4) for left statistics (cLoss, cGrad,
 // cN) against parent statistics (pLoss, pGrad, pN), using the

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Randomised unit test of the index itself: a long interleaving of
+// inserts, removals and resets must preserve every structural invariant,
+// agree with a naive map-of-pools model, and never allocate past the
+// fixed arena.
+func TestCandIndexRandomOps(t *testing.T) {
+	const m, w, slots = 5, 7, 40
+	rng := rand.New(rand.NewSource(61))
+	ix := newCandIndex(m, w, slots)
+	model := map[[2]float64]bool{} // (feature, value) -> present
+
+	checkAgainstModel := func() {
+		t.Helper()
+		if err := checkIndexInvariants(ix); err != nil {
+			t.Fatalf("invariant: %v", err)
+		}
+		if ix.size() != len(model) {
+			t.Fatalf("size %d, model %d", ix.size(), len(model))
+		}
+		for key := range model {
+			if _, ok := ix.find(int(key[0]), key[1]); !ok {
+				t.Fatalf("model entry (x%v <= %v) missing from index", key[0], key[1])
+			}
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // insert
+			j := rng.Intn(m)
+			v := float64(rng.Intn(25)) / 10
+			_, ok := ix.insert(j, v)
+			key := [2]float64{float64(j), v}
+			switch {
+			case model[key] && ok:
+				t.Fatalf("duplicate (x%d <= %v) accepted", j, v)
+			case !model[key] && !ok && len(model) < slots:
+				t.Fatalf("insert (x%d <= %v) rejected with free capacity", j, v)
+			case ok:
+				model[key] = true
+			}
+		case op < 9: // remove a random present entry
+			if len(model) == 0 {
+				continue
+			}
+			for key := range model {
+				if !ix.remove(int(key[0]), key[1]) {
+					t.Fatalf("present entry (x%v <= %v) not removable", key[0], key[1])
+				}
+				delete(model, key)
+				break
+			}
+		default: // occasional full reset
+			if rng.Intn(20) == 0 {
+				ix.reset()
+				model = map[[2]float64]bool{}
+			}
+		}
+		if step%97 == 0 {
+			checkAgainstModel()
+		}
+	}
+	checkAgainstModel()
+
+	// Statistics written through a slot survive unrelated inserts and
+	// removals (slots are stable; only entries shift).
+	ix.reset()
+	slot, ok := ix.insert(2, 0.5)
+	if !ok {
+		t.Fatal("insert failed on empty index")
+	}
+	ix.loss[slot] = 7
+	ix.n[slot] = 3
+	g := ix.gradOf(slot)
+	for i := range g {
+		g[i] = float64(i)
+	}
+	for v := 0; v < 10; v++ {
+		ix.insert(2, 0.6+float64(v)) // shift the entry around
+	}
+	ix.remove(2, 0.6)
+	pos, ok := ix.find(2, 0.5)
+	if !ok {
+		t.Fatal("entry lost after shifts")
+	}
+	s := ix.entries[pos].slot
+	if s != slot || ix.loss[s] != 7 || ix.n[s] != 3 {
+		t.Fatalf("slot stats moved: slot %d loss %v n %v", s, ix.loss[s], ix.n[s])
+	}
+	for i, v := range ix.gradOf(s) {
+		if v != float64(i) {
+			t.Fatalf("gradient corrupted at %d: %v", i, v)
+		}
+	}
+}
+
+// The insert path must reject non-space gracefully: with a full arena,
+// ok=false and the index is untouched.
+func TestCandIndexArenaFull(t *testing.T) {
+	ix := newCandIndex(2, 3, 4)
+	for v := 0; v < 4; v++ {
+		if _, ok := ix.insert(v%2, float64(v)); !ok {
+			t.Fatalf("insert %d rejected below capacity", v)
+		}
+	}
+	if _, ok := ix.insert(0, 99); ok {
+		t.Fatal("insert accepted past arena capacity")
+	}
+	if err := checkIndexInvariants(ix); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -227,18 +228,15 @@ func assertInvariants(t *testing.T, tree *Tree) {
 		if len(n.grad) != n.mod.NumWeights() {
 			t.Fatalf("gradient length %d != weights %d", len(n.grad), n.mod.NumWeights())
 		}
-		if len(n.cands) > capSize {
-			t.Fatalf("candidate pool %d exceeds cap %d", len(n.cands), capSize)
+		if n.idx.size() > capSize {
+			t.Fatalf("candidate pool %d exceeds cap %d", n.idx.size(), capSize)
 		}
-		if len(n.cands) != len(n.candSet) {
-			t.Fatalf("candidate set out of sync: %d vs %d", len(n.cands), len(n.candSet))
+		if err := checkIndexInvariants(n.idx); err != nil {
+			t.Fatalf("candidate index corrupt: %v", err)
 		}
-		for _, c := range n.cands {
-			if c.n > n.n {
-				t.Fatalf("candidate count %v exceeds node count %v", c.n, n.n)
-			}
-			if c.feature < 0 || c.feature >= tree.schema.NumFeatures {
-				t.Fatalf("candidate feature %d out of range", c.feature)
+		for _, e := range n.idx.entries {
+			if n.idx.n[e.slot] > n.n {
+				t.Fatalf("candidate count %v exceeds node count %v", n.idx.n[e.slot], n.n)
 			}
 		}
 		if (n.left == nil) != (n.right == nil) {
@@ -250,6 +248,52 @@ func assertInvariants(t *testing.T, tree *Tree) {
 		}
 	}
 	walk(tree.root, 0)
+}
+
+// checkIndexInvariants verifies the structural invariants of the
+// candidate index: monotone feature offsets covering the entry array,
+// strictly descending finite thresholds per feature, unique in-range
+// arena slots, and a free stack that exactly complements the live slots.
+func checkIndexInvariants(ix *candIndex) error {
+	if int(ix.offsets[0]) != 0 || int(ix.offsets[ix.m]) != len(ix.entries) {
+		return fmt.Errorf("offsets do not cover entries: %v over %d", ix.offsets, len(ix.entries))
+	}
+	seen := map[int32]bool{}
+	for j := 0; j < ix.m; j++ {
+		lo, hi := ix.featRange(j)
+		if lo > hi {
+			return fmt.Errorf("feature %d range inverted: [%d,%d)", j, lo, hi)
+		}
+		for pos := lo; pos < hi; pos++ {
+			e := ix.entries[pos]
+			if math.IsNaN(e.value) || math.IsInf(e.value, 0) {
+				return fmt.Errorf("feature %d holds non-finite threshold", j)
+			}
+			if pos > lo && !(ix.entries[pos-1].value > e.value) {
+				return fmt.Errorf("feature %d thresholds not strictly descending at %d", j, pos)
+			}
+			if e.slot < 0 || int(e.slot) >= len(ix.loss) {
+				return fmt.Errorf("slot %d out of arena range", e.slot)
+			}
+			if seen[e.slot] {
+				return fmt.Errorf("slot %d referenced twice", e.slot)
+			}
+			seen[e.slot] = true
+			if ix.featureOf(pos) != j {
+				return fmt.Errorf("featureOf(%d) = %d, want %d", pos, ix.featureOf(pos), j)
+			}
+		}
+	}
+	if len(ix.free)+len(ix.entries) != len(ix.loss) {
+		return fmt.Errorf("free stack (%d) + live entries (%d) != arena capacity (%d)",
+			len(ix.free), len(ix.entries), len(ix.loss))
+	}
+	for _, s := range ix.free {
+		if seen[s] {
+			return fmt.Errorf("slot %d both free and live", s)
+		}
+	}
+	return nil
 }
 
 // Warm start: immediately after a split the children must predict like

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/glm"
@@ -23,10 +22,10 @@ type node struct {
 	grad []float64
 	n    float64
 
-	// Candidate statistics (Algorithm 1, lines 4-17), capped and
-	// partially replaceable per Section V-D.
-	cands   []*candidate
-	candSet map[candKey]struct{}
+	// Candidate statistics (Algorithm 1, lines 4-17) in the per-feature
+	// sorted-threshold index, capped and partially replaceable per
+	// Section V-D.
+	idx *candIndex
 
 	feature     int
 	threshold   float64
@@ -44,59 +43,75 @@ func (n *node) resetEpoch() {
 	n.loss = 0
 	linalg.Zero(n.grad)
 	n.n = 0
-	n.cands = n.cands[:0]
-	n.candSet = map[candKey]struct{}{}
-}
-
-// hasCandidate reports whether the (feature, value) pair is stored.
-func (n *node) hasCandidate(k candKey) bool {
-	_, ok := n.candSet[k]
-	return ok
+	n.idx.reset()
 }
 
 // candidateCap returns the pool capacity for m features.
 func candidateCap(cfg *Config, m int) int { return cfg.CandidateFactor * m }
 
 // updateStats performs the per-time-step statistics update of Algorithm 1
-// on this node: one pass over the batch computes each row's loss and
-// gradient once, feeding (a) the node accumulators, (b) every stored
-// candidate the row falls into, (c) the proposal candidates drawn from
-// this batch, and (d) the mean-gradient SGD step of the simple model.
-// Proposals are then admitted into the pool subject to the capacity and
-// replacement-rate policy of Section V-D.
-func (n *node) updateStats(cfg *Config, b stream.Batch, rng *rand.Rand) {
+// on one node: a single pass over the batch computes each row's loss and
+// gradient once, feeding (a) the node accumulators, (b) the candidate
+// index, and (c) the mean-gradient SGD step of the simple model.
+//
+// Candidate statistics are maintained through the sorted-threshold index:
+// the batch's proposals are provisionally inserted first, then each row
+// charges its loss/gradient to exactly ONE bucket per feature (the last
+// accepting threshold), and a suffix-sum sweep at batch end materialises
+// every candidate's left-branch totals. The old pool folded every row
+// into every accepting candidate — O(rows · 3m · w); the index pays
+// O(rows · m · (log k + w)) for the passes plus O(3m · w) for the sweep.
+// All working memory comes from the tree's scratch arena, so a
+// steady-state call allocates nothing.
+func (t *Tree) updateStats(n *node, b stream.Batch) {
 	rows := b.Len()
 	if rows == 0 {
 		return
 	}
+	cfg := &t.cfg
+	sc := t.scratch
+	m := t.schema.NumFeatures
 	w := n.mod.NumWeights()
-	rowGrad := make([]float64, w)
-	batchGrad := make([]float64, w)
+	ix := n.idx
+
+	t.propose(n, b)
+
+	stride := w + 2
+	buckets := sc.buckets[:ix.size()*stride]
+	linalg.Zero(buckets)
+	sc.reserveRows(rows, m, w)
+
+	batchGrad := sc.batchGrad
+	linalg.Zero(batchGrad)
 	var batchLoss float64
 	var used float64
 
-	proposals := n.propose(cfg, b, rng)
-
+	// Pass 1 (row-major): compute each usable row's loss and gradient
+	// once, cache them (and the row's feature values, transposed to
+	// column-major), feed the node accumulators and take the SGD step.
+	nu := 0
 	for i := 0; i < rows; i++ {
 		x := b.X[i]
-		if !linalg.IsFinite(x) {
+		// Transpose the row while testing finiteness (v*0 is NaN exactly
+		// for NaN/±Inf): one pass instead of a check pass plus a copy
+		// pass. A rejected row's partial column writes are harmless — the
+		// next accepted row overwrites the same nu column position.
+		var nonFinite float64
+		for j := 0; j < m; j++ {
+			v := x[j]
+			nonFinite += v * 0
+			sc.cols[j*sc.rowCap+nu] = v
+		}
+		if nonFinite != 0 {
 			continue
 		}
-		y := b.Y[i]
-		li := n.mod.RowLossGrad(x, y, rowGrad)
+		rowGrad := sc.rowGrads[nu*w : nu*w+w : nu*w+w]
+		li := n.mod.RowLossGrad(x, b.Y[i], rowGrad)
 		batchLoss += li
 		linalg.Add(batchGrad, rowGrad)
+		sc.rowLoss[nu] = li
+		nu++
 		used++
-		for _, c := range n.cands {
-			if c.accepts(x) {
-				c.observe(li, rowGrad)
-			}
-		}
-		for _, c := range proposals {
-			if c.accepts(x) {
-				c.observe(li, rowGrad)
-			}
-		}
 		// Per-instance SGD with a constant learning rate (Section V-A),
 		// optionally warm-up boosted (Section VI-E1). The same row
 		// gradient feeds the accumulators, the candidate statistics and
@@ -104,6 +119,7 @@ func (n *node) updateStats(cfg *Config, b stream.Batch, rng *rand.Rand) {
 		n.mod.ApplyGrad(rowGrad, -cfg.effectiveLR(n.n+used))
 	}
 	if used == 0 {
+		t.dropAllProposals(n)
 		return
 	}
 	if cfg.L1 > 0 {
@@ -117,39 +133,184 @@ func (n *node) updateStats(cfg *Config, b stream.Batch, rng *rand.Rand) {
 	linalg.Add(n.grad, batchGrad)
 	n.n += used
 
-	n.admit(cfg, proposals, batchLoss, batchGrad, used)
-}
-
-// propose draws new candidate values from the current batch. On a node's
-// first batch it proposes the three quartiles of every feature (filling
-// the default pool of size 3m in one step); afterwards it proposes one
-// randomly sampled row value per feature. Values are quantised and
-// deduplicated against the stored pool.
-func (n *node) propose(cfg *Config, b stream.Batch, rng *rand.Rand) []*candidate {
-	m := len(b.X[0])
-	w := n.mod.NumWeights()
-	var out []*candidate
-	seen := map[candKey]struct{}{}
-
-	add := func(feature int, value float64) {
-		v := cfg.quantize(value)
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return
+	// Pass 2 (feature-major): charge every cached row to its one bucket
+	// per feature — the last threshold accepting it — in three steps:
+	// (a) bucket ids for all rows, (b) a counting sort grouping row
+	// indices by bucket, (c) destination-stationary blocked accumulation
+	// of each bucket's loss/count/gradient (linalg.AddGatherRows). The
+	// suffix-sum sweep then turns the per-bucket batch statistics into
+	// per-candidate left-branch totals in the lifetime arena.
+	for j := 0; j < m; j++ {
+		lo, hi := ix.featRange(j)
+		if hi == lo {
+			continue
 		}
-		k := candKey{feature, v}
-		if n.hasCandidate(k) {
-			return
+		k := hi - lo
+		ents := ix.entries[lo:hi]
+		col := sc.cols[j*sc.rowCap : j*sc.rowCap+nu]
+		ids := sc.ids[:nu]
+		cnts := sc.cnts[:k+1]
+		for b := range cnts {
+			cnts[b] = 0
 		}
-		if _, dup := seen[k]; dup {
-			return
+		// (a) Descending thresholds: the entries accepting a row
+		// (value >= x) are a prefix, so its bucket id is the prefix
+		// length (0 = unbucketed). The common path pads the thresholds
+		// to four (-Inf accepts nothing) and uses a short compare chain
+		// — cheap, branch-light and without a data-dependent loop.
+		switch {
+		case k <= 4:
+			// The id is the COUNT of accepting thresholds (the accepting
+			// set is a prefix), written as a sum of 0/1 indicators so the
+			// compiler emits SETcc instead of branches — the middle
+			// thresholds sit near the data median and would mispredict on
+			// every other row.
+			negInf := math.Inf(-1)
+			th := [4]float64{negInf, negInf, negInf, negInf}
+			for p := range ents {
+				th[p] = ents[p].value
+			}
+			for r, x := range col {
+				c0, c1, c2, c3 := 0, 0, 0, 0
+				if th[0] >= x {
+					c0 = 1
+				}
+				if th[1] >= x {
+					c1 = 1
+				}
+				if th[2] >= x {
+					c2 = 1
+				}
+				if th[3] >= x {
+					c3 = 1
+				}
+				cnt := int32((c0 + c1) + (c2 + c3))
+				ids[r] = cnt
+				cnts[cnt]++
+			}
+		case k <= 8:
+			negInf := math.Inf(-1)
+			th := [8]float64{negInf, negInf, negInf, negInf, negInf, negInf, negInf, negInf}
+			for p := range ents {
+				th[p] = ents[p].value
+			}
+			for r, x := range col {
+				c0, c1, c2, c3 := 0, 0, 0, 0
+				c4, c5, c6, c7 := 0, 0, 0, 0
+				if th[0] >= x {
+					c0 = 1
+				}
+				if th[1] >= x {
+					c1 = 1
+				}
+				if th[2] >= x {
+					c2 = 1
+				}
+				if th[3] >= x {
+					c3 = 1
+				}
+				if th[4] >= x {
+					c4 = 1
+				}
+				if th[5] >= x {
+					c5 = 1
+				}
+				if th[6] >= x {
+					c6 = 1
+				}
+				if th[7] >= x {
+					c7 = 1
+				}
+				cnt := int32(((c0 + c1) + (c2 + c3)) + ((c4 + c5) + (c6 + c7)))
+				ids[r] = cnt
+				cnts[cnt]++
+			}
+		default:
+			for r, x := range col {
+				blo, bhi := 0, k
+				for blo < bhi {
+					mid := int(uint(blo+bhi) >> 1)
+					if ents[mid].value >= x {
+						blo = mid + 1
+					} else {
+						bhi = mid
+					}
+				}
+				ids[r] = int32(blo)
+				cnts[blo]++
+			}
 		}
-		seen[k] = struct{}{}
-		out = append(out, &candidate{feature: feature, value: v, grad: make([]float64, w)})
+		// (b) Counting sort: group the bucketed row indices.
+		starts := sc.starts[:k+1]
+		cursor := sc.cursor[:k]
+		total := int32(0)
+		for b := 0; b < k; b++ {
+			starts[b] = total
+			cursor[b] = total
+			total += cnts[b+1]
+		}
+		starts[k] = total
+		if total == 0 {
+			continue
+		}
+		ord := sc.ord[:nu]
+		for r, id := range ids {
+			if id == 0 {
+				continue
+			}
+			p := cursor[id-1]
+			ord[p] = int32(r)
+			cursor[id-1] = p + 1
+		}
+		// (c) Per-bucket blocked accumulation, then the suffix sweep.
+		for b := 0; b < k; b++ {
+			members := ord[starts[b]:starts[b+1]]
+			if len(members) == 0 {
+				continue
+			}
+			base := (lo + b) * stride
+			row := buckets[base : base+stride : base+stride]
+			var lsum float64
+			for _, r := range members {
+				lsum += sc.rowLoss[r]
+			}
+			row[0] += lsum
+			row[1] += float64(len(members))
+			linalg.AddGatherRows(row[2:], sc.rowGrads, members, w)
+		}
+		linalg.SuffixSumRows(buckets[lo*stride:hi*stride], k, stride)
+		for pos := lo; pos < hi; pos++ {
+			row := buckets[pos*stride : pos*stride+stride : pos*stride+stride]
+			slot := ents[pos-lo].slot
+			ix.loss[slot] += row[0]
+			ix.n[slot] += row[1]
+			linalg.Add(ix.gradOf(slot), row[2:])
+		}
 	}
 
-	if len(n.cands) == 0 {
-		// Cold start: quartiles of each feature within the batch.
-		vals := make([]float64, 0, b.Len())
+	t.admit(n, batchLoss, batchGrad, used)
+}
+
+// quartileFracs are the cold-start proposal quantiles (hoisted so the
+// propose loop does not rebuild the literal per feature per batch).
+var quartileFracs = [3]float64{0.25, 0.5, 0.75}
+
+// propose draws new candidate values from the current batch and inserts
+// them provisionally into the node's candidate index, recording them in
+// the scratch proposal list for admit to resolve. On a node's first batch
+// it proposes the three quartiles of every feature (filling the default
+// pool of size 3m in one step); afterwards it proposes one randomly
+// sampled row value per feature. Values are quantised, and the index
+// insert deduplicates against stored candidates and earlier proposals.
+func (t *Tree) propose(n *node, b stream.Batch) {
+	sc := t.scratch
+	sc.props = sc.props[:0]
+	m := t.schema.NumFeatures
+
+	if n.idx.size() == 0 {
+		// Cold start: quartiles of each feature within the batch, selected
+		// on one reusable sorted scratch buffer.
+		vals := sc.quartVals
 		for j := 0; j < m; j++ {
 			vals = vals[:0]
 			for i := range b.X {
@@ -161,131 +322,184 @@ func (n *node) propose(cfg *Config, b stream.Batch, rng *rand.Rand) []*candidate
 				continue
 			}
 			sort.Float64s(vals)
-			for _, q := range []float64{0.25, 0.5, 0.75} {
-				add(j, vals[int(q*float64(len(vals)-1))])
+			for _, q := range quartileFracs {
+				t.addProposal(n, j, vals[int(q*float64(len(vals)-1))])
 			}
 		}
-		return out
+		sc.quartVals = vals[:0]
+		return
 	}
 
 	for j := 0; j < m; j++ {
-		i := rng.Intn(b.Len())
-		add(j, b.X[i][j])
+		i := t.rng.Intn(b.Len())
+		t.addProposal(n, j, b.X[i][j])
 	}
-	return out
+}
+
+// addProposal quantises a value and inserts it into the candidate index
+// with zeroed statistics; duplicates of stored candidates or earlier
+// proposals are rejected by the index itself.
+func (t *Tree) addProposal(n *node, feature int, value float64) {
+	v := t.cfg.quantize(value)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	slot, ok := n.idx.insert(feature, v)
+	if !ok {
+		return
+	}
+	sc := t.scratch
+	sc.propSlot[slot] = true
+	sc.props = append(sc.props, proposal{feature: int32(feature), slot: slot, value: v})
+}
+
+// dropAllProposals removes every provisional proposal again — the batch
+// contributed no usable rows, so there is nothing to admit.
+func (t *Tree) dropAllProposals(n *node) {
+	sc := t.scratch
+	for i := range sc.props {
+		p := &sc.props[i]
+		sc.propSlot[p.slot] = false
+		n.idx.remove(int(p.feature), p.value)
+	}
+	sc.props = sc.props[:0]
 }
 
 // admit ranks this batch's proposals by their batch-local gain estimate
-// and inserts them into the pool: free slots first, then replacement of
-// the weakest stored candidates, limited to ReplacementRate of the pool
-// per time step (Section V-D). Replaced candidates can always reappear
-// later if their importance returns after concept drift.
-func (n *node) admit(cfg *Config, proposals []*candidate, batchLoss float64, batchGrad []float64, used float64) {
-	if len(proposals) == 0 {
+// and resolves them against the pool: free slots first, then replacement
+// of the weakest stored candidates, limited to ReplacementRate of the
+// pool per time step (Section V-D). Replaced candidates can always
+// reappear later if their importance returns after concept drift. A
+// proposal's lifetime statistics start at this batch, so its arena stats
+// are exactly its batch-local statistics.
+func (t *Tree) admit(n *node, batchLoss float64, batchGrad []float64, used float64) {
+	sc := t.scratch
+	if len(sc.props) == 0 {
 		return
 	}
-	scored := proposals[:0]
-	gains := map[*candidate]float64{}
-	for _, p := range proposals {
-		g, ok := candidateGain(batchLoss, batchLoss, batchGrad, used, p.loss, p.grad, p.n, cfg.LearningRate, 1)
+	cfg := &t.cfg
+	ix := n.idx
+
+	scored := sc.scored[:0]
+	for _, p := range sc.props {
+		g, ok := candidateGain(batchLoss, batchLoss, batchGrad, used,
+			ix.loss[p.slot], ix.gradOf(p.slot), ix.n[p.slot], cfg.LearningRate, 1)
 		if !ok {
-			continue
+			continue // stays flagged as proposal; swept below
 		}
-		gains[p] = g
+		p.gain = g
 		scored = append(scored, p)
 	}
-	if len(scored) == 0 {
-		return
-	}
-	sort.Slice(scored, func(i, j int) bool { return gains[scored[i]] > gains[scored[j]] })
+	sc.sortProposals(scored)
 
-	capSize := candidateCap(cfg, n.mod.NumFeatures())
-	idx := 0
-	for ; idx < len(scored) && len(n.cands) < capSize; idx++ {
-		n.insertCandidate(scored[idx])
-	}
-	if idx >= len(scored) {
-		return
+	capSize := candidateCap(cfg, t.schema.NumFeatures)
+	stored := ix.size() - len(sc.props) // pool size before this batch
+	i := 0
+	for ; i < len(scored) && stored+i < capSize; i++ {
+		sc.propSlot[scored[i].slot] = false // admitted into a free slot
 	}
 
-	// Replacement pass: the stored pool ranked by its lifetime gain
-	// estimate; only the weakest ReplacementRate fraction may be evicted
-	// this step.
-	maxRepl := int(cfg.ReplacementRate * float64(capSize))
-	if maxRepl == 0 {
-		return
-	}
-	storedGain := func(c *candidate) float64 {
-		g, ok := candidateGain(n.loss, n.loss, n.grad, n.n, c.loss, c.grad, c.n, cfg.LearningRate, 1)
-		if !ok {
-			return math.Inf(-1)
+	if i < len(scored) && stored > 0 {
+		// Replacement pass: the stored pool ranked by its lifetime gain
+		// estimate; only the weakest ReplacementRate fraction may be
+		// evicted this step.
+		maxRepl := int(cfg.ReplacementRate * float64(capSize))
+		if maxRepl > 0 {
+			gains := sc.victimGain[:0]
+			poss := sc.victimPos[:0]
+			minGain := math.Inf(1)
+			for pos, e := range ix.entries {
+				if sc.propSlot[e.slot] {
+					continue // this batch's proposals are not victims
+				}
+				g, ok := candidateGain(n.loss, n.loss, n.grad, n.n,
+					ix.loss[e.slot], ix.gradOf(e.slot), ix.n[e.slot], cfg.LearningRate, 1)
+				if !ok {
+					g = math.Inf(-1)
+				}
+				if g < minGain {
+					minGain = g
+				}
+				gains = append(gains, g)
+				poss = append(poss, int32(pos))
+			}
+			sc.victimGain, sc.victimPos = gains, poss
+			// The strongest remaining proposal must beat the weakest stored
+			// candidate for any eviction to happen; in the common case it
+			// does not, and the victim ranking is never materialised.
+			if scored[i].gain > minGain {
+				sc.sortVictims()
+				replaced := 0
+				for v := 0; v < len(poss) && i < len(scored) && replaced < maxRepl; v++ {
+					if scored[i].gain <= gains[v] {
+						break // both rankings sorted; no further improvement possible
+					}
+					sc.drop[ix.entries[poss[v]].slot] = true
+					sc.propSlot[scored[i].slot] = false // admitted by replacement
+					i++
+					replaced++
+				}
+			}
+			sc.victimGain, sc.victimPos = gains[:0], poss[:0]
 		}
-		return g
 	}
-	order := make([]*candidate, len(n.cands))
-	copy(order, n.cands)
-	sort.Slice(order, func(i, j int) bool { return storedGain(order[i]) < storedGain(order[j]) })
 
-	replaced := 0
-	for _, victim := range order {
-		if idx >= len(scored) || replaced >= maxRepl {
-			break
+	// Everything still flagged as a proposal was not admitted.
+	for _, p := range sc.props {
+		if sc.propSlot[p.slot] {
+			sc.drop[p.slot] = true
+			sc.propSlot[p.slot] = false
 		}
-		p := scored[idx]
-		if gains[p] <= storedGain(victim) {
-			break // both lists are sorted; no further improvement possible
-		}
-		n.removeCandidate(victim)
-		n.insertCandidate(p)
-		idx++
-		replaced++
 	}
+	t.sweepDropped(n)
+	sc.props = sc.props[:0]
+	sc.scored = scored[:0]
 }
 
-func (n *node) insertCandidate(c *candidate) {
-	k := candKey{c.feature, c.value}
-	if n.hasCandidate(k) {
-		return
-	}
-	if n.candSet == nil {
-		n.candSet = map[candKey]struct{}{}
-	}
-	n.candSet[k] = struct{}{}
-	n.cands = append(n.cands, c)
-}
-
-func (n *node) removeCandidate(c *candidate) {
-	delete(n.candSet, candKey{c.feature, c.value})
-	for i, existing := range n.cands {
-		if existing == c {
-			n.cands[i] = n.cands[len(n.cands)-1]
-			n.cands = n.cands[:len(n.cands)-1]
-			return
+// sweepDropped removes every index entry whose arena slot is flagged in
+// the scratch drop set, clearing the flags as it goes.
+func (t *Tree) sweepDropped(n *node) {
+	sc := t.scratch
+	ix := n.idx
+	for j := ix.m - 1; j >= 0; j-- {
+		lo, hi := ix.featRange(j)
+		for pos := hi - 1; pos >= lo; pos-- {
+			slot := ix.entries[pos].slot
+			if sc.drop[slot] {
+				sc.drop[slot] = false
+				ix.removeAt(j, pos)
+			}
 		}
 	}
 }
 
 // bestCandidate evaluates gain (3) (at a leaf, referenceLoss = the node's
 // own accumulated loss) or gain (4) (at an inner node, referenceLoss = the
-// subtree's summed leaf loss) over the stored pool and returns the argmax.
-// skipCurrent excludes the currently installed split of an inner node.
-func (n *node) bestCandidate(cfg *Config, referenceLoss float64, skipCurrent bool) (*candidate, float64, bool) {
-	var best *candidate
-	bestGain := math.Inf(-1)
-	for _, c := range n.cands {
-		if skipCurrent && c.feature == n.feature && c.value == n.threshold {
-			continue
-		}
-		g, ok := candidateGain(referenceLoss, n.loss, n.grad, n.n, c.loss, c.grad, c.n,
-			cfg.LearningRate, cfg.MinBranchWeight)
-		if !ok {
-			continue
-		}
-		if g > bestGain {
-			best, bestGain = c, g
+// subtree's summed leaf loss) over the stored pool and returns the argmax
+// split. skipCurrent excludes the currently installed split of an inner
+// node.
+func (n *node) bestCandidate(cfg *Config, referenceLoss float64, skipCurrent bool) (bestFeature int, bestValue, bestGain float64, found bool) {
+	ix := n.idx
+	bestGain = math.Inf(-1)
+	for j := 0; j < ix.m; j++ {
+		lo, hi := ix.featRange(j)
+		for pos := lo; pos < hi; pos++ {
+			e := ix.entries[pos]
+			if skipCurrent && j == n.feature && e.value == n.threshold {
+				continue
+			}
+			g, ok := candidateGain(referenceLoss, n.loss, n.grad, n.n,
+				ix.loss[e.slot], ix.gradOf(e.slot), ix.n[e.slot],
+				cfg.LearningRate, cfg.MinBranchWeight)
+			if !ok {
+				continue
+			}
+			if g > bestGain {
+				bestFeature, bestValue, bestGain, found = j, e.value, g, true
+			}
 		}
 	}
-	return best, bestGain, best != nil
+	return
 }
 
 // subtreeLeafStats walks the subtree and returns the summed leaf loss and

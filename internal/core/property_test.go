@@ -107,7 +107,7 @@ func checkInvariants(tree *Tree, cfg Config, m int) bool {
 			ok = false
 			return
 		}
-		if len(n.cands) > capSize || len(n.cands) != len(n.candSet) {
+		if n.idx.size() > capSize || checkIndexInvariants(n.idx) != nil {
 			ok = false
 			return
 		}

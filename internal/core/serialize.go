@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"repro/internal/glm"
@@ -87,11 +88,19 @@ func encodeNode(n *node) *nodeDoc {
 		Left:      encodeNode(n.left),
 		Right:     encodeNode(n.right),
 	}
-	for _, c := range n.cands {
-		doc.Candidates = append(doc.Candidates, candDoc{
-			Feature: c.feature, Value: c.value,
-			Loss: c.loss, Grad: append([]float64(nil), c.grad...), N: c.n,
-		})
+	// Candidates are emitted in index order (feature ascending, threshold
+	// descending); the document format is unchanged from version 1, so
+	// pre-index checkpoints load into the index and vice versa.
+	ix := n.idx
+	for j := 0; j < ix.m; j++ {
+		lo, hi := ix.featRange(j)
+		for pos := lo; pos < hi; pos++ {
+			e := ix.entries[pos]
+			doc.Candidates = append(doc.Candidates, candDoc{
+				Feature: j, Value: e.value,
+				Loss: ix.loss[e.slot], Grad: append([]float64(nil), ix.gradOf(e.slot)...), N: ix.n[e.slot],
+			})
+		}
 	}
 	return doc
 }
@@ -126,6 +135,7 @@ func Load(r io.Reader) (*Tree, error) {
 		return nil, err
 	}
 	t.root = root
+	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, t.schema.NumFeatures))
 	t.k = float64(t.root.mod.FreeParams())
 	return t, nil
 }
@@ -141,6 +151,7 @@ func (t *Tree) decodeNode(doc *nodeDoc) (*node, error) {
 		return nil, fmt.Errorf("core: load DMT: node gradient length %d, schema wants %d",
 			len(doc.Grad), mod.NumWeights())
 	}
+	m := t.schema.NumFeatures
 	n := &node{
 		mod:       mod,
 		loss:      doc.Loss,
@@ -149,16 +160,28 @@ func (t *Tree) decodeNode(doc *nodeDoc) (*node, error) {
 		feature:   doc.Feature,
 		threshold: doc.Threshold,
 		depth:     doc.Depth,
-		candSet:   map[candKey]struct{}{},
+		idx:       newCandIndex(m, mod.NumWeights(), maxSlots(&t.cfg, m)),
 	}
 	for _, c := range doc.Candidates {
 		if len(c.Grad) != mod.NumWeights() {
 			return nil, fmt.Errorf("core: load DMT: candidate gradient length %d", len(c.Grad))
 		}
-		n.insertCandidate(&candidate{
-			feature: c.Feature, value: c.Value,
-			loss: c.Loss, grad: append([]float64(nil), c.Grad...), n: c.N,
-		})
+		if c.Feature < 0 || c.Feature >= m {
+			return nil, fmt.Errorf("core: load DMT: candidate feature %d out of range [0,%d)", c.Feature, m)
+		}
+		if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+			return nil, fmt.Errorf("core: load DMT: non-finite candidate threshold")
+		}
+		slot, ok := n.idx.insert(c.Feature, c.Value)
+		if !ok {
+			if _, dup := n.idx.find(c.Feature, c.Value); dup {
+				continue // duplicate candidates collapse, as they always did
+			}
+			return nil, fmt.Errorf("core: load DMT: candidate pool exceeds arena (%d slots)", maxSlots(&t.cfg, m))
+		}
+		n.idx.loss[slot] = c.Loss
+		n.idx.n[slot] = c.N
+		copy(n.idx.gradOf(slot), c.Grad)
 	}
 	if (doc.Left == nil) != (doc.Right == nil) {
 		return nil, fmt.Errorf("core: load DMT: non-binary node in document")

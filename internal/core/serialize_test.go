@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -106,7 +108,7 @@ func TestSaveLoadPreservesCandidates(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		tree.Learn(piecewiseBatch(rng, 100, 0.05))
 	}
-	nCands := len(tree.root.cands)
+	nCands := tree.root.idx.size()
 	if nCands == 0 {
 		t.Fatal("precondition: root should hold candidates")
 	}
@@ -118,10 +120,79 @@ func TestSaveLoadPreservesCandidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(loaded.root.cands) != nCands {
-		t.Fatalf("candidates lost: %d vs %d", len(loaded.root.cands), nCands)
+	if loaded.root.idx.size() != nCands {
+		t.Fatalf("candidates lost: %d vs %d", loaded.root.idx.size(), nCands)
 	}
-	if len(loaded.root.candSet) != nCands {
-		t.Fatal("candidate index out of sync after load")
+	if err := checkIndexInvariants(loaded.root.idx); err != nil {
+		t.Fatalf("candidate index corrupt after load: %v", err)
 	}
+	// Every candidate's lifetime statistics — threshold, loss, count and
+	// the full gradient vector — must round-trip bit-exactly.
+	orig, restored := tree.root.idx, loaded.root.idx
+	for pos, e := range orig.entries {
+		feature := orig.featureOf(pos)
+		rpos, ok := restored.find(feature, e.value)
+		if !ok {
+			t.Fatalf("candidate (x%d <= %v) lost in round trip", feature, e.value)
+		}
+		rslot := restored.entries[rpos].slot
+		if restored.loss[rslot] != orig.loss[e.slot] || restored.n[rslot] != orig.n[e.slot] {
+			t.Fatalf("candidate (x%d <= %v) stats changed: loss %v->%v n %v->%v",
+				feature, e.value, orig.loss[e.slot], restored.loss[rslot], orig.n[e.slot], restored.n[rslot])
+		}
+		og, rg := orig.gradOf(e.slot), restored.gradOf(rslot)
+		for k := range og {
+			if og[k] != rg[k] {
+				t.Fatalf("candidate (x%d <= %v) gradient[%d] changed: %v -> %v",
+					feature, e.value, k, og[k], rg[k])
+			}
+		}
+	}
+}
+
+// A candidate document that would overflow the arena or carry a
+// non-finite threshold must be rejected, not silently truncated.
+func TestLoadRejectsCorruptCandidates(t *testing.T) {
+	tree := New(Config{Seed: 34}, schema(2, 2))
+	rng := rand.New(rand.NewSource(34))
+	for i := 0; i < 20; i++ {
+		tree.Learn(piecewiseBatch(rng, 50, 0))
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode manually with a poisoned candidate feature.
+	doc := decodeDoc(t, buf.Bytes())
+	doc.Root.Candidates = append(doc.Root.Candidates, candDoc{
+		Feature: 99, Value: 0.5, Grad: make([]float64, tree.root.mod.NumWeights()),
+	})
+	if _, err := Load(bytes.NewReader(encodeDoc(t, doc))); err == nil {
+		t.Fatal("out-of-range candidate feature accepted")
+	}
+	doc = decodeDoc(t, buf.Bytes())
+	doc.Root.Candidates = append(doc.Root.Candidates, candDoc{
+		Feature: 0, Value: math.NaN(), Grad: make([]float64, tree.root.mod.NumWeights()),
+	})
+	if _, err := Load(bytes.NewReader(encodeDoc(t, doc))); err == nil {
+		t.Fatal("NaN candidate threshold accepted")
+	}
+}
+
+func decodeDoc(t *testing.T, raw []byte) *treeDoc {
+	t.Helper()
+	var doc treeDoc
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return &doc
+}
+
+func encodeDoc(t *testing.T, doc *treeDoc) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }

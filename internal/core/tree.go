@@ -64,12 +64,13 @@ const maxChangeLog = 4096
 
 // Tree is the Dynamic Model Tree classifier.
 type Tree struct {
-	cfg    Config
-	schema stream.Schema
-	root   *node
-	rng    *rand.Rand
-	k      float64 // free parameters per simple model (AIC k)
-	step   int
+	cfg     Config
+	schema  stream.Schema
+	root    *node
+	rng     *rand.Rand
+	scratch *scratch // reusable Learn-path workspace (never touched by reads)
+	k       float64  // free parameters per simple model (AIC k)
+	step    int
 
 	splits, replaces, prunes int
 	changes                  []ChangeEvent
@@ -82,6 +83,7 @@ func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.withDefaults()
 	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 5))}
 	t.root = t.newNode(0, nil)
+	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, schema.NumFeatures))
 	t.k = float64(t.root.mod.FreeParams())
 	return t
 }
@@ -95,11 +97,12 @@ func (t *Tree) newNode(depth int, parent glm.Model) *node {
 	} else {
 		mod = glm.New(t.schema.NumFeatures, t.schema.NumClasses, t.rng)
 	}
+	m := t.schema.NumFeatures
 	n := &node{
-		mod:     mod,
-		grad:    make([]float64, mod.NumWeights()),
-		depth:   depth,
-		candSet: map[candKey]struct{}{},
+		mod:   mod,
+		grad:  make([]float64, mod.NumWeights()),
+		depth: depth,
+		idx:   newCandIndex(m, mod.NumWeights(), maxSlots(&t.cfg, m)),
 	}
 	return n
 }
@@ -129,11 +132,11 @@ func (t *Tree) Learn(b stream.Batch) {
 func (t *Tree) update(n *node, b stream.Batch) {
 	inner := !n.isLeaf()
 	if !inner || !t.cfg.DisableInnerUpdates {
-		n.updateStats(&t.cfg, b, t.rng)
+		t.updateStats(n, b)
 	}
 
 	if inner {
-		left, right := partition(b, n.feature, n.threshold)
+		left, right := t.partition(b, n.feature, n.threshold, n.depth)
 		if left.Len() > 0 {
 			t.update(n.left, left)
 		}
@@ -148,18 +151,25 @@ func (t *Tree) update(n *node, b stream.Batch) {
 	t.trySplit(n)
 }
 
-// partition splits a batch by the node's test without copying rows.
-func partition(b stream.Batch, feature int, threshold float64) (left, right stream.Batch) {
+// partition splits a batch by the node's test without copying rows. The
+// row-pointer slices come from the per-depth scratch ladder — the left
+// and right halves of depth d stay valid while the subtrees (depths > d)
+// repartition — so the recursion reuses two index slices per level
+// instead of growing fresh ones every level every batch.
+func (t *Tree) partition(b stream.Batch, feature int, threshold float64, depth int) (left, right stream.Batch) {
+	lv := t.scratch.level(depth)
+	lv.leftX, lv.leftY = lv.leftX[:0], lv.leftY[:0]
+	lv.rightX, lv.rightY = lv.rightX[:0], lv.rightY[:0]
 	for i, x := range b.X {
 		if x[feature] <= threshold {
-			left.X = append(left.X, x)
-			left.Y = append(left.Y, b.Y[i])
+			lv.leftX = append(lv.leftX, x)
+			lv.leftY = append(lv.leftY, b.Y[i])
 		} else {
-			right.X = append(right.X, x)
-			right.Y = append(right.Y, b.Y[i])
+			lv.rightX = append(lv.rightX, x)
+			lv.rightY = append(lv.rightY, b.Y[i])
 		}
 	}
-	return left, right
+	return stream.Batch{X: lv.leftX, Y: lv.leftY}, stream.Batch{X: lv.rightX, Y: lv.rightY}
 }
 
 // trySplit applies gain (3) with the AIC threshold of eq. (11) at a leaf:
@@ -169,7 +179,7 @@ func (t *Tree) trySplit(n *node) {
 	if t.cfg.MaxDepth > 0 && n.depth >= t.cfg.MaxDepth {
 		return
 	}
-	cand, gain, ok := n.bestCandidate(&t.cfg, n.loss, false)
+	feature, value, gain, ok := n.bestCandidate(&t.cfg, n.loss, false)
 	if !ok {
 		return
 	}
@@ -177,13 +187,13 @@ func (t *Tree) trySplit(n *node) {
 	if gain < thr {
 		return
 	}
-	t.split(n, cand, gain, thr)
+	t.split(n, feature, value, gain, thr)
 }
 
 // split turns a leaf into an inner node with two warm-started children and
 // restarts the node's epoch so I_t = ∪ J_t holds for the new family.
-func (t *Tree) split(n *node, cand *candidate, gain, thr float64) {
-	n.feature, n.threshold = cand.feature, cand.value
+func (t *Tree) split(n *node, feature int, value float64, gain, thr float64) {
+	n.feature, n.threshold = feature, value
 	n.left = t.newNode(n.depth+1, n.mod)
 	n.right = t.newNode(n.depth+1, n.mod)
 	n.resetEpoch()
@@ -211,7 +221,7 @@ func (t *Tree) tryRestructure(n *node) {
 	thr5 := (1-subLeaves)*t.k + t.cfg.logEps()
 	prunePass := gain5 >= thr5
 
-	cand, gain4, ok4 := n.bestCandidate(&t.cfg, leafLoss, true)
+	feature, value, gain4, ok4 := n.bestCandidate(&t.cfg, leafLoss, true)
 	thr4 := (2-subLeaves)*t.k + t.cfg.logEps()
 	replacePass := ok4 && gain4 >= thr4
 
@@ -221,12 +231,12 @@ func (t *Tree) tryRestructure(n *node) {
 		if gain5-(1-subLeaves)*t.k >= gain4-(2-subLeaves)*t.k {
 			t.prune(n, gain5, thr5)
 		} else {
-			t.replace(n, cand, gain4, thr4)
+			t.replace(n, feature, value, gain4, thr4)
 		}
 	case prunePass:
 		t.prune(n, gain5, thr5)
 	case replacePass:
-		t.replace(n, cand, gain4, thr4)
+		t.replace(n, feature, value, gain4, thr4)
 	}
 }
 
@@ -245,8 +255,8 @@ func (t *Tree) prune(n *node, gain, thr float64) {
 
 // replace swaps the subtree below n for a new split with two fresh
 // warm-started leaves and restarts the node's epoch.
-func (t *Tree) replace(n *node, cand *candidate, gain, thr float64) {
-	n.feature, n.threshold = cand.feature, cand.value
+func (t *Tree) replace(n *node, feature int, value float64, gain, thr float64) {
+	n.feature, n.threshold = feature, value
 	n.left = t.newNode(n.depth+1, n.mod)
 	n.right = t.newNode(n.depth+1, n.mod)
 	n.resetEpoch()
@@ -358,12 +368,12 @@ func (t *Tree) Describe() string {
 // threshold — diagnostic output used by tests and tooling.
 func (t *Tree) DebugRoot() string {
 	n := t.root
-	cand, gain, ok := n.bestCandidate(&t.cfg, n.loss, false)
+	feature, value, gain, ok := n.bestCandidate(&t.cfg, n.loss, false)
 	if !ok {
-		return fmt.Sprintf("root{n=%.0f loss=%.1f cands=%d no-gain}", n.n, n.loss, len(n.cands))
+		return fmt.Sprintf("root{n=%.0f loss=%.1f cands=%d no-gain}", n.n, n.loss, n.idx.size())
 	}
 	return fmt.Sprintf("root{n=%.0f loss=%.1f cands=%d best=x%d<=%.3g gain=%.2f thr=%.2f}",
-		n.n, n.loss, len(n.cands), cand.feature, cand.value, gain, t.k+t.cfg.logEps())
+		n.n, n.loss, n.idx.size(), feature, value, gain, t.k+t.cfg.logEps())
 }
 
 // String renders a compact shape description.

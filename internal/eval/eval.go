@@ -10,12 +10,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
+
+// clipProb bounds p away from 0 so the log-loss stays finite.
+func clipProb(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		return eps
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
 
 // Options configures a prequential run.
 type Options struct {
@@ -30,6 +43,11 @@ type Options struct {
 	// MaxIters truncates the run after this many test/train iterations
 	// (0 = until the stream ends).
 	MaxIters int
+	// LogLoss additionally scores each batch's mean negative
+	// log-likelihood through the model's Proba (models without a
+	// probabilistic interface report 0). Off by default so the timing
+	// columns of Table V measure exactly the paper's protocol.
+	LogLoss bool
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +69,9 @@ type IterStats struct {
 	Accuracy float64
 	// Kappa is Cohen's kappa on this batch (chance-corrected agreement).
 	Kappa float64
+	// LogLoss is the batch's mean negative log-likelihood under the
+	// model's predicted class probabilities (0 unless Options.LogLoss).
+	LogLoss float64
 	// Splits and Params are the model complexity after training on this
 	// batch (paper counting, Section VI-D2).
 	Splits float64
@@ -96,6 +117,13 @@ func (r Result) Seconds() (mean, std float64) {
 	return r.MeanStd(func(s IterStats) float64 { return s.Seconds })
 }
 
+// LogLoss returns the mean and standard deviation of the per-iteration
+// mean negative log-likelihood (zero unless the run enabled
+// Options.LogLoss on a probabilistic model).
+func (r Result) LogLoss() (mean, std float64) {
+	return r.MeanStd(func(s IterStats) float64 { return s.LogLoss })
+}
+
 // Series extracts one metric as a time series (one value per iteration).
 func (r Result) Series(metric func(IterStats) float64) []float64 {
 	out := make([]float64, len(r.Iters))
@@ -132,6 +160,13 @@ func PrequentialContext(ctx context.Context, c model.Classifier, s stream.Stream
 
 	res := Result{Model: c.Name(), Dataset: schema.Name}
 	conf := stats.NewConfusion(schema.NumClasses)
+	// One Proba out-buffer for the whole run: the scoring loop reuses it
+	// every row instead of allocating a fresh distribution per call.
+	var proba []float64
+	pc, probabilistic := c.(model.ProbabilisticClassifier)
+	if opts.LogLoss && probabilistic {
+		proba = make([]float64, schema.NumClasses)
+	}
 	for iter := 0; opts.MaxIters == 0 || iter < opts.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -148,17 +183,29 @@ func PrequentialContext(ctx context.Context, c model.Classifier, s stream.Stream
 		}
 		start := time.Now()
 		conf.Reset()
+		var nll float64
 		for i, x := range b.X {
 			conf.Add(b.Y[i], c.Predict(x))
+			if proba != nil {
+				p := pc.Proba(x, proba)
+				if y := b.Y[i]; y >= 0 && y < len(p) {
+					nll -= math.Log(clipProb(p[y]))
+				}
+			}
 		}
 		c.Learn(b)
 		elapsed := time.Since(start).Seconds()
 
+		var logLoss float64
+		if proba != nil && b.Len() > 0 {
+			logLoss = nll / float64(b.Len())
+		}
 		comp := c.Complexity()
 		res.Iters = append(res.Iters, IterStats{
 			F1:       conf.F1(),
 			Accuracy: conf.Accuracy(),
 			Kappa:    conf.Kappa(),
+			LogLoss:  logLoss,
 			Splits:   comp.Splits,
 			Params:   comp.Params,
 			Seconds:  elapsed,

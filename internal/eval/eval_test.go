@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -93,6 +94,61 @@ func TestPrequentialMaxIters(t *testing.T) {
 	}
 	if len(res.Iters) != 7 {
 		t.Fatalf("MaxIters ignored: %d", len(res.Iters))
+	}
+}
+
+// probaProbe is a probabilistic classifier that always answers a fixed
+// distribution and records the identity of every out buffer it is handed.
+type probaProbe struct {
+	memorizer
+	bufs map[*float64]struct{}
+}
+
+func (p *probaProbe) Proba(x []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, 2)
+	}
+	if p.bufs == nil {
+		p.bufs = map[*float64]struct{}{}
+	}
+	p.bufs[&out[0]] = struct{}{}
+	out[0], out[1] = 0.25, 0.75
+	return out
+}
+
+func TestPrequentialLogLoss(t *testing.T) {
+	probe := &probaProbe{memorizer: *newMemorizer()}
+	res, err := Prequential(probe, uniqueRowStream(1000), Options{BatchFraction: 0.01, LogLoss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log(0.75) // every row is labelled 1 and scored p=0.75
+	for i, it := range res.Iters {
+		if math.Abs(it.LogLoss-want) > 1e-12 {
+			t.Fatalf("iteration %d log-loss %v, want %v", i, it.LogLoss, want)
+		}
+	}
+	if mean, _ := res.LogLoss(); math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("aggregate log-loss %v, want %v", mean, want)
+	}
+	// The whole run must reuse ONE Proba out buffer.
+	if len(probe.bufs) != 1 {
+		t.Fatalf("prequential loop used %d distinct Proba buffers, want 1", len(probe.bufs))
+	}
+
+	// Disabled (default): no Proba calls, zero log-loss.
+	probe2 := &probaProbe{memorizer: *newMemorizer()}
+	res, err = Prequential(probe2, uniqueRowStream(1000), Options{BatchFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe2.bufs) != 0 {
+		t.Fatal("Proba called although Options.LogLoss is off")
+	}
+	for _, it := range res.Iters {
+		if it.LogLoss != 0 {
+			t.Fatal("log-loss reported although Options.LogLoss is off")
+		}
 	}
 }
 

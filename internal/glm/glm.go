@@ -127,13 +127,9 @@ func NewLogit(m int) *Logit {
 	return &Logit{w: make([]float64, m+1), m: m}
 }
 
-// score returns w·x + b.
+// score returns w·x + b via the unrolled linalg kernel.
 func (l *Logit) score(x []float64) float64 {
-	s := l.w[l.m]
-	for j := 0; j < l.m; j++ {
-		s += l.w[j] * x[j]
-	}
-	return s
+	return l.w[l.m] + linalg.Dot(l.w[:l.m], x[:l.m])
 }
 
 // Step implements Model using the mean gradient of the batch.
@@ -151,9 +147,7 @@ func (l *Logit) Step(X [][]float64, Y []int, lr float64) {
 		used++
 		p := sigmoid(l.score(x))
 		d := p - float64(Y[i])
-		for j := 0; j < l.m; j++ {
-			grad[j] += d * x[j]
-		}
+		linalg.AddScaled(grad[:l.m], x[:l.m], d)
 		grad[l.m] += d
 	}
 	if used == 0 {
@@ -197,9 +191,7 @@ func (l *Logit) LossGrad(X [][]float64, Y []int, grad []float64) float64 {
 			loss -= math.Log(1 - pc)
 		}
 		d := p - float64(Y[i])
-		for j := 0; j < l.m; j++ {
-			grad[j] += d * x[j]
-		}
+		linalg.AddScaled(grad[:l.m], x[:l.m], d)
 		grad[l.m] += d
 	}
 	return loss
@@ -210,8 +202,8 @@ func (l *Logit) RowLossGrad(x []float64, y int, grad []float64) float64 {
 	if len(grad) != len(l.w) {
 		panic("glm: RowLossGrad gradient length mismatch")
 	}
-	linalg.Zero(grad)
 	if !rowFinite(x) || y < 0 || y > 1 {
+		linalg.Zero(grad)
 		return 0
 	}
 	p := sigmoid(l.score(x))
@@ -223,9 +215,7 @@ func (l *Logit) RowLossGrad(x []float64, y int, grad []float64) float64 {
 		loss = -math.Log(1 - pc)
 	}
 	d := p - float64(y)
-	for j := 0; j < l.m; j++ {
-		grad[j] = d * x[j]
-	}
+	linalg.MulInto(grad[:l.m], x[:l.m], d)
 	grad[l.m] = d
 	return loss
 }
@@ -333,11 +323,7 @@ func (s *Softmax) logits(x []float64, out []float64) {
 	out[0] = 0
 	for k := 1; k < s.c; k++ {
 		r := s.row(k)
-		z := r[s.m]
-		for j := 0; j < s.m; j++ {
-			z += r[j] * x[j]
-		}
-		out[k] = z
+		out[k] = r[s.m] + linalg.Dot(r[:s.m], x[:s.m])
 	}
 }
 
@@ -372,9 +358,7 @@ func (s *Softmax) Step(X [][]float64, Y []int, lr float64) {
 				d -= 1
 			}
 			base := (k - 1) * stride
-			for j := 0; j < s.m; j++ {
-				grad[base+j] += d * x[j]
-			}
+			linalg.AddScaled(grad[base:base+s.m], x[:s.m], d)
 			grad[base+s.m] += d
 		}
 	}
@@ -426,9 +410,7 @@ func (s *Softmax) LossGrad(X [][]float64, Y []int, grad []float64) float64 {
 				d -= 1
 			}
 			base := (k - 1) * stride
-			for j := 0; j < s.m; j++ {
-				grad[base+j] += d * x[j]
-			}
+			linalg.AddScaled(grad[base:base+s.m], x[:s.m], d)
 			grad[base+s.m] += d
 		}
 	}
@@ -440,8 +422,8 @@ func (s *Softmax) RowLossGrad(x []float64, y int, grad []float64) float64 {
 	if len(grad) != len(s.w) {
 		panic("glm: RowLossGrad gradient length mismatch")
 	}
-	linalg.Zero(grad)
 	if !rowFinite(x) || y < 0 || y >= s.c {
+		linalg.Zero(grad)
 		return 0
 	}
 	p := s.scratchBuf()
@@ -454,9 +436,7 @@ func (s *Softmax) RowLossGrad(x []float64, y int, grad []float64) float64 {
 			d -= 1
 		}
 		base := (k - 1) * stride
-		for j := 0; j < s.m; j++ {
-			grad[base+j] = d * x[j]
-		}
+		linalg.MulInto(grad[base:base+s.m], x[:s.m], d)
 		grad[base+s.m] = d
 	}
 	return loss
@@ -476,9 +456,17 @@ func (s *Softmax) Proba(x []float64, out []float64) []float64 {
 	return out
 }
 
-// Predict implements Model.
+// Predict implements Model. It must stay re-entrant — Scorer serves
+// concurrent Predict calls under a read lock — so the logits go into a
+// stack buffer (heap only beyond 16 classes), never the shared scratch.
 func (s *Softmax) Predict(x []float64) int {
-	z := s.scratchBuf()
+	var buf [16]float64
+	z := buf[:]
+	if s.c > len(buf) {
+		z = make([]float64, s.c)
+	} else {
+		z = buf[:s.c]
+	}
 	s.logits(x, z)
 	return linalg.ArgMax(z)
 }

@@ -8,35 +8,86 @@ import "math"
 
 // Dot returns the inner product of a and b. The slices must have equal
 // length; Dot panics otherwise, since a length mismatch is always a
-// programming error in this code base.
+// programming error in this code base. The loop is 4-way unrolled with
+// independent accumulators, so the summation order (and hence the final
+// rounding) differs from a naive sequential loop by O(n·eps).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("linalg: Dot length mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		bi := b[i : i+4 : i+4]
+		s0 += a[i] * bi[0]
+		s1 += a[i+1] * bi[1]
+		s2 += a[i+2] * bi[2]
+		s3 += a[i+3] * bi[3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Axpy computes dst[i] += alpha*x[i] in place.
 func Axpy(alpha float64, x, dst []float64) {
+	AddScaled(dst, x, alpha)
+}
+
+// AddScaled computes dst[i] += alpha*x[i] in place (BLAS axpy), 4-way
+// unrolled. It is the fused kernel behind the SGD step and the gradient
+// accumulation of the candidate index.
+func AddScaled(dst, x []float64, alpha float64) {
 	if len(x) != len(dst) {
-		panic("linalg: Axpy length mismatch")
+		panic("linalg: AddScaled length mismatch")
 	}
-	for i, v := range x {
-		dst[i] += alpha * v
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		di := dst[i : i+4 : i+4]
+		di[0] += alpha * x[i]
+		di[1] += alpha * x[i+1]
+		di[2] += alpha * x[i+2]
+		di[3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		dst[i] += alpha * x[i]
 	}
 }
 
-// Add computes dst[i] += x[i] in place.
+// MulInto writes alpha*x[i] into dst, overwriting it.
+func MulInto(dst, x []float64, alpha float64) {
+	if len(x) != len(dst) {
+		panic("linalg: MulInto length mismatch")
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		di := dst[i : i+4 : i+4]
+		di[0] = alpha * x[i]
+		di[1] = alpha * x[i+1]
+		di[2] = alpha * x[i+2]
+		di[3] = alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		dst[i] = alpha * x[i]
+	}
+}
+
+// Add computes dst[i] += x[i] in place, 4-way unrolled.
 func Add(dst, x []float64) {
 	if len(x) != len(dst) {
 		panic("linalg: Add length mismatch")
 	}
-	for i, v := range x {
-		dst[i] += v
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		di := dst[i : i+4 : i+4]
+		di[0] += x[i]
+		di[1] += x[i+1]
+		di[2] += x[i+2]
+		di[3] += x[i+3]
+	}
+	for ; i < len(x); i++ {
+		dst[i] += x[i]
 	}
 }
 
@@ -69,29 +120,101 @@ func Scale(alpha float64, x []float64) {
 	}
 }
 
-// Norm2Sq returns the squared Euclidean norm of x.
+// Norm2Sq returns the squared Euclidean norm of x, 4-way unrolled.
 func Norm2Sq(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xi := x[i : i+4 : i+4]
+		s0 += xi[0] * xi[0]
+		s1 += xi[1] * xi[1]
+		s2 += xi[2] * xi[2]
+		s3 += xi[3] * xi[3]
 	}
-	return s
+	for ; i < len(x); i++ {
+		s0 += x[i] * x[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm2 returns the Euclidean norm of x.
 func Norm2(x []float64) float64 { return math.Sqrt(Norm2Sq(x)) }
 
-// Norm2SqDiff returns the squared Euclidean norm of a-b without allocating.
+// Norm2SqDiff returns the squared Euclidean norm of a-b without
+// allocating, 4-way unrolled.
 func Norm2SqDiff(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("linalg: Norm2SqDiff length mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		d := v - b[i]
-		s += d * d
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		bi := b[i : i+4 : i+4]
+		d0 := a[i] - bi[0]
+		d1 := a[i+1] - bi[1]
+		d2 := a[i+2] - bi[2]
+		d3 := a[i+3] - bi[3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// AddGatherRows computes dst[c] += Σ_r src[rows[r]*stride+c] — the sum of
+// a gathered set of stride-wide rows, accumulated destination-stationary:
+// four output coordinates are held in registers while the member rows
+// stream past, so each element costs one load and one add instead of the
+// load/add/store round trip of repeated Add calls. The accumulation order
+// per coordinate is exactly row order, so the result is bit-identical to
+// adding the rows one at a time.
+func AddGatherRows(dst, src []float64, rows []int32, stride int) {
+	c := 0
+	for ; c+8 <= len(dst); c += 8 {
+		s0, s1, s2, s3 := dst[c], dst[c+1], dst[c+2], dst[c+3]
+		s4, s5, s6, s7 := dst[c+4], dst[c+5], dst[c+6], dst[c+7]
+		for _, r := range rows {
+			base := int(r) * stride
+			g := src[base+c : base+c+8 : base+c+8]
+			s0 += g[0]
+			s1 += g[1]
+			s2 += g[2]
+			s3 += g[3]
+			s4 += g[4]
+			s5 += g[5]
+			s6 += g[6]
+			s7 += g[7]
+		}
+		dst[c], dst[c+1], dst[c+2], dst[c+3] = s0, s1, s2, s3
+		dst[c+4], dst[c+5], dst[c+6], dst[c+7] = s4, s5, s6, s7
+	}
+	for ; c < len(dst); c++ {
+		s := dst[c]
+		for _, r := range rows {
+			s += src[int(r)*stride+c]
+		}
+		dst[c] = s
+	}
+}
+
+// SuffixSumRows treats data as rows consecutive vectors of length stride
+// and replaces row i with the sum of rows i..rows-1 in place. It is the
+// batch-end pass that turns per-bucket candidate statistics into
+// per-candidate left-branch totals (Algorithm 1's candidate update,
+// restructured): row i accumulates everything at or below it in one
+// O(rows·stride) sweep instead of one pass per candidate.
+func SuffixSumRows(data []float64, rows, stride int) {
+	if rows*stride > len(data) {
+		panic("linalg: SuffixSumRows out of range")
+	}
+	for i := rows - 2; i >= 0; i-- {
+		Add(data[i*stride:(i+1)*stride], data[(i+1)*stride:(i+2)*stride])
+	}
 }
 
 // Clone returns a copy of x.
@@ -144,13 +267,15 @@ func Clip(v, lo, hi float64) float64 {
 }
 
 // IsFinite reports whether every element of x is finite (no NaN or Inf).
+// v*0 is 0 for every finite v and NaN for NaN or ±Inf, so one branchless
+// multiply-accumulate per element replaces the two classification
+// branches of the naive check.
 func IsFinite(x []float64) bool {
+	var s float64
 	for _, v := range x {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return false
-		}
+		s += v * 0
 	}
-	return true
+	return s == 0
 }
 
 // LogSumExp returns log(sum_i exp(x[i])) computed stably.

@@ -48,6 +48,145 @@ func TestDotPanicsOnMismatch(t *testing.T) {
 	Dot([]float64{1}, []float64{1, 2})
 }
 
+// The unrolled kernels must agree with their naive definitions on every
+// length (exercising all remainder paths) — within reassociation
+// tolerance for the reductions, exactly for the elementwise ops.
+func TestUnrolledKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for n := 0; n <= 19; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		var dot, n2, n2d float64
+		for i := range a {
+			dot += a[i] * b[i]
+			n2 += a[i] * a[i]
+			d := a[i] - b[i]
+			n2d += d * d
+		}
+		if !almostEq(Dot(a, b), dot, 1e-12) {
+			t.Fatalf("n=%d: Dot = %v, want %v", n, Dot(a, b), dot)
+		}
+		if !almostEq(Norm2Sq(a), n2, 1e-12) {
+			t.Fatalf("n=%d: Norm2Sq = %v, want %v", n, Norm2Sq(a), n2)
+		}
+		if !almostEq(Norm2SqDiff(a, b), n2d, 1e-12) {
+			t.Fatalf("n=%d: Norm2SqDiff = %v, want %v", n, Norm2SqDiff(a, b), n2d)
+		}
+
+		alpha := 1.5
+		dst := append([]float64(nil), a...)
+		AddScaled(dst, b, alpha)
+		for i := range dst {
+			if dst[i] != a[i]+alpha*b[i] {
+				t.Fatalf("n=%d: AddScaled[%d] = %v", n, i, dst[i])
+			}
+		}
+		mul := make([]float64, n)
+		MulInto(mul, b, alpha)
+		for i := range mul {
+			if mul[i] != alpha*b[i] {
+				t.Fatalf("n=%d: MulInto[%d] = %v", n, i, mul[i])
+			}
+		}
+		add := append([]float64(nil), a...)
+		Add(add, b)
+		for i := range add {
+			if add[i] != a[i]+b[i] {
+				t.Fatalf("n=%d: Add[%d] = %v", n, i, add[i])
+			}
+		}
+	}
+}
+
+func TestSuffixSumRows(t *testing.T) {
+	// 4 rows of stride 3: row i must become the sum of rows i..3.
+	data := []float64{
+		1, 2, 3,
+		10, 20, 30,
+		100, 200, 300,
+		1000, 2000, 3000,
+	}
+	SuffixSumRows(data, 4, 3)
+	want := []float64{
+		1111, 2222, 3333,
+		1110, 2220, 3330,
+		1100, 2200, 3300,
+		1000, 2000, 3000,
+	}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("SuffixSumRows[%d] = %v, want %v", i, data[i], want[i])
+		}
+	}
+	// Zero and one row are no-ops.
+	one := []float64{5, 6}
+	SuffixSumRows(one, 1, 2)
+	if one[0] != 5 || one[1] != 6 {
+		t.Fatal("single-row suffix sum changed data")
+	}
+	SuffixSumRows(nil, 0, 2)
+}
+
+// AddGatherRows must be bit-identical to adding the gathered rows one at
+// a time with Add, for every destination width (all blocking remainders)
+// and any gather order, including repeats.
+func TestAddGatherRowsMatchesSequentialAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, w := range []int{1, 2, 3, 4, 5, 7, 8, 11, 16} {
+		const nRows = 9
+		src := make([]float64, nRows*w)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		rows := []int32{3, 0, 7, 3, 5}
+		got := make([]float64, w)
+		want := make([]float64, w)
+		for i := range got {
+			got[i] = rng.NormFloat64()
+			want[i] = got[i]
+		}
+		AddGatherRows(got, src, rows, w)
+		for _, r := range rows {
+			Add(want, src[int(r)*w:int(r)*w+w])
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("w=%d: AddGatherRows[%d] = %v, want %v (must be bit-identical)", w, i, got[i], want[i])
+			}
+		}
+		AddGatherRows(got, src, nil, w) // empty gather is a no-op
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("w=%d: empty gather changed dst", w)
+			}
+		}
+	}
+}
+
+func TestIsFiniteNonFiniteInputs(t *testing.T) {
+	if !IsFinite([]float64{0, -0, 1e308, -1e308, 5e-324}) {
+		t.Fatal("finite slice rejected")
+	}
+	if !IsFinite(nil) {
+		t.Fatal("empty slice rejected")
+	}
+	for _, bad := range [][]float64{
+		{math.NaN()},
+		{math.Inf(1)},
+		{math.Inf(-1)},
+		{1, 2, math.NaN(), 4},
+		{1, 2, 3, math.Inf(1)},
+	} {
+		if IsFinite(bad) {
+			t.Fatalf("non-finite slice %v accepted", bad)
+		}
+	}
+}
+
 func TestAxpy(t *testing.T) {
 	dst := []float64{1, 2, 3}
 	Axpy(2, []float64{10, 20, 30}, dst)

@@ -56,6 +56,46 @@ func TestScorerConcurrentPredictDuringLearn(t *testing.T) {
 	}
 }
 
+// The multiclass variant of the hammer: a >2-class DMT carries Softmax
+// leaf models, whose Predict historically shared a scratch buffer — a
+// data race under Scorer's concurrent read lock. Run under -race this
+// pins the re-entrancy of the multiclass serving path.
+func TestScorerConcurrentPredictMulticlass(t *testing.T) {
+	gen := NewClusterStream(ClusterConfig{
+		Name: "hammer4", Samples: 8_000, Features: 3, Classes: 4, Seed: 7,
+	})
+	scorer := NewScorer(MustNew("DMT", gen.Schema(), WithSeed(2)))
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := []float64{float64(r) / readers, 0.5, 0.5}
+			proba := make([]float64, 4)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if y := scorer.Predict(probe); y < 0 || y > 3 {
+					t.Errorf("reader %d got class %d", r, y)
+					return
+				}
+				scorer.Proba(probe, proba)
+			}
+		}(r)
+	}
+	if _, err := Prequential(scorer, gen, EvalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // The one-hot fallback for models without a probabilistic interface.
 func TestScorerProbaFallback(t *testing.T) {
 	s := NewScorer(constClassifier{})
