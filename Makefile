@@ -3,10 +3,11 @@
 # registry).
 #
 # `make bench` runs the Benchmark*Op hot-path micro-benchmarks with
-# -benchmem and writes BENCH_PR2.json (ns/op, B/op, allocs/op per
-# benchmark, joined with the recorded pre-candidate-index baseline in
-# bench/BASELINE_PR2.txt), so the perf trajectory is tracked from PR 2
-# onward. `make bench-all` additionally replays the full table/figure
+# -benchmem and writes BENCH_PR3.json (ns/op, B/op, allocs/op per
+# benchmark, joined with the baseline recorded before the PR-3
+# hoeffding/ensemble rework in bench/BASELINE_PR3.txt), so the perf
+# trajectory is tracked PR over PR (BENCH_PR2.json holds the previous
+# round). `make bench-all` additionally replays the full table/figure
 # reproduction benchmarks.
 
 GO ?= go
@@ -34,8 +35,8 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Op$$' -benchmem -benchtime $(BENCHTIME) ./... > $(BENCH_TXT)
 	@cat $(BENCH_TXT)
-	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR2.txt -out BENCH_PR2.json
-	@echo "wrote BENCH_PR2.json"
+	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR3.txt -out BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json"
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

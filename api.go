@@ -106,6 +106,16 @@ func WithEnsembleSize(n int) Option { return registry.WithEnsembleSize(n) }
 // WithLambda sets the ensembles' Poisson weighting intensity.
 func WithLambda(l float64) Option { return registry.WithLambda(l) }
 
+// WithEnsembleDeltas sets the ensembles' warning and drift ADWIN
+// confidences (zero keeps the respective package default).
+func WithEnsembleDeltas(warn, drift float64) Option {
+	return registry.WithEnsembleDeltas(warn, drift)
+}
+
+// WithEnsembleWorkers bounds the ensembles' member-learning worker pool
+// (0 = GOMAXPROCS, 1 = sequential; results are identical either way).
+func WithEnsembleWorkers(n int) Option { return registry.WithEnsembleWorkers(n) }
+
 // WithPageHinkley sets FIMT-DD's Page-Hinkley detector parameters.
 func WithPageHinkley(delta, lambda float64) Option {
 	return registry.WithPageHinkley(delta, lambda)

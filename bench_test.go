@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drift"
+	"repro/internal/ensemble"
 	"repro/internal/eval"
 	"repro/internal/glm"
 	"repro/internal/hoeffding"
@@ -332,5 +333,73 @@ func BenchmarkVFDTLearnOneOp(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		inst := insts[i&4095]
 		tree.LearnOne(inst.X, inst.Y, 1)
+	}
+}
+
+// BenchmarkHoeffdingLearnOp measures one warmed VFDT LearnOne call across
+// feature widths (the ensemble weak-learner hot path). `make bench`
+// records it in BENCH_PR3.json.
+func BenchmarkHoeffdingLearnOp(b *testing.B) {
+	for _, m := range []int{10, 50} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			batches := linearBenchBatches(m, 64, 100, 11)
+			tree := hoeffding.New(hoeffding.Config{Seed: 3},
+				stream.Schema{NumFeatures: m, NumClasses: 2, Name: "bench"})
+			for _, bt := range batches {
+				tree.Learn(bt) // warm up: grow the tree, size buffers
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bt := batches[i&63]
+				r := i % len(bt.X)
+				tree.LearnOne(bt.X[r], bt.Y[r], 1)
+			}
+		})
+	}
+}
+
+// BenchmarkHoeffdingPredictOp measures one warmed VFDT prediction.
+func BenchmarkHoeffdingPredictOp(b *testing.B) {
+	batches := linearBenchBatches(10, 64, 100, 11)
+	tree := hoeffding.New(hoeffding.Config{Seed: 3},
+		stream.Schema{NumFeatures: 10, NumClasses: 2, Name: "bench"})
+	for _, bt := range batches {
+		tree.Learn(bt)
+	}
+	x := batches[0].X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(x)
+	}
+}
+
+// BenchmarkEnsembleLearnOp measures one ensemble Learn call on a 100-row
+// batch for both paper ensembles (3 VFDT members each). This is the
+// acceptance benchmark of the parallel member fan-out; `make bench`
+// records it in BENCH_PR3.json.
+func BenchmarkEnsembleLearnOp(b *testing.B) {
+	schema := stream.Schema{NumFeatures: 10, NumClasses: 2, Name: "bench"}
+	builders := []struct {
+		name string
+		make func() Classifier
+	}{
+		{"ARF", func() Classifier { return ensemble.NewARF(ensemble.Config{Seed: 1}, schema) }},
+		{"LevBag", func() Classifier { return ensemble.NewLevBag(ensemble.Config{Seed: 1}, schema) }},
+	}
+	for _, bld := range builders {
+		b.Run(bld.name, func(b *testing.B) {
+			batches := linearBenchBatches(10, 64, 100, 13)
+			ens := bld.make()
+			for _, bt := range batches {
+				ens.Learn(bt) // warm up: grow members, settle detectors
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ens.Learn(batches[i&63])
+			}
+		})
 	}
 }

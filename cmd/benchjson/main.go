@@ -1,13 +1,14 @@
 // Command benchjson converts `go test -bench` text output into JSON,
 // optionally joining it with a recorded baseline run to compute per-
 // benchmark speedups. It backs `make bench`, which tracks the hot-path
-// perf trajectory (ns/op, B/op, allocs/op) in BENCH_PR2.json from PR 2
-// onward.
+// perf trajectory (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json per
+// perf round, each joined against the baseline recorded in bench/
+// before that round's change.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Op$' -benchmem ./... > current.txt
-//	benchjson -new current.txt -old bench/BASELINE_PR2.txt -out BENCH_PR2.json
+//	benchjson -new current.txt -old bench/BASELINE_PR3.txt -out BENCH_PR3.json
 package main
 
 import (
@@ -96,7 +97,7 @@ func main() {
 	newPath := flag.String("new", "-", "current `go test -bench` output ('-' = stdin)")
 	oldPath := flag.String("old", "", "optional baseline `go test -bench` output")
 	outPath := flag.String("out", "", "output JSON path (default stdout)")
-	note := flag.String("note", "micro-benchmarks of the candidate-index hot paths; speedup = baseline_ns/current_ns", "note embedded in the document")
+	note := flag.String("note", "micro-benchmarks of the learner hot paths; speedup = baseline_ns/current_ns", "note embedded in the document")
 	flag.Parse()
 
 	cur, order, err := parse(*newPath)

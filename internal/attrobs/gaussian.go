@@ -76,22 +76,83 @@ func (g *Gaussian) Pdf(value float64, class int) float64 {
 }
 
 // DistributionsAt estimates the class-count vectors of the two branches of
-// a threshold split using the Gaussian CDFs. EFDT uses it to re-score the
-// currently installed split of an inner node.
+// a threshold split using the Gaussian CDFs. The trees call it when a
+// split is actually installed (a rare structural event, so the two
+// allocations are acceptable); the scan hot path uses DistributionsAtInto.
 func (g *Gaussian) DistributionsAt(threshold float64) (left, right []float64) {
 	c := len(g.perClass)
 	left = make([]float64, c)
 	right = make([]float64, c)
-	for k := 0; k < c; k++ {
+	g.DistributionsAtInto(threshold, left, right)
+	return left, right
+}
+
+// DistributionsAtInto estimates the branch class-count vectors of a
+// threshold split into caller-owned buffers of length >= the class count.
+func (g *Gaussian) DistributionsAtInto(threshold float64, left, right []float64) {
+	for k := range g.perClass {
 		w := g.perClass[k].Weight()
 		if w == 0 {
+			left[k], right[k] = 0, 0
 			continue
 		}
 		l := g.perClass[k].WeightLessThan(threshold)
 		left[k] = l
 		right[k] = w - l
 	}
-	return left, right
+}
+
+// Meriter scores a candidate binary split from the pre-split class counts
+// and the two branch distributions. split.Criterion satisfies it; the
+// interface is redeclared here so attrobs stays independent of the split
+// package.
+type Meriter interface {
+	Merit(pre []float64, post [][]float64) float64
+}
+
+// ScanBuf holds the reusable branch-distribution buffers of a threshold
+// scan, so MeritAt and BestThreshold run without allocating. Scans never
+// nest, so one ScanBuf serves a whole tree; it must not be shared across
+// goroutines (each ensemble member owns its own).
+type ScanBuf struct {
+	left, right []float64
+	post        [][]float64
+}
+
+// NewScanBuf returns a scan workspace over numClasses classes.
+func NewScanBuf(numClasses int) *ScanBuf {
+	b := &ScanBuf{left: make([]float64, numClasses), right: make([]float64, numClasses)}
+	b.post = [][]float64{b.left, b.right}
+	return b
+}
+
+// MeritAt scores the threshold split of this feature with crit against
+// the pre-split counts, using buf's buffers. It allocates nothing.
+func (g *Gaussian) MeritAt(threshold float64, pre []float64, crit Meriter, buf *ScanBuf) float64 {
+	g.DistributionsAtInto(threshold, buf.left, buf.right)
+	return crit.Merit(pre, buf.post)
+}
+
+// BestThreshold scans the candidate grid for the highest-merit threshold.
+// Unlike BestSplit it materialises no branch distributions — callers
+// fetch them with DistributionsAt once a split is actually installed —
+// so the scan allocates nothing.
+func (g *Gaussian) BestThreshold(pre []float64, crit Meriter, buf *ScanBuf) (threshold, merit float64, ok bool) {
+	if !g.seen || g.max <= g.min {
+		return 0, 0, false
+	}
+	merit = math.Inf(-1)
+	step := (g.max - g.min) / float64(g.bins+1)
+	for i := 1; i <= g.bins; i++ {
+		t := g.min + step*float64(i)
+		if m := g.MeritAt(t, pre, crit, buf); m > merit {
+			threshold, merit = t, m
+		}
+	}
+	if math.IsInf(merit, -1) {
+		return 0, 0, false
+	}
+	return threshold, merit, true
 }
 
 // BestSplit returns the highest-merit candidate threshold for this

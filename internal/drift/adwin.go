@@ -41,7 +41,11 @@ func mergeBuckets(a, b bucket) bucket {
 //
 // The window is stored as an exponential histogram: rows[i] holds buckets
 // summarising 2^i observations each, newest data in row 0. Memory is
-// O(M log n) and all operations are amortised O(log n).
+// O(M log n) and all operations are amortised O(log n). Row compaction is
+// in place (copy-down, never reslice-forward) and the cut check gathers
+// the window into a reusable scratch, so the steady-state Add path —
+// including the every-clock-adds cut check — performs zero allocations
+// once the window's high-water capacity is reached.
 type ADWIN struct {
 	delta      float64
 	rows       [][]bucket // rows[i]: oldest bucket first
@@ -50,6 +54,8 @@ type ADWIN struct {
 	clock      int // check for cuts every clock additions
 	sinceCheck int
 	detections int
+
+	gather []bucket // reusable oldest-first bucket scratch of the cut check
 }
 
 // NewADWIN returns a detector with confidence parameter delta (smaller
@@ -61,9 +67,17 @@ func NewADWIN(delta float64) *ADWIN {
 	return &ADWIN{delta: delta, clock: 32}
 }
 
-// Reset implements Detector.
+// Delta returns the configured confidence parameter.
+func (a *ADWIN) Delta() float64 { return a.delta }
+
+// Reset implements Detector. Bucket storage keeps its capacity so a
+// detector that is periodically reset (ensemble member swaps) does not
+// re-grow its rows from scratch.
 func (a *ADWIN) Reset() {
-	a.rows = nil
+	for i := range a.rows {
+		a.rows[i] = a.rows[i][:0]
+	}
+	a.rows = a.rows[:0]
 	a.width, a.total = 0, 0
 	a.sinceCheck = 0
 	// detections intentionally survives Reset so callers can keep counting.
@@ -103,9 +117,25 @@ func (a *ADWIN) Add(x float64) bool {
 	return changed
 }
 
+// growRows appends one empty row, reusing the spare row headers (and
+// their bucket arrays) that Reset and earlier compaction left behind.
+func (a *ADWIN) growRows() {
+	if cap(a.rows) > len(a.rows) {
+		a.rows = a.rows[:len(a.rows)+1]
+		last := len(a.rows) - 1
+		if cap(a.rows[last]) == 0 {
+			a.rows[last] = make([]bucket, 0, maxBucketsPerRow+1)
+		} else {
+			a.rows[last] = a.rows[last][:0]
+		}
+		return
+	}
+	a.rows = append(a.rows, make([]bucket, 0, maxBucketsPerRow+1))
+}
+
 func (a *ADWIN) insert(b bucket) {
 	if len(a.rows) == 0 {
-		a.rows = append(a.rows, nil)
+		a.growRows()
 	}
 	a.rows[0] = append(a.rows[0], b)
 	a.width += b.n
@@ -113,34 +143,41 @@ func (a *ADWIN) insert(b bucket) {
 }
 
 // compress merges the two oldest buckets of any over-full row into the
-// next row, preserving the exponential-histogram invariant.
+// next row, compacting the row in place so its backing array (capacity
+// M+1) is reused forever. Only insertion into row 0 can overflow a row,
+// and the overflow cascades strictly upward, so the walk stops at the
+// first row within bounds — the common add is O(1), not O(log n).
 func (a *ADWIN) compress() {
 	for i := 0; i < len(a.rows); i++ {
-		if len(a.rows[i]) <= maxBucketsPerRow {
-			continue
+		row := a.rows[i]
+		if len(row) <= maxBucketsPerRow {
+			return
 		}
-		merged := mergeBuckets(a.rows[i][0], a.rows[i][1])
-		a.rows[i] = a.rows[i][2:]
+		merged := mergeBuckets(row[0], row[1])
+		n := copy(row, row[2:])
+		a.rows[i] = row[:n]
 		if i+1 == len(a.rows) {
-			a.rows = append(a.rows, nil)
+			a.growRows()
 		}
 		a.rows[i+1] = append(a.rows[i+1], merged)
 	}
 }
 
-// allBuckets returns the window's buckets ordered oldest first.
-func (a *ADWIN) allBuckets() []bucket {
-	var out []bucket
+// gatherBuckets refills the reusable scratch with the window's buckets
+// ordered oldest first.
+func (a *ADWIN) gatherBuckets() []bucket {
+	out := a.gather[:0]
 	for i := len(a.rows) - 1; i >= 0; i-- {
 		out = append(out, a.rows[i]...)
 	}
+	a.gather = out
 	return out
 }
 
-// windowVariance reconstructs the variance of the full window.
-func (a *ADWIN) windowVariance() float64 {
+// windowVarianceOf reconstructs the variance of the gathered window.
+func windowVarianceOf(buckets []bucket) float64 {
 	var acc bucket
-	for _, b := range a.allBuckets() {
+	for _, b := range buckets {
 		acc = mergeBuckets(acc, b)
 	}
 	if acc.n <= 1 {
@@ -153,13 +190,17 @@ func (a *ADWIN) windowVariance() float64 {
 // into W0 (old) and W1 (new) violates the bound, the oldest bucket is
 // dropped and true is returned.
 func (a *ADWIN) cutOnce() bool {
-	buckets := a.allBuckets()
+	buckets := a.gatherBuckets()
 	if len(buckets) < 2 {
 		return false
 	}
-	variance := a.windowVariance()
+	variance := windowVarianceOf(buckets)
 	n := a.width
 	total := a.total
+	// Both logarithms of the epsilon_cut bound depend only on the full
+	// window, so they are hoisted out of the scan; each cut point then
+	// costs one square root.
+	dd := math.Log(2 * math.Log(n) / a.delta)
 
 	var n0, sum0 float64
 	for i := 0; i < len(buckets)-1; i++ {
@@ -171,7 +212,10 @@ func (a *ADWIN) cutOnce() bool {
 		}
 		mean0 := sum0 / n0
 		mean1 := (total - sum0) / n1
-		if math.Abs(mean0-mean1) > a.cutThreshold(n0, n1, variance) {
+		// invM = 1/m with m the harmonic mean of the sub-window sizes.
+		invM := 1/n0 + 1/n1
+		eps := math.Sqrt(2*invM*variance*dd) + 2.0/3.0*invM*dd
+		if math.Abs(mean0-mean1) > eps {
 			a.dropOldest()
 			return true
 		}
@@ -179,21 +223,17 @@ func (a *ADWIN) cutOnce() bool {
 	return false
 }
 
-// cutThreshold is the variance-sensitive epsilon_cut of ADWIN2.
-func (a *ADWIN) cutThreshold(n0, n1, variance float64) float64 {
-	m := 1 / (1/n0 + 1/n1) // harmonic mean of the sub-window sizes
-	dd := math.Log(2 * math.Log(a.width) / a.delta)
-	return math.Sqrt(2/m*variance*dd) + 2/(3*m)*dd
-}
-
-// dropOldest removes the oldest bucket from the window.
+// dropOldest removes the oldest bucket from the window, compacting its
+// row in place.
 func (a *ADWIN) dropOldest() {
 	for i := len(a.rows) - 1; i >= 0; i-- {
-		if len(a.rows[i]) == 0 {
+		row := a.rows[i]
+		if len(row) == 0 {
 			continue
 		}
-		b := a.rows[i][0]
-		a.rows[i] = a.rows[i][1:]
+		b := row[0]
+		n := copy(row, row[1:])
+		a.rows[i] = row[:n]
 		a.width -= b.n
 		a.total -= b.sum
 		return

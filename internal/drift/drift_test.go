@@ -106,8 +106,56 @@ func TestADWINReset(t *testing.T) {
 
 func TestADWINDefaultDelta(t *testing.T) {
 	a := NewADWIN(-1)
-	if a.delta != 0.002 {
-		t.Fatalf("default delta = %v", a.delta)
+	if a.Delta() != 0.002 {
+		t.Fatalf("default delta = %v", a.Delta())
+	}
+	if a := NewADWIN(0.05); a.Delta() != 0.05 {
+		t.Fatalf("delta accessor = %v, want 0.05", a.Delta())
+	}
+}
+
+// TestADWINResetReusesStorage: a reset detector must behave exactly like
+// a fresh one (Reset keeps bucket capacity, not content).
+func TestADWINResetReusesStorage(t *testing.T) {
+	a := NewADWIN(0.002)
+	for i := 0; i < 1000; i++ {
+		a.Add(float64(i & 1))
+	}
+	a.Reset()
+	if a.Width() != 0 || a.Mean() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	fresh := NewADWIN(0.002)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3000; i++ {
+		v := 0.0
+		if rng.Float64() < 0.3 {
+			v = 1
+		}
+		if a.Add(v) != fresh.Add(v) {
+			t.Fatalf("reused and fresh detectors diverge at %d", i)
+		}
+	}
+	if a.Width() != fresh.Width() || a.Mean() != fresh.Mean() {
+		t.Fatalf("reused window (w=%d m=%v) != fresh (w=%d m=%v)",
+			a.Width(), a.Mean(), fresh.Width(), fresh.Mean())
+	}
+}
+
+// TestADWINAddZeroAllocs pins the steady-state Add path — including the
+// every-32-adds cut check — at zero allocations once the window's
+// high-water capacity is reached.
+func TestADWINAddZeroAllocs(t *testing.T) {
+	a := NewADWIN(0.002)
+	for i := 0; i < 10000; i++ {
+		a.Add(float64(i & 1)) // stationary: no cuts, window grows to high water
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		for j := 0; j < 64; j++ { // >= two full cut-check cycles per run
+			a.Add(float64(j & 1))
+		}
+	}); avg != 0 {
+		t.Fatalf("steady-state Add allocates %.2f allocs per 64-add run, want 0", avg)
 	}
 }
 

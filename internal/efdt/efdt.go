@@ -55,6 +55,7 @@ type Tree struct {
 	schema stream.Schema
 	root   *enode
 	rng    *rand.Rand
+	sc     *hoeffding.Scratch // learn-path workspace shared by all nodes
 
 	replacements int
 	retractions  int
@@ -63,13 +64,13 @@ type Tree struct {
 // New returns an empty EFDT.
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.withDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Tree.Seed + 3))}
+	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Tree.Seed + 3)), sc: hoeffding.NewScratch(schema)}
 	t.root = t.newLeaf(0)
 	return t
 }
 
 func (t *Tree) newLeaf(depth int) *enode {
-	return &enode{stats: hoeffding.NewNodeStats(&t.cfg.Tree, t.schema, t.rng), depth: depth}
+	return &enode{stats: hoeffding.NewNodeStats(&t.cfg.Tree, t.schema, t.rng, t.sc), depth: depth}
 }
 
 // Name implements model.Classifier.
@@ -127,7 +128,8 @@ func (t *Tree) attemptInitialSplit(leaf *enode) {
 	}
 	eps := leaf.stats.Bound()
 	if best.Merit > eps || (eps < t.cfg.Tree.Tau && best.Merit > t.cfg.Tree.Tau) {
-		t.install(leaf, best.Feature, best.Threshold, best.Post)
+		left, right := leaf.stats.DistributionsAt(best.Feature, best.Threshold)
+		t.install(leaf, best.Feature, best.Threshold, [][]float64{left, right})
 	}
 }
 
@@ -145,20 +147,10 @@ func (t *Tree) install(n *enode, feature int, threshold float64, post [][]float6
 }
 
 // currentSplitMerit re-scores the installed split from the node's own
-// (continuously updated) observers.
+// (continuously updated) observers, through the tree's scan scratch so
+// periodic re-evaluations allocate nothing.
 func (t *Tree) currentSplitMerit(n *enode) float64 {
-	obs := n.stats
-	left, right := observerAt(obs, n.feature, n.threshold)
-	if left == nil {
-		return 0
-	}
-	return t.cfg.Tree.Criterion.Merit(obs.Counts(), [][]float64{left, right})
-}
-
-// observerAt returns the estimated branch distributions of splitting on
-// (feature, threshold) at this node.
-func observerAt(s *hoeffding.NodeStats, feature int, threshold float64) (left, right []float64) {
-	return s.DistributionsAt(feature, threshold)
+	return n.stats.MeritAt(n.feature, n.threshold)
 }
 
 // reevaluate revisits the split installed at n. It returns true when the
@@ -179,7 +171,8 @@ func (t *Tree) reevaluate(n *enode) bool {
 	}
 	// Replace: a different attribute is now confidently better.
 	if best.Feature != n.feature && best.Merit-cur > eps && best.Merit > 0 {
-		t.install(n, best.Feature, best.Threshold, best.Post)
+		left, right := n.stats.DistributionsAt(best.Feature, best.Threshold)
+		t.install(n, best.Feature, best.Threshold, [][]float64{left, right})
 		t.replacements++
 		return true
 	}

@@ -2,6 +2,15 @@
 // paper's comparison (Section VI-C): an Adaptive Random Forest [42] and a
 // Leveraging Bagging ensemble [27], both with 3 VFDT weak learners
 // configured like the stand-alone VFDT (MC) model.
+//
+// Learning is member-major: every member owns its trees, detectors and
+// RNG stream, processes each incoming batch independently, and any
+// cross-member coupling (Leveraging Bagging's worst-member reset) happens
+// in a serial step after the batch. Because member state is disjoint,
+// Learn can fan the members out across a bounded worker pool
+// (Config.Workers) and parallel runs are byte-identical to sequential
+// runs under a fixed Config.Seed — the same guarantee eval.Runner gives
+// across experiment cells.
 package ensemble
 
 import (
@@ -14,18 +23,63 @@ import (
 	"repro/internal/stream"
 )
 
-// poisson draws from Poisson(lambda) via Knuth's method (lambda is small).
-func poisson(rng *rand.Rand, lambda float64) int {
-	l := math.Exp(-lambda)
+// poissonNormalCutoff is where poisson switches from Knuth's product
+// method to a normal approximation. Knuth's loop runs ~lambda iterations,
+// and its exp(-lambda) floor underflows to zero near lambda ≈ 746 — the
+// loop would then spin until the running product denormal-underflows.
+const poissonNormalCutoff = 30
+
+// poissonSampler draws Poisson(lambda) variates with the lambda-dependent
+// constants precomputed — the ensembles draw once per member-instance, so
+// re-deriving exp(-lambda) per draw was measurable. The zero-size value
+// is read-only after construction and safe to share across member
+// goroutines.
+type poissonSampler struct {
+	lambda  float64
+	expNegL float64 // exp(-lambda); unused above the normal cutoff
+	sqrtL   float64
+}
+
+func newPoissonSampler(lambda float64) poissonSampler {
+	s := poissonSampler{lambda: lambda}
+	if lambda > 0 {
+		s.sqrtL = math.Sqrt(lambda)
+		if lambda < poissonNormalCutoff {
+			s.expNegL = math.Exp(-lambda)
+		}
+	}
+	return s
+}
+
+// draw samples Poisson(lambda): Knuth's product method for small lambda,
+// a rounded N(lambda, lambda) draw (clamped at zero) above the cutoff,
+// where the approximation error is far below the sampling noise.
+func (s poissonSampler) draw(rng *rand.Rand) int {
+	if s.lambda <= 0 {
+		return 0
+	}
+	if s.lambda >= poissonNormalCutoff {
+		k := math.Round(s.lambda + s.sqrtL*rng.NormFloat64())
+		if k < 0 {
+			return 0
+		}
+		return int(k)
+	}
 	k := 0
 	p := 1.0
 	for {
 		p *= rng.Float64()
-		if p <= l {
+		if p <= s.expNegL {
 			return k
 		}
 		k++
 	}
+}
+
+// poisson draws one Poisson(lambda) variate. Hot paths hold a
+// poissonSampler instead.
+func poisson(rng *rand.Rand, lambda float64) int {
+	return newPoissonSampler(lambda).draw(rng)
 }
 
 // Config holds the shared ensemble hyperparameters.
@@ -37,14 +91,32 @@ type Config struct {
 	// Tree configures the weak learners (VFDT MC per the paper).
 	Tree hoeffding.Config
 	// WarnDelta and DriftDelta are the ADWIN confidences of the warning
-	// and drift detectors (ARF defaults 0.01 and 0.001).
+	// and drift detectors (ARF defaults 0.01 and 0.001). Leveraging
+	// Bagging has no warning stage and uses DriftDelta alone for its
+	// member monitors (default 0.002, the customary ADWIN delta).
 	WarnDelta  float64
 	DriftDelta float64
-	// Seed drives the Poisson sampling and subspace selection.
+	// Workers bounds the member-learning worker pool: Learn fans the
+	// members across min(Workers, Size) goroutines. 0 uses GOMAXPROCS;
+	// 1 learns sequentially. The parallel schedule never changes
+	// results (see the package comment).
+	Workers int
+	// Seed drives the Poisson sampling and subspace selection. Each
+	// member derives its own RNG stream from it.
 	Seed int64
 }
 
-func (c Config) withDefaults() Config {
+// Default ADWIN confidences: ARF's warning/drift detector pair and
+// Leveraging Bagging's single member monitor.
+const (
+	defaultWarnDelta   = 0.01
+	defaultARFDrift    = 0.001
+	defaultLevBagDrift = 0.002
+)
+
+// withDefaults fills unset fields; driftDefault is the ensemble's own
+// DriftDelta default (the two ensembles differ).
+func (c Config) withDefaults(driftDefault float64) Config {
 	if c.Size <= 0 {
 		c.Size = 3
 	}
@@ -52,23 +124,69 @@ func (c Config) withDefaults() Config {
 		c.Lambda = 6
 	}
 	if c.WarnDelta <= 0 {
-		c.WarnDelta = 0.01
+		c.WarnDelta = defaultWarnDelta
 	}
 	if c.DriftDelta <= 0 {
-		c.DriftDelta = 0.001
+		c.DriftDelta = driftDefault
 	}
 	c.Tree.LeafMode = hoeffding.MajorityClass
 	c.Tree = c.Tree.WithDefaults()
 	return c
 }
 
-// arfMember is one Adaptive Random Forest learner with its detectors and
-// optional background tree.
+// voteSlice returns a zeroed vote accumulator of length c, backed by the
+// caller's stack buffer when it fits (see voteBufClasses).
+func voteSlice(buf *[voteBufClasses]float64, c int) []float64 {
+	if c <= voteBufClasses {
+		return buf[:c]
+	}
+	return make([]float64, c)
+}
+
+// voteBufClasses is the class count served by the stack-allocated voting
+// buffer of Predict. Predict runs under a Scorer's read lock with any
+// number of concurrent readers, so it cannot reuse ensemble-owned
+// scratch; a stack buffer keeps it both race-free and allocation-free.
+const voteBufClasses = 16
+
+// minVote is the floor vote weight of a member whose recent accuracy is
+// unknown or worse than chance.
+const minVote = 0.01
+
+// minVoteEvidence is the observation weight a member must accumulate
+// since its last swap before its accuracy estimate drives its vote.
+const minVoteEvidence = 10
+
+// arfMember is one Adaptive Random Forest learner with its detectors,
+// optional background tree, private RNG stream and post-swap accuracy
+// tally. All of it is member-private: Learn goroutines never share state.
 type arfMember struct {
+	id         int
+	rng        *rand.Rand
 	tree       *hoeffding.Tree
 	background *hoeffding.Tree
 	warn       *drift.ADWIN
 	det        *drift.ADWIN
+	swaps      int
+	// Error tally since the last swap; drives the vote weight so a
+	// freshly swapped (largely untrained) member carries almost no vote
+	// until it re-earns it.
+	errSince  float64
+	seenSince float64
+}
+
+// voteWeight returns one minus the member's error rate since its last
+// swap, floored at minVote; members without enough post-swap evidence
+// also vote at the floor.
+func (m *arfMember) voteWeight() float64 {
+	if m.seenSince < minVoteEvidence {
+		return minVote
+	}
+	w := 1 - m.errSince/m.seenSince
+	if w < minVote {
+		w = minVote
+	}
+	return w
 }
 
 // ARF is the Adaptive Random Forest: Poisson(lambda) online bagging,
@@ -79,19 +197,20 @@ type ARF struct {
 	cfg     Config
 	schema  stream.Schema
 	members []*arfMember
-	rng     *rand.Rand
-	swaps   int
+	pois    poissonSampler
 }
 
 // NewARF returns an Adaptive Random Forest for the schema.
 func NewARF(cfg Config, schema stream.Schema) *ARF {
-	cfg = cfg.withDefaults()
+	cfg = cfg.withDefaults(defaultARFDrift)
 	if cfg.Tree.SubspaceSize <= 0 {
 		cfg.Tree.SubspaceSize = int(math.Round(math.Sqrt(float64(schema.NumFeatures)))) + 1
 	}
-	a := &ARF{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 6))}
+	a := &ARF{cfg: cfg, schema: schema, pois: newPoissonSampler(cfg.Lambda)}
 	for i := 0; i < cfg.Size; i++ {
 		a.members = append(a.members, &arfMember{
+			id:   i,
+			rng:  rand.New(rand.NewSource(cfg.Seed*31 + int64(i)*1009 + 6)),
 			tree: a.newTree(int64(i)),
 			warn: drift.NewADWIN(cfg.WarnDelta),
 			det:  drift.NewADWIN(cfg.DriftDelta),
@@ -109,54 +228,67 @@ func (a *ARF) newTree(salt int64) *hoeffding.Tree {
 // Name implements model.Classifier.
 func (a *ARF) Name() string { return "Forest Ens." }
 
-// Learn implements model.Classifier.
+// Learn implements model.Classifier, fanning the members across the
+// worker pool; each member consumes the whole batch with its own RNG
+// stream, so the result does not depend on Workers.
 func (a *ARF) Learn(b stream.Batch) {
-	for i, x := range b.X {
-		a.learnOne(x, b.Y[i])
-	}
+	forEachMember(a.cfg.Workers, len(a.members), func(i int) {
+		m := a.members[i]
+		for r, x := range b.X {
+			a.learnMemberOne(m, x, b.Y[r])
+		}
+	})
 }
 
-func (a *ARF) learnOne(x []float64, y int) {
-	for i, m := range a.members {
-		errSignal := 0.0
-		if m.tree.Predict(x) != y {
-			errSignal = 1
-		}
-		if m.warn.Add(errSignal) && m.background == nil {
-			m.background = a.newTree(int64(i)*101 + int64(m.warn.NumDetections()))
-		}
-		if m.det.Add(errSignal) {
-			if m.background != nil {
-				m.tree = m.background
-				m.background = nil
-			} else {
-				m.tree = a.newTree(int64(i)*131 + int64(m.det.NumDetections()))
-			}
-			m.warn.Reset()
-			m.det.Reset()
-			a.swaps++
-		}
-		w := poisson(a.rng, a.cfg.Lambda)
-		if w == 0 {
-			continue
-		}
+// learnMemberOne advances one member by one instance: a Poisson-weighted
+// test-then-train tree update (one traversal via PredictLearnOne in the
+// common no-background case), then the pre-learn error signal feeds both
+// detectors. Detector-triggered replacements take effect from the next
+// instance. Steady state allocates nothing.
+func (a *ARF) learnMemberOne(m *arfMember, x []float64, y int) {
+	w := a.pois.draw(m.rng)
+	var pred int
+	switch {
+	case w > 0 && m.background == nil:
+		pred = m.tree.PredictLearnOne(x, y, float64(w))
+	case w > 0:
+		pred = m.tree.Predict(x)
 		m.tree.LearnOne(x, y, float64(w))
+		m.background.LearnOne(x, y, float64(w))
+	default:
+		pred = m.tree.Predict(x)
+	}
+	errSignal := 0.0
+	if pred != y {
+		errSignal = 1
+	}
+	m.errSince += errSignal
+	m.seenSince++
+	if m.warn.Add(errSignal) && m.background == nil {
+		m.background = a.newTree(int64(m.id)*101 + int64(m.warn.NumDetections()))
+	}
+	if m.det.Add(errSignal) {
 		if m.background != nil {
-			m.background.LearnOne(x, y, float64(w))
+			m.tree, m.background = m.background, nil
+		} else {
+			m.tree = a.newTree(int64(m.id)*131 + int64(m.det.NumDetections()))
 		}
+		m.warn.Reset()
+		m.det.Reset()
+		m.swaps++
+		m.errSince, m.seenSince = 0, 0
 	}
 }
 
 // Predict implements model.Classifier with accuracy-weighted voting: each
-// member votes with weight 1 minus its monitored error rate.
+// member votes with one minus its monitored error rate since its last
+// swap (so freshly swapped members barely vote until they re-earn
+// weight). Votes accumulate in a stack buffer — see voteBufClasses.
 func (a *ARF) Predict(x []float64) int {
-	votes := make([]float64, a.schema.NumClasses)
+	var buf [voteBufClasses]float64
+	votes := voteSlice(&buf, a.schema.NumClasses)
 	for _, m := range a.members {
-		w := 1 - m.warn.Mean()
-		if w <= 0 {
-			w = 0.01
-		}
-		votes[m.tree.Predict(x)] += w
+		votes[m.tree.Predict(x)] += m.voteWeight()
 	}
 	return argmax(votes)
 }
@@ -171,27 +303,50 @@ func (a *ARF) Complexity() model.Complexity {
 }
 
 // Swaps returns the number of member replacements so far.
-func (a *ARF) Swaps() int { return a.swaps }
-
-// LevBag is the Leveraging Bagging ensemble: Poisson(lambda) input
-// weighting with one ADWIN per member; when a member's ADWIN flags change,
-// that member is reset.
-type LevBag struct {
-	cfg    Config
-	schema stream.Schema
-	trees  []*hoeffding.Tree
-	mons   []*drift.ADWIN
-	rng    *rand.Rand
-	resets int
+func (a *ARF) Swaps() int {
+	total := 0
+	for _, m := range a.members {
+		total += m.swaps
+	}
+	return total
 }
 
-// NewLevBag returns a Leveraging Bagging ensemble for the schema.
+// lbMember is one Leveraging Bagging learner: a full-feature VFDT, its
+// ADWIN monitor, a private RNG stream and the batch-local detection flag
+// consumed by the serial coupling step.
+type lbMember struct {
+	id    int
+	rng   *rand.Rand
+	tree  *hoeffding.Tree
+	mon   *drift.ADWIN
+	fired bool
+}
+
+// LevBag is the Leveraging Bagging ensemble: Poisson(lambda) input
+// weighting with one ADWIN per member; when a member's ADWIN flags
+// change, the member with the worst monitored error is reset (at batch
+// granularity — see Learn).
+type LevBag struct {
+	cfg     Config
+	schema  stream.Schema
+	members []*lbMember
+	pois    poissonSampler
+	resets  int
+}
+
+// NewLevBag returns a Leveraging Bagging ensemble for the schema. The
+// member monitors use Config.DriftDelta, defaulting to ADWIN's customary
+// 0.002 when unset.
 func NewLevBag(cfg Config, schema stream.Schema) *LevBag {
-	cfg = cfg.withDefaults()
-	l := &LevBag{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 7))}
+	cfg = cfg.withDefaults(defaultLevBagDrift)
+	l := &LevBag{cfg: cfg, schema: schema, pois: newPoissonSampler(cfg.Lambda)}
 	for i := 0; i < cfg.Size; i++ {
-		l.trees = append(l.trees, l.newTree(int64(i)))
-		l.mons = append(l.mons, drift.NewADWIN(0.002))
+		l.members = append(l.members, &lbMember{
+			id:   i,
+			rng:  rand.New(rand.NewSource(cfg.Seed*37 + int64(i)*1013 + 7)),
+			tree: l.newTree(int64(i)),
+			mon:  drift.NewADWIN(cfg.DriftDelta),
+		})
 	}
 	return l
 }
@@ -206,49 +361,68 @@ func (l *LevBag) newTree(salt int64) *hoeffding.Tree {
 // Name implements model.Classifier.
 func (l *LevBag) Name() string { return "Bagging Ens." }
 
-// Learn implements model.Classifier.
+// Learn implements model.Classifier: members consume the batch
+// independently on the worker pool, then a serial coupling step applies
+// the Leveraging Bagging adaptation — when any member's ADWIN fired
+// during the batch, the member with the highest monitored error estimate
+// is reset (Bifet et al. [27], applied at batch granularity so member
+// learning stays embarrassingly parallel).
 func (l *LevBag) Learn(b stream.Batch) {
-	for i, x := range b.X {
-		l.learnOne(x, b.Y[i])
-	}
-}
-
-func (l *LevBag) learnOne(x []float64, y int) {
-	changed := false
-	for i, tr := range l.trees {
-		errSignal := 0.0
-		if tr.Predict(x) != y {
-			errSignal = 1
+	forEachMember(l.cfg.Workers, len(l.members), func(i int) {
+		m := l.members[i]
+		for r, x := range b.X {
+			l.learnMemberOne(m, x, b.Y[r])
 		}
-		if l.mons[i].Add(errSignal) {
-			changed = true
-		}
-		w := poisson(l.rng, l.cfg.Lambda)
-		if w > 0 {
-			tr.LearnOne(x, y, float64(w))
+	})
+	fired := false
+	for _, m := range l.members {
+		if m.fired {
+			fired = true
+			m.fired = false
 		}
 	}
-	if !changed {
+	if !fired {
 		return
 	}
-	// Leveraging Bagging resets the member with the highest monitored
-	// error estimate when any detector fires (Bifet et al. [27]).
 	worst := 0
-	for i := range l.trees {
-		if l.mons[i].Mean() > l.mons[worst].Mean() {
+	for i, m := range l.members {
+		if m.mon.Mean() > l.members[worst].mon.Mean() {
 			worst = i
 		}
 	}
 	l.resets++
-	l.trees[worst] = l.newTree(int64(worst)*151 + int64(l.resets))
-	l.mons[worst].Reset()
+	l.members[worst].tree = l.newTree(int64(worst)*151 + int64(l.resets))
+	l.members[worst].mon.Reset()
 }
 
-// Predict implements model.Classifier by majority vote.
+// learnMemberOne advances one member by one instance: a Poisson-weighted
+// test-then-train update in one traversal, with the pre-learn error
+// feeding the member's monitor. Steady state allocates nothing.
+func (l *LevBag) learnMemberOne(m *lbMember, x []float64, y int) {
+	w := l.pois.draw(m.rng)
+	var pred int
+	if w > 0 {
+		pred = m.tree.PredictLearnOne(x, y, float64(w))
+	} else {
+		pred = m.tree.Predict(x)
+	}
+	errSignal := 0.0
+	if pred != y {
+		errSignal = 1
+	}
+	if m.mon.Add(errSignal) {
+		m.fired = true
+	}
+}
+
+// Predict implements model.Classifier by majority vote, accumulated in a
+// stack buffer (see voteBufClasses) so concurrent readers stay safe and
+// allocation-free.
 func (l *LevBag) Predict(x []float64) int {
-	votes := make([]float64, l.schema.NumClasses)
-	for _, tr := range l.trees {
-		votes[tr.Predict(x)]++
+	var buf [voteBufClasses]float64
+	votes := voteSlice(&buf, l.schema.NumClasses)
+	for _, m := range l.members {
+		votes[m.tree.Predict(x)]++
 	}
 	return argmax(votes)
 }
@@ -256,8 +430,8 @@ func (l *LevBag) Predict(x []float64) int {
 // Complexity implements model.Classifier, summing the members.
 func (l *LevBag) Complexity() model.Complexity {
 	var total model.Complexity
-	for _, tr := range l.trees {
-		total = total.Add(tr.Complexity())
+	for _, m := range l.members {
+		total = total.Add(m.tree.Complexity())
 	}
 	return total
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hoeffding"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/stream"
 )
 
@@ -57,6 +58,28 @@ func TestPoissonMeanAndSpread(t *testing.T) {
 	}
 	if math.Abs(variance-6) > 0.4 {
 		t.Fatalf("Poisson(6) variance = %v", variance)
+	}
+}
+
+func TestPoissonLargeLambdaTerminates(t *testing.T) {
+	// Above exp(-lambda)'s underflow point (~746) the Knuth loop would
+	// spin until its running product denormal-underflows; the normal
+	// approximation must kick in and keep the right mean.
+	rng := rand.New(rand.NewSource(8))
+	const lambda = 1e6
+	var sum float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		v := poisson(rng, lambda)
+		if v < 0 {
+			t.Fatalf("negative draw %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	// sd of the sample mean is sqrt(lambda/n) ~= 31.6.
+	if math.Abs(mean-lambda) > 200 {
+		t.Fatalf("Poisson(%g) sample mean = %v", float64(lambda), mean)
 	}
 }
 
@@ -131,7 +154,7 @@ func TestLevBagResetsOnDrift(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	cfg := Config{}.withDefaults()
+	cfg := Config{}.withDefaults(defaultARFDrift)
 	if cfg.Size != 3 {
 		t.Fatalf("paper uses 3 weak learners, got %d", cfg.Size)
 	}
@@ -149,6 +172,167 @@ func TestNames(t *testing.T) {
 	}
 	if NewLevBag(Config{}, schema2()).Name() != "Bagging Ens." {
 		t.Fatal("LevBag name")
+	}
+}
+
+// TestLevBagHonoursDriftDelta is the regression test for the member
+// monitors silently ignoring Config.DriftDelta (they were hardcoded to
+// ADWIN's 0.002 default).
+func TestLevBagHonoursDriftDelta(t *testing.T) {
+	custom := NewLevBag(Config{DriftDelta: 0.05, Seed: 1}, schema2())
+	for i, m := range custom.members {
+		if got := m.mon.Delta(); got != 0.05 {
+			t.Fatalf("member %d monitor delta = %v, want the configured 0.05", i, got)
+		}
+	}
+	def := NewLevBag(Config{Seed: 1}, schema2())
+	for i, m := range def.members {
+		if got := m.mon.Delta(); got != 0.002 {
+			t.Fatalf("member %d default monitor delta = %v, want 0.002", i, got)
+		}
+	}
+}
+
+func TestARFHonoursDeltas(t *testing.T) {
+	a := NewARF(Config{WarnDelta: 0.2, DriftDelta: 0.03, Seed: 1}, schema2())
+	for i, m := range a.members {
+		if m.warn.Delta() != 0.2 || m.det.Delta() != 0.03 {
+			t.Fatalf("member %d deltas = (%v, %v), want (0.2, 0.03)",
+				i, m.warn.Delta(), m.det.Delta())
+		}
+	}
+}
+
+// TestRegistryEnsembleDeltasReachDetectors pins the whole option path:
+// a WithEnsembleDeltas option passed to the registry must land in the
+// member detectors.
+func TestRegistryEnsembleDeltasReachDetectors(t *testing.T) {
+	c, err := registry.New("Bagging Ens.", schema2(), registry.WithEnsembleDeltas(0, 0.07))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ok := c.(*LevBag)
+	if !ok {
+		t.Fatalf("registry built %T", c)
+	}
+	for i, m := range lb.members {
+		if got := m.mon.Delta(); got != 0.07 {
+			t.Fatalf("member %d monitor delta = %v, want 0.07", i, got)
+		}
+	}
+}
+
+// TestARFVoteWeight pins the post-swap voting fix: a freshly swapped
+// member (no evidence since the swap) votes at the floor instead of full
+// weight, and weights track the monitored error since the swap.
+func TestARFVoteWeight(t *testing.T) {
+	m := &arfMember{}
+	if got := m.voteWeight(); got != minVote {
+		t.Fatalf("cold member votes %v, want the %v floor", got, minVote)
+	}
+	m.seenSince, m.errSince = 100, 5
+	if got := m.voteWeight(); math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("weight = %v, want 0.95", got)
+	}
+	m.errSince = 100 // hopeless member: floored, never negative
+	if got := m.voteWeight(); got != minVote {
+		t.Fatalf("hopeless member votes %v, want the %v floor", got, minVote)
+	}
+}
+
+// TestParallelMatchesSequential is the byte-identity guarantee of the
+// member fan-out: a parallel Learn schedule must produce exactly the
+// model a sequential one does under the same seed, across a drifting
+// stream that exercises detections, swaps and resets.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, kind := range []string{"ARF", "LevBag"} {
+		t.Run(kind, func(t *testing.T) {
+			mk := func(workers int) model.Classifier {
+				cfg := Config{Seed: 11, Workers: workers}
+				if kind == "ARF" {
+					return NewARF(cfg, schema2())
+				}
+				return NewLevBag(cfg, schema2())
+			}
+			seq, par := mk(1), mk(4)
+			rngS := rand.New(rand.NewSource(99))
+			rngP := rand.New(rand.NewSource(99))
+			for i := 0; i < 60; i++ {
+				inverted := i >= 30
+				seq.Learn(conceptBatch(rngS, 150, inverted))
+				par.Learn(conceptBatch(rngP, 150, inverted))
+			}
+			switch s := seq.(type) {
+			case *ARF:
+				if s.Swaps() != par.(*ARF).Swaps() {
+					t.Fatalf("swaps diverge: %d vs %d", s.Swaps(), par.(*ARF).Swaps())
+				}
+			case *LevBag:
+				if s.Resets() != par.(*LevBag).Resets() {
+					t.Fatalf("resets diverge: %d vs %d", s.Resets(), par.(*LevBag).Resets())
+				}
+			}
+			if seq.Complexity() != par.Complexity() {
+				t.Fatalf("complexity diverges: %+v vs %+v", seq.Complexity(), par.Complexity())
+			}
+			probe := conceptBatch(rand.New(rand.NewSource(5)), 1000, true)
+			for i, x := range probe.X {
+				if seq.Predict(x) != par.Predict(x) {
+					t.Fatalf("prediction %d diverges", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEnsembleLearnOneZeroAllocs pins the steady-state member-instance
+// path at zero allocations: a stationary noise stream keeps the
+// detectors quiet and a huge grace period keeps the trees structurally
+// frozen, so the measured window is pure hot path.
+func TestEnsembleLearnOneZeroAllocs(t *testing.T) {
+	schema := schema2()
+	cfg := Config{Seed: 21, WarnDelta: 1e-9, DriftDelta: 1e-9}
+	cfg.Tree.GracePeriod = 1e12
+	arf := NewARF(cfg, schema)
+	lb := NewLevBag(Config{Seed: 21, DriftDelta: 1e-9, Tree: cfg.Tree}, schema)
+
+	rng := rand.New(rand.NewSource(22))
+	const n = 4096
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+		ys[i] = i & 1 // alternating labels: error rate pinned near 0.5
+	}
+	warm := stream.Batch{X: xs, Y: ys}
+	for i := 0; i < 3; i++ {
+		arf.Learn(warm)
+		lb.Learn(warm)
+	}
+
+	i := 0
+	am := arf.members[0]
+	if avg := testing.AllocsPerRun(300, func() {
+		arf.learnMemberOne(am, xs[i&(n-1)], ys[i&(n-1)])
+		i++
+	}); avg != 0 {
+		t.Fatalf("ARF learnMemberOne allocates %.2f allocs/op, want 0", avg)
+	}
+	i = 0
+	lm := lb.members[0]
+	if avg := testing.AllocsPerRun(300, func() {
+		lb.learnMemberOne(lm, xs[i&(n-1)], ys[i&(n-1)])
+		i++
+	}); avg != 0 {
+		t.Fatalf("LevBag learnMemberOne allocates %.2f allocs/op, want 0", avg)
+	}
+
+	// The read path must be allocation-free too (stack vote buffers).
+	if avg := testing.AllocsPerRun(300, func() { arf.Predict(xs[0]) }); avg != 0 {
+		t.Fatalf("ARF.Predict allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(300, func() { lb.Predict(xs[0]) }); avg != 0 {
+		t.Fatalf("LevBag.Predict allocates %.2f allocs/op, want 0", avg)
 	}
 }
 

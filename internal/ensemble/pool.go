@@ -1,0 +1,49 @@
+package ensemble
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachMember runs fn(i) for every member index on a bounded worker
+// pool. workers <= 0 uses GOMAXPROCS; a single worker (or a single
+// member) runs inline without spawning goroutines, so the sequential
+// path has zero synchronisation overhead.
+//
+// Indices are claimed from an atomic counter, so scheduling order is
+// arbitrary — callers must guarantee that fn touches disjoint state per
+// index (each ensemble member owns its trees, detectors and RNG stream),
+// which is also what makes parallel runs byte-identical to sequential
+// ones.
+func forEachMember(workers, n int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -20,7 +20,10 @@ func ensembleConfig(p registry.Params) Config {
 			Bins:        p.Bins,
 			MaxDepth:    p.MaxDepth,
 		},
-		Seed: p.Seed,
+		WarnDelta:  p.WarnDelta,
+		DriftDelta: p.DriftDelta,
+		Workers:    p.EnsembleWorkers,
+		Seed:       p.Seed,
 	}
 }
 

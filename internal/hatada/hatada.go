@@ -87,6 +87,7 @@ type Tree struct {
 	schema stream.Schema
 	root   *anode
 	rng    *rand.Rand
+	sc     *hoeffding.Scratch // learn-path workspace shared by all nodes
 
 	prunes int // alternate promotions (subtree replacements)
 }
@@ -94,13 +95,13 @@ type Tree struct {
 // New returns an empty adaptive Hoeffding tree.
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.withDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Tree.Seed + 2))}
+	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Tree.Seed + 2)), sc: hoeffding.NewScratch(schema)}
 	t.root = t.newLeaf(0)
 	return t
 }
 
 func (t *Tree) newLeaf(depth int) *anode {
-	return &anode{stats: hoeffding.NewNodeStats(&t.cfg.Tree, t.schema, t.rng), depth: depth}
+	return &anode{stats: hoeffding.NewNodeStats(&t.cfg.Tree, t.schema, t.rng, t.sc), depth: depth}
 }
 
 // Name implements model.Classifier.

@@ -96,7 +96,7 @@ func TestVFDTComplexityCounting(t *testing.T) {
 func TestNBALeafTracksBothPredictors(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	cfg := (&Config{LeafMode: NaiveBayesAdaptive}).withTestDefaults()
-	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s := NewNodeStats(cfg, binarySchema(2), nil, nil)
 	// Gaussian-separable data: NB should win over majority class.
 	for i := 0; i < 3000; i++ {
 		y := rng.Intn(2)
@@ -122,7 +122,7 @@ func (c *Config) withTestDefaults() *Config {
 
 func TestNodeStatsProba(t *testing.T) {
 	cfg := (&Config{}).withTestDefaults()
-	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s := NewNodeStats(cfg, binarySchema(2), nil, nil)
 	p := s.Proba([]float64{0.5, 0.5}, nil)
 	if p[0] != 0.5 || p[1] != 0.5 {
 		t.Fatalf("empty leaf proba %v, want uniform", p)
@@ -137,7 +137,7 @@ func TestNodeStatsProba(t *testing.T) {
 
 func TestNodeStatsIgnoresBadObservations(t *testing.T) {
 	cfg := (&Config{}).withTestDefaults()
-	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s := NewNodeStats(cfg, binarySchema(2), nil, nil)
 	s.Observe([]float64{0.5, 0.5}, -1, 1)
 	s.Observe([]float64{0.5, 0.5}, 9, 1)
 	s.Observe([]float64{0.5, 0.5}, 0, 0)
@@ -149,7 +149,7 @@ func TestNodeStatsIgnoresBadObservations(t *testing.T) {
 func TestSubspaceRestriction(t *testing.T) {
 	cfg := (&Config{SubspaceSize: 2}).withTestDefaults()
 	rng := rand.New(rand.NewSource(7))
-	s := NewNodeStats(cfg, stream.Schema{NumFeatures: 10, NumClasses: 2}, rng)
+	s := NewNodeStats(cfg, stream.Schema{NumFeatures: 10, NumClasses: 2}, rng, nil)
 	if len(s.featureSet()) != 2 {
 		t.Fatalf("subspace size = %d, want 2", len(s.featureSet()))
 	}
@@ -179,8 +179,8 @@ func TestSubspaceRestriction(t *testing.T) {
 func TestWeightedLearning(t *testing.T) {
 	// Weight w must equal w repetitions for the class counts.
 	cfg := (&Config{}).withTestDefaults()
-	a := NewNodeStats(cfg, binarySchema(2), nil)
-	b := NewNodeStats(cfg, binarySchema(2), nil)
+	a := NewNodeStats(cfg, binarySchema(2), nil, nil)
+	b := NewNodeStats(cfg, binarySchema(2), nil, nil)
 	x := []float64{0.3, 0.7}
 	a.Observe(x, 1, 3)
 	for i := 0; i < 3; i++ {
@@ -213,7 +213,7 @@ func TestMaxDepthBound(t *testing.T) {
 
 func TestSeedChildDistribution(t *testing.T) {
 	cfg := (&Config{}).withTestDefaults()
-	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s := NewNodeStats(cfg, binarySchema(2), nil, nil)
 	s.SeedChild([]float64{3, 7})
 	if s.Weight() != 10 || s.MajorityClass() != 1 {
 		t.Fatalf("seeded stats: weight %v, majority %d", s.Weight(), s.MajorityClass())
@@ -245,12 +245,97 @@ func TestNaiveBayesLeafMode(t *testing.T) {
 
 func TestNodeStatsBound(t *testing.T) {
 	cfg := (&Config{}).withTestDefaults()
-	s := NewNodeStats(cfg, binarySchema(2), nil)
+	s := NewNodeStats(cfg, binarySchema(2), nil, nil)
 	s.Observe([]float64{0.1, 0.1}, 0, 100)
 	b100 := s.Bound()
 	s.Observe([]float64{0.9, 0.9}, 1, 300)
 	if b400 := s.Bound(); b400 >= b100 {
 		t.Fatalf("bound must shrink with weight: %v -> %v", b100, b400)
+	}
+}
+
+// TestTreeSteadyStateZeroAllocs pins the per-instance hot path: once the
+// tree has reached its depth bound, LearnOne, PredictLearnOne and
+// Predict must not allocate — the per-tree Scratch absorbs all working
+// memory (identity feature set, scan buffers).
+func TestTreeSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tree := New(Config{MaxDepth: 1, Seed: 31}, binarySchema(2))
+	for i := 0; i < 100; i++ {
+		tree.Learn(axisBatch(rng, 200))
+	}
+	if tree.Complexity().Inner == 0 {
+		t.Fatal("warm-up did not split the root; steady state not reached")
+	}
+	b := axisBatch(rng, 256)
+	i := 0
+	if avg := testing.AllocsPerRun(500, func() {
+		r := i & 255
+		tree.LearnOne(b.X[r], b.Y[r], 1)
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state LearnOne allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		r := i & 255
+		tree.PredictLearnOne(b.X[r], b.Y[r], 1)
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state PredictLearnOne allocates %.2f allocs/op, want 0", avg)
+	}
+	x := b.X[0]
+	if avg := testing.AllocsPerRun(500, func() { tree.Predict(x) }); avg != 0 {
+		t.Fatalf("Predict allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestDecideSplitScanZeroAllocs exercises the full candidate scan (every
+// observed feature × every threshold, best/second tracking, the
+// Hoeffding rule) on a node whose rule does not pass, which must not
+// allocate — branch distributions are only materialised on an actual
+// split.
+func TestDecideSplitScanZeroAllocs(t *testing.T) {
+	cfg := (&Config{}).withTestDefaults()
+	s := NewNodeStats(cfg, binarySchema(2), nil, nil)
+	rng := rand.New(rand.NewSource(41))
+	// Uninformative features with mixed labels: merits hover near zero
+	// while the bound stays above tau, so the rule never passes.
+	for i := 0; i < 500; i++ {
+		s.Observe([]float64{rng.Float64(), rng.Float64()}, i&1, 1)
+	}
+	if _, ok := s.DecideSplit(); ok {
+		t.Fatal("noise node decided to split; scan test needs a no-split state")
+	}
+	if avg := testing.AllocsPerRun(200, func() { s.DecideSplit() }); avg != 0 {
+		t.Fatalf("DecideSplit scan allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { s.MeritAt(0, 0.5) }); avg != 0 {
+		t.Fatalf("MeritAt allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestPredictLearnOneMatchesSeparateCalls pins the fused traversal to
+// test-then-train semantics: the returned prediction is the one made
+// before the update, and the resulting tree state matches the separate
+// Predict + LearnOne sequence exactly.
+func TestPredictLearnOneMatchesSeparateCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	fused := New(Config{Seed: 9}, binarySchema(2))
+	split := New(Config{Seed: 9}, binarySchema(2))
+	for i := 0; i < 5000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		predSplit := split.Predict(x)
+		split.LearnOne(x, y, 1)
+		if pred := fused.PredictLearnOne(x, y, 1); pred != predSplit {
+			t.Fatalf("instance %d: fused prediction %d, separate %d", i, pred, predSplit)
+		}
+	}
+	if fused.String() != split.String() {
+		t.Fatalf("trees diverge: %s vs %s", fused, split)
 	}
 }
 

@@ -9,7 +9,6 @@ package hoeffding
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/attrobs"
 	"repro/internal/linalg"
@@ -102,6 +101,7 @@ func (c Config) WithDefaults() Config {
 type NodeStats struct {
 	cfg       *Config
 	schema    stream.Schema
+	sc        *Scratch // per-tree shared workspace (never nil)
 	counts    []float64
 	observers []*attrobs.Gaussian
 	features  []int // observed feature subset; nil means all
@@ -113,11 +113,17 @@ type NodeStats struct {
 }
 
 // NewNodeStats returns empty statistics for one node. rng is only used
-// when cfg.SubspaceSize is positive.
-func NewNodeStats(cfg *Config, schema stream.Schema, rng *rand.Rand) *NodeStats {
+// when cfg.SubspaceSize is positive. sc is the owning tree's shared
+// workspace; nil allocates a private one (convenient for stand-alone
+// nodes and tests, wasteful for whole trees).
+func NewNodeStats(cfg *Config, schema stream.Schema, rng *rand.Rand, sc *Scratch) *NodeStats {
+	if sc == nil {
+		sc = NewScratch(schema)
+	}
 	s := &NodeStats{
 		cfg:       cfg,
 		schema:    schema,
+		sc:        sc,
 		counts:    make([]float64, schema.NumClasses),
 		observers: make([]*attrobs.Gaussian, schema.NumFeatures),
 	}
@@ -128,8 +134,7 @@ func NewNodeStats(cfg *Config, schema stream.Schema, rng *rand.Rand) *NodeStats 
 		s.nb = nbayes.New(schema.NumFeatures, schema.NumClasses)
 	}
 	if cfg.SubspaceSize > 0 && cfg.SubspaceSize < schema.NumFeatures && rng != nil {
-		s.features = rng.Perm(schema.NumFeatures)[:cfg.SubspaceSize]
-		sort.Ints(s.features)
+		s.features = sc.sampleSubspace(rng, schema.NumFeatures, cfg.SubspaceSize)
 	}
 	return s
 }
@@ -139,11 +144,7 @@ func (s *NodeStats) featureSet() []int {
 	if s.features != nil {
 		return s.features
 	}
-	all := make([]int, s.schema.NumFeatures)
-	for j := range all {
-		all[j] = j
-	}
-	return all
+	return s.sc.all
 }
 
 // Observe updates the statistics with a labelled instance. For the
@@ -157,7 +158,10 @@ func (s *NodeStats) Observe(x []float64, y int, w float64) {
 		if s.MajorityClass() == y {
 			s.mcOK += w
 		}
-		if s.nb.Predict(x) == y {
+		// Score NB through the shared log-posterior buffer — this is the
+		// single-writer learn path, so borrowing tree scratch is safe and
+		// keeps Observe allocation-free.
+		if linalg.ArgMax(s.nb.LogPosteriors(x, s.sc.logPost)) == y {
 			s.nbOK += w
 		}
 	}
@@ -253,27 +257,43 @@ func (s *NodeStats) SeedChild(dist []float64) {
 	}
 }
 
-// BestSplits returns the two highest-merit candidates across the observed
-// features, ordered best first. ok is false when no feature has usable
-// spread.
-func (s *NodeStats) BestSplits() (best, second attrobs.CandidateSplit, ok bool) {
-	best.Merit, second.Merit = math.Inf(-1), math.Inf(-1)
-	merit := func(post [][]float64) float64 {
-		return s.cfg.Criterion.Merit(s.counts, post)
-	}
+// splitRef is a lightweight scored split reference — no branch
+// distributions — used on the zero-alloc scan path.
+type splitRef struct {
+	feature   int
+	threshold float64
+	merit     float64
+}
+
+// bestSplits scans the observed features for the two highest-merit
+// candidate splits through the shared scan buffers, allocating nothing.
+func (s *NodeStats) bestSplits() (best, second splitRef, ok bool) {
+	best.merit, second.merit = math.Inf(-1), math.Inf(-1)
 	for _, j := range s.featureSet() {
-		cand, found := s.observers[j].BestSplit(j, merit)
+		thr, m, found := s.observers[j].BestThreshold(s.counts, s.cfg.Criterion, s.sc.scan)
 		if !found {
 			continue
 		}
-		if cand.Merit > best.Merit {
+		if m > best.merit {
 			second = best
-			best = cand
-		} else if cand.Merit > second.Merit {
-			second = cand
+			best = splitRef{feature: j, threshold: thr, merit: m}
+		} else if m > second.merit {
+			second = splitRef{feature: j, threshold: thr, merit: m}
 		}
 		ok = true
 	}
+	return best, second, ok
+}
+
+// BestSplits returns the two highest-merit candidates across the observed
+// features, ordered best first. ok is false when no feature has usable
+// spread. The candidates carry no Post distributions — materialise them
+// with DistributionsAt when a split is actually installed; the scan
+// itself stays allocation-free.
+func (s *NodeStats) BestSplits() (best, second attrobs.CandidateSplit, ok bool) {
+	b, sec, ok := s.bestSplits()
+	best = attrobs.CandidateSplit{Feature: b.feature, Threshold: b.threshold, Merit: b.merit}
+	second = attrobs.CandidateSplit{Feature: sec.feature, Threshold: sec.threshold, Merit: sec.merit}
 	return best, second, ok
 }
 
@@ -284,6 +304,15 @@ func (s *NodeStats) DistributionsAt(feature int, threshold float64) (left, right
 		return nil, nil
 	}
 	return s.observers[feature].DistributionsAt(threshold)
+}
+
+// MeritAt re-scores the (feature, threshold) split from the node's own
+// observers without allocating — EFDT's re-evaluation hot path.
+func (s *NodeStats) MeritAt(feature int, threshold float64) float64 {
+	if feature < 0 || feature >= len(s.observers) {
+		return 0
+	}
+	return s.observers[feature].MeritAt(threshold, s.counts, s.cfg.Criterion, s.sc.scan)
 }
 
 // ShouldAttempt reports whether enough weight accumulated since the last
@@ -302,22 +331,31 @@ func (s *NodeStats) Bound() float64 {
 }
 
 // DecideSplit applies the VFDT split rule: split on best when
-// best-second > epsilon or epsilon < tau, requiring positive merit.
+// best-second > epsilon or epsilon < tau, requiring positive merit. The
+// scan allocates nothing; the winning candidate's branch distributions
+// are materialised only when the rule actually passes (a structural
+// event).
 func (s *NodeStats) DecideSplit() (attrobs.CandidateSplit, bool) {
 	if s.Pure() {
 		return attrobs.CandidateSplit{}, false
 	}
-	best, second, ok := s.BestSplits()
-	if !ok || best.Merit <= 0 {
+	best, second, ok := s.bestSplits()
+	if !ok || best.merit <= 0 {
 		return attrobs.CandidateSplit{}, false
 	}
 	eps := s.Bound()
 	secondMerit := 0.0
-	if !math.IsInf(second.Merit, -1) {
-		secondMerit = second.Merit
+	if !math.IsInf(second.merit, -1) {
+		secondMerit = second.merit
 	}
-	if best.Merit-secondMerit > eps || eps < s.cfg.Tau {
-		return best, true
+	if best.merit-secondMerit > eps || eps < s.cfg.Tau {
+		left, right := s.DistributionsAt(best.feature, best.threshold)
+		return attrobs.CandidateSplit{
+			Feature:   best.feature,
+			Threshold: best.threshold,
+			Merit:     best.merit,
+			Post:      [][]float64{left, right},
+		}, true
 	}
 	return attrobs.CandidateSplit{}, false
 }

@@ -40,14 +40,15 @@ type Tree struct {
 	schema stream.Schema
 	root   *node
 	rng    *rand.Rand
-	splits int // lifetime split count, for diagnostics
+	sc     *Scratch // learn-path workspace shared by all nodes
+	splits int      // lifetime split count, for diagnostics
 }
 
 // New returns an empty Hoeffding tree for the schema.
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.WithDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
-	t.root = &node{stats: NewNodeStats(&t.cfg, schema, t.rng)}
+	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 1)), sc: NewScratch(schema)}
+	t.root = &node{stats: NewNodeStats(&t.cfg, schema, t.rng, t.sc)}
 	return t
 }
 
@@ -72,7 +73,22 @@ func (t *Tree) Learn(b stream.Batch) {
 // LearnOne updates the tree with one weighted instance (the ensembles use
 // Poisson weights).
 func (t *Tree) LearnOne(x []float64, y int, w float64) {
+	t.learnAt(t.root.sortTo(x), x, y, w)
+}
+
+// PredictLearnOne routes x to its leaf once, returns the prediction made
+// before learning, then applies the weighted update — the test-then-train
+// step of the ensembles in a single traversal.
+func (t *Tree) PredictLearnOne(x []float64, y int, w float64) int {
 	leaf := t.root.sortTo(x)
+	pred := leaf.stats.Predict(x)
+	t.learnAt(leaf, x, y, w)
+	return pred
+}
+
+// learnAt observes the instance at its leaf and applies the VFDT split
+// rule.
+func (t *Tree) learnAt(leaf *node, x []float64, y int, w float64) {
 	leaf.stats.Observe(x, y, w)
 	if !leaf.stats.ShouldAttempt() {
 		return
@@ -91,8 +107,8 @@ func (t *Tree) LearnOne(x []float64, y int, w float64) {
 func (t *Tree) splitLeaf(leaf *node, feature int, threshold float64, post [][]float64) {
 	leaf.feature = feature
 	leaf.threshold = threshold
-	leaf.left = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng), depth: leaf.depth + 1}
-	leaf.right = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng), depth: leaf.depth + 1}
+	leaf.left = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng, t.sc), depth: leaf.depth + 1}
+	leaf.right = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng, t.sc), depth: leaf.depth + 1}
 	if len(post) == 2 {
 		leaf.left.stats.SeedChild(post[0])
 		leaf.right.stats.SeedChild(post[1])

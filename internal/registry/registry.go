@@ -74,6 +74,14 @@ type Params struct {
 	EnsembleSize int
 	// Lambda is the ensembles' Poisson weighting intensity (default 6).
 	Lambda float64
+	// WarnDelta and DriftDelta are the ensembles' ADWIN confidences for
+	// the warning and drift detectors (ARF defaults 0.01 and 0.001;
+	// Leveraging Bagging uses DriftDelta alone, default 0.002).
+	WarnDelta  float64
+	DriftDelta float64
+	// EnsembleWorkers bounds the ensembles' member-learning worker pool
+	// (0 = GOMAXPROCS, 1 = sequential; results are identical either way).
+	EnsembleWorkers int
 	// PHDelta and PHLambda parameterise FIMT-DD's Page-Hinkley detectors
 	// (defaults 0.005 and 50).
 	PHDelta  float64
@@ -134,6 +142,15 @@ func WithEnsembleSize(n int) Option { return func(p *Params) { p.EnsembleSize = 
 
 // WithLambda sets the ensembles' Poisson weighting intensity.
 func WithLambda(l float64) Option { return func(p *Params) { p.Lambda = l } }
+
+// WithEnsembleDeltas sets the ensembles' warning and drift ADWIN
+// confidences (zero keeps the respective package default).
+func WithEnsembleDeltas(warn, drift float64) Option {
+	return func(p *Params) { p.WarnDelta, p.DriftDelta = warn, drift }
+}
+
+// WithEnsembleWorkers bounds the ensembles' member-learning worker pool.
+func WithEnsembleWorkers(n int) Option { return func(p *Params) { p.EnsembleWorkers = n } }
 
 // WithPageHinkley sets FIMT-DD's Page-Hinkley detector parameters.
 func WithPageHinkley(delta, lambda float64) Option {

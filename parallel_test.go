@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestScorerServesDuringParallelEnsembleLearn hammers the serving
+// pattern: a Scorer-wrapped ARF whose Learn fans members across a worker
+// pool, with reader goroutines predicting concurrently. Run under
+// `make race` it proves the member fan-out keeps all mutation behind the
+// Scorer's write lock.
+func TestScorerServesDuringParallelEnsembleLearn(t *testing.T) {
+	batches := linearBenchBatches(8, 32, 64, 17)
+	clf := MustNew("Forest Ens.", Schema{NumFeatures: 8, NumClasses: 2, Name: "race"},
+		WithSeed(3), WithEnsembleWorkers(4))
+	s := NewScorer(clf)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			out := make([]float64, 2)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				x := batches[rng.Intn(len(batches))].X[rng.Intn(64)]
+				s.Predict(x)
+				s.Proba(x, out)
+			}
+		}(int64(r))
+	}
+	for i := 0; i < 64; i++ {
+		s.Learn(batches[i&31])
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestEnsembleWorkersOptionIsResultInvariant checks the public-API
+// guarantee that WithEnsembleWorkers only changes the schedule, never
+// the model: sequential and parallel ensembles built through the facade
+// agree on every prediction after identical training.
+func TestEnsembleWorkersOptionIsResultInvariant(t *testing.T) {
+	batches := linearBenchBatches(6, 24, 80, 23)
+	schema := Schema{NumFeatures: 6, NumClasses: 2, Name: "det"}
+	for _, name := range []string{"Forest Ens.", "Bagging Ens."} {
+		seq := MustNew(name, schema, WithSeed(7), WithEnsembleWorkers(1))
+		par := MustNew(name, schema, WithSeed(7), WithEnsembleWorkers(4))
+		for _, b := range batches {
+			seq.Learn(b)
+			par.Learn(b)
+		}
+		for i, b := range batches {
+			for r, x := range b.X {
+				if seq.Predict(x) != par.Predict(x) {
+					t.Fatalf("%s: batch %d row %d: parallel prediction diverges", name, i, r)
+				}
+			}
+		}
+	}
+}
