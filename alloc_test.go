@@ -38,3 +38,47 @@ func TestScorerServingZeroAllocs(t *testing.T) {
 		t.Fatalf("steady-state Scorer.Learn allocates %.2f allocs/op, want 0", avg)
 	}
 }
+
+// The wait-free serving reads of the snapshot scorer must not allocate
+// either: Predict, Proba with an out buffer, and PredictBatch into a
+// preallocated slice all read the published snapshot without garbage.
+// (Learn is excluded: publishing clones a snapshot by design — amortise
+// with WithPublishEvery.)
+func TestSnapshotScorerServingZeroAllocs(t *testing.T) {
+	batches := linearBenchBatches(8, 16, 100, 9)
+	s := MustServe("DMT", Schema{NumFeatures: 8, NumClasses: 2, Name: "alloc"},
+		WithServeModelOptions(WithSeed(4)))
+	for _, b := range batches {
+		s.Learn(b)
+	}
+	x := batches[0].X[0]
+	out := make([]float64, 2)
+	preds := make([]int, 100)
+	if avg := testing.AllocsPerRun(200, func() { s.Predict(x) }); avg != 0 {
+		t.Fatalf("SnapshotScorer.Predict allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { s.Proba(x, out) }); avg != 0 {
+		t.Fatalf("SnapshotScorer.Proba allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { preds = s.PredictBatch(batches[0].X, preds) }); avg != 0 {
+		t.Fatalf("SnapshotScorer.PredictBatch allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// FIMT-DD steady-state learning through the public API must allocate
+// nothing: the routing path buffer, E-BST updates on indexed keys and
+// the RowStep leaf update all reuse per-tree state.
+func TestFIMTDDLearnZeroAllocs(t *testing.T) {
+	tree := NewFIMTDD(FIMTDDConfig{Seed: 5}, Schema{NumFeatures: 4, NumClasses: 2, Name: "alloc"})
+	// Single-class batches over a fixed row set: the E-BST keys exist
+	// after warm-up and the zero target deviation keeps split scans out
+	// of the measured region.
+	X := [][]float64{{0.1, 0.2, 0.3, 0.4}, {0.5, 0.6, 0.7, 0.8}, {0.9, 0.1, 0.4, 0.2}}
+	b := Batch{X: X, Y: []int{0, 0, 0}}
+	for i := 0; i < 200; i++ {
+		tree.Learn(b)
+	}
+	if avg := testing.AllocsPerRun(300, func() { tree.Learn(b) }); avg != 0 {
+		t.Fatalf("steady-state FIMT-DD Learn allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -375,6 +375,122 @@ func BenchmarkHoeffdingPredictOp(b *testing.B) {
 	}
 }
 
+// BenchmarkScorerReadOp measures one Predict under an active writer: a
+// background goroutine trains the same scorer continuously, so the
+// locked variant pays the RWMutex write-lock hold of every Learn while
+// the snapshot variant reads the published snapshot wait-free. This is
+// the acceptance benchmark of the lock-free serving rework; `make
+// bench` records it in BENCH_PR4.json.
+func BenchmarkScorerReadOp(b *testing.B) {
+	schema := stream.Schema{NumFeatures: 50, NumClasses: 2, Name: "bench"}
+	for _, mode := range []string{"locked", "snapshot"} {
+		b.Run(mode, func(b *testing.B) {
+			batches := linearBenchBatches(50, 64, 200, 17)
+			var s Scorer
+			if mode == "locked" {
+				s = NewScorer(MustNew("DMT", schema, WithSeed(1)))
+			} else {
+				s = MustServe("DMT", schema, WithServeModelOptions(WithSeed(1)))
+			}
+			for _, bt := range batches {
+				s.Learn(bt)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s.Learn(batches[i&63])
+				}
+			}()
+			x := batches[0].X[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Predict(x)
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkSnapshotPublishOp measures one snapshot clone+publish of a
+// warmed DMT — the cost WithPublishEvery amortises.
+func BenchmarkSnapshotPublishOp(b *testing.B) {
+	schema := stream.Schema{NumFeatures: 50, NumClasses: 2, Name: "bench"}
+	batches := linearBenchBatches(50, 64, 200, 17)
+	s, err := NewSnapshotScorer(MustNew("DMT", schema, WithSeed(1)), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bt := range batches {
+		s.Learn(bt)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Publish()
+	}
+}
+
+// BenchmarkFIMTDDLearnOp measures one steady-state FIMT-DD Learn call on
+// a 100-row batch (depth-capped, prune-suppressed so the measurement
+// stays on the per-instance hot path: routing, E-BST updates, RowStep).
+func BenchmarkFIMTDDLearnOp(b *testing.B) {
+	batches := seaBatches(64, 100)
+	tree := NewFIMTDD(FIMTDDConfig{Seed: 1, MaxDepth: 3, PHLambda: 1e12},
+		synth.NewSEA(100, 0.1, 1).Schema())
+	// Several passes saturate the depth-capped tree and fill the leaf
+	// E-BST indices, so the timed region measures the steady state.
+	for pass := 0; pass < 30; pass++ {
+		for _, bt := range batches {
+			tree.Learn(bt)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Learn(batches[i&63])
+	}
+}
+
+// BenchmarkGLMStepOp measures one mean-gradient Step on a 100-row batch
+// for the two GLM variants (the DMT/FIMT-DD leaf-model workhorses).
+func BenchmarkGLMStepOp(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    int
+	}{{"logit", 2}, {"softmax-c4", 4}} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := glm.New(20, tc.c, nil)
+			rng := rand.New(rand.NewSource(5))
+			X := make([][]float64, 100)
+			Y := make([]int, 100)
+			for i := range X {
+				X[i] = make([]float64, 20)
+				for j := range X[i] {
+					X[i][j] = rng.Float64()
+				}
+				Y[i] = rng.Intn(tc.c)
+			}
+			m.Step(X, Y, 0.05)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(X, Y, 0.05)
+			}
+		})
+	}
+}
+
 // BenchmarkEnsembleLearnOp measures one ensemble Learn call on a 100-row
 // batch for both paper ensembles (3 VFDT members each). This is the
 // acceptance benchmark of the parallel member fan-out; `make bench`

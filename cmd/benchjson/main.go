@@ -5,10 +5,16 @@
 // perf round, each joined against the baseline recorded in bench/
 // before that round's change.
 //
+// It can additionally join the BENCH_PR*.json documents of earlier perf
+// rounds (-history) into one cross-PR trend table, embedded in the
+// output document and printed to stderr, so the whole perf trajectory
+// reads in one place.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'Op$' -benchmem ./... > current.txt
-//	benchjson -new current.txt -old bench/BASELINE_PR3.txt -out BENCH_PR3.json
+//	benchjson -new current.txt -old bench/BASELINE_PR4.txt \
+//	    -history BENCH_PR2.json,BENCH_PR3.json -out BENCH_PR4.json
 package main
 
 import (
@@ -17,9 +23,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one benchmark result line, e.g.
@@ -40,11 +48,17 @@ type Result struct {
 	BaselineBytesPerOp  float64 `json:"baseline_b_per_op,omitempty"`
 	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
 	Speedup             float64 `json:"speedup,omitempty"`
+
+	// HistoryNsPerOp maps an earlier BENCH_PR*.json label to that
+	// round's ns/op for this benchmark (-history).
+	HistoryNsPerOp map[string]float64 `json:"history_ns_per_op,omitempty"`
 }
 
 type doc struct {
 	Note       string   `json:"note"`
 	Benchmarks []Result `json:"benchmarks"`
+	// Trend is the rendered cross-PR ns/op table (-history).
+	Trend []string `json:"trend,omitempty"`
 }
 
 func parse(path string) (map[string]Result, []string, error) {
@@ -93,9 +107,75 @@ func parse(path string) (map[string]Result, []string, error) {
 	return out, order, nil
 }
 
+// loadHistory reads one earlier BENCH_PR*.json document into a
+// name -> ns/op map.
+func loadHistory(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(d.Benchmarks))
+	for _, b := range d.Benchmarks {
+		out[b.Name] = b.NsPerOp
+	}
+	return out, nil
+}
+
+// trendTable renders benchmarks as rows and perf rounds as columns,
+// covering the union of current and historical names — a benchmark
+// retired or renamed since an earlier round still shows, with "-" in
+// the rounds that lack it.
+func trendTable(order []string, labels []string, rounds []map[string]float64, cur map[string]Result) []string {
+	names := append([]string{}, order...)
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	var historyOnly []string
+	for _, h := range rounds {
+		for n := range h {
+			if !seen[n] {
+				seen[n] = true
+				historyOnly = append(historyOnly, n)
+			}
+		}
+	}
+	sort.Strings(historyOnly)
+	names = append(names, historyOnly...)
+
+	header := fmt.Sprintf("%-44s", "benchmark (ns/op)")
+	for _, l := range labels {
+		header += fmt.Sprintf(" %12s", l)
+	}
+	header += fmt.Sprintf(" %12s", "current")
+	lines := []string{header}
+	cell := func(v float64, ok bool) string {
+		if !ok {
+			return fmt.Sprintf(" %12s", "-")
+		}
+		return fmt.Sprintf(" %12.1f", v)
+	}
+	for _, name := range names {
+		row := fmt.Sprintf("%-44s", name)
+		for _, h := range rounds {
+			v, ok := h[name]
+			row += cell(v, ok)
+		}
+		c, ok := cur[name]
+		row += cell(c.NsPerOp, ok)
+		lines = append(lines, row)
+	}
+	return lines
+}
+
 func main() {
 	newPath := flag.String("new", "-", "current `go test -bench` output ('-' = stdin)")
 	oldPath := flag.String("old", "", "optional baseline `go test -bench` output")
+	histPaths := flag.String("history", "", "comma-separated earlier BENCH_PR*.json files to join into a trend table")
 	outPath := flag.String("out", "", "output JSON path (default stdout)")
 	note := flag.String("note", "micro-benchmarks of the learner hot paths; speedup = baseline_ns/current_ns", "note embedded in the document")
 	flag.Parse()
@@ -113,6 +193,24 @@ func main() {
 		}
 	}
 
+	var histLabels []string
+	var history []map[string]float64
+	if *histPaths != "" {
+		for _, p := range strings.Split(*histPaths, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			h, err := loadHistory(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: history: %v\n", err)
+				os.Exit(1)
+			}
+			histLabels = append(histLabels, strings.TrimSuffix(filepath.Base(p), ".json"))
+			history = append(history, h)
+		}
+	}
+
 	d := doc{Note: *note}
 	sort.Strings(order)
 	for _, name := range order {
@@ -125,7 +223,21 @@ func main() {
 				r.Speedup = b.NsPerOp / r.NsPerOp
 			}
 		}
+		for i, h := range history {
+			if v, ok := h[name]; ok {
+				if r.HistoryNsPerOp == nil {
+					r.HistoryNsPerOp = map[string]float64{}
+				}
+				r.HistoryNsPerOp[histLabels[i]] = v
+			}
+		}
 		d.Benchmarks = append(d.Benchmarks, r)
+	}
+	if len(history) > 0 {
+		d.Trend = trendTable(order, histLabels, history, cur)
+		for _, line := range d.Trend {
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 
 	enc, err := json.MarshalIndent(d, "", "  ")

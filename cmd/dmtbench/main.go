@@ -39,6 +39,8 @@ func main() {
 		figure    = flag.String("figure", "all", "which figure to print: all,3,4,none")
 		ablation  = flag.Bool("ablation", false, "also run the DMT ablation study")
 		parallel  = flag.Int("parallel", 1, fmt.Sprintf("concurrent experiment cells (this machine: up to %d); timing in Table V is only meaningful at 1", runtime.GOMAXPROCS(0)))
+		scorer    = flag.String("scorer", "", "evaluate through the serving layer: locked, snapshot or sharded (empty = bare classifiers; snapshot is result-identical to bare, sharded is a different algorithm)")
+		shards    = flag.Int("shards", 2, "replica count for -scorer sharded")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
@@ -53,12 +55,18 @@ func main() {
 		Datasets:      splitList(*dsFlag),
 		Models:        splitList(*modelFlag),
 		Parallel:      *parallel,
+		ScorerMode:    *scorer,
+		Shards:        *shards,
 	}
 	if !*quiet {
 		suite.Progress = os.Stderr
 	}
 
-	fmt.Printf("dmtbench: scale=%.3g seed=%d batch=%.4g parallel=%d\n\n", *scale, *seed, *batch, *parallel)
+	mode := *scorer
+	if mode == "" {
+		mode = "none"
+	}
+	fmt.Printf("dmtbench: scale=%.3g seed=%d batch=%.4g parallel=%d scorer=%s\n\n", *scale, *seed, *batch, *parallel, mode)
 	res, err := suite.RunContext(ctx)
 	switch {
 	case errors.Is(err, context.Canceled) && res != nil:

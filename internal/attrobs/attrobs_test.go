@@ -200,3 +200,26 @@ func TestEBSTMinCapacityFloor(t *testing.T) {
 		t.Fatalf("capacity floor = %d", tree.maxNodes)
 	}
 }
+
+// With a single valid threshold the runner-up must stay the -Inf
+// sentinel: FIMT-DD's split guard distinguishes "no runner-up exists"
+// (tie-condition only) from a genuine runner-up with zero or negative
+// merit (ratio test), so BestSDRSplit must not remap it.
+func TestBestSDRSplitRunnerUpSentinel(t *testing.T) {
+	tree := NewEBST(64)
+	var total split.TargetStats
+	for _, obs := range []struct{ v, y float64 }{{0, 0}, {0, 0}, {1, 1}, {1, 1}} {
+		tree.Observe(obs.v, obs.y, 1)
+		total.Add(obs.y, 1)
+	}
+	cand, second, ok := tree.BestSDRSplit(0, total)
+	if !ok {
+		t.Fatal("no candidate found")
+	}
+	if cand.Threshold != 0 {
+		t.Fatalf("threshold = %v, want 0 (the only valid split)", cand.Threshold)
+	}
+	if !math.IsInf(second, -1) {
+		t.Fatalf("second = %v, want the -Inf no-runner-up sentinel", second)
+	}
+}

@@ -86,44 +86,59 @@ func (t *EBST) Observe(value, target, weight float64) {
 	}
 }
 
+// sdrScan accumulates the best and runner-up SDR merit over an in-order
+// E-BST traversal. A method-based recursion (instead of a closure) keeps
+// the periodic split scan allocation-free.
+type sdrScan struct {
+	feature int
+	total   split.TargetStats
+	best    CandidateSplit
+	second  float64
+}
+
+// walk visits n in order. Its left-subtree return value at each node is
+// deliberately unused: n.le already includes the left subtree's mass, so
+// the left total at this key is carry + n.le.
+func (s *sdrScan) walk(n *ebstNode, carry split.TargetStats) split.TargetStats {
+	if n == nil {
+		return carry
+	}
+	s.walk(n.left, carry)
+	leftStats := carry.Merge(n.le)
+	right := s.total.Sub(leftStats)
+	if leftStats.N >= 1 && right.N >= 1 {
+		m := split.SDR(s.total, leftStats, right)
+		if m > s.best.Merit {
+			s.second = s.best.Merit
+			s.best = CandidateSplit{Feature: s.feature, Threshold: n.key, Merit: m}
+		} else if m > s.second {
+			s.second = m
+		}
+	}
+	return s.walk(n.right, leftStats)
+}
+
 // BestSDRSplit scans all candidate thresholds and returns the one with the
 // highest standard deviation reduction together with the runner-up merit
-// (needed for FIMT-DD's Hoeffding ratio test). total must be the target
-// statistics of every observation fed to Observe.
+// (needed for FIMT-DD's Hoeffding ratio test). When the feature has only
+// one valid threshold, second is -Inf — the caller must be able to tell
+// "no runner-up exists" apart from a genuine runner-up with zero or
+// negative merit, so no sentinel remapping happens here. total must be
+// the target statistics of every observation fed to Observe. The scan
+// allocates nothing.
 func (t *EBST) BestSDRSplit(feature int, total split.TargetStats) (best CandidateSplit, second float64, ok bool) {
 	if t.root == nil || total.N < 2 {
 		return CandidateSplit{}, 0, false
 	}
-	best = CandidateSplit{Feature: feature, Merit: math.Inf(-1)}
-	second = math.Inf(-1)
-	var walk func(n *ebstNode, carry split.TargetStats) split.TargetStats
-	walk = func(n *ebstNode, carry split.TargetStats) split.TargetStats {
-		if n == nil {
-			return carry
-		}
-		// Left subtree first. Its return value is deliberately unused:
-		// n.le already includes the left subtree's mass, so the left
-		// total at this key is carry + n.le.
-		walk(n.left, carry)
-		leftStats := carry.Merge(n.le)
-		right := total.Sub(leftStats)
-		if leftStats.N >= 1 && right.N >= 1 {
-			m := split.SDR(total, leftStats, right)
-			if m > best.Merit {
-				second = best.Merit
-				best = CandidateSplit{Feature: feature, Threshold: n.key, Merit: m}
-			} else if m > second {
-				second = m
-			}
-		}
-		return walk(n.right, leftStats)
+	scan := sdrScan{
+		feature: feature,
+		total:   total,
+		best:    CandidateSplit{Feature: feature, Merit: math.Inf(-1)},
+		second:  math.Inf(-1),
 	}
-	walk(t.root, split.TargetStats{})
-	if math.IsInf(best.Merit, -1) {
+	scan.walk(t.root, split.TargetStats{})
+	if math.IsInf(scan.best.Merit, -1) {
 		return CandidateSplit{}, 0, false
 	}
-	if math.IsInf(second, -1) {
-		second = 0
-	}
-	return best, second, true
+	return scan.best, scan.second, true
 }

@@ -40,6 +40,14 @@ func NewGaussian(numClasses, bins int) *Gaussian {
 	return &Gaussian{perClass: make([]stats.Gaussian, numClasses), bins: bins}
 }
 
+// Clone returns an independent deep copy (stats.Gaussian is a value
+// type, so copying the per-class slice copies the estimators).
+func (g *Gaussian) Clone() *Gaussian {
+	c := *g
+	c.perClass = append([]stats.Gaussian(nil), g.perClass...)
+	return &c
+}
+
 // Observe records a feature value for a class with the given weight.
 // Non-finite values are ignored.
 func (g *Gaussian) Observe(value float64, class int, weight float64) {

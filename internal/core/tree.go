@@ -318,6 +318,21 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, model.LeafModel, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// Snapshot implements model.Snapshotter: an immutable serving copy of
+// the current tree structure with cloned leaf simple models. Inner-node
+// models, candidate indices and scratch are learn-path state and are not
+// captured — the snapshot serves Predict/Proba/Complexity only.
+func (t *Tree) Snapshot() model.Snapshot {
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap.Root = model.AddTree(snap, t.root, func(n *node) (model.SnapshotNode, *node, *node) {
+		if n.isLeaf() {
+			return model.SnapshotNode{Leaf: n.mod.Clone()}, nil, nil
+		}
+		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
+	})
+	return snap
+}
+
 // Changes returns the retained structural-change history (oldest first).
 func (t *Tree) Changes() []ChangeEvent {
 	out := make([]ChangeEvent, len(t.changes))

@@ -221,6 +221,20 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, model.LeafMajority, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// Snapshot implements model.Snapshotter: an immutable serving copy of
+// the current tree. Inner-node statistics exist only to re-evaluate
+// splits and are not captured; leaves get serving clones.
+func (t *Tree) Snapshot() model.Snapshot {
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap.Root = model.AddTree(snap, t.root, func(n *enode) (model.SnapshotNode, *enode, *enode) {
+		if n.isLeaf() {
+			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
+		}
+		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
+	})
+	return snap
+}
+
 // Revisions returns the number of split replacements and retractions.
 func (t *Tree) Revisions() (replacements, retractions int) {
 	return t.replacements, t.retractions

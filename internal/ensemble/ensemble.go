@@ -302,6 +302,44 @@ func (a *ARF) Complexity() model.Complexity {
 	return total
 }
 
+// ensembleSnapshot is the frozen serving view of either ensemble: member
+// tree snapshots plus the vote weights captured at publish time.
+type ensembleSnapshot struct {
+	name    string
+	comp    model.Complexity
+	trees   []model.Snapshot
+	weights []float64
+	classes int
+}
+
+// Predict votes the frozen members with their captured weights, through
+// the same stack buffer as the live ensembles.
+func (s *ensembleSnapshot) Predict(x []float64) int {
+	var buf [voteBufClasses]float64
+	votes := voteSlice(&buf, s.classes)
+	for i, t := range s.trees {
+		votes[t.Predict(x)] += s.weights[i]
+	}
+	return argmax(votes)
+}
+
+// Complexity implements model.Snapshot with the capture-time complexity.
+func (s *ensembleSnapshot) Complexity() model.Complexity { return s.comp }
+
+// Name implements model.Snapshot.
+func (s *ensembleSnapshot) Name() string { return s.name }
+
+// Snapshot implements model.Snapshotter: frozen member trees voting with
+// the error-since-swap weights at capture time.
+func (a *ARF) Snapshot() model.Snapshot {
+	s := &ensembleSnapshot{name: a.Name(), comp: a.Complexity(), classes: a.schema.NumClasses}
+	for _, m := range a.members {
+		s.trees = append(s.trees, m.tree.Snapshot())
+		s.weights = append(s.weights, m.voteWeight())
+	}
+	return s
+}
+
 // Swaps returns the number of member replacements so far.
 func (a *ARF) Swaps() int {
 	total := 0
@@ -434,6 +472,17 @@ func (l *LevBag) Complexity() model.Complexity {
 		total = total.Add(m.tree.Complexity())
 	}
 	return total
+}
+
+// Snapshot implements model.Snapshotter: frozen member trees under
+// unweighted majority vote, like the live ensemble.
+func (l *LevBag) Snapshot() model.Snapshot {
+	s := &ensembleSnapshot{name: l.Name(), comp: l.Complexity(), classes: l.schema.NumClasses}
+	for _, m := range l.members {
+		s.trees = append(s.trees, m.tree.Snapshot())
+		s.weights = append(s.weights, 1)
+	}
+	return s
 }
 
 // Resets returns the number of member resets so far.

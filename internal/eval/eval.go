@@ -164,9 +164,24 @@ func PrequentialContext(ctx context.Context, c model.Classifier, s stream.Stream
 	// every row instead of allocating a fresh distribution per call.
 	var proba []float64
 	pc, probabilistic := c.(model.ProbabilisticClassifier)
+	if probabilistic {
+		// Serving scorers always expose Proba (with a one-hot fallback),
+		// which would turn LogLoss into a bogus clipped-one-hot number
+		// for models that have no probabilistic interface. Gate on the
+		// wrapped model instead of the wrapper.
+		if u, ok := c.(interface{ Unwrap() model.Classifier }); ok {
+			_, probabilistic = u.Unwrap().(model.ProbabilisticClassifier)
+		}
+	}
 	if opts.LogLoss && probabilistic {
 		proba = make([]float64, schema.NumClasses)
 	}
+	// Serving scorers predict the whole test batch in one call from one
+	// consistent model state; the per-row loop serves plain classifiers.
+	bp, _ := c.(interface {
+		PredictBatch(X [][]float64, out []int) []int
+	})
+	var preds []int
 	for iter := 0; opts.MaxIters == 0 || iter < opts.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -183,18 +198,33 @@ func PrequentialContext(ctx context.Context, c model.Classifier, s stream.Stream
 		}
 		start := time.Now()
 		conf.Reset()
+		if bp != nil {
+			preds = bp.PredictBatch(b.X, preds)
+			for i, y := range b.Y {
+				conf.Add(y, preds[i])
+			}
+		} else {
+			for i, x := range b.X {
+				conf.Add(b.Y[i], c.Predict(x))
+			}
+		}
+		testSeconds := time.Since(start).Seconds()
+		// Log-loss scoring happens between test and train — still on the
+		// pre-train model — but outside the timed region: it is optional
+		// instrumentation, and including it silently inflated the Table V
+		// Seconds column, which measures exactly the paper's protocol.
 		var nll float64
-		for i, x := range b.X {
-			conf.Add(b.Y[i], c.Predict(x))
-			if proba != nil {
+		if proba != nil {
+			for i, x := range b.X {
 				p := pc.Proba(x, proba)
 				if y := b.Y[i]; y >= 0 && y < len(p) {
 					nll -= math.Log(clipProb(p[y]))
 				}
 			}
 		}
+		start = time.Now()
 		c.Learn(b)
-		elapsed := time.Since(start).Seconds()
+		elapsed := testSeconds + time.Since(start).Seconds()
 
 		var logLoss float64
 		if proba != nil && b.Len() > 0 {

@@ -6,7 +6,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/datasets"
 	"repro/internal/model"
+	"repro/internal/serve"
 	"repro/internal/stream"
 )
 
@@ -372,5 +374,43 @@ func TestAsciiChart(t *testing.T) {
 	}
 	if got := asciiChart("empty", nil, nil, 30, 8); !strings.Contains(got, "no data") {
 		t.Fatal("empty chart")
+	}
+}
+
+// A serving Scorer always exposes Proba (one-hot fallback), but LogLoss
+// must stay gated on the wrapped model: a non-probabilistic ensemble
+// evaluated through the serving layer reports 0, not a clipped-one-hot
+// pseudo log loss, matching the bare-model run.
+func TestPrequentialLogLossGatedOnUnwrappedModel(t *testing.T) {
+	ds, err := datasets.ByName("SEA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strm := ds.New(0.002, 1)
+	arf, err := NewClassifier(NameForest, strm.Schema(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Prequential(serve.Wrap(arf, 1), strm, Options{LogLoss: true, MinBatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range res.Iters {
+		if it.LogLoss != 0 {
+			t.Fatalf("iteration %d: non-probabilistic model through a Scorer reported log-loss %v", i, it.LogLoss)
+		}
+	}
+	// A probabilistic model through the same wrapper still reports one.
+	strm2 := ds.New(0.002, 1)
+	dmt, err := NewClassifier(NameDMT, strm2.Schema(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Prequential(serve.Wrap(dmt, 1), strm2, Options{LogLoss: true, MinBatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean, _ := res2.LogLoss(); mean == 0 {
+		t.Fatal("probabilistic model through a Scorer lost its log-loss")
 	}
 }

@@ -9,6 +9,9 @@ import (
 	"sync"
 
 	"repro/internal/datasets"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/serve"
 )
 
 // Cell is one experiment cell of a suite: a model evaluated prequentially
@@ -54,6 +57,15 @@ type Runner struct {
 	BatchFraction float64
 	// MinBatchSize floors the batch size (default 32 on scaled streams).
 	MinBatchSize int
+	// ScorerMode, when non-empty, evaluates every cell through the
+	// serving layer instead of the bare classifier: "locked" (RWMutex),
+	// "snapshot" (lock-free atomic snapshots; per-batch publish keeps the
+	// results byte-identical to the bare model) or "sharded" (rows hash
+	// across Shards independent replicas — a different algorithm, so
+	// results differ by design).
+	ScorerMode string
+	// Shards is the replica count of the "sharded" mode (default 2).
+	Shards int
 	// Progress, when non-nil, receives one line per finished cell.
 	Progress io.Writer
 }
@@ -110,9 +122,32 @@ func (r Runner) Run(ctx context.Context, cells []Cell) (*SuiteResult, error) {
 		})
 	}
 
+	var scorerMode serve.Mode
+	if r.ScorerMode != "" {
+		var err error
+		if scorerMode, err = serve.ParseMode(r.ScorerMode); err != nil {
+			return nil, err
+		}
+	}
+
 	runCell := func(c Cell) error {
 		strm := c.Dataset.New(scale, c.Seed)
-		clf, err := NewClassifier(c.Model, strm.Schema(), c.Seed)
+		var clf model.Classifier
+		var err error
+		if scorerMode != "" {
+			// The registry-driven serving path: the same construction
+			// cmd/dmtbench and repro.Serve use, so the suite exercises
+			// the serving layer end to end.
+			clf, err = serve.New(serve.Config{
+				Model:   c.Model,
+				Schema:  strm.Schema(),
+				Options: []registry.Option{registry.WithSeed(c.Seed)},
+				Mode:    scorerMode,
+				Shards:  r.Shards,
+			})
+		} else {
+			clf, err = NewClassifier(c.Model, strm.Schema(), c.Seed)
+		}
 		if err != nil {
 			return err
 		}

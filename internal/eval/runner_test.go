@@ -123,3 +123,43 @@ func benchmarkRunner(b *testing.B, workers int) {
 // the sequential wall-clock (compare ns/op of these two).
 func BenchmarkSuiteSequential(b *testing.B) { benchmarkRunner(b, 1) }
 func BenchmarkSuiteParallel(b *testing.B)   { benchmarkRunner(b, 0) } // GOMAXPROCS workers
+
+// Evaluating through the serving layer must not change the science:
+// "snapshot" (per-batch publish) and "locked" runs render byte-identical
+// metric tables to the bare-classifier run of the same cells, even
+// though the snapshot run scores every test batch through PredictBatch
+// against a published snapshot.
+func TestRunnerScorerModesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run")
+	}
+	run := func(mode string) *SuiteResult {
+		res, err := Runner{Scale: 0.002, ScorerMode: mode}.Run(context.Background(), runnerCells(t, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := run("")
+	for _, mode := range []string{"locked", "snapshot"} {
+		through := run(mode)
+		for name, render := range map[string]func(*SuiteResult) string{
+			"Table2": (*SuiteResult).Table2,
+			"Table3": (*SuiteResult).Table3,
+			"Table4": (*SuiteResult).Table4,
+		} {
+			if a, b := render(bare), render(through); a != b {
+				t.Fatalf("%s differs between bare and %s runs:\n%s\nvs\n%s", name, mode, a, b)
+			}
+		}
+	}
+	// Sharded is a different algorithm (replicas see 1/N of the rows);
+	// it must run cleanly but is allowed to differ.
+	if _, err := (Runner{Scale: 0.002, ScorerMode: "sharded", Shards: 2}).Run(context.Background(), runnerCells(t, 11)); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown modes fail fast.
+	if _, err := (Runner{Scale: 0.002, ScorerMode: "bogus"}).Run(context.Background(), runnerCells(t, 11)); err == nil {
+		t.Fatal("bogus scorer mode accepted")
+	}
+}

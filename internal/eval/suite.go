@@ -33,6 +33,12 @@ type Suite struct {
 	// so results are identical to the sequential order — this implements
 	// the parallelisation the paper defers to future work (Section V-D).
 	Parallel int
+	// ScorerMode, when non-empty, evaluates every cell through the
+	// serving layer ("locked", "snapshot" or "sharded"; see
+	// Runner.ScorerMode).
+	ScorerMode string
+	// Shards is the replica count of the "sharded" scorer mode.
+	Shards int
 	// Progress, when non-nil, receives one line per finished run.
 	Progress io.Writer
 }
@@ -106,6 +112,8 @@ func (s Suite) RunContext(ctx context.Context) (*SuiteResult, error) {
 		Scale:         s.Scale,
 		BatchFraction: s.BatchFraction,
 		MinBatchSize:  s.MinBatchSize,
+		ScorerMode:    s.ScorerMode,
+		Shards:        s.Shards,
 		Progress:      s.Progress,
 	}
 	out, err := r.Run(ctx, cells)

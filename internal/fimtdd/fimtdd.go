@@ -103,6 +103,20 @@ type Tree struct {
 	root   *fnode
 	rng    *rand.Rand
 	prunes int
+	// path is the reusable inner-node buffer of learnOne, so routing one
+	// instance allocates nothing in steady state.
+	path []*fnode
+}
+
+// routeLeft reports whether feature value v routes to the left child of
+// a split at threshold. Non-finite values (NaN, ±Inf) deterministically
+// route left, matching the observers — which skip non-finite values, so
+// no candidate threshold ever separates them — and keeping the learn and
+// predict paths consistent (previously NaN and +Inf silently compared
+// false and drifted right). The shared model.RouteLeft predicate keeps
+// this identical to snapshot routing.
+func routeLeft(v, threshold float64) bool {
+	return model.RouteLeft(v, threshold, true)
 }
 
 // New returns an empty FIMT-DD tree for the schema.
@@ -145,16 +159,17 @@ func (t *Tree) learnOne(x []float64, y int) {
 	}
 	// Route to the leaf, collecting the inner nodes on the path so their
 	// Page-Hinkley detectors can observe this instance's error.
-	path := make([]*fnode, 0, 8)
+	path := t.path[:0]
 	cur := t.root
 	for !cur.isLeaf() {
 		path = append(path, cur)
-		if x[cur.feature] <= cur.threshold {
+		if routeLeft(x[cur.feature], cur.threshold) {
 			cur = cur.left
 		} else {
 			cur = cur.right
 		}
 	}
+	t.path = path
 	leaf := cur
 
 	// 0/1 misclassification error of the deployed leaf model, fed to the
@@ -196,7 +211,7 @@ func (t *Tree) trainLeaf(leaf *fnode, x []float64, y int) {
 		}
 		leaf.observers[j].Observe(v, target, 1)
 	}
-	leaf.mod.Step([][]float64{x}, []int{y}, t.cfg.LearningRate)
+	leaf.mod.RowStep(x, y, t.cfg.LearningRate)
 
 	if leaf.seen-leaf.lastEval < t.cfg.GracePeriod {
 		return
@@ -236,10 +251,23 @@ func (t *Tree) attemptSplit(leaf *fnode) {
 		return
 	}
 	eps := split.HoeffdingBound(1, t.cfg.Delta, leaf.seen)
-	ratio := 0.0
-	if !math.IsInf(second, -1) && second > 0 {
-		ratio = second / best.Merit
+	if math.IsInf(second, -1) {
+		// No runner-up exists (a single valid candidate overall): there
+		// is no ratio to test, so the Hoeffding guard has no statistical
+		// evidence that the best split beats an alternative. Only the
+		// tie condition — the bound collapsed below tau, i.e. any
+		// competitor would be within the tie margin anyway — may admit
+		// the split. (Previously the ratio was forced to 0 and the leaf
+		// split unconditionally every grace period.) A genuine runner-up
+		// with zero or negative merit is NOT this case: it takes the
+		// ratio test below, where ratio <= 0 < 1-eps admits the split —
+		// the paper's rule for a dominant best candidate.
+		if eps < t.cfg.Tau {
+			t.splitLeaf(leaf, best.Feature, best.Threshold)
+		}
+		return
 	}
+	ratio := second / best.Merit
 	if ratio < 1-eps || eps < t.cfg.Tau {
 		t.splitLeaf(leaf, best.Feature, best.Threshold)
 	}
@@ -262,7 +290,7 @@ func (t *Tree) splitLeaf(leaf *fnode, feature int, threshold float64) {
 func (t *Tree) sortTo(x []float64) *fnode {
 	cur := t.root
 	for !cur.isLeaf() {
-		if x[cur.feature] <= cur.threshold {
+		if routeLeft(x[cur.feature], cur.threshold) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -299,6 +327,20 @@ func countNodes(n *fnode) (inner, leaves, depth int) {
 func (t *Tree) Complexity() model.Complexity {
 	inner, leaves, depth := countNodes(t.root)
 	return model.TreeComplexity(inner, leaves, depth, model.LeafModel, t.schema.NumFeatures, t.schema.NumClasses)
+}
+
+// Snapshot implements model.Snapshotter: an immutable serving copy of
+// the current tree (structure plus cloned leaf models), routing
+// non-finite values left like the live tree.
+func (t *Tree) Snapshot() model.Snapshot {
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
+	snap.Root = model.AddTree(snap, t.root, func(n *fnode) (model.SnapshotNode, *fnode, *fnode) {
+		if n.isLeaf() {
+			return model.SnapshotNode{Leaf: n.mod.Clone()}, nil, nil
+		}
+		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
+	})
+	return snap
 }
 
 // Prunes returns the number of Page-Hinkley branch deletions so far.

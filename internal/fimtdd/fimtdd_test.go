@@ -1,6 +1,7 @@
 package fimtdd
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -139,3 +140,136 @@ func TestConfigDefaults(t *testing.T) {
 
 var _ model.Classifier = (*Tree)(nil)
 var _ model.ProbabilisticClassifier = (*Tree)(nil)
+
+var _ model.Snapshotter = (*Tree)(nil)
+
+// singleCandidateBatch yields rows where only one candidate threshold
+// exists in the whole leaf: x0 is binary (one valid E-BST split point),
+// x1 is constant (no valid split point at all). y follows x0 with 30%
+// label noise, so the candidate's SDR merit is clearly positive.
+func singleCandidateBatch(rng *rand.Rand, n int) stream.Batch {
+	var b stream.Batch
+	for i := 0; i < n; i++ {
+		x0 := float64(rng.Intn(2))
+		y := int(x0)
+		if rng.Float64() < 0.3 {
+			y = 1 - y
+		}
+		b.X = append(b.X, []float64{x0, 0.5})
+		b.Y = append(b.Y, y)
+	}
+	return b
+}
+
+// Regression for the unconditional-split bug: with a single valid
+// candidate the runner-up merit stayed -Inf, the merit ratio was forced
+// to 0 and the leaf split at the first grace period with zero
+// statistical evidence. The Hoeffding guard must now hold the split back
+// until the tie condition (bound below tau) is met.
+func TestSingleCandidateNeedsTieEvidence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree := New(Config{Seed: 11}, schema2())
+
+	// 800 instances = four grace-period attempts, all with the Hoeffding
+	// bound still above tau: no split may fire (the old code split at
+	// instance 200 unconditionally).
+	for i := 0; i < 4; i++ {
+		tree.Learn(singleCandidateBatch(rng, 200))
+	}
+	if inner := tree.Complexity().Inner; inner != 0 {
+		t.Fatalf("split with a single candidate and eps > tau: inner = %d", inner)
+	}
+
+	// With enough weight the bound collapses below tau (n >= ~922 at
+	// delta 0.01) and the tie condition legitimately admits the split.
+	for i := 0; i < 4; i++ {
+		tree.Learn(singleCandidateBatch(rng, 200))
+	}
+	if inner := tree.Complexity().Inner; inner == 0 {
+		t.Fatal("tie condition never admitted the single-candidate split")
+	}
+}
+
+// Regression for silent NaN routing: non-finite feature values must
+// route deterministically (left) and identically on the learn and
+// predict paths; previously NaN and +Inf compared false against the
+// threshold and drifted right while the observers skipped them.
+func TestNonFiniteRoutesLeftConsistently(t *testing.T) {
+	tree := New(Config{Seed: 9}, schema2())
+	tree.splitLeaf(tree.root, 0, 0.5)
+	left, right := tree.root.left, tree.root.right
+	// Make the children predict opposite classes: logit weights are
+	// [w0, w1, bias], so a large bias pins the prediction.
+	left.mod.SetWeights([]float64{0, 0, -10})
+	right.mod.SetWeights([]float64{0, 0, 10})
+
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		x := []float64{v, 0.9}
+		if got := tree.Predict(x); got != 0 {
+			t.Errorf("Predict routed x0=%v right (class %d), want left", v, got)
+		}
+		before := left.seen
+		tree.learnOne(x, 0)
+		if left.seen != before+1 {
+			t.Errorf("learnOne routed x0=%v away from the left leaf", v)
+		}
+	}
+	// Finite values still split at the threshold.
+	if tree.Predict([]float64{0.4, 0}) != 0 || tree.Predict([]float64{0.6, 0}) != 1 {
+		t.Fatal("finite routing broken")
+	}
+}
+
+// Steady-state learnOne must allocate nothing: the routing path buffer,
+// the E-BST observers (on already-indexed keys) and the RowStep leaf
+// update all reuse per-tree state. Single-class labels keep the target
+// deviation at zero so no split scan runs mid-measurement.
+func TestLearnSteadyStateZeroAllocs(t *testing.T) {
+	tree := New(Config{Seed: 5}, schema2())
+	xs := [][]float64{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}, {0.7, 0.8}}
+	for i := 0; i < 300; i++ {
+		for _, x := range xs {
+			tree.learnOne(x, 0)
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(500, func() {
+		tree.learnOne(xs[i&3], 0)
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state learnOne allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// The snapshot must predict identically to the live tree and stay
+// unaffected by further learning.
+func TestSnapshotMatchesLiveTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tree := New(Config{Seed: 21}, schema2())
+	for i := 0; i < 60; i++ {
+		tree.Learn(conceptBatch(rng, 200, false))
+	}
+	snap := tree.Snapshot()
+	probes := conceptBatch(rng, 500, false)
+	want := make([]int, probes.Len())
+	for i, x := range probes.X {
+		want[i] = tree.Predict(x)
+	}
+	for i, x := range probes.X {
+		if got := snap.Predict(x); got != want[i] {
+			t.Fatalf("snapshot diverges from live tree at row %d", i)
+		}
+	}
+	if snap.Complexity() != tree.Complexity() {
+		t.Fatal("snapshot complexity differs")
+	}
+	// Keep training the live tree; the frozen snapshot must not move.
+	for i := 0; i < 60; i++ {
+		tree.Learn(conceptBatch(rng, 200, true))
+	}
+	for i, x := range probes.X {
+		if got := snap.Predict(x); got != want[i] {
+			t.Fatalf("snapshot changed after live learning at row %d", i)
+		}
+	}
+}

@@ -58,6 +58,11 @@ func (c *Classifier) Complexity() model.Complexity {
 	return model.TreeComplexity(0, 1, 0, model.LeafModel, c.schema.NumFeatures, c.schema.NumClasses)
 }
 
+// Snapshot implements model.Snapshotter with a cloned single-leaf view.
+func (c *Classifier) Snapshot() model.Snapshot {
+	return model.LeafSnapshot(c.Name(), c.Complexity(), c.m.Clone())
+}
+
 // init registers the stand-alone linear baseline.
 func init() {
 	registry.Register("GLM", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {

@@ -24,6 +24,11 @@ type Model interface {
 	// gradient and the given learning rate (eq. 6 semantics). Rows with
 	// non-finite features are skipped.
 	Step(X [][]float64, Y []int, lr float64)
+	// RowStep performs one gradient-descent step on a single labelled
+	// row: the allocation-free equivalent of Step([][]float64{x},
+	// []int{y}, lr), bit-identical to it (FIMT-DD's per-instance leaf
+	// update). Non-finite rows are skipped.
+	RowStep(x []float64, y int, lr float64)
 	// Loss returns the summed negative log-likelihood of the batch under
 	// the current parameters.
 	Loss(X [][]float64, Y []int) float64
@@ -115,11 +120,32 @@ func sigmoid(z float64) float64 {
 
 func rowFinite(x []float64) bool { return linalg.IsFinite(x) }
 
+// reusedZeroed returns a zeroed buffer of length n, reusing buf's
+// backing array when it already has that length — the grow-or-zero
+// idiom of the learn-path gradient scratch.
+func reusedZeroed(buf []float64, n int) []float64 {
+	if len(buf) != n {
+		return make([]float64, n)
+	}
+	linalg.Zero(buf)
+	return buf
+}
+
 // Logit is a binary logistic-regression model with m feature weights and a
 // bias stored at index m.
 type Logit struct {
 	w []float64 // len m+1, bias last
 	m int
+	// stepGrad is the gradient buffer Step reuses so steady-state batch
+	// learning allocates nothing. Learn-path only (Step runs under the
+	// single-writer contract); Predict/Proba never touch it.
+	stepGrad []float64
+}
+
+// gradBuf returns the zeroed reusable gradient buffer of the learn path.
+func (l *Logit) gradBuf() []float64 {
+	l.stepGrad = reusedZeroed(l.stepGrad, len(l.w))
+	return l.stepGrad
 }
 
 // NewLogit returns a zero-initialised binary logit over m features.
@@ -138,7 +164,7 @@ func (l *Logit) Step(X [][]float64, Y []int, lr float64) {
 	if n == 0 {
 		return
 	}
-	grad := make([]float64, len(l.w))
+	grad := l.gradBuf()
 	used := 0
 	for i, x := range X {
 		if !rowFinite(x) {
@@ -154,6 +180,20 @@ func (l *Logit) Step(X [][]float64, Y []int, lr float64) {
 		return
 	}
 	linalg.Axpy(-lr/float64(used), grad, l.w)
+}
+
+// RowStep implements Model. The update order mirrors Step on a one-row
+// batch — w[j] += (-lr)*(d*x[j]) — so the two paths stay bit-identical.
+func (l *Logit) RowStep(x []float64, y int, lr float64) {
+	if !rowFinite(x) {
+		return
+	}
+	p := sigmoid(l.score(x))
+	d := p - float64(y)
+	for j, v := range x[:l.m] {
+		l.w[j] -= lr * (d * v)
+	}
+	l.w[l.m] -= lr * d
 }
 
 // Loss implements Model.
@@ -266,7 +306,8 @@ func (l *Logit) SetWeights(w []float64) {
 	copy(l.w, w)
 }
 
-// Clone implements Model.
+// Clone implements Model. Scratch buffers are deliberately not carried
+// over: the clone lazily allocates its own, so clones share no state.
 func (l *Logit) Clone() Model {
 	return &Logit{w: linalg.Clone(l.w), m: l.m}
 }
@@ -294,7 +335,17 @@ func (l *Logit) Bias() float64 { return l.w[l.m] }
 type Softmax struct {
 	w       []float64 // (c-1) rows * (m+1) cols, flattened row-major
 	m, c    int
-	scratch []float64 // probability buffer reused on hot paths
+	scratch []float64 // probability buffer reused on learn-path calls
+	// stepGrad is the gradient buffer Step reuses so steady-state batch
+	// learning allocates nothing. Learn-path only; Predict/Proba never
+	// touch it (they must stay re-entrant for concurrent serving).
+	stepGrad []float64
+}
+
+// gradBuf returns the zeroed reusable gradient buffer of the learn path.
+func (s *Softmax) gradBuf() []float64 {
+	s.stepGrad = reusedZeroed(s.stepGrad, len(s.w))
+	return s.stepGrad
 }
 
 // scratchBuf returns a reusable length-c buffer.
@@ -342,8 +393,8 @@ func (s *Softmax) Step(X [][]float64, Y []int, lr float64) {
 	if n == 0 {
 		return
 	}
-	grad := make([]float64, len(s.w))
-	p := make([]float64, s.c)
+	grad := s.gradBuf()
+	p := s.scratchBuf()
 	used := 0
 	for i, x := range X {
 		if !rowFinite(x) {
@@ -368,10 +419,31 @@ func (s *Softmax) Step(X [][]float64, Y []int, lr float64) {
 	linalg.Axpy(-lr/float64(used), grad, s.w)
 }
 
+// RowStep implements Model. The update order mirrors Step on a one-row
+// batch — w[j] += (-lr)*(d*x[j]) — so the two paths stay bit-identical.
+func (s *Softmax) RowStep(x []float64, y int, lr float64) {
+	if !rowFinite(x) {
+		return
+	}
+	p := s.scratchBuf()
+	s.probaInto(x, p)
+	for k := 1; k < s.c; k++ {
+		d := p[k]
+		if y == k {
+			d -= 1
+		}
+		r := s.row(k)
+		for j, v := range x[:s.m] {
+			r[j] -= lr * (d * v)
+		}
+		r[s.m] -= lr * d
+	}
+}
+
 // Loss implements Model.
 func (s *Softmax) Loss(X [][]float64, Y []int) float64 {
 	var loss float64
-	p := make([]float64, s.c)
+	p := s.scratchBuf()
 	for i, x := range X {
 		if !rowFinite(x) {
 			continue
@@ -392,7 +464,7 @@ func (s *Softmax) LossGrad(X [][]float64, Y []int, grad []float64) float64 {
 		panic("glm: LossGrad gradient length mismatch")
 	}
 	var loss float64
-	p := make([]float64, s.c)
+	p := s.scratchBuf()
 	stride := s.m + 1
 	for i, x := range X {
 		if !rowFinite(x) {
@@ -461,7 +533,7 @@ func (s *Softmax) Proba(x []float64, out []float64) []float64 {
 // stack buffer (heap only beyond 16 classes), never the shared scratch.
 func (s *Softmax) Predict(x []float64) int {
 	var buf [16]float64
-	z := buf[:]
+	var z []float64
 	if s.c > len(buf) {
 		z = make([]float64, s.c)
 	} else {
@@ -494,7 +566,8 @@ func (s *Softmax) SetWeights(w []float64) {
 	copy(s.w, w)
 }
 
-// Clone implements Model.
+// Clone implements Model. Scratch buffers are deliberately not carried
+// over: the clone lazily allocates its own, so clones share no state.
 func (s *Softmax) Clone() Model {
 	return &Softmax{w: linalg.Clone(s.w), m: s.m, c: s.c}
 }

@@ -1,0 +1,92 @@
+package glm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twin builds two identically initialised models.
+func twin(m, c int, seed int64) (a, b Model) {
+	a = New(m, c, rand.New(rand.NewSource(seed)))
+	b = New(m, c, rand.New(rand.NewSource(seed)))
+	return a, b
+}
+
+// RowStep must be bit-identical to Step on a one-row batch — FIMT-DD
+// switched its per-instance leaf update to RowStep and the tree
+// evolution (split thresholds, Page-Hinkley signals) must not move.
+func TestRowStepMatchesStep(t *testing.T) {
+	for _, c := range []int{2, 4} {
+		a, b := twin(6, c, 42)
+		rng := rand.New(rand.NewSource(1))
+		x := make([]float64, 6)
+		for step := 0; step < 300; step++ {
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			if step%17 == 0 {
+				x[2] = math.NaN() // both paths must skip non-finite rows
+			}
+			y := rng.Intn(c)
+			a.Step([][]float64{x}, []int{y}, 0.05)
+			b.RowStep(x, y, 0.05)
+		}
+		wa, wb := a.Weights(), b.Weights()
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("c=%d: weight %d diverged: Step %v vs RowStep %v", c, i, wa[i], wb[i])
+			}
+		}
+	}
+}
+
+// The batch learn path must be allocation-free in steady state: Step,
+// Loss and RowStep reuse per-model scratch instead of allocating the
+// gradient and probability buffers per call.
+func TestLearnPathZeroAllocs(t *testing.T) {
+	for _, c := range []int{2, 4} {
+		m := New(8, c, rand.New(rand.NewSource(3)))
+		X := make([][]float64, 32)
+		Y := make([]int, 32)
+		rng := rand.New(rand.NewSource(4))
+		for i := range X {
+			X[i] = make([]float64, 8)
+			for j := range X[i] {
+				X[i][j] = rng.Float64()
+			}
+			Y[i] = rng.Intn(c)
+		}
+		m.Step(X, Y, 0.05) // warm the scratch buffers
+		m.Loss(X, Y)
+		if avg := testing.AllocsPerRun(200, func() { m.Step(X, Y, 0.05) }); avg != 0 {
+			t.Errorf("c=%d: Step allocates %.2f allocs/op, want 0", c, avg)
+		}
+		if avg := testing.AllocsPerRun(200, func() { m.Loss(X, Y) }); avg != 0 {
+			t.Errorf("c=%d: Loss allocates %.2f allocs/op, want 0", c, avg)
+		}
+		if avg := testing.AllocsPerRun(200, func() { m.RowStep(X[0], Y[0], 0.05) }); avg != 0 {
+			t.Errorf("c=%d: RowStep allocates %.2f allocs/op, want 0", c, avg)
+		}
+	}
+}
+
+// Clones must not share scratch or weights with their source.
+func TestCloneIsolation(t *testing.T) {
+	for _, c := range []int{2, 4} {
+		src := New(5, c, rand.New(rand.NewSource(9)))
+		x := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+		clone := src.Clone()
+		before := clone.Weights()
+		for i := 0; i < 50; i++ {
+			src.RowStep(x, i%c, 0.1)
+			src.Step([][]float64{x}, []int{i % c}, 0.1)
+		}
+		after := clone.Weights()
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("c=%d: clone weights moved with the source", c)
+			}
+		}
+	}
+}

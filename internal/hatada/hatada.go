@@ -252,6 +252,20 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, model.LeafMajority, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// Snapshot implements model.Snapshotter: an immutable serving copy of
+// the deployed main tree (alternate subtrees are growth scaffolding and
+// never serve predictions, so they are not captured).
+func (t *Tree) Snapshot() model.Snapshot {
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap.Root = model.AddTree(snap, t.root, func(n *anode) (model.SnapshotNode, *anode, *anode) {
+		if n.isLeaf() {
+			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
+		}
+		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
+	})
+	return snap
+}
+
 // Promotions returns how many alternate subtrees replaced their main
 // subtree so far.
 func (t *Tree) Promotions() int { return t.prunes }

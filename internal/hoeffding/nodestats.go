@@ -139,6 +139,27 @@ func NewNodeStats(cfg *Config, schema stream.Schema, rng *rand.Rand, sc *Scratch
 	return s
 }
 
+// ServingClone returns a read-only deep copy of the prediction-relevant
+// state — class counts, the Naive Bayes leaf model and the adaptive-mode
+// accuracy tallies — for serving snapshots. Observers, the feature
+// subset and the shared scratch are learn/split-path state and are left
+// nil: only Predict, Proba and MajorityClass may be called on the clone.
+func (s *NodeStats) ServingClone() *NodeStats {
+	c := &NodeStats{
+		cfg:      s.cfg,
+		schema:   s.schema,
+		counts:   append([]float64(nil), s.counts...),
+		mcOK:     s.mcOK,
+		nbOK:     s.nbOK,
+		seen:     s.seen,
+		lastEval: s.lastEval,
+	}
+	if s.nb != nil {
+		c.nb = s.nb.Clone()
+	}
+	return c
+}
+
 // featureSet returns the observed features (all when no subspace).
 func (s *NodeStats) featureSet() []int {
 	if s.features != nil {

@@ -156,6 +156,19 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, kind, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// Snapshot implements model.Snapshotter: an immutable serving copy of
+// the tree structure with serving clones of the leaf statistics.
+func (t *Tree) Snapshot() model.Snapshot {
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap.Root = model.AddTree(snap, t.root, func(n *node) (model.SnapshotNode, *node, *node) {
+		if n.isLeaf() {
+			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
+		}
+		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
+	})
+	return snap
+}
+
 // LifetimeSplits returns the number of split events since construction.
 func (t *Tree) LifetimeSplits() int { return t.splits }
 

@@ -1,0 +1,141 @@
+package model
+
+// Serving snapshots: every registered learner can export an immutable
+// copy of its current prediction function, which the lock-free
+// SnapshotScorer publishes through an atomic pointer. A snapshot shares
+// no mutable state with the learner that produced it, so any number of
+// goroutines may serve reads from it while the live model keeps
+// training — the single-machine analogue of the partitioned serving in
+// VHT-style distributed stream learners.
+
+// LeafScorer is the prediction contract of one snapshot leaf. The GLM
+// simple models, the Hoeffding NodeStats serving clones and the Naive
+// Bayes model all satisfy it.
+type LeafScorer interface {
+	// Predict returns the most probable class for x.
+	Predict(x []float64) int
+	// Proba writes class probabilities for x into out and returns it; a
+	// nil out allocates.
+	Proba(x []float64, out []float64) []float64
+}
+
+// Snapshot is an immutable serving view of a classifier at one point of
+// its training: reads only, safe for unbounded concurrency, frozen at
+// the publish step (Complexity reports the state at capture time).
+type Snapshot interface {
+	Predict(x []float64) int
+	Complexity() Complexity
+	Name() string
+}
+
+// ProbaSnapshot is a Snapshot that also exposes class probabilities.
+type ProbaSnapshot interface {
+	Snapshot
+	Proba(x []float64, out []float64) []float64
+}
+
+// Snapshotter is implemented by learners that can export a serving
+// snapshot. Snapshot must deep-copy every piece of state its reads
+// touch; it is called under the learner's single-writer lock, so it may
+// read freely but must not retain references to mutable state.
+type Snapshotter interface {
+	Snapshot() Snapshot
+}
+
+// SnapshotNode is one node of a TreeSnapshot: an inner node carries the
+// binary test (x[Feature] <= Threshold routes left), a leaf carries its
+// frozen predictor.
+type SnapshotNode struct {
+	Feature   int
+	Threshold float64
+	// Left and Right index into TreeSnapshot.Nodes; -1 marks a leaf.
+	Left, Right int32
+	// Leaf is non-nil exactly at leaves.
+	Leaf LeafScorer
+}
+
+// TreeSnapshot is the shared serving snapshot of every tree learner in
+// the repository: a flat node array (children precede parents; Root is
+// the entry point) with frozen leaf predictors. All tree learners share
+// the same routing rule, so one implementation serves DMT, FIMT-DD and
+// the whole Hoeffding family.
+type TreeSnapshot struct {
+	ModelName string
+	Comp      Complexity
+	Nodes     []SnapshotNode
+	Root      int32
+	// NonFiniteLeft routes NaN/±Inf feature values to the left child
+	// (FIMT-DD's deterministic non-finite rule). When false, the plain
+	// `v <= threshold` comparison decides (NaN and +Inf route right).
+	NonFiniteLeft bool
+}
+
+// Add appends a node and returns its index, for bottom-up (children
+// first) construction.
+func (t *TreeSnapshot) Add(n SnapshotNode) int32 {
+	t.Nodes = append(t.Nodes, n)
+	return int32(len(t.Nodes) - 1)
+}
+
+// AddTree flattens a live tree rooted at n into t and returns the root
+// index — the one snapshot-construction implementation shared by every
+// tree learner. describe maps one live node to its snapshot node: a
+// non-nil Leaf marks a leaf (children are ignored); otherwise Feature
+// and Threshold describe the split and left/right are recursed into.
+func AddTree[N any](t *TreeSnapshot, n N, describe func(N) (node SnapshotNode, left, right N)) int32 {
+	node, left, right := describe(n)
+	if node.Leaf != nil {
+		node.Left, node.Right = -1, -1
+		return t.Add(node)
+	}
+	node.Left = AddTree(t, left, describe)
+	node.Right = AddTree(t, right, describe)
+	return t.Add(node)
+}
+
+// RouteLeft is the one routing predicate shared by the live trees and
+// their snapshots: feature value v goes left when v <= threshold, and —
+// with nonFiniteLeft (FIMT-DD's deterministic rule) — also when v is
+// NaN or ±Inf (v-v != 0 exactly for non-finite v). Live and snapshot
+// routing must never diverge, so both call this.
+func RouteLeft(v, threshold float64, nonFiniteLeft bool) bool {
+	return v <= threshold || (nonFiniteLeft && v-v != 0)
+}
+
+// LeafFor routes x to its frozen leaf predictor.
+func (t *TreeSnapshot) LeafFor(x []float64) LeafScorer {
+	i := t.Root
+	for {
+		n := &t.Nodes[i]
+		if n.Leaf != nil {
+			return n.Leaf
+		}
+		if RouteLeft(x[n.Feature], n.Threshold, t.NonFiniteLeft) {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Predict implements Snapshot.
+func (t *TreeSnapshot) Predict(x []float64) int { return t.LeafFor(x).Predict(x) }
+
+// Proba implements ProbaSnapshot.
+func (t *TreeSnapshot) Proba(x []float64, out []float64) []float64 {
+	return t.LeafFor(x).Proba(x, out)
+}
+
+// Complexity implements Snapshot with the complexity at capture time.
+func (t *TreeSnapshot) Complexity() Complexity { return t.Comp }
+
+// Name implements Snapshot.
+func (t *TreeSnapshot) Name() string { return t.ModelName }
+
+// LeafSnapshot wraps a single frozen predictor as a one-node tree — the
+// snapshot of the structureless GLM and Naive Bayes baselines.
+func LeafSnapshot(name string, comp Complexity, leaf LeafScorer) *TreeSnapshot {
+	t := &TreeSnapshot{ModelName: name, Comp: comp}
+	t.Root = t.Add(SnapshotNode{Left: -1, Right: -1, Leaf: leaf})
+	return t
+}

@@ -26,6 +26,20 @@ func New(m, c int) *Model {
 	return &Model{classCounts: make([]float64, c), observers: obs}
 }
 
+// Clone returns an independent deep copy, used to freeze leaf models
+// into serving snapshots.
+func (nb *Model) Clone() *Model {
+	c := &Model{
+		classCounts: append([]float64(nil), nb.classCounts...),
+		observers:   make([]*attrobs.Gaussian, len(nb.observers)),
+		total:       nb.total,
+	}
+	for j, o := range nb.observers {
+		c.observers[j] = o.Clone()
+	}
+	return c
+}
+
 // Observe incorporates a labelled instance with the given weight.
 func (nb *Model) Observe(x []float64, y int, w float64) {
 	if y < 0 || y >= len(nb.classCounts) || w <= 0 {
@@ -62,13 +76,22 @@ func (nb *Model) LogPosteriors(x []float64, out []float64) []float64 {
 }
 
 // Predict returns the class with the highest posterior; with no
-// observations it returns 0.
+// observations it returns 0. It must stay re-entrant and
+// allocation-free — snapshot scorers serve it from any number of
+// concurrent readers — so the posteriors go into a stack buffer (heap
+// only beyond 16 classes), never shared scratch.
 func (nb *Model) Predict(x []float64) int {
 	if nb.total == 0 {
 		return 0
 	}
-	lp := nb.LogPosteriors(x, nil)
-	return linalg.ArgMax(lp)
+	var buf [16]float64
+	var out []float64
+	if c := len(nb.classCounts); c > len(buf) {
+		out = make([]float64, c)
+	} else {
+		out = buf[:c]
+	}
+	return linalg.ArgMax(nb.LogPosteriors(x, out))
 }
 
 // Proba writes normalised class probabilities into out.

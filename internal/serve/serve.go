@@ -1,0 +1,529 @@
+// Package serve is the concurrent model-serving layer behind the public
+// repro.Serve / repro.NewScorer API: three interchangeable Scorer
+// implementations that let prediction traffic read a model while a
+// learning loop keeps training it on the live stream — the deployment
+// mode the paper targets (an interpretable model that never stops
+// learning while it serves).
+//
+//   - LockScorer guards one classifier with a sync.RWMutex: simple,
+//     always applicable, but every read waits while Learn holds the
+//     write lock.
+//   - SnapshotScorer publishes an immutable serving snapshot through an
+//     atomic pointer after Learn (clone-on-publish, with a configurable
+//     cadence): Predict/Proba/Complexity are wait-free and never blocked
+//     by training, at the cost of a bounded staleness window (at most
+//     PublishEvery batches) and a clone per publish.
+//   - ShardedScorer hashes rows across N independent learner replicas:
+//     multi-core serving and training where no single model instance is
+//     a bottleneck, at the cost of each replica seeing 1/N of the data.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/stream"
+)
+
+// Scorer is the serving contract: a Classifier that is safe for
+// concurrent use — any number of goroutines may call the read methods
+// (Predict, Proba, their batch forms, Complexity, Name) while one
+// learning loop calls Learn.
+type Scorer interface {
+	model.Classifier
+	// Proba returns class probabilities; models without a probabilistic
+	// interface degrade to a one-hot vector of Predict (see OneHot).
+	Proba(x []float64, out []float64) []float64
+	// PredictBatch predicts every row of X into out (grown as needed)
+	// and returns it. The whole batch is served from one consistent
+	// model state.
+	PredictBatch(X [][]float64, out []int) []int
+	// ProbaBatch writes per-row probability vectors into out and
+	// returns it, from one consistent model state. The row slice is
+	// grown to len(X) as needed; each row follows Proba's contract —
+	// nil allocates, otherwise it must cover the model's class count
+	// (rows returned by a previous call on the same scorer do).
+	ProbaBatch(X [][]float64, out [][]float64) [][]float64
+	// Unwrap returns the live underlying classifier (the first replica
+	// for a ShardedScorer). Callers must not use it concurrently with
+	// the Scorer.
+	Unwrap() model.Classifier
+}
+
+// OneHot writes the one-hot probability fallback for a non-probabilistic
+// model's prediction y into out: out keeps its length when it already
+// covers y and is grown in place to exactly y+1 entries otherwise (no
+// throwaway allocation when cap(out) suffices).
+func OneHot(y int, out []float64) []float64 {
+	for len(out) <= y {
+		out = append(out, 0)
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	out[y] = 1
+	return out
+}
+
+// growRows ensures out has exactly n rows, reusing existing backing.
+func growRows(out [][]float64, n int) [][]float64 {
+	if cap(out) < n {
+		next := make([][]float64, n)
+		copy(next, out)
+		return next
+	}
+	return out[:n]
+}
+
+// growInts ensures out has exactly n entries, reusing existing backing.
+func growInts(out []int, n int) []int {
+	if cap(out) < n {
+		return make([]int, n)
+	}
+	return out[:n]
+}
+
+// --- RWMutex scorer -------------------------------------------------
+
+// LockScorer makes a classifier safe for concurrent serving with a
+// sync.RWMutex: reads take the read lock, Learn the write lock. The
+// wrapped classifier's read methods must be read-only, which holds for
+// every model in this repository.
+type LockScorer struct {
+	mu    sync.RWMutex
+	inner model.Classifier
+	pc    model.ProbabilisticClassifier // nil when inner is not probabilistic
+}
+
+// NewLocked wraps a classifier in a LockScorer.
+func NewLocked(c model.Classifier) *LockScorer {
+	s := &LockScorer{inner: c}
+	s.pc, _ = c.(model.ProbabilisticClassifier)
+	return s
+}
+
+// Unwrap implements Scorer.
+func (s *LockScorer) Unwrap() model.Classifier { return s.inner }
+
+// Learn implements model.Classifier under the write lock.
+func (s *LockScorer) Learn(b stream.Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Learn(b)
+}
+
+// Predict implements model.Classifier under a read lock.
+func (s *LockScorer) Predict(x []float64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Predict(x)
+}
+
+// Proba returns class probabilities under a read lock, with the OneHot
+// fallback for non-probabilistic models.
+func (s *LockScorer) Proba(x []float64, out []float64) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.pc != nil {
+		return s.pc.Proba(x, out)
+	}
+	return OneHot(s.inner.Predict(x), out)
+}
+
+// PredictBatch implements Scorer under one read lock for the whole
+// batch, so the rows are served from one consistent model state.
+func (s *LockScorer) PredictBatch(X [][]float64, out []int) []int {
+	out = growInts(out, len(X))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, x := range X {
+		out[i] = s.inner.Predict(x)
+	}
+	return out
+}
+
+// ProbaBatch implements Scorer under one read lock.
+func (s *LockScorer) ProbaBatch(X [][]float64, out [][]float64) [][]float64 {
+	out = growRows(out, len(X))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, x := range X {
+		if s.pc != nil {
+			out[i] = s.pc.Proba(x, out[i])
+		} else {
+			out[i] = OneHot(s.inner.Predict(x), out[i])
+		}
+	}
+	return out
+}
+
+// Complexity implements model.Classifier under a read lock.
+func (s *LockScorer) Complexity() model.Complexity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Complexity()
+}
+
+// Name implements model.Classifier.
+func (s *LockScorer) Name() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Name()
+}
+
+// --- Snapshot scorer ------------------------------------------------
+
+// published is one immutable serving state behind the atomic pointer.
+type published struct {
+	snap  model.Snapshot
+	proba model.ProbaSnapshot // nil when the snapshot is not probabilistic
+}
+
+// SnapshotScorer serves reads from an immutable model snapshot published
+// through an atomic pointer: Predict/Proba/Complexity never take a lock
+// and are never blocked by a concurrent Learn. Learn trains the live
+// model under a mutex (one writer at a time) and republishes every
+// PublishEvery batches, so reads see a state at most PublishEvery-1
+// Learn calls stale. With PublishEvery == 1 (the default) a snapshot
+// read between Learn calls is identical to a locked read.
+type SnapshotScorer struct {
+	mu           sync.Mutex // serialises Learn and Publish
+	live         model.Classifier
+	src          model.Snapshotter
+	publishEvery int
+	sincePublish int
+	cur          atomic.Pointer[published]
+}
+
+// NewSnapshot wraps a snapshot-capable classifier. publishEvery <= 1
+// publishes after every Learn; larger values amortise the clone cost of
+// expensive models over that many batches. It fails when the classifier
+// does not implement model.Snapshotter (every registered learner does).
+func NewSnapshot(c model.Classifier, publishEvery int) (*SnapshotScorer, error) {
+	src, ok := c.(model.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("serve: %s does not implement model.Snapshotter; use NewLocked", c.Name())
+	}
+	if publishEvery < 1 {
+		publishEvery = 1
+	}
+	s := &SnapshotScorer{live: c, src: src, publishEvery: publishEvery}
+	s.publish()
+	return s, nil
+}
+
+// publish captures and installs a fresh snapshot; callers hold s.mu
+// (or, in the constructor, exclusive ownership).
+func (s *SnapshotScorer) publish() {
+	p := &published{snap: s.src.Snapshot()}
+	p.proba, _ = p.snap.(model.ProbaSnapshot)
+	s.cur.Store(p)
+	s.sincePublish = 0
+}
+
+// Publish forces an immediate snapshot publish outside the cadence.
+func (s *SnapshotScorer) Publish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publish()
+}
+
+// Unwrap implements Scorer.
+func (s *SnapshotScorer) Unwrap() model.Classifier { return s.live }
+
+// Learn implements model.Classifier: train the live model, then
+// republish on cadence.
+func (s *SnapshotScorer) Learn(b stream.Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live.Learn(b)
+	s.sincePublish++
+	if s.sincePublish >= s.publishEvery {
+		s.publish()
+	}
+}
+
+// Predict implements model.Classifier, wait-free.
+func (s *SnapshotScorer) Predict(x []float64) int {
+	return s.cur.Load().snap.Predict(x)
+}
+
+// Proba implements Scorer, wait-free, with the OneHot fallback.
+func (s *SnapshotScorer) Proba(x []float64, out []float64) []float64 {
+	p := s.cur.Load()
+	if p.proba != nil {
+		return p.proba.Proba(x, out)
+	}
+	return OneHot(p.snap.Predict(x), out)
+}
+
+// PredictBatch implements Scorer: the whole batch is served from the one
+// snapshot loaded at entry, wait-free.
+func (s *SnapshotScorer) PredictBatch(X [][]float64, out []int) []int {
+	out = growInts(out, len(X))
+	snap := s.cur.Load().snap
+	for i, x := range X {
+		out[i] = snap.Predict(x)
+	}
+	return out
+}
+
+// ProbaBatch implements Scorer from one snapshot, wait-free.
+func (s *SnapshotScorer) ProbaBatch(X [][]float64, out [][]float64) [][]float64 {
+	out = growRows(out, len(X))
+	p := s.cur.Load()
+	for i, x := range X {
+		if p.proba != nil {
+			out[i] = p.proba.Proba(x, out[i])
+		} else {
+			out[i] = OneHot(p.snap.Predict(x), out[i])
+		}
+	}
+	return out
+}
+
+// Complexity implements model.Classifier with the complexity of the
+// published snapshot (the state readers actually serve).
+func (s *SnapshotScorer) Complexity() model.Complexity {
+	return s.cur.Load().snap.Complexity()
+}
+
+// Name implements model.Classifier.
+func (s *SnapshotScorer) Name() string { return s.cur.Load().snap.Name() }
+
+// --- Sharded scorer -------------------------------------------------
+
+// ShardedScorer partitions work across N independent Scorer replicas by
+// hashing each row's feature values: Learn routes every row to its
+// shard, reads route the queried row the same way, so a row is always
+// served by the replica that trained on its hash bucket. Replicas are
+// fully independent (no shared state), which makes both training and
+// serving scale across cores — at the cost of each replica learning
+// from 1/N of the stream, so accuracy on small streams trails a single
+// model. Complexity sums the replicas.
+type ShardedScorer struct {
+	shards []Scorer
+	// Learn-path partition scratch (single-writer, like Learn itself).
+	px [][][]float64
+	py [][]int
+}
+
+// NewSharded builds a ShardedScorer over the given replicas (at least
+// one). The replicas must be independent models of the same schema.
+func NewSharded(shards []Scorer) (*ShardedScorer, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("serve: NewSharded needs at least one shard")
+	}
+	return &ShardedScorer{
+		shards: shards,
+		px:     make([][][]float64, len(shards)),
+		py:     make([][]int, len(shards)),
+	}, nil
+}
+
+// NumShards returns the replica count.
+func (s *ShardedScorer) NumShards() int { return len(s.shards) }
+
+// Shard returns replica i.
+func (s *ShardedScorer) Shard(i int) Scorer { return s.shards[i] }
+
+// shardOf hashes the row's feature bits to a replica with FNV-1a, so
+// row→shard routing is deterministic across runs and processes.
+func (s *ShardedScorer) shardOf(x []float64) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xff
+			h *= prime64
+			bits >>= 8
+		}
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// Learn implements model.Classifier: rows are partitioned by hash and
+// the non-empty shards learn their parts concurrently — the replicas
+// share no state, so one goroutine per shard is safe and training
+// scales across cores. Row→shard assignment is deterministic, so
+// results do not depend on the scheduling. Like every Scorer, one
+// learning loop at a time.
+func (s *ShardedScorer) Learn(b stream.Batch) {
+	for i := range s.shards {
+		s.px[i] = s.px[i][:0]
+		s.py[i] = s.py[i][:0]
+	}
+	for i, x := range b.X {
+		k := s.shardOf(x)
+		s.px[k] = append(s.px[k], x)
+		s.py[k] = append(s.py[k], b.Y[i])
+	}
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		if len(s.py[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh Scorer, batch stream.Batch) {
+			defer wg.Done()
+			sh.Learn(batch)
+		}(sh, stream.Batch{X: s.px[i], Y: s.py[i]})
+	}
+	wg.Wait()
+}
+
+// Predict implements model.Classifier via the row's shard.
+func (s *ShardedScorer) Predict(x []float64) int {
+	return s.shards[s.shardOf(x)].Predict(x)
+}
+
+// Proba implements Scorer via the row's shard.
+func (s *ShardedScorer) Proba(x []float64, out []float64) []float64 {
+	return s.shards[s.shardOf(x)].Proba(x, out)
+}
+
+// PredictBatch implements Scorer, routing each row to its shard.
+func (s *ShardedScorer) PredictBatch(X [][]float64, out []int) []int {
+	out = growInts(out, len(X))
+	for i, x := range X {
+		out[i] = s.shards[s.shardOf(x)].Predict(x)
+	}
+	return out
+}
+
+// ProbaBatch implements Scorer, routing each row to its shard.
+func (s *ShardedScorer) ProbaBatch(X [][]float64, out [][]float64) [][]float64 {
+	out = growRows(out, len(X))
+	for i, x := range X {
+		out[i] = s.shards[s.shardOf(x)].Proba(x, out[i])
+	}
+	return out
+}
+
+// Complexity implements model.Classifier, summing the replicas.
+func (s *ShardedScorer) Complexity() model.Complexity {
+	var total model.Complexity
+	for _, sh := range s.shards {
+		total = total.Add(sh.Complexity())
+	}
+	return total
+}
+
+// Name implements model.Classifier.
+func (s *ShardedScorer) Name() string { return s.shards[0].Name() }
+
+// Unwrap implements Scorer with the first replica's live classifier.
+func (s *ShardedScorer) Unwrap() model.Classifier { return s.shards[0].Unwrap() }
+
+// --- Registry-driven construction -----------------------------------
+
+// Mode selects the Scorer implementation.
+type Mode string
+
+const (
+	// ModeSnapshot is the default: lock-free reads via atomic snapshots.
+	ModeSnapshot Mode = "snapshot"
+	// ModeLocked is the RWMutex scorer.
+	ModeLocked Mode = "locked"
+	// ModeSharded hashes rows across independent replicas, each served
+	// through its own snapshot scorer.
+	ModeSharded Mode = "sharded"
+)
+
+// ParseMode resolves a CLI-style mode string ("" = snapshot).
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeSnapshot:
+		return ModeSnapshot, nil
+	case ModeLocked:
+		return ModeLocked, nil
+	case ModeSharded:
+		return ModeSharded, nil
+	}
+	return "", fmt.Errorf("serve: unknown scorer mode %q (want snapshot, locked or sharded)", s)
+}
+
+// Config drives New, the registry-driven serving constructor.
+type Config struct {
+	// Model is the registered model name (see registry.Names).
+	Model string
+	// Schema describes the stream the scorer will serve.
+	Schema stream.Schema
+	// Options are the model's functional options (seed, rates, ...).
+	Options []registry.Option
+	// Mode selects the Scorer implementation (default ModeSnapshot).
+	Mode Mode
+	// PublishEvery is the snapshot publish cadence in Learn calls
+	// (<= 1: every batch). Snapshot and sharded modes only.
+	PublishEvery int
+	// Shards is the replica count of ModeSharded (default 2).
+	Shards int
+}
+
+// New builds a registered model (or, for ModeSharded, Shards replicas
+// with per-shard derived seeds) and wraps it in the requested Scorer.
+// Models that cannot snapshot — only possible for external learners
+// registered without implementing model.Snapshotter — degrade to the
+// lock-based scorer.
+func New(cfg Config) (Scorer, error) {
+	mode := cfg.Mode
+	if mode == "" {
+		mode = ModeSnapshot
+	}
+	build := func(extra ...registry.Option) (model.Classifier, error) {
+		return registry.New(cfg.Model, cfg.Schema, append(append([]registry.Option{}, cfg.Options...), extra...)...)
+	}
+	switch mode {
+	case ModeLocked:
+		c, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return NewLocked(c), nil
+	case ModeSnapshot:
+		c, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(c, cfg.PublishEvery), nil
+	case ModeSharded:
+		// Unset defaults to 2; an explicit count is honoured as given
+		// (1 is a valid single-replica deployment, not silently doubled).
+		n := cfg.Shards
+		if n <= 0 {
+			n = 2
+		}
+		shards := make([]Scorer, n)
+		for i := 0; i < n; i++ {
+			shard := i
+			c, err := build(func(p *registry.Params) {
+				// Decorrelate the replicas: each shard derives its seed
+				// from the configured one.
+				p.Seed = p.Seed*1_000_003 + int64(shard) + 1
+			})
+			if err != nil {
+				return nil, err
+			}
+			shards[shard] = Wrap(c, cfg.PublishEvery)
+		}
+		return NewSharded(shards)
+	}
+	return nil, fmt.Errorf("serve: unknown mode %q", mode)
+}
+
+// Wrap wraps an existing classifier in the snapshot scorer when it can
+// snapshot, falling back to the lock-based scorer otherwise.
+func Wrap(c model.Classifier, publishEvery int) Scorer {
+	if s, err := NewSnapshot(c, publishEvery); err == nil {
+		return s
+	}
+	return NewLocked(c)
+}

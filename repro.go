@@ -18,8 +18,9 @@
 // builds any of the paper's eight models (plus the extra baselines) by
 // table name; functional options (WithSeed, WithLearningRate, ...) replace
 // direct config-struct wiring. Register plugs external learners into the
-// same registry. For serving reads during learning, wrap any model in a
-// NewScorer; for fanning whole experiment grids across cores, use the
+// same registry. For serving reads during learning, use Serve (lock-free
+// snapshot scorer with batch prediction; NewScorer remains the RWMutex
+// wrapper); for fanning whole experiment grids across cores, use the
 // Runner (or ExperimentSuite with Parallel > 1).
 //
 // The typed constructors below (NewDMT, NewVFDT, ...) remain for callers

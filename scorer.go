@@ -1,76 +1,56 @@
 package repro
 
-import "sync"
+import (
+	"repro/internal/model"
+	"repro/internal/serve"
+)
 
-// Scorer makes a classifier safe for concurrent serving: any number of
-// goroutines may call Predict/Proba/Complexity (read lock) while a single
-// learning loop calls Learn (write lock). This is the online-learning
-// serving pattern the paper targets — the model keeps training on the
+// The concurrent serving layer: a Scorer makes a classifier safe for
+// concurrent serving — any number of goroutines may call the read
+// methods (Predict, Proba, PredictBatch, ProbaBatch, Complexity) while
+// a single learning loop calls Learn. This is the online-learning
+// serving pattern the paper targets: the model keeps training on the
 // live stream while prediction traffic reads it.
 //
-// The wrapped classifier's Predict, Proba and Complexity must be
-// read-only, which holds for every model in this repository (all mutation
-// happens in Learn).
-type Scorer struct {
-	mu    sync.RWMutex
-	inner Classifier
-}
+// Three implementations are available (see Serve for registry-driven
+// construction):
+//
+//   - LockedScorer (NewScorer): reads under a sync.RWMutex read lock —
+//     simple, always applicable, but reads stall while Learn holds the
+//     write lock.
+//   - SnapshotScorer (NewSnapshotScorer / Serve): reads are wait-free —
+//     they load an immutable model snapshot through an atomic pointer
+//     that Learn republishes every WithPublishEvery batches.
+//   - ShardedScorer (Serve with WithShards): rows hash across N
+//     independent replicas for multi-core serving and training.
+type Scorer = serve.Scorer
 
-// NewScorer wraps a classifier for concurrent use. Scorer itself
-// implements Classifier, so it can be passed straight to Prequential.
-func NewScorer(c Classifier) *Scorer { return &Scorer{inner: c} }
+type (
+	// LockedScorer is the RWMutex-based Scorer implementation.
+	LockedScorer = serve.LockScorer
+	// SnapshotScorer is the lock-free snapshot-publishing Scorer.
+	SnapshotScorer = serve.SnapshotScorer
+	// ShardedScorer hashes rows across independent learner replicas.
+	ShardedScorer = serve.ShardedScorer
+	// ModelSnapshot is an immutable serving view of a classifier.
+	ModelSnapshot = model.Snapshot
+	// Snapshotter is implemented by every registered learner: it exports
+	// the immutable serving snapshot the SnapshotScorer publishes.
+	Snapshotter = model.Snapshotter
+)
 
-// Unwrap returns the wrapped classifier. Callers must not use it
-// concurrently with the Scorer.
-func (s *Scorer) Unwrap() Classifier { return s.inner }
+// NewScorer wraps a classifier behind a sync.RWMutex. It remains the
+// conservative default for arbitrary classifiers; use NewSnapshotScorer
+// (or Serve) for wait-free reads.
+func NewScorer(c Classifier) *LockedScorer { return serve.NewLocked(c) }
 
-// Learn implements Classifier under the write lock.
-func (s *Scorer) Learn(b Batch) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.inner.Learn(b)
-}
-
-// Predict implements Classifier under a read lock.
-func (s *Scorer) Predict(x []float64) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.inner.Predict(x)
-}
-
-// Proba returns class probabilities under a read lock. Models without a
-// probabilistic interface degrade to a one-hot vector of Predict; since
-// the class count is not recoverable from the Classifier interface
-// alone, that fallback vector keeps len(out) when out covers the
-// predicted class and is grown to exactly predicted class + 1 entries
-// otherwise — pass out of length NumClasses for a fixed-length result.
-func (s *Scorer) Proba(x []float64, out []float64) []float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if pc, ok := s.inner.(ProbabilisticClassifier); ok {
-		return pc.Proba(x, out)
-	}
-	y := s.inner.Predict(x)
-	if len(out) <= y {
-		out = append(out[:0], make([]float64, y+1)...)
-	}
-	for i := range out {
-		out[i] = 0
-	}
-	out[y] = 1
-	return out
-}
-
-// Complexity implements Classifier under a read lock.
-func (s *Scorer) Complexity() Complexity {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.inner.Complexity()
-}
-
-// Name implements Classifier.
-func (s *Scorer) Name() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.inner.Name()
+// NewSnapshotScorer wraps a snapshot-capable classifier (every model
+// built by New is one) so reads are wait-free: after each publishEvery
+// Learn calls the scorer clones an immutable serving snapshot and
+// installs it with an atomic store; Predict/Proba/Complexity read the
+// current snapshot without taking any lock. publishEvery <= 1 publishes
+// after every Learn, making reads between Learn calls byte-identical to
+// a locked scorer over the same model.
+func NewSnapshotScorer(c Classifier, publishEvery int) (*SnapshotScorer, error) {
+	return serve.NewSnapshot(c, publishEvery)
 }

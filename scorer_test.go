@@ -115,3 +115,73 @@ func (constClassifier) Learn(Batch)            {}
 func (constClassifier) Predict([]float64) int  { return 1 }
 func (constClassifier) Complexity() Complexity { return Complexity{} }
 func (constClassifier) Name() string           { return "const" }
+
+// The snapshot hammer: wait-free readers (including the batch APIs)
+// against a DMT learning through Prequential, via the public Serve path.
+// Run under -race this pins the lock-free serving pattern end to end.
+func TestSnapshotScorerConcurrentPredictDuringLearn(t *testing.T) {
+	gen := NewSEA(20_000, 0.1, 1)
+	scorer := MustServe("DMT", gen.Schema(),
+		WithServeModelOptions(WithSeed(1)), WithPublishEvery(2))
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := []float64{float64(r) / readers, 0.5, 0.5}
+			rows := [][]float64{probe, {0.2, 0.4, 0.6}}
+			var proba []float64
+			var preds []int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if y := scorer.Predict(probe); y < 0 || y > 1 {
+					t.Errorf("reader %d got class %d", r, y)
+					return
+				}
+				proba = scorer.Proba(probe, proba)
+				preds = scorer.PredictBatch(rows, preds)
+				_ = scorer.Complexity()
+			}
+		}(r)
+	}
+	if _, err := Prequential(scorer, gen, EvalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if scorer.Complexity().Leaves < 1 {
+		t.Fatal("scorer wrapped model did not learn")
+	}
+}
+
+// Prequential evaluation through the snapshot scorer must report the
+// same science as the bare model: identical F1, splits and parameters
+// per iteration (Seconds naturally differ).
+func TestPrequentialThroughSnapshotMatchesBare(t *testing.T) {
+	bare := MustNew("DMT", NewSEA(1, 0, 0).Schema(), WithSeed(3))
+	res1, err := Prequential(bare, NewSEA(20_000, 0.1, 3), EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer := MustServe("DMT", NewSEA(1, 0, 0).Schema(), WithServeModelOptions(WithSeed(3)))
+	res2, err := Prequential(scorer, NewSEA(20_000, 0.1, 3), EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Iters) != len(res2.Iters) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(res1.Iters), len(res2.Iters))
+	}
+	for i := range res1.Iters {
+		a, b := res1.Iters[i], res2.Iters[i]
+		if a.F1 != b.F1 || a.Splits != b.Splits || a.Params != b.Params {
+			t.Fatalf("iteration %d differs: bare %+v vs snapshot %+v", i, a, b)
+		}
+	}
+}
