@@ -3,10 +3,11 @@
 # registry).
 #
 # `make bench` runs the Benchmark*Op hot-path micro-benchmarks with
-# -benchmem and writes BENCH_PR4.json (ns/op, B/op, allocs/op per
-# benchmark, joined with the baseline recorded before the PR-4 serving
-# rework in bench/BASELINE_PR4.txt, plus the BENCH_PR2/PR3 history as a
-# cross-PR trend table), so the perf trajectory is tracked PR over PR.
+# -benchmem and writes BENCH_PR5.json (ns/op, B/op, allocs/op per
+# benchmark, joined with the baseline recorded before the PR-5
+# checkpoint/persistence rework in bench/BASELINE_PR5.txt, plus the
+# BENCH_PR2/PR3/PR4 history as a cross-PR trend table), so the perf
+# trajectory is tracked PR over PR.
 # `make bench-all` additionally replays the full table/figure
 # reproduction benchmarks.
 
@@ -35,9 +36,9 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Op$$' -benchmem -benchtime $(BENCHTIME) ./... > $(BENCH_TXT)
 	@cat $(BENCH_TXT)
-	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR4.txt \
-		-history BENCH_PR2.json,BENCH_PR3.json -out BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
+	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR5.txt \
+		-history BENCH_PR2.json,BENCH_PR3.json,BENCH_PR4.json -out BENCH_PR5.json
+	@echo "wrote BENCH_PR5.json"
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

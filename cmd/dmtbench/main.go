@@ -41,9 +41,16 @@ func main() {
 		parallel  = flag.Int("parallel", 1, fmt.Sprintf("concurrent experiment cells (this machine: up to %d); timing in Table V is only meaningful at 1", runtime.GOMAXPROCS(0)))
 		scorer    = flag.String("scorer", "", "evaluate through the serving layer: locked, snapshot or sharded (empty = bare classifiers; snapshot is result-identical to bare, sharded is a different algorithm)")
 		shards    = flag.Int("shards", 2, "replica count for -scorer sharded")
+		ckptDir   = flag.String("checkpoint", "", "directory persisting every finished cell's result (atomic per-cell files); with -resume an interrupted grid restarts without redoing completed cells")
+		resume    = flag.Bool("resume", false, "skip cells already completed in the -checkpoint directory (results are byte-identical to an uninterrupted run)")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "dmtbench: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -57,6 +64,8 @@ func main() {
 		Parallel:      *parallel,
 		ScorerMode:    *scorer,
 		Shards:        *shards,
+		CheckpointDir: *ckptDir,
+		Resume:        *resume,
 	}
 	if !*quiet {
 		suite.Progress = os.Stderr

@@ -18,6 +18,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"repro"
@@ -32,9 +33,16 @@ func main() {
 		seed      = flag.Int64("seed", 42, "random seed")
 		batch     = flag.Float64("batch", 0.001, "prequential batch fraction")
 		trace     = flag.Bool("trace", false, "print the sliding-window F1 series")
+		ckptPath  = flag.String("checkpoint", "", "save the trained model to this file when the run finishes (or is interrupted); any registered model, self-describing envelope")
+		resume    = flag.Bool("resume", false, "restore the model from the -checkpoint file before evaluating instead of starting fresh (-model must match the checkpoint)")
 		list      = flag.Bool("list", false, "list registered models and exit")
 	)
 	flag.Parse()
+
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "dmtrun: -resume requires -checkpoint FILE")
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(repro.Models(), "\n"))
@@ -64,9 +72,36 @@ func main() {
 		strm = entry.New(*scale, *seed)
 	}
 
-	clf, err := repro.New(*modelName, strm.Schema(), repro.WithSeed(*seed))
-	if err != nil {
-		fail(err)
+	var clf repro.Classifier
+	var err error
+	if *resume {
+		f, ferr := os.Open(*ckptPath)
+		if ferr != nil {
+			fail(ferr)
+		}
+		clf, err = repro.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if clf.Name() != *modelName {
+			fail(fmt.Errorf("checkpoint holds %q but -model is %q", clf.Name(), *modelName))
+		}
+		// The checkpointed model must fit the selected stream: resuming
+		// onto a different shape would index out of range mid-run.
+		if sp, ok := clf.(interface{ Schema() repro.Schema }); ok {
+			ck, want := sp.Schema(), strm.Schema()
+			if ck.NumFeatures != want.NumFeatures || ck.NumClasses != want.NumClasses {
+				fail(fmt.Errorf("checkpoint was trained on %d features / %d classes, but the selected stream has %d / %d",
+					ck.NumFeatures, ck.NumClasses, want.NumFeatures, want.NumClasses))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dmtrun: resumed %s from %s\n", clf.Name(), *ckptPath)
+	} else {
+		clf, err = repro.New(*modelName, strm.Schema(), repro.WithSeed(*seed))
+		if err != nil {
+			fail(err)
+		}
 	}
 	res, err := repro.PrequentialContext(ctx, clf, strm, repro.EvalOptions{BatchFraction: *batch})
 	switch {
@@ -74,6 +109,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmtrun: interrupted — reporting partial results")
 	case err != nil:
 		fail(err)
+	}
+
+	if *ckptPath != "" {
+		// Write-then-rename so a failed or interrupted save never
+		// clobbers the previous (possibly only) good checkpoint.
+		tmp, ferr := os.CreateTemp(filepath.Dir(*ckptPath), ".ckpt-*")
+		if ferr != nil {
+			fail(ferr)
+		}
+		if err := repro.Save(tmp, clf); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			fail(err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			fail(err)
+		}
+		if err := os.Rename(tmp.Name(), *ckptPath); err != nil {
+			os.Remove(tmp.Name())
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "dmtrun: checkpointed %s to %s\n", clf.Name(), *ckptPath)
 	}
 
 	f1m, f1s := res.F1()

@@ -1,0 +1,107 @@
+package attrobs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/split"
+	"repro/internal/stats"
+)
+
+// Checkpoint codecs of the attribute observers. Every field round-trips
+// bit-exactly, so a restored observer proposes and scores the same
+// candidate splits as the live one it was saved from — the shared
+// substrate of the Hoeffding-family and FIMT-DD checkpoint documents.
+
+// GaussianState is the serialisable state of a Gaussian observer.
+type GaussianState struct {
+	PerClass []stats.RunningState
+	Min, Max float64
+	Seen     bool
+	Bins     int
+}
+
+// State exports the observer for checkpointing.
+func (g *Gaussian) State() GaussianState {
+	s := GaussianState{Min: g.min, Max: g.max, Seen: g.seen, Bins: g.bins,
+		PerClass: make([]stats.RunningState, len(g.perClass))}
+	for k := range g.perClass {
+		s.PerClass[k] = g.perClass[k].State()
+	}
+	return s
+}
+
+// GaussianFromState reconstructs an observer from its exported state.
+func GaussianFromState(s GaussianState) (*Gaussian, error) {
+	if s.Bins < 1 {
+		return nil, fmt.Errorf("attrobs: gaussian state has %d bins", s.Bins)
+	}
+	g := &Gaussian{perClass: make([]stats.Gaussian, len(s.PerClass)), min: s.Min, max: s.Max, seen: s.Seen, bins: s.Bins}
+	for k := range s.PerClass {
+		g.perClass[k].SetState(s.PerClass[k])
+	}
+	return g, nil
+}
+
+// EBSTState is the serialisable state of an E-BST observer: the node
+// structure is preserved exactly (insertion order shaped the tree, and
+// the per-node <=-side statistics depend on that shape).
+type EBSTState struct {
+	Root     *EBSTNodeState
+	Size     int
+	MaxNodes int
+}
+
+// EBSTNodeState is one exported E-BST node.
+type EBSTNodeState struct {
+	Key         float64
+	LE          split.TargetStats
+	Left, Right *EBSTNodeState
+}
+
+// State exports the tree for checkpointing.
+func (t *EBST) State() EBSTState {
+	var export func(n *ebstNode) *EBSTNodeState
+	export = func(n *ebstNode) *EBSTNodeState {
+		if n == nil {
+			return nil
+		}
+		return &EBSTNodeState{Key: n.key, LE: n.le, Left: export(n.left), Right: export(n.right)}
+	}
+	return EBSTState{Root: export(t.root), Size: t.size, MaxNodes: t.maxNodes}
+}
+
+// EBSTFromState reconstructs an E-BST from its exported state.
+func EBSTFromState(s EBSTState) (*EBST, error) {
+	if s.MaxNodes < 16 {
+		return nil, fmt.Errorf("attrobs: E-BST state has maxNodes %d (min 16)", s.MaxNodes)
+	}
+	count := 0
+	var build func(n *EBSTNodeState) (*ebstNode, error)
+	build = func(n *EBSTNodeState) (*ebstNode, error) {
+		if n == nil {
+			return nil, nil
+		}
+		if math.IsNaN(n.Key) || math.IsInf(n.Key, 0) {
+			return nil, fmt.Errorf("attrobs: E-BST state has non-finite key")
+		}
+		count++
+		left, err := build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &ebstNode{key: n.Key, le: n.LE, left: left, right: right}, nil
+	}
+	root, err := build(s.Root)
+	if err != nil {
+		return nil, err
+	}
+	if count != s.Size {
+		return nil, fmt.Errorf("attrobs: E-BST state size %d but %d nodes present", s.Size, count)
+	}
+	return &EBST{root: root, size: s.Size, maxNodes: s.MaxNodes}, nil
+}

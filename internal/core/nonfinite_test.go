@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// splitTree hand-assembles a DMT split at x0 <= 0.5 whose left leaf
+// predicts class 0 (bias -1) and right leaf class 1 (bias +1).
+func splitTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := New(Config{Seed: 1}, stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "nonfinite"})
+	tr.root.feature, tr.root.threshold = 0, 0.5
+	tr.root.left = tr.newNode(1, nil)
+	tr.root.right = tr.newNode(1, nil)
+	wl := tr.root.left.mod.Weights()
+	for i := range wl {
+		wl[i] = 0
+	}
+	wl[len(wl)-1] = -1
+	tr.root.left.mod.SetWeights(wl)
+	wr := tr.root.right.mod.Weights()
+	for i := range wr {
+		wr[i] = 0
+	}
+	wr[len(wr)-1] = 1
+	tr.root.right.mod.SetWeights(wr)
+	return tr
+}
+
+// TestNonFiniteRoutesLeft pins the DMT's deterministic non-finite
+// routing — the same shared model.RouteLeft rule as FIMT-DD and the
+// Hoeffding family — on the predict path, the Learn-side partition and
+// the serving snapshot.
+func TestNonFiniteRoutesLeft(t *testing.T) {
+	tr := splitTree(t)
+	snap := tr.Snapshot()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		x := []float64{v, 0.9}
+		if got := tr.Predict(x); got != 0 {
+			t.Fatalf("live Predict(%v) = %d, want left leaf class 0", v, got)
+		}
+		if got := snap.Predict(x); got != 0 {
+			t.Fatalf("snapshot Predict(%v) = %d, want left leaf class 0", v, got)
+		}
+	}
+	// The Learn-side partition must route the same way as Predict.
+	b := stream.Batch{
+		X: [][]float64{{math.NaN(), 0.9}, {math.Inf(1), 0.9}, {0.6, 0.1}},
+		Y: []int{0, 0, 1},
+	}
+	left, right := tr.partition(b, tr.root.feature, tr.root.threshold, tr.root.depth)
+	if left.Len() != 2 || right.Len() != 1 {
+		t.Fatalf("partition routed %d left / %d right, want 2/1", left.Len(), right.Len())
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"io"
+
 	"repro/internal/model"
 	"repro/internal/registry"
 	"repro/internal/stream"
@@ -8,7 +10,8 @@ import (
 
 // init registers the Dynamic Model Tree under its paper table name so the
 // public repro.New facade and the evaluation harness can build it without
-// importing this package directly.
+// importing this package directly, plus the matching checkpoint loader
+// so persist envelopes restore it by name.
 func init() {
 	registry.Register("DMT", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
 		return New(Config{
@@ -21,5 +24,8 @@ func init() {
 			MaxDepth:         p.MaxDepth,
 			Seed:             p.Seed,
 		}, schema), nil
+	})
+	registry.RegisterLoader("DMT", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		return loadPayload(r, &schema)
 	})
 }

@@ -1,22 +1,25 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 
 	"repro/internal/glm"
+	"repro/internal/persist"
+	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
-// The gob document types. All learner state round-trips except the
-// random-number generator, which cannot be exported from math/rand: a
-// loaded tree is re-seeded deterministically from Config.Seed and the
-// step counter, so a save/load cycle is reproducible, though its future
-// random draws (candidate proposals, fresh-model initialisation) differ
-// from an uninterrupted run.
+// The gob document types of the DMT checkpoint payload. Version 1 is the
+// legacy pre-envelope format: it carried no RNG state, so a loaded tree
+// was re-seeded deterministically from Config.Seed and the step counter
+// — reproducible, but its future random draws differed from an
+// uninterrupted run. Version 2 (the payload inside the persist envelope)
+// adds the counted RNG state, making save → load → continue byte-
+// identical to never having stopped.
 type treeDoc struct {
 	Version  int
 	Config   Config
@@ -27,6 +30,7 @@ type treeDoc struct {
 	Prunes   int
 	Changes  []ChangeEvent
 	Root     *nodeDoc
+	RNG      rng.State // since version 2
 }
 
 type nodeDoc struct {
@@ -50,13 +54,14 @@ type candDoc struct {
 	N       float64
 }
 
-const treeDocVersion = 1
+const (
+	treeDocVersionLegacy = 1
+	treeDocVersion       = 2
+)
 
-// Save serialises the full tree state (structure, simple-model weights,
-// loss/gradient accumulators, candidate statistics, change log) with
-// encoding/gob, so a stream learner can be checkpointed and resumed.
-func (t *Tree) Save(w io.Writer) error {
-	doc := treeDoc{
+// doc assembles the serialisable document of the current tree state.
+func (t *Tree) doc() treeDoc {
+	return treeDoc{
 		Version:  treeDocVersion,
 		Config:   t.cfg,
 		Schema:   t.schema,
@@ -66,11 +71,112 @@ func (t *Tree) Save(w io.Writer) error {
 		Prunes:   t.prunes,
 		Changes:  t.Changes(),
 		Root:     encodeNode(t.root),
+		RNG:      t.rngSrc.State(),
 	}
-	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+}
+
+// SaveState implements model.Checkpointer: the full tree state
+// (structure, simple-model weights, loss/gradient accumulators,
+// candidate statistics, change log, RNG position) as the checkpoint
+// payload. Use repro.Save / persist.Save for the enveloped form.
+func (t *Tree) SaveState(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(t.doc()); err != nil {
 		return fmt.Errorf("core: save DMT: %w", err)
 	}
 	return nil
+}
+
+// Save writes the tree as a registry-wide checkpoint envelope.
+//
+// Deprecated: Save is a shim over the unified persistence API; new code
+// should use repro.Save, which works for every registered model.
+func (t *Tree) Save(w io.Writer) error {
+	return persist.Save(w, t)
+}
+
+// saveLegacyV1 writes the pre-envelope version-1 bare gob document. It
+// exists so tests (and migration tooling) can exercise the legacy read
+// path without keeping old binaries around.
+func (t *Tree) saveLegacyV1(w io.Writer) error {
+	doc := t.doc()
+	doc.Version = treeDocVersionLegacy
+	doc.RNG = rng.State{}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("core: save legacy DMT: %w", err)
+	}
+	return nil
+}
+
+// Load restores a Dynamic Model Tree from either checkpoint format: a
+// persist envelope written by Save / repro.Save, or a legacy version-1
+// bare gob document from before the envelope existed.
+func Load(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	if persist.SniffEnvelope(br) {
+		env, err := persist.ReadEnvelope(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: load DMT: %w", err)
+		}
+		c, err := persist.LoadEnvelope(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: load DMT: %w", err)
+		}
+		t, ok := c.(*Tree)
+		if !ok {
+			return nil, fmt.Errorf("core: load DMT: checkpoint holds a %s, not a DMT", c.Name())
+		}
+		return t, nil
+	}
+	return loadPayload(br, nil)
+}
+
+// loadPayload decodes a tree document (any supported version) and
+// rebuilds the tree. wantSchema, when non-nil, must match the document's
+// schema — the envelope loader passes the header schema through so a
+// tampered envelope cannot smuggle a mismatched payload.
+func loadPayload(r io.Reader, wantSchema *stream.Schema) (*Tree, error) {
+	var doc treeDoc
+	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: load DMT: %w", err)
+	}
+	if doc.Version != treeDocVersionLegacy && doc.Version != treeDocVersion {
+		return nil, fmt.Errorf("core: load DMT: unsupported document version %d (this build reads %d and the legacy %d)",
+			doc.Version, treeDocVersion, treeDocVersionLegacy)
+	}
+	if err := doc.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load DMT: %w", err)
+	}
+	if wantSchema != nil && (doc.Schema.NumFeatures != wantSchema.NumFeatures || doc.Schema.NumClasses != wantSchema.NumClasses) {
+		return nil, fmt.Errorf("core: load DMT: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+			doc.Schema.NumFeatures, doc.Schema.NumClasses, wantSchema.NumFeatures, wantSchema.NumClasses)
+	}
+	if doc.Root == nil {
+		return nil, fmt.Errorf("core: load DMT: document has no root")
+	}
+	t := &Tree{
+		cfg:      doc.Config.withDefaults(),
+		schema:   doc.Schema,
+		step:     doc.Step,
+		splits:   doc.Splits,
+		replaces: doc.Replaces,
+		prunes:   doc.Prunes,
+		changes:  doc.Changes,
+	}
+	if doc.Version >= treeDocVersion {
+		t.rng, t.rngSrc = rng.Restore(doc.RNG)
+	} else {
+		// Legacy documents carry no RNG state: re-seed deterministically
+		// from the seed and step counter, the historical v1 behaviour.
+		t.rng, t.rngSrc = rng.New(doc.Config.Seed*1_000_003 + int64(doc.Step))
+	}
+	root, err := t.decodeNode(doc.Root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, t.schema.NumFeatures))
+	t.k = float64(t.root.mod.FreeParams())
+	return t, nil
 }
 
 func encodeNode(n *node) *nodeDoc {
@@ -103,41 +209,6 @@ func encodeNode(n *node) *nodeDoc {
 		}
 	}
 	return doc
-}
-
-// Load restores a tree saved with Save.
-func Load(r io.Reader) (*Tree, error) {
-	var doc treeDoc
-	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("core: load DMT: %w", err)
-	}
-	if doc.Version != treeDocVersion {
-		return nil, fmt.Errorf("core: load DMT: unsupported version %d", doc.Version)
-	}
-	if err := doc.Schema.Validate(); err != nil {
-		return nil, fmt.Errorf("core: load DMT: %w", err)
-	}
-	if doc.Root == nil {
-		return nil, fmt.Errorf("core: load DMT: document has no root")
-	}
-	t := &Tree{
-		cfg:      doc.Config.withDefaults(),
-		schema:   doc.Schema,
-		step:     doc.Step,
-		splits:   doc.Splits,
-		replaces: doc.Replaces,
-		prunes:   doc.Prunes,
-		changes:  doc.Changes,
-		rng:      rand.New(rand.NewSource(doc.Config.Seed*1_000_003 + int64(doc.Step))),
-	}
-	root, err := t.decodeNode(doc.Root)
-	if err != nil {
-		return nil, err
-	}
-	t.root = root
-	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, t.schema.NumFeatures))
-	t.k = float64(t.root.mod.FreeParams())
-	return t, nil
 }
 
 func (t *Tree) decodeNode(doc *nodeDoc) (*node, error) {

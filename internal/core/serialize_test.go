@@ -158,11 +158,13 @@ func TestLoadRejectsCorruptCandidates(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		tree.Learn(piecewiseBatch(rng, 50, 0))
 	}
+	// Poison the bare payload document; the envelope-free bytes exercise
+	// Load's legacy path, which reads bare gob documents of any
+	// supported version.
 	var buf bytes.Buffer
-	if err := tree.Save(&buf); err != nil {
+	if err := tree.SaveState(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Re-encode manually with a poisoned candidate feature.
 	doc := decodeDoc(t, buf.Bytes())
 	doc.Root.Candidates = append(doc.Root.Candidates, candDoc{
 		Feature: 99, Value: 0.5, Grad: make([]float64, tree.root.mod.NumWeights()),
@@ -176,6 +178,69 @@ func TestLoadRejectsCorruptCandidates(t *testing.T) {
 	})
 	if _, err := Load(bytes.NewReader(encodeDoc(t, doc))); err == nil {
 		t.Fatal("NaN candidate threshold accepted")
+	}
+}
+
+// TestLegacyV1DocStillLoads pins the backwards-compatibility promise:
+// a pre-envelope version-1 bare gob document — what (*Tree).Save wrote
+// before the unified checkpoint API — still loads through Load (and
+// therefore repro.LoadDMT), with the historical re-seeded RNG.
+func TestLegacyV1DocStillLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	tree := New(Config{Seed: 35}, schema(3, 2))
+	for i := 0; i < 300; i++ {
+		tree.Learn(piecewiseBatch(rng, 100, 0.05))
+	}
+	var buf bytes.Buffer
+	if err := tree.saveLegacyV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy v1 doc rejected: %v", err)
+	}
+	if loaded.Complexity() != tree.Complexity() {
+		t.Fatalf("complexity changed: %+v vs %+v", loaded.Complexity(), tree.Complexity())
+	}
+	test := piecewiseBatch(rng, 300, 0)
+	for i, x := range test.X {
+		if tree.Predict(x) != loaded.Predict(x) {
+			t.Fatalf("prediction %d differs after legacy round trip", i)
+		}
+	}
+	// The legacy format carries no RNG state; the loaded tree must still
+	// keep learning (the historical deterministic-reseed behaviour).
+	for i := 0; i < 50; i++ {
+		loaded.Learn(piecewiseBatch(rng, 100, 0.05))
+	}
+}
+
+// TestEnvelopeAndLegacySniffing checks Load distinguishes the two
+// formats by content, not by caller knowledge.
+func TestEnvelopeAndLegacySniffing(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	tree := New(Config{Seed: 36}, schema(3, 2))
+	for i := 0; i < 50; i++ {
+		tree.Learn(piecewiseBatch(rng, 100, 0.05))
+	}
+	var envelope, legacy bytes.Buffer
+	if err := tree.Save(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.saveLegacyV1(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(legacy.Bytes(), envelope.Bytes()[:8]) {
+		t.Fatal("legacy doc accidentally starts with the envelope magic")
+	}
+	for _, raw := range [][]byte{envelope.Bytes(), legacy.Bytes()} {
+		loaded, err := Load(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Complexity() != tree.Complexity() {
+			t.Fatal("complexity changed")
+		}
 	}
 }
 

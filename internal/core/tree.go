@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/glm"
 	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
@@ -68,8 +70,9 @@ type Tree struct {
 	schema  stream.Schema
 	root    *node
 	rng     *rand.Rand
-	scratch *scratch // reusable Learn-path workspace (never touched by reads)
-	k       float64  // free parameters per simple model (AIC k)
+	rngSrc  *rng.Source // counted source behind rng, for checkpointing
+	scratch *scratch    // reusable Learn-path workspace (never touched by reads)
+	k       float64     // free parameters per simple model (AIC k)
 	step    int
 
 	splits, replaces, prunes int
@@ -81,7 +84,8 @@ type Tree struct {
 // random start only affects the root; all later models warm-start).
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.withDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 5))}
+	t := &Tree{cfg: cfg, schema: schema}
+	t.rng, t.rngSrc = rng.New(cfg.Seed + 5)
 	t.root = t.newNode(0, nil)
 	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, schema.NumFeatures))
 	t.k = float64(t.root.mod.FreeParams())
@@ -161,7 +165,7 @@ func (t *Tree) partition(b stream.Batch, feature int, threshold float64, depth i
 	lv.leftX, lv.leftY = lv.leftX[:0], lv.leftY[:0]
 	lv.rightX, lv.rightY = lv.rightX[:0], lv.rightY[:0]
 	for i, x := range b.X {
-		if x[feature] <= threshold {
+		if model.RouteLeft(x[feature], threshold, true) {
 			lv.leftX = append(lv.leftX, x)
 			lv.leftY = append(lv.leftY, b.Y[i])
 		} else {
@@ -275,11 +279,15 @@ func (t *Tree) logChange(ev ChangeEvent) {
 	t.changes = append(t.changes, ev)
 }
 
-// sortTo routes x to its leaf.
+// sortTo routes x to its leaf. Non-finite feature values (NaN, ±Inf)
+// deterministically route left via the shared model.RouteLeft predicate,
+// matching FIMT-DD and the serving snapshots — the observers skip
+// non-finite values, so no candidate threshold ever separates them, and
+// routing them left keeps learn and predict paths consistent.
 func (t *Tree) sortTo(x []float64) *node {
 	cur := t.root
 	for !cur.isLeaf() {
-		if x[cur.feature] <= cur.threshold {
+		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -323,7 +331,7 @@ func (t *Tree) Complexity() model.Complexity {
 // models, candidate indices and scratch are learn-path state and are not
 // captured — the snapshot serves Predict/Proba/Complexity only.
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
 	snap.Root = model.AddTree(snap, t.root, func(n *node) (model.SnapshotNode, *node, *node) {
 		if n.isLeaf() {
 			return model.SnapshotNode{Leaf: n.mod.Clone()}, nil, nil
@@ -344,6 +352,28 @@ func (t *Tree) Changes() []ChangeEvent {
 // prunes.
 func (t *Tree) Revisions() (splits, replaces, prunes int) {
 	return t.splits, t.replaces, t.prunes
+}
+
+// StructureVersion implements model.StructureVersioner: the lifetime
+// count of structural changes, driving the serving layer's
+// publish-on-change mode.
+func (t *Tree) StructureVersion() uint64 {
+	return uint64(t.splits) + uint64(t.replaces) + uint64(t.prunes)
+}
+
+// CheckpointParams implements registry.ParamsReporter for the
+// self-describing checkpoint envelope.
+func (t *Tree) CheckpointParams() registry.Params {
+	return registry.Params{
+		Seed:             t.cfg.Seed,
+		LearningRate:     t.cfg.LearningRate,
+		Epsilon:          t.cfg.Epsilon,
+		CandidateFactor:  t.cfg.CandidateFactor,
+		ReplacementRate:  t.cfg.ReplacementRate,
+		RestructureGrace: t.cfg.RestructureGrace,
+		L1:               t.cfg.L1,
+		MaxDepth:         t.cfg.MaxDepth,
+	}
 }
 
 // LeafWeights returns, for the leaf that x routes to, the simple model's

@@ -1,0 +1,92 @@
+package drift
+
+import "fmt"
+
+// Checkpoint codecs of the change detectors. Both round-trip every field
+// verbatim — including incrementally maintained totals, which must NOT
+// be recomputed from the buckets on restore (re-summation can differ in
+// the last bit from the incremental value and would break the
+// byte-identical-resume contract).
+
+// BucketState is one exported ADWIN histogram bucket.
+type BucketState struct {
+	N, Sum, M2 float64
+}
+
+// ADWINState is the serialisable state of an ADWIN detector.
+type ADWINState struct {
+	Delta      float64
+	Rows       [][]BucketState
+	Width      float64
+	Total      float64
+	Clock      int
+	SinceCheck int
+	Detections int
+}
+
+// State exports the detector for checkpointing.
+func (a *ADWIN) State() ADWINState {
+	s := ADWINState{
+		Delta: a.delta, Width: a.width, Total: a.total,
+		Clock: a.clock, SinceCheck: a.sinceCheck, Detections: a.detections,
+		Rows: make([][]BucketState, len(a.rows)),
+	}
+	for i, row := range a.rows {
+		out := make([]BucketState, len(row))
+		for j, b := range row {
+			out[j] = BucketState{N: b.n, Sum: b.sum, M2: b.m2}
+		}
+		s.Rows[i] = out
+	}
+	return s
+}
+
+// ADWINFromState reconstructs a detector from its exported state.
+func ADWINFromState(s ADWINState) (*ADWIN, error) {
+	if s.Delta <= 0 || s.Delta >= 1 {
+		return nil, fmt.Errorf("drift: ADWIN state has delta %g outside (0,1)", s.Delta)
+	}
+	if s.Clock <= 0 {
+		return nil, fmt.Errorf("drift: ADWIN state has clock %d", s.Clock)
+	}
+	a := &ADWIN{
+		delta: s.Delta, width: s.Width, total: s.Total,
+		clock: s.Clock, sinceCheck: s.SinceCheck, detections: s.Detections,
+	}
+	for _, row := range s.Rows {
+		if len(row) > maxBucketsPerRow+1 {
+			return nil, fmt.Errorf("drift: ADWIN state row holds %d buckets (max %d)", len(row), maxBucketsPerRow+1)
+		}
+		dst := make([]bucket, len(row), maxBucketsPerRow+1)
+		for j, b := range row {
+			dst[j] = bucket{n: b.N, sum: b.Sum, m2: b.M2}
+		}
+		a.rows = append(a.rows, dst)
+	}
+	return a, nil
+}
+
+// PageHinkleyState is the serialisable state of a Page-Hinkley detector.
+type PageHinkleyState struct {
+	MinInstances  int
+	Delta, Lambda float64
+	N             int
+	Mean          float64
+	MT, MinT      float64
+}
+
+// State exports the detector for checkpointing.
+func (p *PageHinkley) State() PageHinkleyState {
+	return PageHinkleyState{
+		MinInstances: p.MinInstances, Delta: p.Delta, Lambda: p.Lambda,
+		N: p.n, Mean: p.mean, MT: p.mT, MinT: p.minT,
+	}
+}
+
+// PageHinkleyFromState reconstructs a detector from its exported state.
+func PageHinkleyFromState(s PageHinkleyState) *PageHinkley {
+	return &PageHinkley{
+		MinInstances: s.MinInstances, Delta: s.Delta, Lambda: s.Lambda,
+		n: s.N, mean: s.Mean, mT: s.MT, minT: s.MinT,
+	}
+}

@@ -1,0 +1,149 @@
+package efdt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Checkpoint documents of the Extremely Fast Decision Tree. EFDT keeps
+// statistics at every node — leaf and inner — so its split decisions can
+// be revisited; the document therefore carries a hoeffding.NodeStatsDoc
+// per node plus each inner node's re-evaluation countdown.
+
+const treeDocVersion = 1
+
+type nodeDoc struct {
+	Stats       *hoeffding.NodeStatsDoc
+	Feature     int
+	Threshold   float64
+	Depth       int
+	SinceReeval float64
+	Left, Right *nodeDoc
+}
+
+type treeDoc struct {
+	Version      int
+	Config       hoeffding.ConfigDoc
+	ReevalPeriod float64
+	Schema       stream.Schema
+	Splits       int
+	Replacements int
+	Retractions  int
+	RNG          rng.State
+	Root         *nodeDoc
+}
+
+func encodeNode(n *enode) *nodeDoc {
+	if n == nil {
+		return nil
+	}
+	return &nodeDoc{
+		Stats:   n.stats.Doc(),
+		Feature: n.feature, Threshold: n.threshold, Depth: n.depth,
+		SinceReeval: n.sinceReeval,
+		Left:        encodeNode(n.left), Right: encodeNode(n.right),
+	}
+}
+
+func (t *Tree) decodeNode(d *nodeDoc) (*enode, error) {
+	if d.Stats == nil {
+		return nil, fmt.Errorf("efdt: checkpoint node has no statistics")
+	}
+	stats, err := hoeffding.NodeStatsFromDoc(&t.cfg.Tree, t.schema, t.sc, d.Stats)
+	if err != nil {
+		return nil, err
+	}
+	n := &enode{
+		stats:   stats,
+		feature: d.Feature, threshold: d.Threshold, depth: d.Depth,
+		sinceReeval: d.SinceReeval,
+	}
+	if (d.Left == nil) != (d.Right == nil) {
+		return nil, fmt.Errorf("efdt: non-binary node in checkpoint")
+	}
+	if d.Left != nil {
+		left, err := t.decodeNode(d.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := t.decodeNode(d.Right)
+		if err != nil {
+			return nil, err
+		}
+		n.left, n.right = left, right
+	}
+	return n, nil
+}
+
+// SaveState implements model.Checkpointer.
+func (t *Tree) SaveState(w io.Writer) error {
+	doc := treeDoc{
+		Version:      treeDocVersion,
+		Config:       t.cfg.Tree.Doc(),
+		ReevalPeriod: t.cfg.ReevalPeriod,
+		Schema:       t.schema,
+		Splits:       t.splits,
+		Replacements: t.replacements,
+		Retractions:  t.retractions,
+		RNG:          t.src.State(),
+		Root:         encodeNode(t.root),
+	}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("efdt: save EFDT: %w", err)
+	}
+	return nil
+}
+
+// CheckpointParams implements registry.ParamsReporter.
+func (t *Tree) CheckpointParams() registry.Params {
+	return registry.Params{
+		Seed: t.cfg.Tree.Seed, GracePeriod: t.cfg.Tree.GracePeriod,
+		Delta: t.cfg.Tree.Delta, Tau: t.cfg.Tree.Tau, Bins: t.cfg.Tree.Bins,
+		MaxDepth: t.cfg.Tree.MaxDepth, ReevalPeriod: t.cfg.ReevalPeriod,
+	}
+}
+
+// init registers the checkpoint loader next to the construction factory
+// (register.go).
+func init() {
+	registry.RegisterLoader("EFDT", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		var doc treeDoc
+		if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("efdt: decode checkpoint: %w", err)
+		}
+		if doc.Version != treeDocVersion {
+			return nil, fmt.Errorf("efdt: unsupported checkpoint version %d (this build reads %d)", doc.Version, treeDocVersion)
+		}
+		if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
+			return nil, fmt.Errorf("efdt: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+				doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+		}
+		if doc.Root == nil {
+			return nil, fmt.Errorf("efdt: checkpoint has no root")
+		}
+		treeCfg, err := hoeffding.ConfigFromDoc(doc.Config)
+		if err != nil {
+			return nil, err
+		}
+		cfg := Config{Tree: treeCfg, ReevalPeriod: doc.ReevalPeriod}.withDefaults()
+		t := &Tree{
+			cfg: cfg, schema: doc.Schema,
+			splits: doc.Splits, replacements: doc.Replacements, retractions: doc.Retractions,
+			sc: hoeffding.NewScratch(doc.Schema),
+		}
+		t.rng, t.src = rng.Restore(doc.RNG)
+		root, err := t.decodeNode(doc.Root)
+		if err != nil {
+			return nil, err
+		}
+		t.root = root
+		return t, nil
+	})
+}

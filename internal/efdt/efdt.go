@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/hoeffding"
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
@@ -55,8 +56,10 @@ type Tree struct {
 	schema stream.Schema
 	root   *enode
 	rng    *rand.Rand
+	src    *rng.Source        // counted source behind rng, for checkpointing
 	sc     *hoeffding.Scratch // learn-path workspace shared by all nodes
 
+	splits       int
 	replacements int
 	retractions  int
 }
@@ -64,10 +67,14 @@ type Tree struct {
 // New returns an empty EFDT.
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.withDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Tree.Seed + 3)), sc: hoeffding.NewScratch(schema)}
+	t := &Tree{cfg: cfg, schema: schema, sc: hoeffding.NewScratch(schema)}
+	t.rng, t.src = rng.New(cfg.Tree.Seed + 3)
 	t.root = t.newLeaf(0)
 	return t
 }
+
+// Schema returns the stream schema the tree was built for.
+func (t *Tree) Schema() stream.Schema { return t.schema }
 
 func (t *Tree) newLeaf(depth int) *enode {
 	return &enode{stats: hoeffding.NewNodeStats(&t.cfg.Tree, t.schema, t.rng, t.sc), depth: depth}
@@ -103,7 +110,7 @@ func (t *Tree) learnOne(x []float64, y int) {
 		if cur.isLeaf() {
 			return
 		}
-		if x[cur.feature] <= cur.threshold {
+		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -144,6 +151,7 @@ func (t *Tree) install(n *enode, feature int, threshold float64, post [][]float6
 		n.right.stats.SeedChild(post[1])
 	}
 	n.sinceReeval = 0
+	t.splits++
 }
 
 // currentSplitMerit re-scores the installed split from the node's own
@@ -179,10 +187,13 @@ func (t *Tree) reevaluate(n *enode) bool {
 	return false
 }
 
+// sortTo routes x to its leaf; non-finite values route left via the
+// shared model.RouteLeft predicate, consistent with learn, predict and
+// snapshot paths.
 func (t *Tree) sortTo(x []float64) *enode {
 	cur := t.root
 	for !cur.isLeaf() {
-		if x[cur.feature] <= cur.threshold {
+		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -225,7 +236,7 @@ func (t *Tree) Complexity() model.Complexity {
 // the current tree. Inner-node statistics exist only to re-evaluate
 // splits and are not captured; leaves get serving clones.
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
 	snap.Root = model.AddTree(snap, t.root, func(n *enode) (model.SnapshotNode, *enode, *enode) {
 		if n.isLeaf() {
 			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
@@ -238,6 +249,12 @@ func (t *Tree) Snapshot() model.Snapshot {
 // Revisions returns the number of split replacements and retractions.
 func (t *Tree) Revisions() (replacements, retractions int) {
 	return t.replacements, t.retractions
+}
+
+// StructureVersion implements model.StructureVersioner with the
+// lifetime count of splits, replacements and retractions.
+func (t *Tree) StructureVersion() uint64 {
+	return uint64(t.splits) + uint64(t.replacements) + uint64(t.retractions)
 }
 
 // String renders a compact shape description.

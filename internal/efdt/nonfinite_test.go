@@ -1,0 +1,35 @@
+package efdt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hoeffding"
+)
+
+// TestNonFiniteRoutesLeft pins EFDT's deterministic non-finite routing
+// (shared model.RouteLeft rule) on predict, learn and snapshot.
+func TestNonFiniteRoutesLeft(t *testing.T) {
+	tr := New(Config{}, schema2())
+	left := &enode{stats: hoeffding.NewNodeStats(&tr.cfg.Tree, tr.schema, tr.rng, tr.sc), depth: 1}
+	right := &enode{stats: hoeffding.NewNodeStats(&tr.cfg.Tree, tr.schema, tr.rng, tr.sc), depth: 1}
+	left.stats.Observe([]float64{0.2, 0.2}, 0, 5)
+	right.stats.Observe([]float64{0.8, 0.8}, 1, 5)
+	tr.root.feature, tr.root.threshold = 0, 0.5
+	tr.root.left, tr.root.right = left, right
+	snap := tr.Snapshot()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		x := []float64{v, 0.9}
+		if got := tr.Predict(x); got != 0 {
+			t.Fatalf("live Predict(%v) = %d, want left leaf class 0", v, got)
+		}
+		if got := snap.Predict(x); got != 0 {
+			t.Fatalf("snapshot Predict(%v) = %d, want left leaf class 0", v, got)
+		}
+		before := left.stats.Weight()
+		tr.learnOne(x, 0)
+		if left.stats.Weight() != before+1 {
+			t.Fatalf("learnOne(%v) did not train the left leaf", v)
+		}
+	}
+}

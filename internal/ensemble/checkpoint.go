@@ -1,0 +1,241 @@
+package ensemble
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/drift"
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Checkpoint documents of the two ensembles: each member recursively
+// embeds its tree (and, for ARF, any in-progress background tree) via
+// the shared hoeffding.TreeDoc codec, together with the member's private
+// RNG stream, its ADWIN detectors and its post-swap accuracy tally —
+// everything a resumed run needs to continue byte-identically.
+
+const ensembleDocVersion = 1
+
+// configDoc mirrors Config with the tree config in its serialisable
+// form.
+type configDoc struct {
+	Size       int
+	Lambda     float64
+	Tree       hoeffding.ConfigDoc
+	WarnDelta  float64
+	DriftDelta float64
+	Workers    int
+	Seed       int64
+}
+
+func (c Config) doc() configDoc {
+	return configDoc{
+		Size: c.Size, Lambda: c.Lambda, Tree: c.Tree.Doc(),
+		WarnDelta: c.WarnDelta, DriftDelta: c.DriftDelta,
+		Workers: c.Workers, Seed: c.Seed,
+	}
+}
+
+func configFromDoc(d configDoc) (Config, error) {
+	tree, err := hoeffding.ConfigFromDoc(d.Tree)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Size: d.Size, Lambda: d.Lambda, Tree: tree,
+		WarnDelta: d.WarnDelta, DriftDelta: d.DriftDelta,
+		Workers: d.Workers, Seed: d.Seed,
+	}, nil
+}
+
+// arfMemberDoc is one serialised Adaptive Random Forest member.
+type arfMemberDoc struct {
+	ID             int
+	RNG            rng.State
+	Tree           *hoeffding.TreeDoc
+	Background     *hoeffding.TreeDoc
+	Warn, Det      drift.ADWINState
+	Swaps          int
+	RetiredVersion uint64
+	ErrSince       float64
+	SeenSince      float64
+}
+
+type arfDoc struct {
+	Version int
+	Config  configDoc
+	Schema  stream.Schema
+	Members []arfMemberDoc
+}
+
+// SaveState implements model.Checkpointer for the ARF.
+func (a *ARF) SaveState(w io.Writer) error {
+	doc := arfDoc{Version: ensembleDocVersion, Config: a.cfg.doc(), Schema: a.schema}
+	for _, m := range a.members {
+		md := arfMemberDoc{
+			ID: m.id, RNG: m.src.State(), Tree: m.tree.Doc(),
+			Warn: m.warn.State(), Det: m.det.State(),
+			Swaps: m.swaps, RetiredVersion: m.retiredVersion,
+			ErrSince: m.errSince, SeenSince: m.seenSince,
+		}
+		if m.background != nil {
+			md.Background = m.background.Doc()
+		}
+		doc.Members = append(doc.Members, md)
+	}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("ensemble: save ARF: %w", err)
+	}
+	return nil
+}
+
+// lbMemberDoc is one serialised Leveraging Bagging member. The
+// batch-local fired flag is always false between Learn calls — the
+// serial coupling step consumes it — so it is not persisted.
+type lbMemberDoc struct {
+	ID             int
+	RNG            rng.State
+	Tree           *hoeffding.TreeDoc
+	Mon            drift.ADWINState
+	RetiredVersion uint64
+}
+
+type lbDoc struct {
+	Version int
+	Config  configDoc
+	Schema  stream.Schema
+	Resets  int
+	Members []lbMemberDoc
+}
+
+// SaveState implements model.Checkpointer for Leveraging Bagging.
+func (l *LevBag) SaveState(w io.Writer) error {
+	doc := lbDoc{Version: ensembleDocVersion, Config: l.cfg.doc(), Schema: l.schema, Resets: l.resets}
+	for _, m := range l.members {
+		doc.Members = append(doc.Members, lbMemberDoc{
+			ID: m.id, RNG: m.src.State(), Tree: m.tree.Doc(), Mon: m.mon.State(),
+			RetiredVersion: m.retiredVersion,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("ensemble: save LevBag: %w", err)
+	}
+	return nil
+}
+
+// checkpointParams maps a resolved ensemble config back onto the
+// registry parameter bag.
+func checkpointParams(c Config) registry.Params {
+	return registry.Params{
+		Seed: c.Seed, EnsembleSize: c.Size, Lambda: c.Lambda,
+		GracePeriod: c.Tree.GracePeriod, Delta: c.Tree.Delta, Tau: c.Tree.Tau,
+		Bins: c.Tree.Bins, MaxDepth: c.Tree.MaxDepth,
+		WarnDelta: c.WarnDelta, DriftDelta: c.DriftDelta,
+		EnsembleWorkers: c.Workers,
+	}
+}
+
+// CheckpointParams implements registry.ParamsReporter.
+func (a *ARF) CheckpointParams() registry.Params { return checkpointParams(a.cfg) }
+
+// CheckpointParams implements registry.ParamsReporter.
+func (l *LevBag) CheckpointParams() registry.Params { return checkpointParams(l.cfg) }
+
+// checkSchema validates a payload schema against the envelope's.
+func checkSchema(kind string, payload, envelope stream.Schema) error {
+	if payload.NumFeatures != envelope.NumFeatures || payload.NumClasses != envelope.NumClasses {
+		return fmt.Errorf("ensemble: %s payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+			kind, payload.NumFeatures, payload.NumClasses, envelope.NumFeatures, envelope.NumClasses)
+	}
+	return nil
+}
+
+// init registers the checkpoint loaders next to the construction
+// factories (register.go).
+func init() {
+	registry.RegisterLoader("Forest Ens.", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		var doc arfDoc
+		if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("ensemble: decode ARF checkpoint: %w", err)
+		}
+		if doc.Version != ensembleDocVersion {
+			return nil, fmt.Errorf("ensemble: unsupported ARF checkpoint version %d (this build reads %d)", doc.Version, ensembleDocVersion)
+		}
+		if err := checkSchema("ARF", doc.Schema, schema); err != nil {
+			return nil, err
+		}
+		cfg, err := configFromDoc(doc.Config)
+		if err != nil {
+			return nil, err
+		}
+		cfg = cfg.withDefaults(defaultARFDrift)
+		if len(doc.Members) != cfg.Size {
+			return nil, fmt.Errorf("ensemble: ARF checkpoint holds %d members, config says %d", len(doc.Members), cfg.Size)
+		}
+		a := &ARF{cfg: cfg, schema: doc.Schema, pois: newPoissonSampler(cfg.Lambda)}
+		for i, md := range doc.Members {
+			m := &arfMember{id: md.ID, swaps: md.Swaps, retiredVersion: md.RetiredVersion, errSince: md.ErrSince, seenSince: md.SeenSince}
+			m.rng, m.src = rng.Restore(md.RNG)
+			if md.Tree == nil {
+				return nil, fmt.Errorf("ensemble: ARF checkpoint member %d has no tree", i)
+			}
+			if m.tree, err = hoeffding.TreeFromDoc(md.Tree); err != nil {
+				return nil, fmt.Errorf("ensemble: ARF member %d tree: %w", i, err)
+			}
+			if md.Background != nil {
+				if m.background, err = hoeffding.TreeFromDoc(md.Background); err != nil {
+					return nil, fmt.Errorf("ensemble: ARF member %d background tree: %w", i, err)
+				}
+			}
+			if m.warn, err = drift.ADWINFromState(md.Warn); err != nil {
+				return nil, fmt.Errorf("ensemble: ARF member %d warning detector: %w", i, err)
+			}
+			if m.det, err = drift.ADWINFromState(md.Det); err != nil {
+				return nil, fmt.Errorf("ensemble: ARF member %d drift detector: %w", i, err)
+			}
+			a.members = append(a.members, m)
+		}
+		return a, nil
+	})
+	registry.RegisterLoader("Bagging Ens.", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		var doc lbDoc
+		if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("ensemble: decode LevBag checkpoint: %w", err)
+		}
+		if doc.Version != ensembleDocVersion {
+			return nil, fmt.Errorf("ensemble: unsupported LevBag checkpoint version %d (this build reads %d)", doc.Version, ensembleDocVersion)
+		}
+		if err := checkSchema("LevBag", doc.Schema, schema); err != nil {
+			return nil, err
+		}
+		cfg, err := configFromDoc(doc.Config)
+		if err != nil {
+			return nil, err
+		}
+		cfg = cfg.withDefaults(defaultLevBagDrift)
+		if len(doc.Members) != cfg.Size {
+			return nil, fmt.Errorf("ensemble: LevBag checkpoint holds %d members, config says %d", len(doc.Members), cfg.Size)
+		}
+		l := &LevBag{cfg: cfg, schema: doc.Schema, pois: newPoissonSampler(cfg.Lambda), resets: doc.Resets}
+		for i, md := range doc.Members {
+			m := &lbMember{id: md.ID, retiredVersion: md.RetiredVersion}
+			m.rng, m.src = rng.Restore(md.RNG)
+			if md.Tree == nil {
+				return nil, fmt.Errorf("ensemble: LevBag checkpoint member %d has no tree", i)
+			}
+			if m.tree, err = hoeffding.TreeFromDoc(md.Tree); err != nil {
+				return nil, fmt.Errorf("ensemble: LevBag member %d tree: %w", i, err)
+			}
+			if m.mon, err = drift.ADWINFromState(md.Mon); err != nil {
+				return nil, fmt.Errorf("ensemble: LevBag member %d monitor: %w", i, err)
+			}
+			l.members = append(l.members, m)
+		}
+		return l, nil
+	})
+}

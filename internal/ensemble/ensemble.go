@@ -20,6 +20,7 @@ import (
 	"repro/internal/drift"
 	"repro/internal/hoeffding"
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
@@ -163,11 +164,18 @@ const minVoteEvidence = 10
 type arfMember struct {
 	id         int
 	rng        *rand.Rand
+	src        *rng.Source // counted source behind rng, for checkpointing
 	tree       *hoeffding.Tree
 	background *hoeffding.Tree
 	warn       *drift.ADWIN
 	det        *drift.ADWIN
 	swaps      int
+	// retiredVersion accumulates the structure versions of replaced
+	// member trees, keeping the ensemble's StructureVersion monotone: a
+	// fresh tree restarts its own split count at zero, so without the
+	// carry-over a swap could leave the summed version unchanged (or
+	// lower) and publish-on-change serving would miss the event.
+	retiredVersion uint64
 	// Error tally since the last swap; drives the vote weight so a
 	// freshly swapped (largely untrained) member carries almost no vote
 	// until it re-earns it.
@@ -208,16 +216,20 @@ func NewARF(cfg Config, schema stream.Schema) *ARF {
 	}
 	a := &ARF{cfg: cfg, schema: schema, pois: newPoissonSampler(cfg.Lambda)}
 	for i := 0; i < cfg.Size; i++ {
-		a.members = append(a.members, &arfMember{
+		m := &arfMember{
 			id:   i,
-			rng:  rand.New(rand.NewSource(cfg.Seed*31 + int64(i)*1009 + 6)),
 			tree: a.newTree(int64(i)),
 			warn: drift.NewADWIN(cfg.WarnDelta),
 			det:  drift.NewADWIN(cfg.DriftDelta),
-		})
+		}
+		m.rng, m.src = rng.New(cfg.Seed*31 + int64(i)*1009 + 6)
+		a.members = append(a.members, m)
 	}
 	return a
 }
+
+// Schema returns the stream schema the ensemble was built for.
+func (a *ARF) Schema() stream.Schema { return a.schema }
 
 func (a *ARF) newTree(salt int64) *hoeffding.Tree {
 	cfg := a.cfg.Tree
@@ -268,6 +280,7 @@ func (a *ARF) learnMemberOne(m *arfMember, x []float64, y int) {
 		m.background = a.newTree(int64(m.id)*101 + int64(m.warn.NumDetections()))
 	}
 	if m.det.Add(errSignal) {
+		m.retiredVersion += m.tree.StructureVersion()
 		if m.background != nil {
 			m.tree, m.background = m.background, nil
 		} else {
@@ -349,15 +362,31 @@ func (a *ARF) Swaps() int {
 	return total
 }
 
+// StructureVersion implements model.StructureVersioner: the deployed
+// member trees' structure versions plus the member swap count, with
+// replaced trees' final versions carried over (retiredVersion) so the
+// counter never decreases and every swap moves it.
+func (a *ARF) StructureVersion() uint64 {
+	v := uint64(a.Swaps())
+	for _, m := range a.members {
+		v += m.retiredVersion + m.tree.StructureVersion()
+	}
+	return v
+}
+
 // lbMember is one Leveraging Bagging learner: a full-feature VFDT, its
 // ADWIN monitor, a private RNG stream and the batch-local detection flag
 // consumed by the serial coupling step.
 type lbMember struct {
 	id    int
 	rng   *rand.Rand
+	src   *rng.Source // counted source behind rng, for checkpointing
 	tree  *hoeffding.Tree
 	mon   *drift.ADWIN
 	fired bool
+	// retiredVersion carries replaced trees' structure versions so the
+	// ensemble version stays monotone across resets (see arfMember).
+	retiredVersion uint64
 }
 
 // LevBag is the Leveraging Bagging ensemble: Poisson(lambda) input
@@ -379,15 +408,19 @@ func NewLevBag(cfg Config, schema stream.Schema) *LevBag {
 	cfg = cfg.withDefaults(defaultLevBagDrift)
 	l := &LevBag{cfg: cfg, schema: schema, pois: newPoissonSampler(cfg.Lambda)}
 	for i := 0; i < cfg.Size; i++ {
-		l.members = append(l.members, &lbMember{
+		m := &lbMember{
 			id:   i,
-			rng:  rand.New(rand.NewSource(cfg.Seed*37 + int64(i)*1013 + 7)),
 			tree: l.newTree(int64(i)),
 			mon:  drift.NewADWIN(cfg.DriftDelta),
-		})
+		}
+		m.rng, m.src = rng.New(cfg.Seed*37 + int64(i)*1013 + 7)
+		l.members = append(l.members, m)
 	}
 	return l
 }
+
+// Schema returns the stream schema the ensemble was built for.
+func (l *LevBag) Schema() stream.Schema { return l.schema }
 
 func (l *LevBag) newTree(salt int64) *hoeffding.Tree {
 	cfg := l.cfg.Tree
@@ -429,6 +462,7 @@ func (l *LevBag) Learn(b stream.Batch) {
 		}
 	}
 	l.resets++
+	l.members[worst].retiredVersion += l.members[worst].tree.StructureVersion()
 	l.members[worst].tree = l.newTree(int64(worst)*151 + int64(l.resets))
 	l.members[worst].mon.Reset()
 }
@@ -487,6 +521,17 @@ func (l *LevBag) Snapshot() model.Snapshot {
 
 // Resets returns the number of member resets so far.
 func (l *LevBag) Resets() int { return l.resets }
+
+// StructureVersion implements model.StructureVersioner: the member
+// trees' structure versions plus the reset count, with replaced trees'
+// final versions carried over so the counter never decreases.
+func (l *LevBag) StructureVersion() uint64 {
+	v := uint64(l.resets)
+	for _, m := range l.members {
+		v += m.retiredVersion + m.tree.StructureVersion()
+	}
+	return v
+}
 
 func argmax(xs []float64) int {
 	best := 0

@@ -2,10 +2,14 @@ package eval
 
 import (
 	"context"
+	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/datasets"
@@ -66,6 +70,20 @@ type Runner struct {
 	ScorerMode string
 	// Shards is the replica count of the "sharded" mode (default 2).
 	Shards int
+	// CheckpointDir, when non-empty, persists every finished cell's
+	// Result to one file per cell in that directory (written atomically:
+	// temp file + rename, so a kill mid-write never leaves a corrupt
+	// cell). Combined with Resume, an interrupted grid restarts without
+	// redoing completed work.
+	CheckpointDir string
+	// Resume loads matching cell files from CheckpointDir instead of
+	// re-running those cells. Cells are deterministic in (dataset,
+	// model, seed, scale, batching, scorer mode), so a resumed grid is
+	// byte-identical to an uninterrupted run of the same configuration
+	// — loaded cells verbatim (including their recorded timings), re-run
+	// cells by determinism. Files whose configuration does not match are
+	// ignored and the cell re-runs.
+	Resume bool
 	// Progress, when non-nil, receives one line per finished cell.
 	Progress io.Writer
 }
@@ -130,6 +148,31 @@ func (r Runner) Run(ctx context.Context, cells []Cell) (*SuiteResult, error) {
 		}
 	}
 
+	if r.CheckpointDir != "" {
+		if err := os.MkdirAll(r.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("eval: create checkpoint dir: %w", err)
+		}
+	}
+	if r.CheckpointDir != "" && r.Resume {
+		// Resume pass: cells whose stored result matches this run's
+		// configuration are taken verbatim and never dispatched.
+		var remaining []Cell
+		for _, c := range cells {
+			res, ok := r.loadCell(c, scale)
+			if !ok {
+				remaining = append(remaining, c)
+				continue
+			}
+			out.Results[c.Dataset.Name][c.Model] = res
+			if r.Progress != nil {
+				f1, _ := res.F1()
+				fmt.Fprintf(r.Progress, "resumed: %-12s on %-14s F1=%.3f iters=%d (checkpoint)\n",
+					c.Model, c.Dataset.DisplayName(), f1, len(res.Iters))
+			}
+		}
+		cells = remaining
+	}
+
 	runCell := func(c Cell) error {
 		strm := c.Dataset.New(scale, c.Seed)
 		var clf model.Classifier
@@ -162,6 +205,11 @@ func (r Runner) Run(ctx context.Context, cells []Cell) (*SuiteResult, error) {
 				return nil
 			}
 			return fmt.Errorf("eval: %s on %s: %w", c.Model, c.Dataset.Name, err)
+		}
+		if r.CheckpointDir != "" {
+			if err := r.saveCell(c, scale, res); err != nil {
+				return err
+			}
 		}
 		mu.Lock()
 		defer mu.Unlock()
@@ -202,4 +250,94 @@ func (r Runner) Run(ctx context.Context, cells []Cell) (*SuiteResult, error) {
 		return out, err
 	}
 	return out, nil
+}
+
+// cellConfig identifies one cell run configuration; stale checkpoint
+// files from a different setup are rejected by comparing it.
+type cellConfig struct {
+	Dataset       string
+	Model         string
+	Seed          int64
+	Scale         float64
+	BatchFraction float64
+	MinBatchSize  int
+	ScorerMode    string
+	Shards        int
+}
+
+// cellCheckpoint is the persisted record of one finished cell: its full
+// configuration plus its result, gob-encoded — floats round-trip bit-
+// exactly, so a resumed grid reproduces the original numbers verbatim.
+type cellCheckpoint struct {
+	Config cellConfig
+	Result Result
+}
+
+func (r Runner) cellConfig(c Cell, scale float64) cellConfig {
+	return cellConfig{
+		Dataset: c.Dataset.Name, Model: c.Model, Seed: c.Seed,
+		Scale: scale, BatchFraction: r.BatchFraction, MinBatchSize: r.MinBatchSize,
+		ScorerMode: r.ScorerMode, Shards: r.Shards,
+	}
+}
+
+// sanitizeComponent maps a dataset/model name onto a filesystem-safe
+// file-name component.
+func sanitizeComponent(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// cellFile returns the checkpoint path of a cell.
+func (r Runner) cellFile(c Cell) string {
+	name := fmt.Sprintf("%s__%s__%d.cell", sanitizeComponent(c.Dataset.Name), sanitizeComponent(c.Model), c.Seed)
+	return filepath.Join(r.CheckpointDir, name)
+}
+
+// saveCell atomically persists a finished cell (temp file + rename).
+func (r Runner) saveCell(c Cell, scale float64, res Result) error {
+	path := r.cellFile(c)
+	tmp, err := os.CreateTemp(r.CheckpointDir, ".cell-*")
+	if err != nil {
+		return fmt.Errorf("eval: checkpoint cell %s/%s: %w", c.Dataset.Name, c.Model, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(cellCheckpoint{Config: r.cellConfig(c, scale), Result: res}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("eval: checkpoint cell %s/%s: %w", c.Dataset.Name, c.Model, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("eval: checkpoint cell %s/%s: %w", c.Dataset.Name, c.Model, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("eval: checkpoint cell %s/%s: %w", c.Dataset.Name, c.Model, err)
+	}
+	return nil
+}
+
+// loadCell reads a cell checkpoint, returning ok only when the file
+// exists, decodes cleanly and matches this run's configuration.
+// Unreadable or mismatched files are treated as absent (the cell simply
+// re-runs), never as fatal: a half-written or stale file must not take
+// down a resume.
+func (r Runner) loadCell(c Cell, scale float64) (Result, bool) {
+	f, err := os.Open(r.cellFile(c))
+	if err != nil {
+		return Result{}, false
+	}
+	defer f.Close()
+	var ck cellCheckpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return Result{}, false
+	}
+	if ck.Config != r.cellConfig(c, scale) {
+		return Result{}, false
+	}
+	return ck.Result, true
 }

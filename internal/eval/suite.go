@@ -39,6 +39,11 @@ type Suite struct {
 	ScorerMode string
 	// Shards is the replica count of the "sharded" scorer mode.
 	Shards int
+	// CheckpointDir persists every finished cell's result for resume
+	// (see Runner.CheckpointDir); Resume skips cells already completed
+	// there.
+	CheckpointDir string
+	Resume        bool
 	// Progress, when non-nil, receives one line per finished run.
 	Progress io.Writer
 }
@@ -114,6 +119,8 @@ func (s Suite) RunContext(ctx context.Context) (*SuiteResult, error) {
 		MinBatchSize:  s.MinBatchSize,
 		ScorerMode:    s.ScorerMode,
 		Shards:        s.Shards,
+		CheckpointDir: s.CheckpointDir,
+		Resume:        s.Resume,
 		Progress:      s.Progress,
 	}
 	out, err := r.Run(ctx, cells)

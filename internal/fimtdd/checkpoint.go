@@ -1,0 +1,188 @@
+package fimtdd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/attrobs"
+	"repro/internal/drift"
+	"repro/internal/glm"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/split"
+	"repro/internal/stream"
+)
+
+// Checkpoint documents of the FIMT-DD classification variant: tree
+// structure, per-leaf simple models and E-BST observers, per-inner-node
+// Page-Hinkley detectors, and the counted RNG state (fresh leaf models
+// after a prune draw random initial weights).
+
+const treeDocVersion = 1
+
+type nodeDoc struct {
+	// Leaf state (nil/zero at inner nodes).
+	Mod       *glm.ModelState
+	Observers []attrobs.EBSTState
+	Target    split.TargetStats
+	Seen      float64
+	LastEval  float64
+
+	// Inner state.
+	Feature     int
+	Threshold   float64
+	PH          *drift.PageHinkleyState
+	Left, Right *nodeDoc
+
+	Depth int
+}
+
+type treeDoc struct {
+	Version int
+	Config  Config
+	Schema  stream.Schema
+	Splits  int
+	Prunes  int
+	RNG     rng.State
+	Root    *nodeDoc
+}
+
+func encodeNode(n *fnode) *nodeDoc {
+	if n == nil {
+		return nil
+	}
+	d := &nodeDoc{
+		Target: n.target, Seen: n.seen, LastEval: n.lastEval,
+		Feature: n.feature, Threshold: n.threshold, Depth: n.depth,
+		Left: encodeNode(n.left), Right: encodeNode(n.right),
+	}
+	if n.mod != nil {
+		st := glm.State(n.mod)
+		d.Mod = &st
+	}
+	if n.observers != nil {
+		d.Observers = make([]attrobs.EBSTState, len(n.observers))
+		for j, o := range n.observers {
+			d.Observers[j] = o.State()
+		}
+	}
+	if n.ph != nil {
+		st := n.ph.State()
+		d.PH = &st
+	}
+	return d
+}
+
+func (t *Tree) decodeNode(d *nodeDoc) (*fnode, error) {
+	n := &fnode{
+		target: d.Target, seen: d.Seen, lastEval: d.LastEval,
+		feature: d.Feature, threshold: d.Threshold, depth: d.Depth,
+	}
+	if (d.Left == nil) != (d.Right == nil) {
+		return nil, fmt.Errorf("fimtdd: non-binary node in checkpoint")
+	}
+	if d.Left == nil {
+		// Leaf: model and observers are mandatory.
+		if d.Mod == nil {
+			return nil, fmt.Errorf("fimtdd: checkpoint leaf has no simple model")
+		}
+		mod, err := glm.FromState(*d.Mod)
+		if err != nil {
+			return nil, fmt.Errorf("fimtdd: checkpoint leaf model: %w", err)
+		}
+		if mod.NumFeatures() != t.schema.NumFeatures || mod.NumClasses() != t.schema.NumClasses {
+			return nil, fmt.Errorf("fimtdd: checkpoint leaf model shape (m=%d c=%d) does not match schema (m=%d c=%d)",
+				mod.NumFeatures(), mod.NumClasses(), t.schema.NumFeatures, t.schema.NumClasses)
+		}
+		n.mod = mod
+		if len(d.Observers) != t.schema.NumFeatures {
+			return nil, fmt.Errorf("fimtdd: checkpoint leaf has %d observers, schema wants %d", len(d.Observers), t.schema.NumFeatures)
+		}
+		n.observers = make([]*attrobs.EBST, len(d.Observers))
+		for j := range d.Observers {
+			o, err := attrobs.EBSTFromState(d.Observers[j])
+			if err != nil {
+				return nil, fmt.Errorf("fimtdd: checkpoint observer %d: %w", j, err)
+			}
+			n.observers[j] = o
+		}
+		return n, nil
+	}
+	// Inner node: detector mandatory, children recursed.
+	if d.PH == nil {
+		return nil, fmt.Errorf("fimtdd: checkpoint inner node has no Page-Hinkley detector")
+	}
+	n.ph = drift.PageHinkleyFromState(*d.PH)
+	left, err := t.decodeNode(d.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := t.decodeNode(d.Right)
+	if err != nil {
+		return nil, err
+	}
+	n.left, n.right = left, right
+	return n, nil
+}
+
+// SaveState implements model.Checkpointer.
+func (t *Tree) SaveState(w io.Writer) error {
+	doc := treeDoc{
+		Version: treeDocVersion,
+		Config:  t.cfg,
+		Schema:  t.schema,
+		Splits:  t.splits,
+		Prunes:  t.prunes,
+		RNG:     t.src.State(),
+		Root:    encodeNode(t.root),
+	}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("fimtdd: save FIMT-DD: %w", err)
+	}
+	return nil
+}
+
+// CheckpointParams implements registry.ParamsReporter.
+func (t *Tree) CheckpointParams() registry.Params {
+	return registry.Params{
+		Seed: t.cfg.Seed, LearningRate: t.cfg.LearningRate, Delta: t.cfg.Delta,
+		Tau: t.cfg.Tau, GracePeriod: t.cfg.GracePeriod,
+		PHDelta: t.cfg.PHDelta, PHLambda: t.cfg.PHLambda, MaxDepth: t.cfg.MaxDepth,
+	}
+}
+
+// init registers the checkpoint loader next to the construction factory
+// (register.go).
+func init() {
+	registry.RegisterLoader("FIMT-DD", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		var doc treeDoc
+		if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("fimtdd: decode checkpoint: %w", err)
+		}
+		if doc.Version != treeDocVersion {
+			return nil, fmt.Errorf("fimtdd: unsupported checkpoint version %d (this build reads %d)", doc.Version, treeDocVersion)
+		}
+		if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
+			return nil, fmt.Errorf("fimtdd: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+				doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+		}
+		if doc.Root == nil {
+			return nil, fmt.Errorf("fimtdd: checkpoint has no root")
+		}
+		t := &Tree{
+			cfg:    doc.Config.withDefaults(),
+			schema: doc.Schema,
+			splits: doc.Splits,
+			prunes: doc.Prunes,
+		}
+		t.rng, t.src = rng.Restore(doc.RNG)
+		root, err := t.decodeNode(doc.Root)
+		if err != nil {
+			return nil, err
+		}
+		t.root = root
+		return t, nil
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/drift"
 	"repro/internal/glm"
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/split"
 	"repro/internal/stream"
 )
@@ -102,6 +103,8 @@ type Tree struct {
 	schema stream.Schema
 	root   *fnode
 	rng    *rand.Rand
+	src    *rng.Source // counted source behind rng, for checkpointing
+	splits int
 	prunes int
 	// path is the reusable inner-node buffer of learnOne, so routing one
 	// instance allocates nothing in steady state.
@@ -122,10 +125,14 @@ func routeLeft(v, threshold float64) bool {
 // New returns an empty FIMT-DD tree for the schema.
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.withDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 4))}
+	t := &Tree{cfg: cfg, schema: schema}
+	t.rng, t.src = rng.New(cfg.Seed + 4)
 	t.root = t.newLeaf(0, nil)
 	return t
 }
+
+// Schema returns the stream schema the tree was built for.
+func (t *Tree) Schema() stream.Schema { return t.schema }
 
 // newLeaf creates a leaf; a non-nil parent model warm-starts the leaf
 // model with the parent's weights (the FIMT-DD initialisation).
@@ -285,6 +292,7 @@ func (t *Tree) splitLeaf(leaf *fnode, feature int, threshold float64) {
 	leaf.observers = nil
 	leaf.mod = nil
 	leaf.target = split.TargetStats{}
+	t.splits++
 }
 
 func (t *Tree) sortTo(x []float64) *fnode {
@@ -345,6 +353,10 @@ func (t *Tree) Snapshot() model.Snapshot {
 
 // Prunes returns the number of Page-Hinkley branch deletions so far.
 func (t *Tree) Prunes() int { return t.prunes }
+
+// StructureVersion implements model.StructureVersioner with the lifetime
+// count of splits and branch deletions.
+func (t *Tree) StructureVersion() uint64 { return uint64(t.splits) + uint64(t.prunes) }
 
 // String renders a compact shape description.
 func (t *Tree) String() string {

@@ -1,6 +1,9 @@
 package glm
 
 import (
+	"encoding/gob"
+	"fmt"
+	"io"
 	"math/rand"
 
 	"repro/internal/model"
@@ -15,6 +18,7 @@ type Classifier struct {
 	m      Model
 	lr     float64
 	l1     float64
+	seed   int64
 	schema stream.Schema
 }
 
@@ -29,9 +33,13 @@ func NewClassifier(schema stream.Schema, lr, l1 float64, seed int64) *Classifier
 		m:      New(schema.NumFeatures, schema.NumClasses, rng),
 		lr:     lr,
 		l1:     l1,
+		seed:   seed,
 		schema: schema,
 	}
 }
+
+// Schema returns the stream schema the classifier was built for.
+func (c *Classifier) Schema() stream.Schema { return c.schema }
 
 // Name implements model.Classifier.
 func (c *Classifier) Name() string { return "GLM" }
@@ -63,9 +71,64 @@ func (c *Classifier) Snapshot() model.Snapshot {
 	return model.LeafSnapshot(c.Name(), c.Complexity(), c.m.Clone())
 }
 
-// init registers the stand-alone linear baseline.
+// classifierDoc is the GLM baseline's checkpoint payload. The model was
+// randomly initialised at construction but draws no further randomness,
+// so the trained weights are the complete state.
+type classifierDoc struct {
+	Version int
+	LR, L1  float64
+	Seed    int64
+	Schema  stream.Schema
+	Model   ModelState
+}
+
+const classifierDocVersion = 1
+
+// SaveState implements model.Checkpointer.
+func (c *Classifier) SaveState(w io.Writer) error {
+	doc := classifierDoc{
+		Version: classifierDocVersion,
+		LR:      c.lr, L1: c.l1, Seed: c.seed,
+		Schema: c.schema,
+		Model:  State(c.m),
+	}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("glm: save GLM baseline: %w", err)
+	}
+	return nil
+}
+
+// CheckpointParams implements registry.ParamsReporter.
+func (c *Classifier) CheckpointParams() registry.Params {
+	return registry.Params{Seed: c.seed, LearningRate: c.lr, L1: c.l1}
+}
+
+// init registers the stand-alone linear baseline and its checkpoint
+// loader.
 func init() {
 	registry.Register("GLM", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
 		return NewClassifier(schema, p.LearningRate, p.L1, p.Seed), nil
+	})
+	registry.RegisterLoader("GLM", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		var doc classifierDoc
+		if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("glm: decode checkpoint: %w", err)
+		}
+		if doc.Version != classifierDocVersion {
+			return nil, fmt.Errorf("glm: unsupported checkpoint version %d (this build reads %d)", doc.Version, classifierDocVersion)
+		}
+		if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
+			return nil, fmt.Errorf("glm: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+				doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+		}
+		m, err := FromState(doc.Model)
+		if err != nil {
+			return nil, err
+		}
+		lr := doc.LR
+		if lr <= 0 {
+			lr = 0.05
+		}
+		return &Classifier{m: m, lr: lr, l1: doc.L1, seed: doc.Seed, schema: doc.Schema}, nil
 	})
 }

@@ -1,0 +1,31 @@
+package glm
+
+import "fmt"
+
+// ModelState is the serialisable state of a simple model: the flattened
+// parameter vector plus the shape needed to pick the concrete type
+// (binary Logit for C == 2, Softmax otherwise). Scratch buffers are
+// learn-path caches and carry no state.
+type ModelState struct {
+	Weights []float64
+	M, C    int
+}
+
+// State exports a model for checkpointing.
+func State(m Model) ModelState {
+	return ModelState{Weights: m.Weights(), M: m.NumFeatures(), C: m.NumClasses()}
+}
+
+// FromState reconstructs a model from its exported state.
+func FromState(s ModelState) (Model, error) {
+	if s.M < 1 || s.C < 2 {
+		return nil, fmt.Errorf("glm: model state has shape m=%d c=%d", s.M, s.C)
+	}
+	m := New(s.M, s.C, nil)
+	if len(s.Weights) != m.NumWeights() {
+		return nil, fmt.Errorf("glm: model state has %d weights, shape m=%d c=%d wants %d",
+			len(s.Weights), s.M, s.C, m.NumWeights())
+	}
+	m.SetWeights(s.Weights)
+	return m, nil
+}

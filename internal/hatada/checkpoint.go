@@ -1,0 +1,189 @@
+package hatada
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/drift"
+	"repro/internal/hoeffding"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Checkpoint documents of the adaptive Hoeffding tree: the main tree,
+// every node's lazily created ADWIN error monitor, and any in-progress
+// alternate subtrees with their comparison state — so a restored tree
+// resumes mid-alternate exactly where the saved one stopped. Node
+// statistics reuse the shared hoeffding.NodeStatsDoc codec.
+
+const treeDocVersion = 1
+
+type nodeDoc struct {
+	// Stats is non-nil wherever the live node keeps statistics (leaves,
+	// and former leaves that split — HT-Ada nodes keep observing).
+	Stats     *hoeffding.NodeStatsDoc
+	Feature   int
+	Threshold float64
+	Depth     int
+
+	ErrMon      *drift.ADWINState
+	Alt         *nodeDoc
+	AltErrMon   *drift.ADWINState
+	AltTicks    int
+	Left, Right *nodeDoc
+}
+
+type treeDoc struct {
+	Version int
+	Config  hoeffding.ConfigDoc
+	ADWIN   float64 // ADWINDelta
+	Compare struct {
+		Every, MinWidth int
+	}
+	Schema stream.Schema
+	Splits int
+	Prunes int
+	RNG    rng.State
+	Root   *nodeDoc
+}
+
+func encodeNode(n *anode) *nodeDoc {
+	if n == nil {
+		return nil
+	}
+	d := &nodeDoc{
+		Feature: n.feature, Threshold: n.threshold, Depth: n.depth,
+		Alt: encodeNode(n.alt), AltTicks: n.altTicks,
+		Left: encodeNode(n.left), Right: encodeNode(n.right),
+	}
+	if n.stats != nil {
+		d.Stats = n.stats.Doc()
+	}
+	if n.errMon != nil {
+		st := n.errMon.State()
+		d.ErrMon = &st
+	}
+	if n.altErrMon != nil {
+		st := n.altErrMon.State()
+		d.AltErrMon = &st
+	}
+	return d
+}
+
+func (t *Tree) decodeNode(d *nodeDoc) (*anode, error) {
+	n := &anode{feature: d.Feature, threshold: d.Threshold, depth: d.Depth, altTicks: d.AltTicks}
+	if d.Stats != nil {
+		stats, err := hoeffding.NodeStatsFromDoc(&t.cfg.Tree, t.schema, t.sc, d.Stats)
+		if err != nil {
+			return nil, err
+		}
+		n.stats = stats
+	}
+	if d.ErrMon != nil {
+		mon, err := drift.ADWINFromState(*d.ErrMon)
+		if err != nil {
+			return nil, fmt.Errorf("hatada: checkpoint error monitor: %w", err)
+		}
+		n.errMon = mon
+	}
+	if d.AltErrMon != nil {
+		mon, err := drift.ADWINFromState(*d.AltErrMon)
+		if err != nil {
+			return nil, fmt.Errorf("hatada: checkpoint alternate monitor: %w", err)
+		}
+		n.altErrMon = mon
+	}
+	if d.Alt != nil {
+		alt, err := t.decodeNode(d.Alt)
+		if err != nil {
+			return nil, err
+		}
+		n.alt = alt
+	}
+	if (d.Left == nil) != (d.Right == nil) {
+		return nil, fmt.Errorf("hatada: non-binary node in checkpoint")
+	}
+	if d.Left != nil {
+		left, err := t.decodeNode(d.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := t.decodeNode(d.Right)
+		if err != nil {
+			return nil, err
+		}
+		n.left, n.right = left, right
+	} else if d.Stats == nil {
+		return nil, fmt.Errorf("hatada: checkpoint leaf has no statistics")
+	}
+	return n, nil
+}
+
+// SaveState implements model.Checkpointer.
+func (t *Tree) SaveState(w io.Writer) error {
+	doc := treeDoc{
+		Version: treeDocVersion,
+		Config:  t.cfg.Tree.Doc(),
+		ADWIN:   t.cfg.ADWINDelta,
+		Schema:  t.schema,
+		Splits:  t.splits,
+		Prunes:  t.prunes,
+		RNG:     t.src.State(),
+		Root:    encodeNode(t.root),
+	}
+	doc.Compare.Every = t.cfg.CompareEvery
+	doc.Compare.MinWidth = t.cfg.MinCompareWidth
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("hatada: save HT-Ada: %w", err)
+	}
+	return nil
+}
+
+// CheckpointParams implements registry.ParamsReporter.
+func (t *Tree) CheckpointParams() registry.Params {
+	return registry.Params{
+		Seed: t.cfg.Tree.Seed, GracePeriod: t.cfg.Tree.GracePeriod,
+		Delta: t.cfg.Tree.Delta, Tau: t.cfg.Tree.Tau, Bins: t.cfg.Tree.Bins,
+		MaxDepth: t.cfg.Tree.MaxDepth, ADWINDelta: t.cfg.ADWINDelta,
+	}
+}
+
+// init registers the checkpoint loader next to the construction factory
+// (register.go).
+func init() {
+	registry.RegisterLoader("HT-Ada", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		var doc treeDoc
+		if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("hatada: decode checkpoint: %w", err)
+		}
+		if doc.Version != treeDocVersion {
+			return nil, fmt.Errorf("hatada: unsupported checkpoint version %d (this build reads %d)", doc.Version, treeDocVersion)
+		}
+		if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
+			return nil, fmt.Errorf("hatada: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+				doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+		}
+		if doc.Root == nil {
+			return nil, fmt.Errorf("hatada: checkpoint has no root")
+		}
+		treeCfg, err := hoeffding.ConfigFromDoc(doc.Config)
+		if err != nil {
+			return nil, err
+		}
+		cfg := Config{
+			Tree: treeCfg, ADWINDelta: doc.ADWIN,
+			CompareEvery: doc.Compare.Every, MinCompareWidth: doc.Compare.MinWidth,
+		}.withDefaults()
+		t := &Tree{cfg: cfg, schema: doc.Schema, splits: doc.Splits, prunes: doc.Prunes, sc: hoeffding.NewScratch(doc.Schema)}
+		t.rng, t.src = rng.Restore(doc.RNG)
+		root, err := t.decodeNode(doc.Root)
+		if err != nil {
+			return nil, err
+		}
+		t.root = root
+		return t, nil
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/drift"
 	"repro/internal/hoeffding"
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
@@ -69,10 +70,13 @@ type anode struct {
 
 func (n *anode) isLeaf() bool { return n.left == nil }
 
+// sortTo routes x to its leaf; non-finite values route left via the
+// shared model.RouteLeft predicate, consistent with learn, predict and
+// snapshot paths.
 func (n *anode) sortTo(x []float64) *anode {
 	cur := n
 	for !cur.isLeaf() {
-		if x[cur.feature] <= cur.threshold {
+		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -87,18 +91,24 @@ type Tree struct {
 	schema stream.Schema
 	root   *anode
 	rng    *rand.Rand
+	src    *rng.Source        // counted source behind rng, for checkpointing
 	sc     *hoeffding.Scratch // learn-path workspace shared by all nodes
 
+	splits int // leaf splits (main tree and alternates)
 	prunes int // alternate promotions (subtree replacements)
 }
 
 // New returns an empty adaptive Hoeffding tree.
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.withDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Tree.Seed + 2)), sc: hoeffding.NewScratch(schema)}
+	t := &Tree{cfg: cfg, schema: schema, sc: hoeffding.NewScratch(schema)}
+	t.rng, t.src = rng.New(cfg.Tree.Seed + 2)
 	t.root = t.newLeaf(0)
 	return t
 }
+
+// Schema returns the stream schema the tree was built for.
+func (t *Tree) Schema() stream.Schema { return t.schema }
 
 func (t *Tree) newLeaf(depth int) *anode {
 	return &anode{stats: hoeffding.NewNodeStats(&t.cfg.Tree, t.schema, t.rng, t.sc), depth: depth}
@@ -130,7 +140,7 @@ func (t *Tree) learnOne(x []float64, y int) {
 		if cur.isLeaf() {
 			break
 		}
-		if x[cur.feature] <= cur.threshold {
+		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -213,6 +223,7 @@ func (t *Tree) trainLeaf(leaf *anode, x []float64, y int) {
 		leaf.left.stats.SeedChild(cand.Post[0])
 		leaf.right.stats.SeedChild(cand.Post[1])
 	}
+	t.splits++
 	// The node keeps its statistics: promoted alternates may turn it back
 	// into a leaf later, and the error monitor lives on regardless.
 }
@@ -256,7 +267,7 @@ func (t *Tree) Complexity() model.Complexity {
 // the deployed main tree (alternate subtrees are growth scaffolding and
 // never serve predictions, so they are not captured).
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
 	snap.Root = model.AddTree(snap, t.root, func(n *anode) (model.SnapshotNode, *anode, *anode) {
 		if n.isLeaf() {
 			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
@@ -269,6 +280,10 @@ func (t *Tree) Snapshot() model.Snapshot {
 // Promotions returns how many alternate subtrees replaced their main
 // subtree so far.
 func (t *Tree) Promotions() int { return t.prunes }
+
+// StructureVersion implements model.StructureVersioner with the
+// lifetime count of leaf splits and alternate promotions.
+func (t *Tree) StructureVersion() uint64 { return uint64(t.splits) + uint64(t.prunes) }
 
 // String renders a compact shape description.
 func (t *Tree) String() string {

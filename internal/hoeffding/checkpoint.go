@@ -1,0 +1,274 @@
+package hoeffding
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/attrobs"
+	"repro/internal/nbayes"
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/split"
+	"repro/internal/stream"
+)
+
+// Checkpoint documents of the Hoeffding-tree family. The NodeStats and
+// Config codecs are shared: the adaptive tree (internal/hatada), EFDT
+// (internal/efdt) and both ensembles (internal/ensemble) embed these
+// documents inside their own checkpoint payloads, so all five tree
+// learners persist their sufficient statistics through one code path.
+
+// TreeDocVersion versions the VFDT payload inside the persist envelope.
+const TreeDocVersion = 1
+
+// ConfigDoc is the serialisable form of Config: the Criterion interface
+// is stored by name and mapped back on restore.
+type ConfigDoc struct {
+	GracePeriod  float64
+	Delta        float64
+	Tau          float64
+	Criterion    string
+	LeafMode     int
+	Bins         int
+	MaxDepth     int
+	SubspaceSize int
+	Seed         int64
+}
+
+// Doc exports a defaulted config for checkpointing.
+func (c Config) Doc() ConfigDoc {
+	return ConfigDoc{
+		GracePeriod: c.GracePeriod, Delta: c.Delta, Tau: c.Tau,
+		Criterion: c.Criterion.Name(), LeafMode: int(c.LeafMode),
+		Bins: c.Bins, MaxDepth: c.MaxDepth, SubspaceSize: c.SubspaceSize,
+		Seed: c.Seed,
+	}
+}
+
+// ConfigFromDoc reconstructs a config, resolving the criterion by name.
+func ConfigFromDoc(d ConfigDoc) (Config, error) {
+	c := Config{
+		GracePeriod: d.GracePeriod, Delta: d.Delta, Tau: d.Tau,
+		LeafMode: LeafMode(d.LeafMode), Bins: d.Bins, MaxDepth: d.MaxDepth,
+		SubspaceSize: d.SubspaceSize, Seed: d.Seed,
+	}
+	switch d.Criterion {
+	case split.InfoGain{}.Name(), "":
+		c.Criterion = split.InfoGain{}
+	case split.GiniGain{}.Name():
+		c.Criterion = split.GiniGain{}
+	default:
+		return Config{}, fmt.Errorf("hoeffding: unknown split criterion %q in checkpoint", d.Criterion)
+	}
+	if c.LeafMode < MajorityClass || c.LeafMode > NaiveBayesAdaptive {
+		return Config{}, fmt.Errorf("hoeffding: unknown leaf mode %d in checkpoint", d.LeafMode)
+	}
+	return c.WithDefaults(), nil
+}
+
+// NodeStatsDoc is the serialisable state of one node's sufficient
+// statistics.
+type NodeStatsDoc struct {
+	Counts    []float64
+	Observers []attrobs.GaussianState
+	Features  []int // observed feature subset; nil means all
+	NB        *nbayes.ModelState
+	McOK      float64
+	NbOK      float64
+	Seen      float64
+	LastEval  float64
+}
+
+// Doc exports the statistics for checkpointing.
+func (s *NodeStats) Doc() *NodeStatsDoc {
+	d := &NodeStatsDoc{
+		Counts:    append([]float64(nil), s.counts...),
+		Observers: make([]attrobs.GaussianState, len(s.observers)),
+		Features:  append([]int(nil), s.features...),
+		McOK:      s.mcOK, NbOK: s.nbOK, Seen: s.seen, LastEval: s.lastEval,
+	}
+	for j, o := range s.observers {
+		d.Observers[j] = o.State()
+	}
+	if s.nb != nil {
+		st := s.nb.State()
+		d.NB = &st
+	}
+	return d
+}
+
+// NodeStatsFromDoc reconstructs node statistics against the owning
+// tree's shared config, schema and scratch. It consumes no randomness —
+// the feature subset is restored verbatim, never re-sampled.
+func NodeStatsFromDoc(cfg *Config, schema stream.Schema, sc *Scratch, d *NodeStatsDoc) (*NodeStats, error) {
+	if len(d.Counts) != schema.NumClasses {
+		return nil, fmt.Errorf("hoeffding: checkpoint node has %d class counts, schema wants %d", len(d.Counts), schema.NumClasses)
+	}
+	if len(d.Observers) != schema.NumFeatures {
+		return nil, fmt.Errorf("hoeffding: checkpoint node has %d observers, schema wants %d", len(d.Observers), schema.NumFeatures)
+	}
+	s := &NodeStats{
+		cfg: cfg, schema: schema, sc: sc,
+		counts:    append([]float64(nil), d.Counts...),
+		observers: make([]*attrobs.Gaussian, len(d.Observers)),
+		mcOK:      d.McOK, nbOK: d.NbOK, seen: d.Seen, lastEval: d.LastEval,
+	}
+	for j := range d.Observers {
+		o, err := attrobs.GaussianFromState(d.Observers[j])
+		if err != nil {
+			return nil, fmt.Errorf("hoeffding: checkpoint observer %d: %w", j, err)
+		}
+		s.observers[j] = o
+	}
+	if len(d.Features) > 0 {
+		for _, j := range d.Features {
+			if j < 0 || j >= schema.NumFeatures {
+				return nil, fmt.Errorf("hoeffding: checkpoint feature subset entry %d out of range [0,%d)", j, schema.NumFeatures)
+			}
+		}
+		s.features = append([]int(nil), d.Features...)
+	}
+	if cfg.LeafMode != MajorityClass {
+		if d.NB == nil {
+			return nil, fmt.Errorf("hoeffding: checkpoint node is missing its Naive Bayes leaf model (leaf mode %s)", cfg.LeafMode)
+		}
+		nb, err := nbayes.FromState(*d.NB)
+		if err != nil {
+			return nil, fmt.Errorf("hoeffding: checkpoint leaf model: %w", err)
+		}
+		s.nb = nb
+	}
+	return s, nil
+}
+
+// TreeNodeDoc is one serialised VFDT node. Stats is nil at inner nodes
+// (a plain VFDT stops observing after a split).
+type TreeNodeDoc struct {
+	Stats       *NodeStatsDoc
+	Feature     int
+	Threshold   float64
+	Depth       int
+	Left, Right *TreeNodeDoc
+}
+
+// TreeDoc is the serialisable state of a whole Hoeffding tree, embedded
+// verbatim in the ensemble member documents.
+type TreeDoc struct {
+	Version int
+	Config  ConfigDoc
+	Schema  stream.Schema
+	Splits  int
+	RNG     rng.State
+	Root    *TreeNodeDoc
+}
+
+// Doc exports the tree for checkpointing.
+func (t *Tree) Doc() *TreeDoc {
+	var export func(n *node) *TreeNodeDoc
+	export = func(n *node) *TreeNodeDoc {
+		if n == nil {
+			return nil
+		}
+		d := &TreeNodeDoc{
+			Feature: n.feature, Threshold: n.threshold, Depth: n.depth,
+			Left: export(n.left), Right: export(n.right),
+		}
+		if n.stats != nil {
+			d.Stats = n.stats.Doc()
+		}
+		return d
+	}
+	return &TreeDoc{
+		Version: TreeDocVersion,
+		Config:  t.cfg.Doc(),
+		Schema:  t.schema,
+		Splits:  t.splits,
+		RNG:     t.src.State(),
+		Root:    export(t.root),
+	}
+}
+
+// TreeFromDoc reconstructs a tree from its exported document.
+func TreeFromDoc(doc *TreeDoc) (*Tree, error) {
+	if doc.Version != TreeDocVersion {
+		return nil, fmt.Errorf("hoeffding: unsupported tree document version %d (this build reads %d)", doc.Version, TreeDocVersion)
+	}
+	if err := doc.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("hoeffding: checkpoint schema: %w", err)
+	}
+	if doc.Root == nil {
+		return nil, fmt.Errorf("hoeffding: checkpoint has no root")
+	}
+	cfg, err := ConfigFromDoc(doc.Config)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, schema: doc.Schema, splits: doc.Splits, sc: NewScratch(doc.Schema)}
+	t.rng, t.src = rng.Restore(doc.RNG)
+	var build func(d *TreeNodeDoc) (*node, error)
+	build = func(d *TreeNodeDoc) (*node, error) {
+		n := &node{feature: d.Feature, threshold: d.Threshold, depth: d.Depth}
+		if d.Stats != nil {
+			stats, err := NodeStatsFromDoc(&t.cfg, t.schema, t.sc, d.Stats)
+			if err != nil {
+				return nil, err
+			}
+			n.stats = stats
+		}
+		if (d.Left == nil) != (d.Right == nil) {
+			return nil, fmt.Errorf("hoeffding: non-binary node in checkpoint")
+		}
+		if d.Left != nil {
+			left, err := build(d.Left)
+			if err != nil {
+				return nil, err
+			}
+			right, err := build(d.Right)
+			if err != nil {
+				return nil, err
+			}
+			n.left, n.right = left, right
+		} else if d.Stats == nil {
+			return nil, fmt.Errorf("hoeffding: checkpoint leaf has no statistics")
+		}
+		return n, nil
+	}
+	root, err := build(doc.Root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// SaveState implements model.Checkpointer.
+func (t *Tree) SaveState(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(t.Doc()); err != nil {
+		return fmt.Errorf("hoeffding: save %s: %w", t.Name(), err)
+	}
+	return nil
+}
+
+// CheckpointParams implements registry.ParamsReporter.
+func (t *Tree) CheckpointParams() registry.Params {
+	return registry.Params{
+		Seed: t.cfg.Seed, GracePeriod: t.cfg.GracePeriod, Delta: t.cfg.Delta,
+		Tau: t.cfg.Tau, Bins: t.cfg.Bins, MaxDepth: t.cfg.MaxDepth,
+		LeafMode: registry.LeafMode(t.cfg.LeafMode),
+	}
+}
+
+// loadTree decodes a VFDT payload, validating it against the envelope
+// schema.
+func loadTree(schema stream.Schema, r io.Reader) (*Tree, error) {
+	var doc TreeDoc
+	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("hoeffding: decode checkpoint: %w", err)
+	}
+	if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
+		return nil, fmt.Errorf("hoeffding: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+			doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+	}
+	return TreeFromDoc(&doc)
+}

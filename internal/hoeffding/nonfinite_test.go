@@ -1,0 +1,56 @@
+package hoeffding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// twoLeafTree builds a hand-assembled split at x0 <= 0.5 whose left
+// leaf predicts class 0 and right leaf predicts class 1.
+func twoLeafTree(t *testing.T) *Tree {
+	t.Helper()
+	schema := stream.Schema{NumFeatures: 2, NumClasses: 2, Name: "nonfinite"}
+	tr := New(Config{}, schema)
+	left := &node{stats: NewNodeStats(&tr.cfg, schema, tr.rng, tr.sc), depth: 1}
+	right := &node{stats: NewNodeStats(&tr.cfg, schema, tr.rng, tr.sc), depth: 1}
+	left.stats.Observe([]float64{0.2, 0.2}, 0, 5)
+	right.stats.Observe([]float64{0.8, 0.8}, 1, 5)
+	tr.root.stats = nil
+	tr.root.feature, tr.root.threshold = 0, 0.5
+	tr.root.left, tr.root.right = left, right
+	return tr
+}
+
+// TestNonFiniteRoutesLeft pins the deterministic routing rule the
+// family shares with FIMT-DD and the DMT: NaN and ±Inf feature values
+// go left on every path — live predict, learn and the serving snapshot.
+// (Previously NaN and +Inf compared false against the threshold and
+// silently drifted right, diverging from the observers, which skip
+// non-finite values entirely.)
+func TestNonFiniteRoutesLeft(t *testing.T) {
+	tr := twoLeafTree(t)
+	snap := tr.Snapshot()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		x := []float64{v, 0.9}
+		if got := tr.Predict(x); got != 0 {
+			t.Fatalf("live Predict(%v) = %d, want left leaf class 0", v, got)
+		}
+		if got := snap.Predict(x); got != 0 {
+			t.Fatalf("snapshot Predict(%v) = %d, want left leaf class 0", v, got)
+		}
+		// The learn path must observe at the same leaf it predicts from.
+		before := tr.root.left.stats.Weight()
+		tr.LearnOne(x, 0, 1)
+		if tr.root.left.stats.Weight() != before+1 {
+			t.Fatalf("LearnOne(%v) did not train the left leaf", v)
+		}
+	}
+	// Finite values still split at the threshold.
+	if tr.Predict([]float64{0.4, 0}) != 0 || tr.Predict([]float64{0.6, 0}) != 1 {
+		t.Fatal("finite routing broken")
+	}
+	_ = model.RouteLeft // the predicate under test is the shared one
+}

@@ -1,6 +1,8 @@
 package hoeffding
 
 import (
+	"io"
+
 	"repro/internal/model"
 	"repro/internal/registry"
 	"repro/internal/stream"
@@ -20,7 +22,11 @@ func treeConfig(p registry.Params) Config {
 }
 
 // init registers the VFDT under its paper table names (fixed leaf modes)
-// plus a generic "VFDT" that honours Params.LeafMode.
+// plus a generic "VFDT" that honours Params.LeafMode, and one shared
+// checkpoint loader per concrete name (the payload's own config carries
+// the leaf mode, so the three loaders restore identically). The generic
+// "VFDT" alias gets no loader: envelopes record Tree.Name(), which is
+// always leaf-mode-specific, so no checkpoint ever resolves "VFDT".
 func init() {
 	register := func(name string, mode LeafMode, useParamMode bool) {
 		registry.Register(name, func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
@@ -31,6 +37,11 @@ func init() {
 			}
 			return New(cfg, schema), nil
 		})
+		if !useParamMode {
+			registry.RegisterLoader(name, func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+				return loadTree(schema, r)
+			})
+		}
 	}
 	register("VFDT (MC)", MajorityClass, false)
 	register("VFDT (NB)", NaiveBayes, false)

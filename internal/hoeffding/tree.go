@@ -5,11 +5,15 @@ import (
 	"math/rand"
 
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
 // node is one tree node: a leaf carries statistics, an inner node a binary
-// numeric split (x[feature] <= threshold goes left).
+// numeric split (x[feature] <= threshold goes left; non-finite values
+// route left via the shared model.RouteLeft predicate — the observers
+// skip them, so no threshold ever separates them, and deterministic
+// routing keeps learn, predict and snapshot paths consistent).
 type node struct {
 	stats       *NodeStats
 	feature     int
@@ -24,7 +28,7 @@ func (n *node) isLeaf() bool { return n.left == nil }
 func (n *node) sortTo(x []float64) *node {
 	cur := n
 	for !cur.isLeaf() {
-		if x[cur.feature] <= cur.threshold {
+		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -40,14 +44,16 @@ type Tree struct {
 	schema stream.Schema
 	root   *node
 	rng    *rand.Rand
-	sc     *Scratch // learn-path workspace shared by all nodes
-	splits int      // lifetime split count, for diagnostics
+	src    *rng.Source // counted source behind rng, for checkpointing
+	sc     *Scratch    // learn-path workspace shared by all nodes
+	splits int         // lifetime split count, for diagnostics
 }
 
 // New returns an empty Hoeffding tree for the schema.
 func New(cfg Config, schema stream.Schema) *Tree {
 	cfg = cfg.WithDefaults()
-	t := &Tree{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed + 1)), sc: NewScratch(schema)}
+	t := &Tree{cfg: cfg, schema: schema, sc: NewScratch(schema)}
+	t.rng, t.src = rng.New(cfg.Seed + 1)
 	t.root = &node{stats: NewNodeStats(&t.cfg, schema, t.rng, t.sc)}
 	return t
 }
@@ -159,7 +165,7 @@ func (t *Tree) Complexity() model.Complexity {
 // Snapshot implements model.Snapshotter: an immutable serving copy of
 // the tree structure with serving clones of the leaf statistics.
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity()}
+	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
 	snap.Root = model.AddTree(snap, t.root, func(n *node) (model.SnapshotNode, *node, *node) {
 		if n.isLeaf() {
 			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
@@ -171,6 +177,11 @@ func (t *Tree) Snapshot() model.Snapshot {
 
 // LifetimeSplits returns the number of split events since construction.
 func (t *Tree) LifetimeSplits() int { return t.splits }
+
+// StructureVersion implements model.StructureVersioner with the lifetime
+// split count — a VFDT only ever grows, so splits capture every
+// structural change.
+func (t *Tree) StructureVersion() uint64 { return uint64(t.splits) }
 
 // String renders a compact description of the tree shape.
 func (t *Tree) String() string {

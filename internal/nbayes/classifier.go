@@ -1,6 +1,10 @@
 package nbayes
 
 import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
 	"repro/internal/model"
 	"repro/internal/registry"
 	"repro/internal/stream"
@@ -47,9 +51,52 @@ func (c *Classifier) Snapshot() model.Snapshot {
 	return model.LeafSnapshot(c.Name(), c.Complexity(), c.m.Clone())
 }
 
-// init registers the stand-alone baseline.
+// Schema returns the stream schema the classifier was built for.
+func (c *Classifier) Schema() stream.Schema { return c.schema }
+
+// classifierDoc is the Naive Bayes baseline's checkpoint payload.
+type classifierDoc struct {
+	Version int
+	Schema  stream.Schema
+	Model   ModelState
+}
+
+const classifierDocVersion = 1
+
+// SaveState implements model.Checkpointer.
+func (c *Classifier) SaveState(w io.Writer) error {
+	doc := classifierDoc{Version: classifierDocVersion, Schema: c.schema, Model: c.m.State()}
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("nbayes: save Naive Bayes baseline: %w", err)
+	}
+	return nil
+}
+
+// init registers the stand-alone baseline and its checkpoint loader.
 func init() {
 	registry.Register("Naive Bayes", func(schema stream.Schema, p registry.Params) (model.Classifier, error) {
 		return NewClassifier(schema), nil
+	})
+	registry.RegisterLoader("Naive Bayes", func(schema stream.Schema, _ registry.Params, r io.Reader) (model.Classifier, error) {
+		var doc classifierDoc
+		if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("nbayes: decode checkpoint: %w", err)
+		}
+		if doc.Version != classifierDocVersion {
+			return nil, fmt.Errorf("nbayes: unsupported checkpoint version %d (this build reads %d)", doc.Version, classifierDocVersion)
+		}
+		if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
+			return nil, fmt.Errorf("nbayes: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
+				doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+		}
+		if len(doc.Model.Observers) != doc.Schema.NumFeatures || len(doc.Model.ClassCounts) != doc.Schema.NumClasses {
+			return nil, fmt.Errorf("nbayes: checkpoint model shape (%d observers, %d classes) does not match schema",
+				len(doc.Model.Observers), len(doc.Model.ClassCounts))
+		}
+		m, err := FromState(doc.Model)
+		if err != nil {
+			return nil, err
+		}
+		return &Classifier{m: m, schema: doc.Schema}, nil
 	})
 }

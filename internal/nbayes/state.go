@@ -1,0 +1,47 @@
+package nbayes
+
+import (
+	"fmt"
+
+	"repro/internal/attrobs"
+)
+
+// ModelState is the serialisable state of a Gaussian Naive Bayes model.
+type ModelState struct {
+	ClassCounts []float64
+	Observers   []attrobs.GaussianState
+	Total       float64
+}
+
+// State exports the model for checkpointing.
+func (nb *Model) State() ModelState {
+	s := ModelState{
+		ClassCounts: append([]float64(nil), nb.classCounts...),
+		Observers:   make([]attrobs.GaussianState, len(nb.observers)),
+		Total:       nb.total,
+	}
+	for j, o := range nb.observers {
+		s.Observers[j] = o.State()
+	}
+	return s
+}
+
+// FromState reconstructs a model from its exported state.
+func FromState(s ModelState) (*Model, error) {
+	if len(s.ClassCounts) < 2 {
+		return nil, fmt.Errorf("nbayes: model state has %d classes", len(s.ClassCounts))
+	}
+	m := &Model{
+		classCounts: append([]float64(nil), s.ClassCounts...),
+		observers:   make([]*attrobs.Gaussian, len(s.Observers)),
+		total:       s.Total,
+	}
+	for j := range s.Observers {
+		o, err := attrobs.GaussianFromState(s.Observers[j])
+		if err != nil {
+			return nil, fmt.Errorf("nbayes: observer %d: %w", j, err)
+		}
+		m.observers[j] = o
+	}
+	return m, nil
+}

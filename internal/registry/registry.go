@@ -9,6 +9,7 @@ package registry
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -160,9 +161,26 @@ func WithPageHinkley(delta, lambda float64) Option {
 // Factory builds a classifier for a schema from a resolved Params bag.
 type Factory func(schema stream.Schema, p Params) (model.Classifier, error)
 
+// Loader restores a classifier from the checkpoint payload a matching
+// model.Checkpointer wrote with SaveState. The schema and resolved
+// Params come from the checkpoint envelope; the payload itself is the
+// source of truth for the model's full configuration and state, so a
+// Loader typically validates the envelope schema against the payload
+// and ignores Params beyond diagnostics.
+type Loader func(schema stream.Schema, p Params, r io.Reader) (model.Classifier, error)
+
+// ParamsReporter is optionally implemented by learners that can report
+// the resolved Params bag they were built from. persist.Save embeds it
+// in the checkpoint envelope, making checkpoints self-describing without
+// decoding the model payload.
+type ParamsReporter interface {
+	CheckpointParams() Params
+}
+
 var (
 	mu        sync.RWMutex
 	factories = map[string]Factory{}
+	loaders   = map[string]Loader{}
 )
 
 // Register adds a factory under a model name. It is meant to be called
@@ -182,6 +200,39 @@ func Register(name string, f Factory) {
 		panic(fmt.Sprintf("registry: Register(%q) called twice", name))
 	}
 	factories[name] = f
+}
+
+// RegisterLoader adds the checkpoint-restore factory of a model name —
+// the LoadState counterpart of Register. Like Register it is meant for
+// learner-package init functions and panics on an empty name, a nil
+// loader or a duplicate registration.
+func RegisterLoader(name string, l Loader) {
+	if strings.TrimSpace(name) == "" {
+		panic("registry: RegisterLoader with empty model name")
+	}
+	if l == nil {
+		panic(fmt.Sprintf("registry: RegisterLoader(%q) with nil loader", name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := loaders[name]; dup {
+		panic(fmt.Sprintf("registry: RegisterLoader(%q) called twice", name))
+	}
+	loaders[name] = l
+}
+
+// LoaderFor returns the registered checkpoint loader of a model name.
+func LoaderFor(name string) (Loader, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	l, ok := loaders[name]
+	return l, ok
+}
+
+// HasLoader reports whether a model name has a registered loader.
+func HasLoader(name string) bool {
+	_, ok := LoaderFor(name)
+	return ok
 }
 
 // Registered reports whether a model name is known.

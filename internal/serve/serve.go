@@ -19,12 +19,16 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/stream"
 )
@@ -52,6 +56,17 @@ type Scorer interface {
 	// for a ShardedScorer). Callers must not use it concurrently with
 	// the Scorer.
 	Unwrap() model.Classifier
+	// Checkpoint writes the scorer's full model state as persist
+	// envelope(s): one for the single-model scorers, a counted sequence
+	// of per-shard envelopes for the ShardedScorer. The capture is
+	// consistent — it serialises against Learn, so no checkpoint ever
+	// straddles a batch.
+	Checkpoint(w io.Writer) error
+	// Restore replaces the scorer's model state from a Checkpoint
+	// written by an identically configured scorer (same model name;
+	// same shard count for the ShardedScorer). Reads served after
+	// Restore returns see the restored state.
+	Restore(r io.Reader) error
 }
 
 // OneHot writes the one-hot probability fallback for a non-probabilistic
@@ -175,6 +190,37 @@ func (s *LockScorer) Name() string {
 	return s.inner.Name()
 }
 
+// Checkpoint implements Scorer: the wrapped model as one envelope,
+// captured under the write lock so it never straddles a Learn.
+func (s *LockScorer) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return persist.Save(w, s.inner)
+}
+
+// Restore implements Scorer, swapping in the model reconstructed from
+// the envelope. The checkpointed model must match the served one.
+func (s *LockScorer) Restore(r io.Reader) error {
+	c, err := persist.Load(r)
+	if err != nil {
+		return err
+	}
+	return s.install(c)
+}
+
+// install swaps in an already-reconstructed model (the shared tail of
+// Restore, also used by the ShardedScorer's two-phase restore).
+func (s *LockScorer) install(c model.Classifier) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.Name() != s.inner.Name() {
+		return fmt.Errorf("serve: restore %q into a scorer serving %q", c.Name(), s.inner.Name())
+	}
+	s.inner = c
+	s.pc, _ = c.(model.ProbabilisticClassifier)
+	return nil
+}
+
 // --- Snapshot scorer ------------------------------------------------
 
 // published is one immutable serving state behind the atomic pointer.
@@ -190,12 +236,25 @@ type published struct {
 // PublishEvery batches, so reads see a state at most PublishEvery-1
 // Learn calls stale. With PublishEvery == 1 (the default) a snapshot
 // read between Learn calls is identical to a locked read.
+//
+// The alternative publish-on-change mode (NewSnapshotOnChange /
+// WithPublishOnChange) republishes only when the model's structure
+// version moved — a split, prune, replacement or member swap — instead
+// of after every batch. Tree shape is what snapshot clones pay for, and
+// structural events are orders of magnitude rarer than batches, so the
+// publish rate (and the clone cost) collapses; the trade-off is that
+// leaf-level parameter drift between structural events is not visible
+// to readers until the next event or a forced Publish.
 type SnapshotScorer struct {
-	mu           sync.Mutex // serialises Learn and Publish
+	mu           sync.Mutex // serialises Learn, Publish and Restore
 	live         model.Classifier
 	src          model.Snapshotter
 	publishEvery int
 	sincePublish int
+	onChange     bool
+	sv           model.StructureVersioner // non-nil in publish-on-change mode
+	lastVersion  uint64
+	publishes    atomic.Uint64
 	cur          atomic.Pointer[published]
 }
 
@@ -216,6 +275,28 @@ func NewSnapshot(c model.Classifier, publishEvery int) (*SnapshotScorer, error) 
 	return s, nil
 }
 
+// NewSnapshotOnChange wraps a snapshot-capable classifier in
+// publish-on-change mode: the snapshot is republished only when the
+// model's StructureVersion moves (see the type comment). It fails when
+// the classifier implements neither model.Snapshotter nor
+// model.StructureVersioner — the structureless GLM and Naive Bayes
+// baselines deliberately lack a structure version, since their
+// parameters drift every batch and only cadence publishing is faithful
+// for them.
+func NewSnapshotOnChange(c model.Classifier) (*SnapshotScorer, error) {
+	src, ok := c.(model.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("serve: %s does not implement model.Snapshotter; use NewLocked", c.Name())
+	}
+	sv, ok := c.(model.StructureVersioner)
+	if !ok {
+		return nil, fmt.Errorf("serve: %s does not implement model.StructureVersioner; use NewSnapshot with a publish cadence", c.Name())
+	}
+	s := &SnapshotScorer{live: c, src: src, publishEvery: 1, onChange: true, sv: sv, lastVersion: sv.StructureVersion()}
+	s.publish()
+	return s, nil
+}
+
 // publish captures and installs a fresh snapshot; callers hold s.mu
 // (or, in the constructor, exclusive ownership).
 func (s *SnapshotScorer) publish() {
@@ -223,6 +304,7 @@ func (s *SnapshotScorer) publish() {
 	p.proba, _ = p.snap.(model.ProbaSnapshot)
 	s.cur.Store(p)
 	s.sincePublish = 0
+	s.publishes.Add(1)
 }
 
 // Publish forces an immediate snapshot publish outside the cadence.
@@ -232,19 +314,78 @@ func (s *SnapshotScorer) Publish() {
 	s.publish()
 }
 
+// Publishes returns the lifetime snapshot publish count (including the
+// constructor's initial publish) — the quantity the publish-on-change
+// mode collapses.
+func (s *SnapshotScorer) Publishes() uint64 { return s.publishes.Load() }
+
 // Unwrap implements Scorer.
 func (s *SnapshotScorer) Unwrap() model.Classifier { return s.live }
 
 // Learn implements model.Classifier: train the live model, then
-// republish on cadence.
+// republish — on the batch cadence, or in publish-on-change mode only
+// when the structure version moved.
 func (s *SnapshotScorer) Learn(b stream.Batch) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.live.Learn(b)
+	if s.onChange {
+		if v := s.sv.StructureVersion(); v != s.lastVersion {
+			s.lastVersion = v
+			s.publish()
+		}
+		return
+	}
 	s.sincePublish++
 	if s.sincePublish >= s.publishEvery {
 		s.publish()
 	}
+}
+
+// Checkpoint implements Scorer: the live model as one envelope,
+// captured under the writer mutex so it is snapshot-consistent with the
+// published state (no Learn can interleave).
+func (s *SnapshotScorer) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return persist.Save(w, s.live)
+}
+
+// Restore implements Scorer: the live model is replaced by the
+// checkpointed one and a fresh snapshot is published immediately, so
+// reads after Restore serve the restored state.
+func (s *SnapshotScorer) Restore(r io.Reader) error {
+	c, err := persist.Load(r)
+	if err != nil {
+		return err
+	}
+	return s.install(c)
+}
+
+// install swaps in an already-reconstructed model and republishes (the
+// shared tail of Restore, also used by the ShardedScorer's two-phase
+// restore).
+func (s *SnapshotScorer) install(c model.Classifier) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.Name() != s.live.Name() {
+		return fmt.Errorf("serve: restore %q into a scorer serving %q", c.Name(), s.live.Name())
+	}
+	src, ok := c.(model.Snapshotter)
+	if !ok {
+		return fmt.Errorf("serve: restored %s does not implement model.Snapshotter", c.Name())
+	}
+	if s.onChange {
+		sv, ok := c.(model.StructureVersioner)
+		if !ok {
+			return fmt.Errorf("serve: restored %s does not implement model.StructureVersioner", c.Name())
+		}
+		s.sv = sv
+		s.lastVersion = sv.StructureVersion()
+	}
+	s.live, s.src = c, src
+	s.publish()
+	return nil
 }
 
 // Predict implements model.Classifier, wait-free.
@@ -423,6 +564,98 @@ func (s *ShardedScorer) Name() string { return s.shards[0].Name() }
 // Unwrap implements Scorer with the first replica's live classifier.
 func (s *ShardedScorer) Unwrap() model.Classifier { return s.shards[0].Unwrap() }
 
+// shardedMagic frames a sharded checkpoint: magic + big-endian shard
+// count, followed by one envelope per replica in shard order.
+const shardedMagic = "RSHD"
+
+// Checkpoint implements Scorer: a counted sequence of per-shard
+// envelopes. Like Learn, it must not run concurrently with Learn (one
+// learning loop at a time), so the per-shard captures form one
+// consistent cut of the ensemble of replicas.
+func (s *ShardedScorer) Checkpoint(w io.Writer) error {
+	if _, err := io.WriteString(w, shardedMagic); err != nil {
+		return fmt.Errorf("serve: write sharded checkpoint magic: %w", err)
+	}
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(s.shards)))
+	if _, err := w.Write(n[:]); err != nil {
+		return fmt.Errorf("serve: write shard count: %w", err)
+	}
+	for i, sh := range s.shards {
+		if err := sh.Checkpoint(w); err != nil {
+			return fmt.Errorf("serve: checkpoint shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Restore implements Scorer: the shard count must match the scorer's,
+// and each replica restores its own envelope in shard order (row→shard
+// routing is deterministic, so state lands on the replica that will
+// keep serving it). The whole checkpoint is read and validated — every
+// envelope parsed, checksummed, reconstructed and name-checked —
+// before any shard is touched, so a truncated or corrupt checkpoint
+// never leaves the scorer serving a mix of restored and pre-restore
+// replicas.
+func (s *ShardedScorer) Restore(r io.Reader) error {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return fmt.Errorf("serve: read sharded checkpoint header: %w", err)
+	}
+	if string(head[:4]) != shardedMagic {
+		return fmt.Errorf("serve: not a sharded checkpoint (bad magic %q); single-model checkpoints restore through the shard scorers directly", head[:4])
+	}
+	n := binary.BigEndian.Uint32(head[4:])
+	if int(n) != len(s.shards) {
+		return fmt.Errorf("serve: checkpoint holds %d shards, scorer has %d", n, len(s.shards))
+	}
+	// Phase 1: read and fully validate every shard envelope,
+	// reconstructing the models but touching no shard yet. The built-in
+	// shard scorers expose install(), so each model is reconstructed
+	// exactly once; external Scorer implementations fall back to a
+	// buffered Restore of the already-validated bytes.
+	models := make([]model.Classifier, len(s.shards))
+	raw := make([][]byte, len(s.shards))
+	for i := range s.shards {
+		src := io.Reader(r)
+		var buf bytes.Buffer
+		if _, canInstall := s.shards[i].(modelInstaller); !canInstall {
+			src = io.TeeReader(r, &buf)
+		}
+		env, err := persist.ReadEnvelope(src)
+		if err != nil {
+			return fmt.Errorf("serve: shard %d envelope: %w", i, err)
+		}
+		c, err := persist.LoadEnvelope(env)
+		if err != nil {
+			return fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		if c.Name() != s.shards[i].Name() {
+			return fmt.Errorf("serve: shard %d checkpoint holds %q, scorer serves %q", i, c.Name(), s.shards[i].Name())
+		}
+		models[i], raw[i] = c, buf.Bytes()
+	}
+	// Phase 2: install into every shard.
+	for i, sh := range s.shards {
+		var err error
+		if in, ok := sh.(modelInstaller); ok {
+			err = in.install(models[i])
+		} else {
+			err = sh.Restore(bytes.NewReader(raw[i]))
+		}
+		if err != nil {
+			return fmt.Errorf("serve: restore shard %d (scorer may be partially restored): %w", i, err)
+		}
+	}
+	return nil
+}
+
+// modelInstaller is the fast path of the sharded two-phase restore:
+// swapping in a model that phase 1 already reconstructed and validated.
+type modelInstaller interface {
+	install(c model.Classifier) error
+}
+
 // --- Registry-driven construction -----------------------------------
 
 // Mode selects the Scorer implementation.
@@ -464,6 +697,12 @@ type Config struct {
 	// PublishEvery is the snapshot publish cadence in Learn calls
 	// (<= 1: every batch). Snapshot and sharded modes only.
 	PublishEvery int
+	// PublishOnChange republishes only when the model's structure
+	// version moved (splits/prunes/replacements/swaps) instead of on the
+	// batch cadence. Snapshot and sharded modes; requires a model that
+	// implements model.StructureVersioner (every tree learner and both
+	// ensembles do; the structureless GLM and Naive Bayes do not).
+	PublishOnChange bool
 	// Shards is the replica count of ModeSharded (default 2).
 	Shards int
 }
@@ -481,6 +720,12 @@ func New(cfg Config) (Scorer, error) {
 	build := func(extra ...registry.Option) (model.Classifier, error) {
 		return registry.New(cfg.Model, cfg.Schema, append(append([]registry.Option{}, cfg.Options...), extra...)...)
 	}
+	wrap := func(c model.Classifier) (Scorer, error) {
+		if cfg.PublishOnChange {
+			return NewSnapshotOnChange(c)
+		}
+		return Wrap(c, cfg.PublishEvery), nil
+	}
 	switch mode {
 	case ModeLocked:
 		c, err := build()
@@ -493,7 +738,7 @@ func New(cfg Config) (Scorer, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Wrap(c, cfg.PublishEvery), nil
+		return wrap(c)
 	case ModeSharded:
 		// Unset defaults to 2; an explicit count is honoured as given
 		// (1 is a valid single-replica deployment, not silently doubled).
@@ -512,7 +757,9 @@ func New(cfg Config) (Scorer, error) {
 			if err != nil {
 				return nil, err
 			}
-			shards[shard] = Wrap(c, cfg.PublishEvery)
+			if shards[shard], err = wrap(c); err != nil {
+				return nil, err
+			}
 		}
 		return NewSharded(shards)
 	}

@@ -103,6 +103,29 @@ func (r *Running) Max() float64 { return r.max }
 // Reset returns the accumulator to its empty state.
 func (r *Running) Reset() { *r = Running{} }
 
+// RunningState is the exported, serialisable state of a Running
+// accumulator — the checkpoint codec of every Welford estimator in the
+// repository. Field-for-field with the accumulator, so a round trip is
+// bit-exact.
+type RunningState struct {
+	Weight float64
+	Mean   float64
+	M2     float64
+	Min    float64
+	Max    float64
+	Seen   bool
+}
+
+// State exports the accumulator for checkpointing.
+func (r *Running) State() RunningState {
+	return RunningState{Weight: r.weight, Mean: r.mean, M2: r.m2, Min: r.min, Max: r.max, Seen: r.seen}
+}
+
+// SetState restores the accumulator from an exported state.
+func (r *Running) SetState(s RunningState) {
+	r.weight, r.mean, r.m2, r.min, r.max, r.seen = s.Weight, s.Mean, s.M2, s.Min, s.Max, s.Seen
+}
+
 // Gaussian is a weighted Gaussian density estimator built on Running. It is
 // the per-class numeric attribute model used by the Hoeffding tree
 // observers and the Gaussian Naive Bayes leaves.

@@ -21,7 +21,10 @@
 // same registry. For serving reads during learning, use Serve (lock-free
 // snapshot scorer with batch prediction; NewScorer remains the RWMutex
 // wrapper); for fanning whole experiment grids across cores, use the
-// Runner (or ExperimentSuite with Parallel > 1).
+// Runner (or ExperimentSuite with Parallel > 1). Save and Load
+// checkpoint any registered model through a self-describing envelope —
+// a save → load → continue run is byte-identical to never stopping —
+// and the Runner resumes interrupted grids from per-cell checkpoints.
 //
 // The typed constructors below (NewDMT, NewVFDT, ...) remain for callers
 // that want compile-time configs and the concrete tree types.
@@ -81,7 +84,13 @@ type (
 // NewDMT returns a Dynamic Model Tree for the schema.
 func NewDMT(cfg DMTConfig, schema Schema) *DMT { return core.New(cfg, schema) }
 
-// LoadDMT restores a Dynamic Model Tree checkpointed with (*DMT).Save.
+// LoadDMT restores a Dynamic Model Tree from either checkpoint format:
+// an envelope written by Save / (*DMT).Save, or a legacy pre-envelope
+// version-1 gob document.
+//
+// Deprecated: LoadDMT is a shim over the unified persistence API; new
+// code should use Load, which restores any registered model. LoadDMT
+// remains the only entry point for legacy v1 gob checkpoints.
 func LoadDMT(r io.Reader) (*DMT, error) { return core.Load(r) }
 
 // Baselines of the paper's comparison (Section VI-C).

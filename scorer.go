@@ -54,3 +54,13 @@ func NewScorer(c Classifier) *LockedScorer { return serve.NewLocked(c) }
 func NewSnapshotScorer(c Classifier, publishEvery int) (*SnapshotScorer, error) {
 	return serve.NewSnapshot(c, publishEvery)
 }
+
+// NewSnapshotOnChangeScorer wraps a snapshot-capable classifier in
+// publish-on-change mode: the serving snapshot is republished only when
+// the model's tree structure moved, not after every Learn (see
+// WithPublishOnChange). Every Scorer also implements
+// Checkpoint/Restore, persisting the served model through the same
+// envelopes as Save/Load.
+func NewSnapshotOnChangeScorer(c Classifier) (*SnapshotScorer, error) {
+	return serve.NewSnapshotOnChange(c)
+}

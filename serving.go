@@ -45,6 +45,19 @@ func WithPublishEvery(n int) ServeOption {
 	return func(c *serve.Config) { c.PublishEvery = n }
 }
 
+// WithPublishOnChange republishes the serving snapshot only when the
+// model's tree structure moved (a split, prune, replacement or member
+// swap) instead of every WithPublishEvery batches. Structural events
+// are orders of magnitude rarer than batches, so the clone-per-publish
+// cost collapses; readers see leaf-parameter drift only at the next
+// structural event or a forced Publish. Requires a model with a
+// structure version — every tree learner and both ensembles; the
+// structureless GLM and Naive Bayes baselines only support cadence
+// publishing.
+func WithPublishOnChange() ServeOption {
+	return func(c *serve.Config) { c.PublishOnChange = true }
+}
+
 // WithLockedServing selects the RWMutex scorer instead of the lock-free
 // snapshot scorer.
 func WithLockedServing() ServeOption {
