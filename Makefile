@@ -3,23 +3,28 @@
 # registry).
 #
 # `make bench` runs the Benchmark*Op hot-path micro-benchmarks with
-# -benchmem and writes BENCH_PR5.json (ns/op, B/op, allocs/op per
-# benchmark, joined with the baseline recorded before the PR-5
-# checkpoint/persistence rework in bench/BASELINE_PR5.txt, plus the
-# BENCH_PR2/PR3/PR4 history as a cross-PR trend table), so the perf
+# -benchmem and writes BENCH_PR6.json (ns/op, B/op, allocs/op and
+# custom metrics — the server load benchmarks report p50-ns/p99-ns/qps
+# — per benchmark, joined with the baseline recorded before the PR-6
+# network serving tier in bench/BASELINE_PR6.txt, plus the
+# BENCH_PR2..PR5 history as a cross-PR trend table), so the perf
 # trajectory is tracked PR over PR.
 # `make bench-all` additionally replays the full table/figure
 # reproduction benchmarks.
+# `make serve-smoke` runs the dmtserve self-test: an in-process
+# prediction server under live training, a few hundred requests across
+# both endpoints with one hot model swap mid-traffic, zero tolerated
+# errors.
 
 GO ?= go
 BENCH_TXT ?= /tmp/repro_bench_current.txt
 BENCHTIME ?= 1s
 
-.PHONY: all ci vet build test race bench bench-all fmt
+.PHONY: all ci vet build test race bench bench-all serve-smoke fmt
 
 all: ci
 
-ci: vet build test race
+ci: vet build test race serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,12 +41,15 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Op$$' -benchmem -benchtime $(BENCHTIME) ./... > $(BENCH_TXT)
 	@cat $(BENCH_TXT)
-	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR5.txt \
-		-history BENCH_PR2.json,BENCH_PR3.json,BENCH_PR4.json -out BENCH_PR5.json
-	@echo "wrote BENCH_PR5.json"
+	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR6.txt \
+		-history BENCH_PR2.json,BENCH_PR3.json,BENCH_PR4.json,BENCH_PR5.json -out BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+serve-smoke:
+	$(GO) run ./cmd/dmtserve -smoke
 
 fmt:
 	gofmt -l .

@@ -30,10 +30,16 @@ import (
 	"strings"
 )
 
-// benchLine matches one benchmark result line, e.g.
+// benchLine matches the fixed prefix of one benchmark result line, e.g.
 // "BenchmarkLearnOp/m=50-8   1992   617543 ns/op   32479 B/op   127 allocs/op".
+// Everything after ns/op — B/op, allocs/op, and any b.ReportMetric
+// custom metrics (the server load benchmark reports p50-ns, p99-ns and
+// qps) — is parsed as value/unit pairs by metricPair.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metricPair matches one "value unit" measurement after ns/op.
+var metricPair = regexp.MustCompile(`([\d.]+(?:e[+-]?\d+)?) (\S+)`)
 
 // Result is one benchmark measurement, joined with its baseline when the
 // baseline run contains the same benchmark name.
@@ -43,6 +49,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds b.ReportMetric custom metrics by unit (e.g. the server
+	// load benchmark's "p50-ns", "p99-ns", "qps").
+	Extra map[string]float64 `json:"extra,omitempty"`
 
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineBytesPerOp  float64 `json:"baseline_b_per_op,omitempty"`
@@ -92,17 +101,28 @@ func parse(path string) (map[string]Result, []string, error) {
 		}
 		iters, _ := strconv.ParseInt(mm[2], 10, 64)
 		ns, _ := strconv.ParseFloat(mm[3], 64)
-		var bytesOp, allocsOp float64
-		if mm[4] != "" {
-			bytesOp, _ = strconv.ParseFloat(mm[4], 64)
-		}
-		if mm[5] != "" {
-			allocsOp, _ = strconv.ParseFloat(mm[5], 64)
+		r := Result{Name: mm[1], Iters: iters, NsPerOp: ns}
+		for _, pair := range metricPair.FindAllStringSubmatch(mm[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[pair[2]] = v
+			}
 		}
 		if _, dup := out[mm[1]]; !dup {
 			order = append(order, mm[1])
 		}
-		out[mm[1]] = Result{Name: mm[1], Iters: iters, NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp}
+		out[mm[1]] = r
 	}
 	return out, order, nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parseString(t *testing.T, text string) map[string]Result {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(p, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseStandardLine(t *testing.T) {
+	out := parseString(t, "BenchmarkLearnOp/m=50-8   1992   617543 ns/op   32479 B/op   127 allocs/op\n")
+	r, ok := out["BenchmarkLearnOp/m=50"]
+	if !ok {
+		t.Fatalf("parsed names: %v", out)
+	}
+	if r.Iters != 1992 || r.NsPerOp != 617543 || r.BytesPerOp != 32479 || r.AllocsPerOp != 127 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if len(r.Extra) != 0 {
+		t.Fatalf("standard line produced extras: %v", r.Extra)
+	}
+}
+
+// The server load benchmarks interleave b.ReportMetric custom metrics
+// (p50-ns, p99-ns, qps) between ns/op and -benchmem's B/op columns;
+// all of them must survive into the document.
+func TestParseCustomMetrics(t *testing.T) {
+	out := parseString(t,
+		"BenchmarkServerPredictOp-8   2935   181199 ns/op   1395445 p50-ns   2126006 p99-ns   5519 qps   2048 B/op   21 allocs/op\n")
+	r, ok := out["BenchmarkServerPredictOp"]
+	if !ok {
+		t.Fatalf("parsed names: %v", out)
+	}
+	if r.NsPerOp != 181199 || r.BytesPerOp != 2048 || r.AllocsPerOp != 21 {
+		t.Fatalf("fixed columns mis-parsed around custom metrics: %+v", r)
+	}
+	want := map[string]float64{"p50-ns": 1395445, "p99-ns": 2126006, "qps": 5519}
+	for k, v := range want {
+		if r.Extra[k] != v {
+			t.Fatalf("Extra[%q] = %v, want %v (all: %v)", k, r.Extra[k], v, r.Extra)
+		}
+	}
+}
+
+// Non-benchmark lines (headers, PASS/ok trailers) are skipped.
+func TestParseSkipsNoise(t *testing.T) {
+	out := parseString(t, "goos: linux\ncpu: something\nPASS\nok  \trepro/internal/server\t2.1s\n")
+	if len(out) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %v", out)
+	}
+}

@@ -1,0 +1,305 @@
+// Command dmtserve runs the network prediction service: one process is
+// a trainer (it keeps learning a registered model on a stream while
+// serving predictions and publishing checkpoint envelopes), any number
+// of others are replicas that follow the trainer's envelope feed and
+// serve the same model with zero read downtime across installs.
+//
+// Trainer (train on SEA while serving on :8080):
+//
+//	dmtserve -addr :8080 -model "VFDT (MC)" -dataset SEA -scale 0.05
+//
+// Replica (bootstrap from the trainer, then follow its envelopes):
+//
+//	dmtserve -addr :8081 -follow http://localhost:8080
+//
+// Endpoints on either role: POST /v1/predict, POST /v1/predict_batch,
+// POST /v1/swap, GET /v1/envelope, GET /healthz, GET /statusz.
+//
+// -smoke runs a self-test instead of serving: an in-process trainer, a
+// few hundred mixed requests including a hot swap mid-traffic, exit 0
+// only if every request succeeded (wired into `make serve-smoke`).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelName = flag.String("model", "VFDT (MC)", "registered model name (trainer mode)")
+		dsName    = flag.String("dataset", "SEA", "Table I data set to train on (trainer mode)")
+		scale     = flag.Float64("scale", 0.05, "fraction of the Table I stream length")
+		seed      = flag.Int64("seed", 42, "random seed")
+		batch     = flag.Int("batch", 100, "training batch size in rows")
+		shards    = flag.Int("shards", 0, "serve through N sharded replicas (0 = single snapshot scorer)")
+		publish   = flag.Int("publish", 1, "snapshot publish cadence in batches")
+		ckptPath  = flag.String("checkpoint", "", "bootstrap the model from this checkpoint file instead of training fresh")
+		follow    = flag.String("follow", "", "replica mode: bootstrap from and follow this trainer URL")
+		interval  = flag.Duration("interval", 500*time.Millisecond, "replica poll interval")
+		wait      = flag.Duration("wait", 10*time.Second, "replica long-poll duration (0 = plain polling)")
+		window    = flag.Duration("window", time.Millisecond, "request coalescing window")
+		maxBatch  = flag.Int("maxbatch", 64, "max rows per coalesced batch")
+		inflight  = flag.Int("inflight", 256, "max in-flight prediction requests before 429")
+		smoke     = flag.Bool("smoke", false, "run the self-test and exit")
+	)
+	flag.Parse()
+
+	cfg := repro.ServerConfig{
+		CoalesceWindow: *window,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *inflight,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fail(err)
+		}
+		fmt.Println("dmtserve: smoke test passed")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *follow != "" {
+		runReplica(ctx, *addr, *follow, *publish, *interval, *wait, cfg)
+		return
+	}
+	runTrainer(ctx, *addr, *modelName, *dsName, *ckptPath, *scale, *seed, *batch, *shards, *publish, cfg)
+}
+
+// runTrainer serves while a training loop feeds the scorer; the stream
+// is replayed from the start whenever it runs dry, so the process keeps
+// learning (and keeps publishing envelopes) for as long as it lives.
+func runTrainer(ctx context.Context, addr, modelName, dsName, ckptPath string, scale float64, seed int64, batchSize, shards, publish int, cfg repro.ServerConfig) {
+	entry, err := repro.DatasetByName(dsName)
+	if err != nil {
+		fail(err)
+	}
+	strm := entry.New(scale, seed)
+
+	var scorer repro.Scorer
+	if ckptPath != "" {
+		f, err := os.Open(ckptPath)
+		if err != nil {
+			fail(err)
+		}
+		scorer, err = repro.ScorerFromCheckpoint(f, publish)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "dmtserve: resumed %s from %s\n", scorer.Name(), ckptPath)
+	} else {
+		opts := []repro.ServeOption{
+			repro.WithPublishEvery(publish),
+			repro.WithServeModelOptions(repro.WithSeed(seed)),
+		}
+		if shards > 0 {
+			opts = append(opts, repro.WithShards(shards))
+		}
+		scorer, err = repro.Serve(modelName, strm.Schema(), opts...)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	go func() {
+		rows := 0
+		for ctx.Err() == nil {
+			b, err := repro.NextBatchContext(ctx, strm, batchSize)
+			if errors.Is(err, repro.ErrEndOfStream) {
+				strm.Reset()
+				continue
+			}
+			if err != nil {
+				return
+			}
+			scorer.Learn(b)
+			rows += b.Len()
+			if rows%100000 < batchSize {
+				v, _ := scorer.StructureVersion()
+				fmt.Fprintf(os.Stderr, "dmtserve: trained %d rows, structure version %d\n", rows, v)
+			}
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "dmtserve: trainer serving %s on %s (dataset %s)\n", scorer.Name(), addr, dsName)
+	if err := repro.ListenAndServe(ctx, addr, scorer, cfg); err != nil && !errors.Is(err, context.Canceled) {
+		fail(err)
+	}
+}
+
+// runReplica bootstraps a scorer from the trainer's envelope, serves
+// it, and follows the trainer so every structural advance is installed
+// with zero read downtime.
+func runReplica(ctx context.Context, addr, trainerURL string, publish int, interval, wait time.Duration, cfg repro.ServerConfig) {
+	scorer, v, err := repro.BootstrapScorer(ctx, trainerURL, publish)
+	if err != nil {
+		fail(fmt.Errorf("bootstrap from %s: %w", trainerURL, err))
+	}
+	fmt.Fprintf(os.Stderr, "dmtserve: replica bootstrapped %s at version %d from %s\n", scorer.Name(), v, trainerURL)
+
+	go repro.Follow(ctx, trainerURL, scorer, repro.FollowConfig{
+		Interval: interval,
+		Wait:     wait,
+		OnInstall: func(v uint64) {
+			fmt.Fprintf(os.Stderr, "dmtserve: installed envelope at version %d\n", v)
+		},
+	})
+
+	fmt.Fprintf(os.Stderr, "dmtserve: replica serving %s on %s\n", scorer.Name(), addr)
+	if err := repro.ListenAndServe(ctx, addr, scorer, cfg); err != nil && !errors.Is(err, context.Canceled) {
+		fail(err)
+	}
+}
+
+// runSmoke is the CI self-test: an in-process trainer under live
+// training, a few hundred mixed requests across both endpoints and
+// both wire formats, one hot swap mid-traffic, zero tolerated errors.
+func runSmoke(cfg repro.ServerConfig) error {
+	entry, err := repro.DatasetByName("SEA")
+	if err != nil {
+		return err
+	}
+	strm := entry.New(0.05, 1)
+	scorer, err := repro.Serve("VFDT (MC)", strm.Schema(), repro.WithServeModelOptions(repro.WithSeed(1)))
+	if err != nil {
+		return err
+	}
+	// Warm the model so the swap envelope below has structure in it.
+	for i := 0; i < 100; i++ {
+		b, err := repro.NextBatch(strm, 100)
+		if errors.Is(err, repro.ErrEndOfStream) {
+			strm.Reset()
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		scorer.Learn(b)
+	}
+	var env bytes.Buffer
+	if err := scorer.Checkpoint(&env); err != nil {
+		return err
+	}
+
+	ps := repro.NewPredictionServer(scorer, cfg)
+	defer ps.Close()
+	ts := httptest.NewServer(ps.Handler())
+	defer ts.Close()
+
+	// Keep training while the traffic runs.
+	trainCtx, stopTraining := context.WithCancel(context.Background())
+	defer stopTraining()
+	go func() {
+		for trainCtx.Err() == nil {
+			b, err := repro.NextBatchContext(trainCtx, strm, 100)
+			if errors.Is(err, repro.ErrEndOfStream) {
+				strm.Reset()
+				continue
+			}
+			if err != nil {
+				return
+			}
+			scorer.Learn(b)
+		}
+	}()
+
+	probe, err := repro.NextBatch(strm, 32)
+	if err != nil {
+		return err
+	}
+	const (
+		workers  = 8
+		requests = 400
+	)
+	var failures atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < requests/workers; i++ {
+				var resp *http.Response
+				var err error
+				if i%2 == 0 {
+					body, _ := json.Marshal(map[string]any{"x": probe.X[(w+i)%len(probe.X)]})
+					resp, err = http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				} else {
+					body, _ := json.Marshal(map[string]any{"rows": probe.X})
+					resp, err = http.Post(ts.URL+"/v1/predict_batch", "application/json", bytes.NewReader(body))
+				}
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	// One hot swap in the middle of the traffic.
+	time.Sleep(20 * time.Millisecond)
+	resp, err := http.Post(ts.URL+"/v1/swap", "application/x-repro-envelope", bytes.NewReader(env.Bytes()))
+	if err != nil {
+		return fmt.Errorf("hot swap: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("hot swap answered %s", resp.Status)
+	}
+	wg.Wait()
+	stopTraining()
+
+	if n := failures.Load(); n != 0 {
+		return fmt.Errorf("%d of %d requests failed", n, requests)
+	}
+
+	// The status page must reflect the traffic and the swap.
+	resp, err = http.Get(ts.URL + "/statusz")
+	if err != nil {
+		return err
+	}
+	var st repro.ServerStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if st.Swaps != 1 {
+		return fmt.Errorf("statusz reports %d swaps, want 1", st.Swaps)
+	}
+	if st.ServedRows == 0 {
+		return fmt.Errorf("statusz reports no served rows after %d requests", requests)
+	}
+	fmt.Fprintf(os.Stderr, "dmtserve: smoke served %d rows in %d coalesced batches, %d rejected, 1 swap\n",
+		st.ServedRows, st.CoalescedBatches, st.Rejected)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dmtserve:", err)
+	os.Exit(1)
+}

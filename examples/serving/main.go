@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
 )
@@ -93,6 +97,110 @@ func main() {
 	}
 	fmt.Printf("sharded deployment: %d total leaves across 4 replicas\n",
 		sharded.Complexity().Leaves)
+
+	networkDemo()
+}
+
+// networkDemo is the two-process pattern in one process: a trainer
+// serves predictions AND its checkpoint envelope over HTTP while it
+// keeps learning; a stateless replica bootstraps from that envelope,
+// serves the same model, and follows the trainer so every structural
+// advance is installed hot — zero read downtime. In production the two
+// halves are separate `dmtserve` processes:
+//
+//	dmtserve -addr :8080 -model "VFDT (MC)" -dataset SEA   # trainer
+//	dmtserve -addr :8081 -follow http://trainer:8080       # replica
+func networkDemo() {
+	gen := repro.NewSEA(60_000, 0.1, 7)
+	trainer, err := repro.Serve("VFDT (MC)", gen.Schema(),
+		repro.WithServeModelOptions(repro.WithSeed(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pre-train so the first envelope already has structure.
+	for i := 0; i < 200; i++ {
+		b, err := nextBatch(gen, 100)
+		if err != nil {
+			break
+		}
+		trainer.Learn(b)
+	}
+
+	// The trainer's HTTP side: predictions, hot swap, envelope feed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := repro.NewPredictionServer(trainer, repro.ServerConfig{})
+	defer ps.Close()
+	hs := &http.Server{Handler: ps.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	trainerURL := "http://" + ln.Addr().String()
+
+	// The replica: no local model, no dataset — everything arrives as
+	// envelope bytes over HTTP.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	replica, v0, err := repro.BootstrapScorer(ctx, trainerURL, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replica bootstrapped %s at structure version %d over HTTP\n", replica.Name(), v0)
+
+	installs := make(chan uint64, 16)
+	go repro.Follow(ctx, trainerURL, replica, repro.FollowConfig{
+		Interval:  10 * time.Millisecond,
+		Wait:      2 * time.Second,
+		OnInstall: func(v uint64) { installs <- v },
+	})
+
+	// Replica reads keep flowing while the trainer advances and new
+	// envelopes install underneath them.
+	var replicaReads atomic.Int64
+	readStop := make(chan struct{})
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		row := []float64{5, 5, 5}
+		for {
+			select {
+			case <-readStop:
+				return
+			default:
+				replica.Predict(row)
+				replicaReads.Add(1)
+			}
+		}
+	}()
+
+	// Advance the trainer until its structure version moves, then wait
+	// for the replica to converge to it.
+	for i := 0; i < 400; i++ {
+		b, err := nextBatch(gen, 100)
+		if err != nil {
+			break
+		}
+		trainer.Learn(b)
+		if v, _ := trainer.StructureVersion(); v != v0 {
+			break
+		}
+	}
+	vTrainer, _ := trainer.StructureVersion()
+	deadline := time.After(10 * time.Second)
+	vReplica := v0
+	for vReplica == v0 {
+		select {
+		case vReplica = <-installs:
+		case <-deadline:
+			log.Fatal("replica never converged")
+		}
+	}
+	close(readStop)
+	readWG.Wait()
+	fmt.Printf("trainer advanced to version %d; replica installed version %d hot, %d reads served with zero downtime\n",
+		vTrainer, vReplica, replicaReads.Load())
 }
 
 // nextBatch pulls up to n instances into one batch.

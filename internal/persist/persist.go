@@ -179,6 +179,23 @@ func ReadEnvelope(r io.Reader) (*Envelope, error) {
 	return &Envelope{Header: h, Payload: payload}, nil
 }
 
+// ReadRaw reads exactly one envelope off r — any reader, not just a
+// file: an HTTP body, a pipe, a stacked checkpoint stream — returning
+// its verbatim wire bytes alongside the decoded header. The bytes are
+// fully validated (magic, version, header decode, payload checksum)
+// before they are returned, so a relay can cache and re-serve them
+// without ever reconstructing the model: this is what the network
+// serving tier's trainer→replica envelope streaming is built on. Like
+// ReadEnvelope it consumes precisely the envelope's bytes.
+func ReadRaw(r io.Reader) ([]byte, Header, error) {
+	var buf bytes.Buffer
+	env, err := ReadEnvelope(io.TeeReader(r, &buf))
+	if err != nil {
+		return nil, Header{}, err
+	}
+	return buf.Bytes(), env.Header, nil
+}
+
 // Load reads one envelope and reconstructs the model it describes via
 // the loader registered under the envelope's model name. The caller
 // never names a type: the envelope is fully self-describing.

@@ -204,6 +204,53 @@ type orphanModel struct{ fakeModel }
 
 func (o *orphanModel) Name() string { return "persist-test-orphan" }
 
+// ReadRaw returns the envelope's verbatim wire bytes — relayable and
+// loadable as-is — plus the decoded header, consuming exactly one
+// envelope even off a non-seekable stream (here: an io.Pipe standing in
+// for an HTTP body).
+func TestReadRawRelaysVerbatimBytes(t *testing.T) {
+	raw := savedFake(t)
+	second := savedFake(t)
+
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write(raw)
+		pw.Write(second)
+		pw.Close()
+	}()
+	got, h, err := ReadRaw(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("ReadRaw bytes differ from the written envelope")
+	}
+	if h.Model != "persist-test-fake" || h.Version != FormatVersion {
+		t.Fatalf("header: %+v", h)
+	}
+	// The relayed bytes load without touching the origin again.
+	c, err := Load(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*fakeModel).count != 41 {
+		t.Fatal("relayed envelope lost state")
+	}
+	// Exactly one envelope was consumed: the next one still reads.
+	if _, _, err := ReadRaw(pr); err != nil {
+		t.Fatalf("second stacked envelope unreadable after ReadRaw: %v", err)
+	}
+}
+
+// A corrupt envelope never comes back from ReadRaw — the relay cache can
+// only ever hold validated bytes.
+func TestReadRawRejectsCorruption(t *testing.T) {
+	bad := rewriteHeader(t, savedFake(t), func(h *Header) { h.PayloadCRC ^= 1 })
+	if raw, _, err := ReadRaw(bytes.NewReader(bad)); err == nil || raw != nil {
+		t.Fatalf("corrupt envelope relayed: raw=%v err=%v", raw != nil, err)
+	}
+}
+
 func TestPayloadCRCMatchesIEEE(t *testing.T) {
 	raw := savedFake(t)
 	env, err := ReadEnvelope(bytes.NewReader(raw))

@@ -19,6 +19,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -52,6 +53,18 @@ type Scorer interface {
 	// nil allocates, otherwise it must cover the model's class count
 	// (rows returned by a previous call on the same scorer do).
 	ProbaBatch(X [][]float64, out [][]float64) [][]float64
+	// Schema returns the stream schema the served model was built for,
+	// so callers (the network serving tier in particular) can validate
+	// request row width before dispatching a prediction instead of
+	// panicking or silently mis-scoring. Wrapping a classifier that does
+	// not expose a schema — only possible for external learners — yields
+	// the zero Schema.
+	Schema() stream.Schema
+	// StructureVersion reports the served model's structure version (see
+	// model.StructureVersioner) and whether the model tracks one. The
+	// ShardedScorer sums its replicas; the SnapshotScorer reports the
+	// version of the published snapshot (what readers actually serve).
+	StructureVersion() (uint64, bool)
 	// Unwrap returns the live underlying classifier (the first replica
 	// for a ShardedScorer). Callers must not use it concurrently with
 	// the Scorer.
@@ -109,16 +122,28 @@ func growInts(out []int, n int) []int {
 // wrapped classifier's read methods must be read-only, which holds for
 // every model in this repository.
 type LockScorer struct {
-	mu    sync.RWMutex
-	inner model.Classifier
-	pc    model.ProbabilisticClassifier // nil when inner is not probabilistic
+	mu     sync.RWMutex
+	inner  model.Classifier
+	pc     model.ProbabilisticClassifier // nil when inner is not probabilistic
+	schema stream.Schema                 // zero when inner exposes no schema
+	sv     model.StructureVersioner      // nil when inner tracks no structure version
 }
 
 // NewLocked wraps a classifier in a LockScorer.
 func NewLocked(c model.Classifier) *LockScorer {
 	s := &LockScorer{inner: c}
 	s.pc, _ = c.(model.ProbabilisticClassifier)
+	s.sv, _ = c.(model.StructureVersioner)
+	if sp, ok := c.(schemaProvider); ok {
+		s.schema = sp.Schema()
+	}
 	return s
+}
+
+// schemaProvider is the schema accessor every registered learner exposes
+// (persist.Save requires it to write loadable envelopes).
+type schemaProvider interface {
+	Schema() stream.Schema
 }
 
 // Unwrap implements Scorer.
@@ -149,9 +174,31 @@ func (s *LockScorer) Proba(x []float64, out []float64) []float64 {
 	return OneHot(s.inner.Predict(x), out)
 }
 
+// Schema implements Scorer (the wrapped model's schema, zero when the
+// classifier exposes none).
+func (s *LockScorer) Schema() stream.Schema {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.schema
+}
+
+// StructureVersion implements Scorer.
+func (s *LockScorer) StructureVersion() (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.sv == nil {
+		return 0, false
+	}
+	return s.sv.StructureVersion(), true
+}
+
 // PredictBatch implements Scorer under one read lock for the whole
 // batch, so the rows are served from one consistent model state.
+// Empty (or nil) batches return an empty result without taking the lock.
 func (s *LockScorer) PredictBatch(X [][]float64, out []int) []int {
+	if len(X) == 0 {
+		return growInts(out, 0)
+	}
 	out = growInts(out, len(X))
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -163,6 +210,9 @@ func (s *LockScorer) PredictBatch(X [][]float64, out []int) []int {
 
 // ProbaBatch implements Scorer under one read lock.
 func (s *LockScorer) ProbaBatch(X [][]float64, out [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return growRows(out, 0)
+	}
 	out = growRows(out, len(X))
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -218,6 +268,10 @@ func (s *LockScorer) install(c model.Classifier) error {
 	}
 	s.inner = c
 	s.pc, _ = c.(model.ProbabilisticClassifier)
+	s.sv, _ = c.(model.StructureVersioner)
+	if sp, ok := c.(schemaProvider); ok {
+		s.schema = sp.Schema()
+	}
 	return nil
 }
 
@@ -227,6 +281,11 @@ func (s *LockScorer) install(c model.Classifier) error {
 type published struct {
 	snap  model.Snapshot
 	proba model.ProbaSnapshot // nil when the snapshot is not probabilistic
+	// schema and version are frozen at publish time, so the metadata
+	// accessors are as wait-free as the reads they describe.
+	schema     stream.Schema
+	version    uint64
+	hasVersion bool
 }
 
 // SnapshotScorer serves reads from an immutable model snapshot published
@@ -252,7 +311,7 @@ type SnapshotScorer struct {
 	publishEvery int
 	sincePublish int
 	onChange     bool
-	sv           model.StructureVersioner // non-nil in publish-on-change mode
+	sv           model.StructureVersioner // nil when the model tracks no structure version
 	lastVersion  uint64
 	publishes    atomic.Uint64
 	cur          atomic.Pointer[published]
@@ -271,6 +330,7 @@ func NewSnapshot(c model.Classifier, publishEvery int) (*SnapshotScorer, error) 
 		publishEvery = 1
 	}
 	s := &SnapshotScorer{live: c, src: src, publishEvery: publishEvery}
+	s.sv, _ = c.(model.StructureVersioner)
 	s.publish()
 	return s, nil
 }
@@ -302,6 +362,12 @@ func NewSnapshotOnChange(c model.Classifier) (*SnapshotScorer, error) {
 func (s *SnapshotScorer) publish() {
 	p := &published{snap: s.src.Snapshot()}
 	p.proba, _ = p.snap.(model.ProbaSnapshot)
+	if sp, ok := s.live.(schemaProvider); ok {
+		p.schema = sp.Schema()
+	}
+	if s.sv != nil {
+		p.version, p.hasVersion = s.sv.StructureVersion(), true
+	}
 	s.cur.Store(p)
 	s.sincePublish = 0
 	s.publishes.Add(1)
@@ -375,14 +441,14 @@ func (s *SnapshotScorer) install(c model.Classifier) error {
 	if !ok {
 		return fmt.Errorf("serve: restored %s does not implement model.Snapshotter", c.Name())
 	}
+	sv, hasSV := c.(model.StructureVersioner)
 	if s.onChange {
-		sv, ok := c.(model.StructureVersioner)
-		if !ok {
+		if !hasSV {
 			return fmt.Errorf("serve: restored %s does not implement model.StructureVersioner", c.Name())
 		}
-		s.sv = sv
 		s.lastVersion = sv.StructureVersion()
 	}
+	s.sv = sv
 	s.live, s.src = c, src
 	s.publish()
 	return nil
@@ -402,9 +468,25 @@ func (s *SnapshotScorer) Proba(x []float64, out []float64) []float64 {
 	return OneHot(p.snap.Predict(x), out)
 }
 
+// Schema implements Scorer, wait-free (the schema frozen at publish
+// time; zero when the model exposes none).
+func (s *SnapshotScorer) Schema() stream.Schema { return s.cur.Load().schema }
+
+// StructureVersion implements Scorer with the version of the published
+// snapshot — the structure readers actually serve, which in cadence or
+// on-change mode can trail the live model's version.
+func (s *SnapshotScorer) StructureVersion() (uint64, bool) {
+	p := s.cur.Load()
+	return p.version, p.hasVersion
+}
+
 // PredictBatch implements Scorer: the whole batch is served from the one
-// snapshot loaded at entry, wait-free.
+// snapshot loaded at entry, wait-free. Empty (or nil) batches return an
+// empty result without loading the snapshot.
 func (s *SnapshotScorer) PredictBatch(X [][]float64, out []int) []int {
+	if len(X) == 0 {
+		return growInts(out, 0)
+	}
 	out = growInts(out, len(X))
 	snap := s.cur.Load().snap
 	for i, x := range X {
@@ -415,6 +497,9 @@ func (s *SnapshotScorer) PredictBatch(X [][]float64, out []int) []int {
 
 // ProbaBatch implements Scorer from one snapshot, wait-free.
 func (s *SnapshotScorer) ProbaBatch(X [][]float64, out [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return growRows(out, 0)
+	}
 	out = growRows(out, len(X))
 	p := s.cur.Load()
 	for i, x := range X {
@@ -447,6 +532,11 @@ func (s *SnapshotScorer) Name() string { return s.cur.Load().snap.Name() }
 // from 1/N of the stream, so accuracy on small streams trails a single
 // model. Complexity sums the replicas.
 type ShardedScorer struct {
+	// mu serialises Learn, Checkpoint and Restore against each other, so
+	// a checkpoint taken under concurrent training is one consistent cut
+	// at a batch boundary (no shard mid-batch, no half-restored state).
+	// Reads stay lock-free: they go straight to the shard scorers.
+	mu     sync.Mutex
 	shards []Scorer
 	// Learn-path partition scratch (single-writer, like Learn itself).
 	px [][][]float64
@@ -496,8 +586,13 @@ func (s *ShardedScorer) shardOf(x []float64) int {
 // share no state, so one goroutine per shard is safe and training
 // scales across cores. Row→shard assignment is deterministic, so
 // results do not depend on the scheduling. Like every Scorer, one
-// learning loop at a time.
+// learning loop at a time; Checkpoint and Restore serialise against it.
 func (s *ShardedScorer) Learn(b stream.Batch) {
+	if b.Len() == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.shards {
 		s.px[i] = s.px[i][:0]
 		s.py[i] = s.py[i][:0]
@@ -531,8 +626,31 @@ func (s *ShardedScorer) Proba(x []float64, out []float64) []float64 {
 	return s.shards[s.shardOf(x)].Proba(x, out)
 }
 
-// PredictBatch implements Scorer, routing each row to its shard.
+// Schema implements Scorer (the replicas share one schema).
+func (s *ShardedScorer) Schema() stream.Schema { return s.shards[0].Schema() }
+
+// StructureVersion implements Scorer, summing the replicas — each
+// replica's version is monotone, so the sum moves exactly when any
+// replica's structure does. It reports false unless every replica
+// tracks a version.
+func (s *ShardedScorer) StructureVersion() (uint64, bool) {
+	var total uint64
+	for _, sh := range s.shards {
+		v, ok := sh.StructureVersion()
+		if !ok {
+			return 0, false
+		}
+		total += v
+	}
+	return total, true
+}
+
+// PredictBatch implements Scorer, routing each row to its shard. Empty
+// (or nil) batches return an empty result with no per-shard dispatch.
 func (s *ShardedScorer) PredictBatch(X [][]float64, out []int) []int {
+	if len(X) == 0 {
+		return growInts(out, 0)
+	}
 	out = growInts(out, len(X))
 	for i, x := range X {
 		out[i] = s.shards[s.shardOf(x)].Predict(x)
@@ -540,8 +658,12 @@ func (s *ShardedScorer) PredictBatch(X [][]float64, out []int) []int {
 	return out
 }
 
-// ProbaBatch implements Scorer, routing each row to its shard.
+// ProbaBatch implements Scorer, routing each row to its shard. Empty
+// (or nil) batches return an empty result with no per-shard dispatch.
 func (s *ShardedScorer) ProbaBatch(X [][]float64, out [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return growRows(out, 0)
+	}
 	out = growRows(out, len(X))
 	for i, x := range X {
 		out[i] = s.shards[s.shardOf(x)].Proba(x, out[i])
@@ -569,10 +691,12 @@ func (s *ShardedScorer) Unwrap() model.Classifier { return s.shards[0].Unwrap() 
 const shardedMagic = "RSHD"
 
 // Checkpoint implements Scorer: a counted sequence of per-shard
-// envelopes. Like Learn, it must not run concurrently with Learn (one
-// learning loop at a time), so the per-shard captures form one
-// consistent cut of the ensemble of replicas.
+// envelopes. It serialises against Learn and Restore, so the per-shard
+// captures form one consistent cut of the ensemble of replicas at a
+// batch boundary even while a trainer goroutine keeps calling Learn.
 func (s *ShardedScorer) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, err := io.WriteString(w, shardedMagic); err != nil {
 		return fmt.Errorf("serve: write sharded checkpoint magic: %w", err)
 	}
@@ -596,8 +720,10 @@ func (s *ShardedScorer) Checkpoint(w io.Writer) error {
 // envelope parsed, checksummed, reconstructed and name-checked —
 // before any shard is touched, so a truncated or corrupt checkpoint
 // never leaves the scorer serving a mix of restored and pre-restore
-// replicas.
+// replicas. Restore serialises against Learn and Checkpoint.
 func (s *ShardedScorer) Restore(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var head [8]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return fmt.Errorf("serve: read sharded checkpoint header: %w", err)
@@ -773,4 +899,46 @@ func Wrap(c model.Classifier, publishEvery int) Scorer {
 		return s
 	}
 	return NewLocked(c)
+}
+
+// maxCheckpointShards bounds the shard count a checkpoint stream may
+// declare, so corrupt bytes cannot demand an absurd reconstruction.
+const maxCheckpointShards = 1 << 12
+
+// FromCheckpoint reconstructs a fresh serving scorer from checkpoint
+// bytes written by any Scorer.Checkpoint — a single model envelope or a
+// sharded per-replica sequence — without the caller naming a model or a
+// topology: both are read off the stream. This is how a stateless
+// serving replica bootstraps from a trainer's published envelope (see
+// the network serving tier) before it starts following version updates
+// via Restore. Each reconstructed model is wrapped in the snapshot
+// scorer with the given publish cadence (lock-based fallback for
+// models that cannot snapshot).
+func FromCheckpoint(r io.Reader, publishEvery int) (Scorer, error) {
+	br := bufio.NewReader(r)
+	peek, err := br.Peek(len(shardedMagic))
+	if err == nil && string(peek) == shardedMagic {
+		var head [8]byte
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			return nil, fmt.Errorf("serve: read sharded checkpoint header: %w", err)
+		}
+		n := binary.BigEndian.Uint32(head[4:])
+		if n == 0 || n > maxCheckpointShards {
+			return nil, fmt.Errorf("serve: implausible shard count %d in checkpoint", n)
+		}
+		shards := make([]Scorer, n)
+		for i := range shards {
+			c, err := persist.Load(br)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d of %d: %w", i, n, err)
+			}
+			shards[i] = Wrap(c, publishEvery)
+		}
+		return NewSharded(shards)
+	}
+	c, err := persist.Load(br)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, publishEvery), nil
 }

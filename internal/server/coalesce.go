@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ErrClosed is returned to predictions still pending when the server is
+// closed.
+var ErrClosed = errors.New("server: closed")
+
+// predictJob is one single-row prediction waiting to join a coalesced
+// batch. done is closed by the dispatcher after y (or err) is set.
+type predictJob struct {
+	x    []float64
+	y    int
+	err  error
+	done chan struct{}
+}
+
+// coalescer turns concurrent single-row predictions into PredictBatch
+// calls. One dispatcher goroutine collects jobs: the first arrival
+// opens a batch window; the batch is flushed when it reaches maxBatch
+// rows or the window expires, whichever is first. A zero window means
+// "whatever is already queued at dispatch time" — arrivals still
+// coalesce under load, but an isolated request never waits.
+//
+// The point is not only throughput (one snapshot load / lock
+// acquisition amortised over the batch — the scorer's batch path is
+// exactly the hot path PR 4 tuned) but consistency: every row in a
+// coalesced batch is answered from one model state even while a
+// trainer thread keeps mutating the live model.
+type coalescer struct {
+	scorer   serve.Scorer
+	window   time.Duration
+	maxBatch int
+
+	jobs chan *predictJob
+	stop chan struct{}
+
+	batches atomic.Uint64 // PredictBatch dispatches issued
+	rows    atomic.Uint64 // rows answered through those dispatches
+}
+
+func newCoalescer(sc serve.Scorer, window time.Duration, maxBatch, queue int) *coalescer {
+	c := &coalescer{
+		scorer:   sc,
+		window:   window,
+		maxBatch: maxBatch,
+		// The job queue mirrors the admission bound: admitted requests
+		// always find a slot, so enqueueing never blocks a handler for
+		// long, and the select below stays honest.
+		jobs: make(chan *predictJob, queue+maxBatch),
+		stop: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+func (c *coalescer) close() { close(c.stop) }
+
+// predict submits one row and waits for its coalesced answer.
+func (c *coalescer) predict(ctx context.Context, x []float64) (int, error) {
+	j := &predictJob{x: x, done: make(chan struct{})}
+	select {
+	case c.jobs <- j:
+	case <-c.stop:
+		return 0, ErrClosed
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	// Once enqueued the job WILL be resolved (dispatched, or failed at
+	// close); waiting on done alone would leak nothing, but honouring
+	// ctx keeps cancelled clients from holding an admission slot.
+	select {
+	case <-j.done:
+		return j.y, j.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// run is the dispatcher loop.
+func (c *coalescer) run() {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		// Fail whatever is still queued so no handler waits forever.
+		for {
+			select {
+			case j := <-c.jobs:
+				j.err = ErrClosed
+				close(j.done)
+			default:
+				return
+			}
+		}
+	}()
+	batch := make([]*predictJob, 0, c.maxBatch)
+	X := make([][]float64, 0, c.maxBatch)
+	preds := make([]int, 0, c.maxBatch)
+	for {
+		// Block for the first job of the next batch.
+		var first *predictJob
+		select {
+		case first = <-c.jobs:
+		case <-c.stop:
+			return
+		}
+		batch = append(batch[:0], first)
+
+		// Drain whatever is already queued, for free.
+		for len(batch) < c.maxBatch {
+			select {
+			case j := <-c.jobs:
+				batch = append(batch, j)
+				continue
+			default:
+			}
+			break
+		}
+
+		// Under a positive window, wait out the remainder for
+		// stragglers — this is the latency the caller trades for
+		// batch efficiency.
+		if c.window > 0 && len(batch) < c.maxBatch {
+			if timer == nil {
+				timer = time.NewTimer(c.window)
+			} else {
+				timer.Reset(c.window)
+			}
+		fill:
+			for len(batch) < c.maxBatch {
+				select {
+				case j := <-c.jobs:
+					batch = append(batch, j)
+				case <-timer.C:
+					break fill
+				case <-c.stop:
+					// Flush what we have before exiting: these
+					// callers were admitted, they get answers.
+					c.flush(batch, X, preds)
+					return
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+
+		c.flush(batch, X, preds)
+	}
+}
+
+// flush answers one collected batch through a single PredictBatch call.
+func (c *coalescer) flush(batch []*predictJob, X [][]float64, preds []int) {
+	if len(batch) == 0 {
+		return
+	}
+	X = X[:0]
+	for _, j := range batch {
+		X = append(X, j.x)
+	}
+	preds = c.scorer.PredictBatch(X, preds[:0])
+	c.batches.Add(1)
+	c.rows.Add(uint64(len(batch)))
+	for i, j := range batch {
+		j.y = preds[i]
+		close(j.done)
+	}
+}

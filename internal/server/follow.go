@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// FollowConfig tunes a replica's envelope-following loop.
+type FollowConfig struct {
+	// Interval is the pause between polls when the trainer answered
+	// immediately (304 or a fresh envelope). Default 500ms.
+	Interval time.Duration
+	// Wait is the long-poll duration passed as ?wait= — the trainer
+	// holds the request open until the structure version moves or the
+	// wait expires. Zero disables long polling (plain poll-on-interval).
+	Wait time.Duration
+	// Client is the HTTP client used for fetches. Its Timeout must
+	// exceed Wait; the default client uses Wait + 30s.
+	Client *http.Client
+	// OnInstall, when non-nil, is called after each successful envelope
+	// install with the version it was stamped with.
+	OnInstall func(version uint64)
+}
+
+func (c FollowConfig) withDefaults() FollowConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Wait + 30*time.Second}
+	}
+	return c
+}
+
+// Fetch pulls the trainer's current envelope from baseURL (the root the
+// trainer's Handler is mounted at) and returns the raw envelope bytes
+// plus the version they were stamped with. A version argument of
+// ^uint64(0) means "whatever you have"; otherwise the trainer may
+// answer 304 Not Modified (returned as nil bytes, nil error).
+func Fetch(ctx context.Context, client *http.Client, baseURL string, version uint64, wait time.Duration) ([]byte, uint64, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, 0, fmt.Errorf("follow: bad base URL: %w", err)
+	}
+	u = u.JoinPath("/v1/envelope")
+	q := u.Query()
+	if version != ^uint64(0) {
+		q.Set("version", strconv.FormatUint(version, 10))
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	u.RawQuery = q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		io.Copy(io.Discard, resp.Body)
+		return nil, version, nil
+	case http.StatusOK:
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, 0, fmt.Errorf("follow: %s: %s: %s", u, resp.Status, bytes.TrimSpace(msg))
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("follow: read envelope: %w", err)
+	}
+	v, err := strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("follow: envelope missing %s header: %w", VersionHeader, err)
+	}
+	return raw, v, nil
+}
+
+// Follow runs a replica's pull loop against a trainer's /v1/envelope
+// until ctx is cancelled: fetch the envelope whenever the trainer's
+// structure version has moved past the last installed one, and stream
+// it into the local scorer via Restore. Reads served from the local
+// scorer never fail during an install — that is the scorer's hot-swap
+// contract — so a replica stays up through every model update.
+//
+// The first fetch is unconditional (a fresh replica has nothing), after
+// which the loop long-polls (or plain-polls) on the installed version.
+// Transient fetch/install errors are retried on the next interval;
+// Follow only returns ctx.Err().
+func Follow(ctx context.Context, baseURL string, sc serve.Scorer, cfg FollowConfig) error {
+	cfg = cfg.withDefaults()
+	have := ^uint64(0) // sentinel: nothing installed yet
+	for {
+		raw, v, err := Fetch(ctx, cfg.Client, baseURL, have, cfg.Wait)
+		if err == nil && raw != nil {
+			if err = sc.Restore(bytes.NewReader(raw)); err == nil {
+				have = v
+				if cfg.OnInstall != nil {
+					cfg.OnInstall(v)
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = err // transient; retry on the next tick
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(cfg.Interval):
+		}
+	}
+}
+
+// Bootstrap fetches the trainer's current envelope once and constructs
+// a local scorer from it (sharded checkpoints reconstruct a sharded
+// scorer). This is how `dmtserve -follow` starts with no local model.
+func Bootstrap(ctx context.Context, client *http.Client, baseURL string, publishEvery int) (serve.Scorer, uint64, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	raw, v, err := Fetch(ctx, client, baseURL, ^uint64(0), 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc, err := serve.FromCheckpoint(bytes.NewReader(raw), publishEvery)
+	if err != nil {
+		return nil, 0, fmt.Errorf("follow: bootstrap envelope: %w", err)
+	}
+	return sc, v, nil
+}

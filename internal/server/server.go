@@ -1,0 +1,585 @@
+// Package server is the network serving tier over the concurrent
+// scorers of internal/serve: an HTTP prediction service that turns one
+// process's wait-free Scorer into something a fleet can stand behind.
+// It is the process boundary the ROADMAP's "millions of users" story
+// needs — everything below the wire (lock-free snapshot reads, batch
+// prediction, the self-describing checkpoint envelope) already exists,
+// and this package only arranges it behind endpoints:
+//
+//	POST /v1/predict        one row (JSON or binary); concurrent singles
+//	                        are coalesced into one PredictBatch call
+//	POST /v1/predict_batch  a row matrix (JSON or binary)
+//	POST /v1/swap           stream a persist envelope into the live
+//	                        scorer (hot model swap, zero dropped reads)
+//	GET  /v1/envelope       the trainer→replica publish side: current
+//	                        model as an envelope, long-poll on version
+//	GET  /healthz           liveness
+//	GET  /statusz           model name, schema, structure version,
+//	                        publish count, queue depth, traffic counters
+//
+// Admission control is a bounded in-flight slot pool: prediction
+// requests beyond MaxInFlight are rejected immediately with 429 and a
+// Retry-After hint instead of queueing without bound, so overload
+// degrades into fast, explicit backpressure rather than latency
+// collapse.
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// Wire constants of the binary row format: little-endian, a (rows, cols)
+// uint32 header followed by rows*cols float64 feature values; responses
+// are a uint32 row count followed by one int32 class per row. The JSON
+// format is content-type application/json on the same endpoints.
+const (
+	// ContentTypeRows is the binary request matrix content type.
+	ContentTypeRows = "application/x-repro-rows"
+	// ContentTypePreds is the binary prediction response content type.
+	ContentTypePreds = "application/x-repro-preds"
+	// ContentTypeEnvelope is the checkpoint envelope content type served
+	// by /v1/envelope and accepted by /v1/swap.
+	ContentTypeEnvelope = "application/x-repro-envelope"
+	// VersionHeader carries the structure version an envelope response
+	// was captured at (and /statusz's structure_version).
+	VersionHeader = "X-Repro-Structure-Version"
+	// ModelHeader carries the served model's registered name.
+	ModelHeader = "X-Repro-Model"
+)
+
+// Config tunes a Server. The zero value serves with the defaults noted
+// on each field.
+type Config struct {
+	// CoalesceWindow is how long a single /v1/predict request may wait
+	// for companions before its batch is flushed (default 1ms; negative
+	// disables waiting — whatever is queued at dispatch time coalesces,
+	// but nothing waits).
+	CoalesceWindow time.Duration
+	// MaxBatch caps one coalesced PredictBatch call (default 64 rows).
+	MaxBatch int
+	// MaxInFlight bounds concurrently admitted prediction requests
+	// across /v1/predict and /v1/predict_batch (default 256). Beyond it
+	// the server answers 429 with a Retry-After hint.
+	MaxInFlight int
+	// RetryAfter is the backpressure hint on 429 responses, rounded up
+	// to whole seconds per RFC 9110 (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 64 MiB — a wide
+	// ensemble envelope fits, an abusive body does not).
+	MaxBodyBytes int64
+	// LongPollMax caps the ?wait= duration of /v1/envelope long polls
+	// (default 30s).
+	LongPollMax time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CoalesceWindow == 0 {
+		c.CoalesceWindow = time.Millisecond
+	}
+	if c.CoalesceWindow < 0 {
+		c.CoalesceWindow = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.LongPollMax <= 0 {
+		c.LongPollMax = 30 * time.Second
+	}
+	return c
+}
+
+// Server serves prediction traffic for one serve.Scorer. Create with
+// New, expose via Handler (it composes into any mux), stop with Close.
+// The scorer may keep training concurrently — every endpoint goes
+// through the Scorer interface's concurrency contract, and /v1/swap
+// installs a new model with zero dropped reads.
+type Server struct {
+	scorer serve.Scorer
+	cfg    Config
+	mux    *http.ServeMux
+	co     *coalescer
+
+	inflight chan struct{} // admission slots; len() is the live queue depth
+
+	started  time.Time
+	served   atomic.Uint64 // rows answered across both prediction endpoints
+	rejected atomic.Uint64 // 429s
+	swaps    atomic.Uint64 // successful /v1/swap installs
+
+	// Envelope cache for /v1/envelope: capturing a checkpoint costs a
+	// full state serialisation, so captures are reused until the
+	// structure version moves (or a swap invalidates them).
+	envMu  sync.Mutex
+	envRaw []byte
+	envVer uint64
+	envSeq uint64 // capture counter, the version surrogate for versionless models
+}
+
+// New builds a Server over the scorer. Close must be called when the
+// server is retired (it stops the coalescer goroutine).
+func New(sc serve.Scorer, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		scorer:   sc,
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		started:  time.Now(),
+	}
+	s.co = newCoalescer(sc, cfg.CoalesceWindow, cfg.MaxBatch, cfg.MaxInFlight)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/predict_batch", s.handlePredictBatch)
+	mux.HandleFunc("POST /v1/swap", s.handleSwap)
+	mux.HandleFunc("GET /v1/envelope", s.handleEnvelope)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the coalescer. In-flight coalesced requests are failed
+// with 503; the HTTP server owning the handler shuts down separately.
+func (s *Server) Close() { s.co.close() }
+
+// Scorer returns the served scorer (for a co-located training loop).
+func (s *Server) Scorer() serve.Scorer { return s.scorer }
+
+// Swaps returns the number of completed hot model swaps.
+func (s *Server) Swaps() uint64 { return s.swaps.Load() }
+
+// admit claims an admission slot, or answers 429 + Retry-After and
+// returns false. Callers must release() iff admit returned true.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		s.rejected.Add(1)
+		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, fmt.Sprintf("overloaded: %d requests in flight; retry after %ds", s.cfg.MaxInFlight, secs), http.StatusTooManyRequests)
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.inflight }
+
+// validateRow checks one request row against the served schema. A zero
+// schema (an external model exposing none) skips width validation.
+func (s *Server) validateRow(i int, row []float64) error {
+	m := s.scorer.Schema().NumFeatures
+	if m > 0 && len(row) != m {
+		return fmt.Errorf("row %d has %d features, model serves %d", i, len(row), m)
+	}
+	return nil
+}
+
+// --- request decoding ------------------------------------------------
+
+type predictRequest struct {
+	X     []float64 `json:"x"`
+	Proba bool      `json:"proba,omitempty"`
+}
+
+type predictResponse struct {
+	Y     int       `json:"y"`
+	Proba []float64 `json:"proba,omitempty"`
+}
+
+type batchRequest struct {
+	Rows  [][]float64 `json:"rows"`
+	Proba bool        `json:"proba,omitempty"`
+}
+
+type batchResponse struct {
+	Y     []int       `json:"y"`
+	Proba [][]float64 `json:"proba,omitempty"`
+}
+
+// readRows decodes a request body in either wire format into a row
+// matrix. Binary bodies (ContentTypeRows) carry a (rows, cols) header;
+// JSON bodies are a batchRequest. The returned bool is the JSON
+// request's proba flag (binary requests never ask for probabilities).
+func (s *Server) readRows(w http.ResponseWriter, r *http.Request) ([][]float64, bool, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if r.Header.Get("Content-Type") == ContentTypeRows {
+		rows, err := decodeBinaryRows(body)
+		if err != nil {
+			http.Error(w, "bad binary rows: "+err.Error(), http.StatusBadRequest)
+			return nil, false, false
+		}
+		return rows, false, true
+	}
+	var req batchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return nil, false, false
+	}
+	return req.Rows, req.Proba, true
+}
+
+// maxBinaryCells bounds rows*cols of a binary request so a corrupt
+// header cannot demand an absurd allocation (64 MiB of float64s).
+const maxBinaryCells = 8 << 20
+
+func decodeBinaryRows(r io.Reader) ([][]float64, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("read (rows, cols) header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(head[:4])
+	m := binary.LittleEndian.Uint32(head[4:])
+	if n == 0 || m == 0 || uint64(n)*uint64(m) > maxBinaryCells {
+		return nil, fmt.Errorf("implausible shape %dx%d", n, m)
+	}
+	flat := make([]byte, 8*int(n)*int(m))
+	if _, err := io.ReadFull(r, flat); err != nil {
+		return nil, fmt.Errorf("read %dx%d float64 cells: %w", n, m, err)
+	}
+	rows := make([][]float64, n)
+	vals := make([]float64, int(n)*int(m))
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(flat[8*i:]))
+	}
+	for i := range rows {
+		rows[i] = vals[i*int(m) : (i+1)*int(m) : (i+1)*int(m)]
+	}
+	return rows, nil
+}
+
+func writeBinaryPreds(w http.ResponseWriter, preds []int) {
+	out := make([]byte, 4+4*len(preds))
+	binary.LittleEndian.PutUint32(out, uint32(len(preds)))
+	for i, y := range preds {
+		binary.LittleEndian.PutUint32(out[4+4*i:], uint32(int32(y)))
+	}
+	w.Header().Set("Content-Type", ContentTypePreds)
+	w.Write(out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// --- prediction endpoints --------------------------------------------
+
+// handlePredict answers one row. Plain predictions join the coalescer,
+// so concurrent singles are served by one PredictBatch call from one
+// consistent model state; probability requests go straight to Proba
+// (they are not coalesced).
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	binaryReq := r.Header.Get("Content-Type") == ContentTypeRows
+	var x []float64
+	var wantProba bool
+	if binaryReq {
+		rows, err := decodeBinaryRows(body)
+		if err != nil {
+			http.Error(w, "bad binary rows: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(rows) != 1 {
+			http.Error(w, fmt.Sprintf("predict wants exactly one row, got %d (use /v1/predict_batch)", len(rows)), http.StatusBadRequest)
+			return
+		}
+		x = rows[0]
+	} else {
+		var req predictRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		x, wantProba = req.X, req.Proba
+	}
+	if err := s.validateRow(0, x); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if wantProba {
+		proba := s.scorer.Proba(x, nil)
+		y := argmax(proba)
+		s.served.Add(1)
+		writeJSON(w, predictResponse{Y: y, Proba: proba})
+		return
+	}
+	y, err := s.co.predict(r.Context(), x)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.served.Add(1)
+	if binaryReq {
+		writeBinaryPreds(w, []int{y})
+		return
+	}
+	writeJSON(w, predictResponse{Y: y})
+}
+
+func argmax(p []float64) int {
+	best, arg := math.Inf(-1), 0
+	for i, v := range p {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return arg
+}
+
+// handlePredictBatch answers a row matrix through one PredictBatch (or
+// ProbaBatch) call — one consistent model state for the whole batch.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	rows, wantProba, ok := s.readRows(w, r)
+	if !ok {
+		return
+	}
+	for i, row := range rows {
+		if err := s.validateRow(i, row); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if wantProba {
+		proba := s.scorer.ProbaBatch(rows, nil)
+		preds := make([]int, len(proba))
+		for i, p := range proba {
+			preds[i] = argmax(p)
+		}
+		s.served.Add(uint64(len(rows)))
+		writeJSON(w, batchResponse{Y: preds, Proba: proba})
+		return
+	}
+	preds := s.scorer.PredictBatch(rows, nil)
+	s.served.Add(uint64(len(rows)))
+	if r.Header.Get("Content-Type") == ContentTypeRows {
+		writeBinaryPreds(w, preds)
+		return
+	}
+	writeJSON(w, batchResponse{Y: preds})
+}
+
+// --- hot swap and envelope publishing --------------------------------
+
+// handleSwap streams a persist envelope (or a sharded per-replica
+// sequence) from the request body into the live scorer. Restore
+// validates everything before any state is touched and installs with
+// the scorer's own consistency guarantees, so concurrent reads never
+// fail and never see a half-swapped model.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := s.scorer.Restore(body); err != nil {
+		http.Error(w, "swap rejected: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.swaps.Add(1)
+	s.invalidateEnvelope()
+	v, _ := s.scorer.StructureVersion()
+	writeJSON(w, map[string]any{
+		"model":             s.scorer.Name(),
+		"structure_version": v,
+		"swaps":             s.swaps.Load(),
+	})
+}
+
+// invalidateEnvelope drops the cached envelope capture (after a swap:
+// the cache key is the structure version, which a restored model could
+// plausibly collide with).
+func (s *Server) invalidateEnvelope() {
+	s.envMu.Lock()
+	s.envRaw = nil
+	s.envMu.Unlock()
+}
+
+// envelope returns the scorer's current state as validated envelope
+// bytes plus the version they were captured at. Captures are cached by
+// structure version; models without one are re-captured per call with a
+// monotone capture counter as the version surrogate.
+func (s *Server) envelope() ([]byte, uint64, error) {
+	v, hasVersion := s.scorer.StructureVersion()
+	s.envMu.Lock()
+	defer s.envMu.Unlock()
+	if hasVersion && s.envRaw != nil && s.envVer == v {
+		return s.envRaw, s.envVer, nil
+	}
+	// The version is read before the capture, so a concurrent trainer
+	// can only make the cached bytes newer than their recorded version —
+	// a follower may then fetch one redundant envelope, never a stale
+	// one.
+	var buf bytes.Buffer
+	if err := s.scorer.Checkpoint(&buf); err != nil {
+		return nil, 0, err
+	}
+	s.envSeq++
+	if !hasVersion {
+		v = s.envSeq
+	}
+	s.envRaw, s.envVer = buf.Bytes(), v
+	return s.envRaw, s.envVer, nil
+}
+
+// handleEnvelope serves the trainer side of the replica-follow
+// protocol: the current model as envelope bytes, stamped with the
+// structure version. A client that passes ?version=N (its last
+// installed version) gets 304 Not Modified while the version still
+// equals N; with ?wait=DURATION the 304 is deferred — the handler long
+// polls until the version moves or the wait expires.
+func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	haveSince := false
+	if qs := q.Get("version"); qs != "" {
+		v, err := strconv.ParseUint(qs, 10, 64)
+		if err != nil {
+			http.Error(w, "bad version: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since, haveSince = v, true
+	}
+	var wait time.Duration
+	if qs := q.Get("wait"); qs != "" {
+		d, err := time.ParseDuration(qs)
+		if err != nil {
+			http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if d > s.cfg.LongPollMax {
+			d = s.cfg.LongPollMax
+		}
+		wait = d
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		cur, hasVersion := s.scorer.StructureVersion()
+		if !haveSince || !hasVersion || cur != since {
+			raw, v, err := s.envelope()
+			if err != nil {
+				http.Error(w, "capture failed: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", ContentTypeEnvelope)
+			w.Header().Set(ModelHeader, s.scorer.Name())
+			w.Header().Set(VersionHeader, strconv.FormatUint(v, 10))
+			w.Write(raw)
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.Header().Set(VersionHeader, strconv.FormatUint(cur, 10))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		// Poll-on-version: structural events are rare, a 50ms poll is
+		// invisible next to the publish cadence and keeps the handler
+		// free of cross-request condvar plumbing.
+		poll := 50 * time.Millisecond
+		if remaining < poll {
+			poll = remaining
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(poll):
+		}
+	}
+}
+
+// --- health and status -----------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// Status is the /statusz document (also returned by Status() for
+// in-process callers, e.g. the smoke driver).
+type Status struct {
+	Model               string        `json:"model"`
+	Schema              stream.Schema `json:"schema"`
+	StructureVersion    uint64        `json:"structure_version"`
+	HasStructureVersion bool          `json:"has_structure_version"`
+	Publishes           uint64        `json:"publishes,omitempty"`
+	ServedRows          uint64        `json:"served_rows"`
+	CoalescedBatches    uint64        `json:"coalesced_batches"`
+	CoalescedRows       uint64        `json:"coalesced_rows"`
+	Rejected            uint64        `json:"rejected"`
+	Swaps               uint64        `json:"swaps"`
+	QueueDepth          int           `json:"queue_depth"`
+	MaxInFlight         int           `json:"max_in_flight"`
+	MaxBatch            int           `json:"max_batch"`
+	CoalesceWindowMS    float64       `json:"coalesce_window_ms"`
+	UptimeSeconds       float64       `json:"uptime_seconds"`
+}
+
+// Status collects the live serving metadata.
+func (s *Server) Status() Status {
+	v, hasV := s.scorer.StructureVersion()
+	st := Status{
+		Model:               s.scorer.Name(),
+		Schema:              s.scorer.Schema(),
+		StructureVersion:    v,
+		HasStructureVersion: hasV,
+		ServedRows:          s.served.Load(),
+		CoalescedBatches:    s.co.batches.Load(),
+		CoalescedRows:       s.co.rows.Load(),
+		Rejected:            s.rejected.Load(),
+		Swaps:               s.swaps.Load(),
+		QueueDepth:          len(s.inflight),
+		MaxInFlight:         s.cfg.MaxInFlight,
+		MaxBatch:            s.cfg.MaxBatch,
+		CoalesceWindowMS:    float64(s.cfg.CoalesceWindow) / float64(time.Millisecond),
+		UptimeSeconds:       time.Since(s.started).Seconds(),
+	}
+	if snap, ok := s.scorer.(*serve.SnapshotScorer); ok {
+		st.Publishes = snap.Publishes()
+	}
+	return st
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Status())
+}
+
+// Envelope exposes the cached capture path for in-process publishers
+// (the trainer example pre-warms the cache with it).
+func (s *Server) Envelope() ([]byte, uint64, error) { return s.envelope() }
+
+// LoadEnvelope is a convenience for tests and tools: parse raw envelope
+// bytes back into a classifier.
+func LoadEnvelope(raw []byte) (any, error) { return persist.Load(bytes.NewReader(raw)) }

@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/server"
+)
+
+// The network serving tier: an HTTP prediction service over any Scorer,
+// plus the trainer→replica envelope-streaming protocol. See
+// internal/server for the endpoint contract; cmd/dmtserve is the
+// ready-made binary, examples/serving the two-process demo.
+type (
+	// PredictionServer serves /v1/predict, /v1/predict_batch, /v1/swap,
+	// /v1/envelope, /healthz and /statusz for one Scorer, coalescing
+	// concurrent single-row requests into batch predictions and shedding
+	// load beyond its in-flight bound with 429 + Retry-After.
+	PredictionServer = server.Server
+	// ServerConfig tunes coalescing (window, max batch), admission
+	// control (max in-flight, retry hint) and body/long-poll limits. The
+	// zero value is production-sane.
+	ServerConfig = server.Config
+	// ServerStatus is the /statusz document.
+	ServerStatus = server.Status
+	// FollowConfig tunes a replica's envelope-follow loop (poll
+	// interval, long-poll duration).
+	FollowConfig = server.FollowConfig
+)
+
+// NewPredictionServer wraps a Scorer in an HTTP prediction service. The
+// returned server exposes Handler() for mounting into any mux; callers
+// own the http.Server. Close it when retiring the scorer.
+func NewPredictionServer(s Scorer, cfg ServerConfig) *PredictionServer {
+	return server.New(s, cfg)
+}
+
+// ListenAndServe serves prediction traffic for s on addr until the
+// context is cancelled, then drains with a graceful shutdown. The
+// scorer may keep learning concurrently; /v1/swap and the envelope
+// endpoint make the process a drop-in trainer for replica fleets.
+func ListenAndServe(ctx context.Context, addr string, s Scorer, cfg ServerConfig) error {
+	ps := NewPredictionServer(s, cfg)
+	defer ps.Close()
+	hs := &http.Server{Addr: addr, Handler: ps.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		return ctx.Err()
+	}
+}
+
+// Follow runs a replica's pull loop against a trainer's /v1/envelope
+// endpoint until ctx is cancelled: whenever the trainer's structure
+// version moves past the last installed one, the new envelope is
+// streamed into s via Restore — reads served from s never fail during
+// an install.
+func Follow(ctx context.Context, trainerURL string, s Scorer, cfg FollowConfig) error {
+	return server.Follow(ctx, trainerURL, s, cfg)
+}
+
+// BootstrapScorer fetches the trainer's current envelope once and
+// builds a local Scorer from it — how a stateless replica starts with
+// no model of its own. Sharded checkpoints reconstruct a sharded
+// scorer; publishEvery sets the snapshot publish cadence of the
+// reconstructed scorer(s).
+func BootstrapScorer(ctx context.Context, trainerURL string, publishEvery int) (Scorer, uint64, error) {
+	return server.Bootstrap(ctx, nil, trainerURL, publishEvery)
+}
+
+// ScorerFromCheckpoint reconstructs a Scorer from checkpoint bytes
+// written by any Scorer's Checkpoint — the single envelope of a locked
+// or snapshot scorer, or the counted per-shard sequence of a sharded
+// one.
+func ScorerFromCheckpoint(r io.Reader, publishEvery int) (Scorer, error) {
+	return serve.FromCheckpoint(r, publishEvery)
+}

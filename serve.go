@@ -28,6 +28,17 @@ func NextWithContext(ctx context.Context, s Stream) (Instance, error) {
 	return stream.NextWithContext(ctx, s)
 }
 
+// NextBatch draws up to n instances from s into a fresh batch, returning
+// ErrEndOfStream only when nothing at all could be drawn — the building
+// block of hand-rolled training loops (see cmd/dmtserve).
+func NextBatch(s Stream, n int) (Batch, error) { return stream.NextBatch(s, n) }
+
+// NextBatchContext is NextBatch with cancellation checked before every
+// instance; a cancelled context drops the partial batch.
+func NextBatchContext(ctx context.Context, s Stream, n int) (Batch, error) {
+	return stream.NextBatchContext(ctx, s, n)
+}
+
 // Experiment cells and the concurrent Runner.
 type (
 	// Cell is one self-contained experiment cell (model × stream × seed).
