@@ -15,16 +15,23 @@
 # prediction server under live training, a few hundred requests across
 # both endpoints with one hot model swap mid-traffic, zero tolerated
 # errors.
+# `make chaos-smoke` runs the fault-tolerance self-test: a replica
+# follows an in-process trainer through ~35% seeded injected faults
+# (drops, resets, 5xx/429, truncated envelopes) and must converge to
+# the trainer's final envelope version while a prediction hammer on the
+# replica tolerates zero errors.
 
 GO ?= go
 BENCH_TXT ?= /tmp/repro_bench_current.txt
 BENCHTIME ?= 1s
+CHAOS_SPEC ?= drop@0.15,reset@0.05,status=503@0.05,status=429@0.02,truncate=512@0.1
+CHAOS_SEED ?= 7
 
-.PHONY: all ci vet build test race bench bench-all serve-smoke fmt
+.PHONY: all ci vet build test race bench bench-all serve-smoke chaos-smoke fmt
 
 all: ci
 
-ci: vet build test race serve-smoke
+ci: vet build test race serve-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +57,9 @@ bench-all:
 
 serve-smoke:
 	$(GO) run ./cmd/dmtserve -smoke
+
+chaos-smoke:
+	$(GO) run ./cmd/dmtserve -smoke -chaos '$(CHAOS_SPEC)' -chaos-seed $(CHAOS_SEED)
 
 fmt:
 	gofmt -l .

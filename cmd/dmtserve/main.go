@@ -18,6 +18,19 @@
 // -smoke runs a self-test instead of serving: an in-process trainer, a
 // few hundred mixed requests including a hot swap mid-traffic, exit 0
 // only if every request succeeded (wired into `make serve-smoke`).
+//
+// -chaos injects deterministic faults from a seeded spec, e.g.
+//
+//	dmtserve -addr :8081 -follow http://localhost:8080 \
+//	    -chaos 'drop@0.2,reset@0.1,status=503@0.1' -chaos-seed 7
+//
+// In replica mode the faults hit the client side (every fetch to the
+// trainer); in trainer mode they hit the accept path (connections
+// dropped, delayed, or cut mid-response). Combined with -smoke it runs
+// the chaos self-test: a replica following a trainer through ~30%
+// injected faults must converge to the trainer's final envelope version
+// while a prediction hammer on the replica tolerates zero errors
+// (wired into `make chaos-smoke`).
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -57,6 +71,13 @@ func main() {
 		maxBatch  = flag.Int("maxbatch", 64, "max rows per coalesced batch")
 		inflight  = flag.Int("inflight", 256, "max in-flight prediction requests before 429")
 		smoke     = flag.Bool("smoke", false, "run the self-test and exit")
+		chaosSpec = flag.String("chaos", "", "fault-injection spec, e.g. 'drop@0.2,reset@0.1,status=503@0.1,truncate=256@0.1'")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (same seed + traffic order = same faults)")
+		replicaID = flag.String("id", "", "replica identity announced to the trainer registry (default replica-<pid>)")
+		advertise = flag.String("advertise", "", "URL this replica announces for itself (default http://localhost<addr>)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "replica registry heartbeat interval")
+		regTTL    = flag.Duration("registry-ttl", 3*time.Second, "trainer registry heartbeat TTL")
+		maxLag    = flag.Uint64("max-version-lag", 0, "health-gate replicas more than N envelope versions behind (0 = off)")
 	)
 	flag.Parse()
 
@@ -64,13 +85,33 @@ func main() {
 		CoalesceWindow: *window,
 		MaxBatch:       *maxBatch,
 		MaxInFlight:    *inflight,
+		Registry:       repro.RegistryConfig{TTL: *regTTL, MaxVersionLag: *maxLag},
+	}
+
+	var chaos *repro.FaultInjector
+	if *chaosSpec != "" {
+		rules, err := repro.ParseFaults(*chaosSpec)
+		if err != nil {
+			fail(err)
+		}
+		chaos = repro.NewFaultInjector(*chaosSeed, rules...)
 	}
 
 	if *smoke {
-		if err := runSmoke(cfg); err != nil {
+		var err error
+		if chaos != nil {
+			err = runChaosSmoke(cfg, chaos)
+		} else {
+			err = runSmoke(cfg)
+		}
+		if err != nil {
 			fail(err)
 		}
-		fmt.Println("dmtserve: smoke test passed")
+		if chaos != nil {
+			fmt.Println("dmtserve: chaos smoke test passed")
+		} else {
+			fmt.Println("dmtserve: smoke test passed")
+		}
 		return
 	}
 
@@ -78,16 +119,28 @@ func main() {
 	defer stop()
 
 	if *follow != "" {
-		runReplica(ctx, *addr, *follow, *publish, *interval, *wait, cfg)
+		id := *replicaID
+		if id == "" {
+			id = fmt.Sprintf("replica-%d", os.Getpid())
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://localhost" + *addr
+		}
+		runReplica(ctx, replicaOpts{
+			addr: *addr, trainerURL: *follow, id: id, advertise: adv,
+			publish: *publish, interval: *interval, wait: *wait,
+			heartbeat: *heartbeat, cfg: cfg, chaos: chaos,
+		})
 		return
 	}
-	runTrainer(ctx, *addr, *modelName, *dsName, *ckptPath, *scale, *seed, *batch, *shards, *publish, cfg)
+	runTrainer(ctx, *addr, *modelName, *dsName, *ckptPath, *scale, *seed, *batch, *shards, *publish, cfg, chaos)
 }
 
 // runTrainer serves while a training loop feeds the scorer; the stream
 // is replayed from the start whenever it runs dry, so the process keeps
 // learning (and keeps publishing envelopes) for as long as it lives.
-func runTrainer(ctx context.Context, addr, modelName, dsName, ckptPath string, scale float64, seed int64, batchSize, shards, publish int, cfg repro.ServerConfig) {
+func runTrainer(ctx context.Context, addr, modelName, dsName, ckptPath string, scale float64, seed int64, batchSize, shards, publish int, cfg repro.ServerConfig, chaos *repro.FaultInjector) {
 	entry, err := repro.DatasetByName(dsName)
 	if err != nil {
 		fail(err)
@@ -141,33 +194,111 @@ func runTrainer(ctx context.Context, addr, modelName, dsName, ckptPath string, s
 	}()
 
 	fmt.Fprintf(os.Stderr, "dmtserve: trainer serving %s on %s (dataset %s)\n", scorer.Name(), addr, dsName)
-	if err := repro.ListenAndServe(ctx, addr, scorer, cfg); err != nil && !errors.Is(err, context.Canceled) {
+	ps := repro.NewPredictionServer(scorer, cfg)
+	defer ps.Close()
+	var ln net.Listener
+	if chaos != nil {
+		// Trainer-side chaos faults the accept path: connections are
+		// dropped, delayed, or cut mid-response before any handler
+		// runs — what replicas see when the trainer's host misbehaves.
+		raw, err := net.Listen("tcp", addr)
+		if err != nil {
+			fail(err)
+		}
+		ln = chaos.Listener(raw)
+		fmt.Fprintf(os.Stderr, "dmtserve: trainer listener under chaos: %s\n", chaos)
+	}
+	if err := repro.ServePrediction(ctx, addr, ps, ln); err != nil && !errors.Is(err, context.Canceled) {
 		fail(err)
 	}
 }
 
+type replicaOpts struct {
+	addr       string
+	trainerURL string
+	id         string
+	advertise  string
+	publish    int
+	interval   time.Duration
+	wait       time.Duration
+	heartbeat  time.Duration
+	cfg        repro.ServerConfig
+	chaos      *repro.FaultInjector
+}
+
 // runReplica bootstraps a scorer from the trainer's envelope, serves
 // it, and follows the trainer so every structural advance is installed
-// with zero read downtime.
-func runReplica(ctx context.Context, addr, trainerURL string, publish int, interval, wait time.Duration, cfg repro.ServerConfig) {
-	scorer, v, err := repro.BootstrapScorer(ctx, trainerURL, publish)
-	if err != nil {
-		fail(fmt.Errorf("bootstrap from %s: %w", trainerURL, err))
+// with zero read downtime. The follow loop is the resilient client:
+// backoff with jitter, a circuit breaker against a down trainer,
+// per-cause error counters surfaced in the logs, drain-on-install
+// readiness, staleness stamping, and registry heartbeats so the
+// trainer's /v1/replicas health-gates this replica.
+func runReplica(ctx context.Context, o replicaOpts) {
+	var transport http.RoundTripper
+	if o.chaos != nil {
+		transport = o.chaos.RoundTripper(nil)
+		fmt.Fprintf(os.Stderr, "dmtserve: replica client under chaos: %s\n", o.chaos)
 	}
-	fmt.Fprintf(os.Stderr, "dmtserve: replica bootstrapped %s at version %d from %s\n", scorer.Name(), v, trainerURL)
+	client := &http.Client{Timeout: o.wait + 30*time.Second, Transport: transport}
 
-	go repro.Follow(ctx, trainerURL, scorer, repro.FollowConfig{
-		Interval: interval,
-		Wait:     wait,
+	// Bootstrap with retries: a trainer mid-restart (or injected chaos)
+	// must not kill a replica before it ever serves.
+	var scorer repro.Scorer
+	var v uint64
+	for attempt := 0; ; attempt++ {
+		var err error
+		scorer, v, err = repro.BootstrapScorerWith(ctx, client, o.trainerURL, o.publish)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || attempt >= 9 {
+			fail(fmt.Errorf("bootstrap from %s: %w", o.trainerURL, err))
+		}
+		delay := time.Duration(attempt+1) * 500 * time.Millisecond
+		fmt.Fprintf(os.Stderr, "dmtserve: bootstrap attempt %d failed (%v), retrying in %v\n", attempt+1, err, delay)
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-time.After(delay):
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dmtserve: replica bootstrapped %s at version %d from %s\n", scorer.Name(), v, o.trainerURL)
+
+	ps := repro.NewPredictionServer(scorer, o.cfg)
+	defer ps.Close()
+	f := repro.NewFollower(o.trainerURL, scorer, repro.FollowConfig{
+		Interval:  o.interval,
+		Wait:      o.wait,
+		Transport: transport,
+		Drainer:   ps, // not-ready while an envelope installs
 		OnInstall: func(v uint64) {
 			fmt.Fprintf(os.Stderr, "dmtserve: installed envelope at version %d\n", v)
 		},
+		OnError: func(cause repro.FollowCause, err error) {
+			fmt.Fprintf(os.Stderr, "dmtserve: follow %s error: %v\n", cause, err)
+		},
+		OnStateChange: func(from, to repro.BreakerState) {
+			fmt.Fprintf(os.Stderr, "dmtserve: trainer breaker %s -> %s\n", from, to)
+		},
+	})
+	ps.SetStalenessSource(f) // degraded responses carry X-Repro-Staleness
+	go f.Run(ctx)
+	go repro.RunHeartbeats(ctx, nil, o.trainerURL, o.heartbeat, func() repro.ReplicaAnnounce {
+		iv, hasV := f.InstalledVersion()
+		return repro.ReplicaAnnounce{
+			ID: o.id, URL: o.advertise,
+			Version: iv, HasVersion: hasV,
+			Ready: ps.Ready(),
+		}
 	})
 
-	fmt.Fprintf(os.Stderr, "dmtserve: replica serving %s on %s\n", scorer.Name(), addr)
-	if err := repro.ListenAndServe(ctx, addr, scorer, cfg); err != nil && !errors.Is(err, context.Canceled) {
+	fmt.Fprintf(os.Stderr, "dmtserve: replica %s serving %s on %s\n", o.id, scorer.Name(), o.addr)
+	if err := repro.ServePrediction(ctx, o.addr, ps, nil); err != nil && !errors.Is(err, context.Canceled) {
 		fail(err)
 	}
+	st := f.Stats()
+	fmt.Fprintf(os.Stderr, "dmtserve: follow stats: %d fetches, %d installs, %d retries, errors dial=%d timeout=%d status=%d decode=%d restore=%d, breaker opened %d times\n",
+		st.Fetches, st.Installs, st.Retries, st.DialErrors, st.TimeoutErrors, st.StatusErrors, st.DecodeErrors, st.RestoreErrors, st.BreakerOpens)
 }
 
 // runSmoke is the CI self-test: an in-process trainer under live
@@ -296,6 +427,168 @@ func runSmoke(cfg repro.ServerConfig) error {
 	}
 	fmt.Fprintf(os.Stderr, "dmtserve: smoke served %d rows in %d coalesced batches, %d rejected, 1 swap\n",
 		st.ServedRows, st.CoalescedBatches, st.Rejected)
+	return nil
+}
+
+// runChaosSmoke is the fault-tolerance self-test: a replica follows an
+// in-process trainer through the injected fault spec, a prediction
+// hammer runs against the replica with zero tolerated errors, and the
+// run only passes if faults actually fired, the breaker machinery saw
+// them, and the replica converged to the trainer's final envelope
+// version.
+func runChaosSmoke(cfg repro.ServerConfig, chaos *repro.FaultInjector) error {
+	entry, err := repro.DatasetByName("SEA")
+	if err != nil {
+		return err
+	}
+	strm := entry.New(0.05, 1)
+	trainer, err := repro.Serve("VFDT (MC)", strm.Schema(), repro.WithServeModelOptions(repro.WithSeed(1)))
+	if err != nil {
+		return err
+	}
+	learn := func(batches int) error {
+		for i := 0; i < batches; i++ {
+			b, err := repro.NextBatch(strm, 100)
+			if errors.Is(err, repro.ErrEndOfStream) {
+				strm.Reset()
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			trainer.Learn(b)
+		}
+		return nil
+	}
+	if err := learn(100); err != nil {
+		return err
+	}
+
+	trainerPS := repro.NewPredictionServer(trainer, cfg)
+	defer trainerPS.Close()
+	trainerTS := httptest.NewServer(trainerPS.Handler())
+	defer trainerTS.Close()
+
+	// Every replica-side request runs through the injector.
+	transport := chaos.RoundTripper(nil)
+	client := &http.Client{Timeout: 5 * time.Second, Transport: transport}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var replica repro.Scorer
+	for attempt := 0; ; attempt++ {
+		var err error
+		replica, _, err = repro.BootstrapScorerWith(ctx, client, trainerTS.URL, 1)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			return fmt.Errorf("bootstrap never survived the chaos: %w", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	replicaPS := repro.NewPredictionServer(replica, cfg)
+	defer replicaPS.Close()
+	f := repro.NewFollower(trainerTS.URL, replica, repro.FollowConfig{
+		Interval:         5 * time.Millisecond,
+		Timeout:          5 * time.Second,
+		Transport:        transport,
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       100 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  100 * time.Millisecond,
+		Drainer:          replicaPS,
+	})
+	replicaPS.SetStalenessSource(f)
+	followCtx, stopFollow := context.WithCancel(ctx)
+	defer stopFollow()
+	followDone := make(chan struct{})
+	go func() { defer close(followDone); f.Run(followCtx) }()
+	replicaTS := httptest.NewServer(replicaPS.Handler())
+	defer replicaTS.Close()
+
+	// Hammer the replica while the trainer advances under chaos: zero
+	// tolerated prediction errors — fault tolerance means degraded,
+	// never down.
+	probe, err := repro.NextBatch(strm, 16)
+	if err != nil {
+		return err
+	}
+	hammerStop := make(chan struct{})
+	var reads, readFailures atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-hammerStop:
+					return
+				default:
+				}
+				body, _ := json.Marshal(map[string]any{"x": probe.X[(w+i)%len(probe.X)]})
+				resp, err := http.Post(replicaTS.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					readFailures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					readFailures.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				reads.Add(1)
+			}
+		}(w)
+	}
+
+	// Keep training so envelope versions move while faults fire, then
+	// freeze the trainer and require convergence to its final version.
+	if err := learn(200); err != nil {
+		return err
+	}
+	// Let chaos traffic accumulate until every rule has had real
+	// chances to fire. Time-bounded: an injected 429 carries a 1s
+	// Retry-After that the follower honours, throttling the poll loop
+	// to ~1 request/second while the storm lasts.
+	trafficDeadline := time.Now().Add(20 * time.Second)
+	for chaos.Seen() < 120 && time.Now().Before(trafficDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	finalV, _ := trainer.StructureVersion()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if v, ok := f.InstalledVersion(); ok && v == finalV {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica never converged to trainer version %d: %+v", finalV, f.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(hammerStop)
+	wg.Wait()
+	stopFollow()
+	<-followDone
+
+	st := f.Stats()
+	if n := readFailures.Load(); n != 0 {
+		return fmt.Errorf("%d of %d replica reads failed under chaos", n, reads.Load())
+	}
+	if reads.Load() == 0 {
+		return fmt.Errorf("prediction hammer never ran")
+	}
+	if chaos.InjectedTotal() == 0 {
+		return fmt.Errorf("no faults fired (%d requests seen) — the smoke proved nothing", chaos.Seen())
+	}
+	if st.Errors() == 0 {
+		return fmt.Errorf("faults fired but the follower counted no errors: %+v", st)
+	}
+	fmt.Fprintf(os.Stderr, "dmtserve: chaos smoke: %d faults over %d requests (%s), %d reads ok, converged at version %d; follow errors dial=%d timeout=%d status=%d decode=%d restore=%d, %d breaker opens\n",
+		chaos.InjectedTotal(), chaos.Seen(), chaos, reads.Load(), finalV,
+		st.DialErrors, st.TimeoutErrors, st.StatusErrors, st.DecodeErrors, st.RestoreErrors, st.BreakerOpens)
 	return nil
 }
 

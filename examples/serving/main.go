@@ -201,6 +201,129 @@ func networkDemo() {
 	readWG.Wait()
 	fmt.Printf("trainer advanced to version %d; replica installed version %d hot, %d reads served with zero downtime\n",
 		vTrainer, vReplica, replicaReads.Load())
+
+	faultToleranceDemo()
+}
+
+// faultToleranceDemo shows graceful degradation through a trainer
+// outage: a replica follows a trainer through a fault-injecting
+// transport whose schedule window stages a total partition. The
+// follower's circuit breaker opens (no more hammering a dead trainer),
+// the replica keeps serving its last installed snapshot while
+// reporting nonzero staleness, and once the window closes the
+// half-open probe readmits the trainer and the replica reconverges.
+// In production the same wiring is `dmtserve -follow ... -chaos
+// 'drop@1'` for drills, minus the chaos for real deployments.
+func faultToleranceDemo() {
+	gen := repro.NewSEA(60_000, 0.1, 9)
+	trainer := repro.MustServe("VFDT (MC)", gen.Schema(),
+		repro.WithServeModelOptions(repro.WithSeed(9)))
+	for i := 0; i < 200; i++ {
+		b, err := nextBatch(gen, 100)
+		if err != nil {
+			break
+		}
+		trainer.Learn(b)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainerPS := repro.NewPredictionServer(trainer, repro.ServerConfig{})
+	defer trainerPS.Close()
+	hs := &http.Server{Handler: trainerPS.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	trainerURL := "http://" + ln.Addr().String()
+
+	// Deterministic outage: requests 3..22 to the trainer are dropped
+	// on the floor — a 20-request partition, same schedule every run.
+	chaos := repro.NewFaultInjector(1, repro.FaultRule{Kind: repro.FaultDrop, P: 1, After: 3, Until: 23})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	replica, _, err := repro.BootstrapScorer(ctx, trainerURL, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replicaPS := repro.NewPredictionServer(replica, repro.ServerConfig{})
+	defer replicaPS.Close()
+
+	var evMu sync.Mutex
+	var breakerEvents []string
+	follower := repro.NewFollower(trainerURL, replica, repro.FollowConfig{
+		Interval:         10 * time.Millisecond,
+		Transport:        chaos.RoundTripper(nil),
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  100 * time.Millisecond,
+		Drainer:          replicaPS,
+		// The callback must not block: it runs inside the breaker's
+		// transition path.
+		OnStateChange: func(from, to repro.BreakerState) {
+			evMu.Lock()
+			breakerEvents = append(breakerEvents, fmt.Sprintf("%s -> %s", from, to))
+			evMu.Unlock()
+		},
+	})
+	replicaPS.SetStalenessSource(follower)
+	go follower.Run(ctx)
+
+	// Reads flow through the whole outage.
+	var reads atomic.Int64
+	readStop := make(chan struct{})
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		row := []float64{5, 5, 5}
+		for {
+			select {
+			case <-readStop:
+				return
+			default:
+				replica.Predict(row)
+				reads.Add(1)
+			}
+		}
+	}()
+
+	// Wait for the partition to trip the breaker, and report what a
+	// degraded replica looks like from the outside.
+	deadline := time.After(10 * time.Second)
+	for follower.State() == repro.BreakerClosed {
+		select {
+		case <-deadline:
+			log.Fatal("breaker never opened")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	lag, degraded := follower.Staleness()
+	health := replicaPS.Health()
+	fmt.Printf("partition: breaker %s, degraded=%v (staleness %v), /healthz live=%v ready=%v degraded=%v — still serving\n",
+		follower.State(), degraded, lag.Round(time.Millisecond), health.Live, health.Ready, health.Degraded)
+
+	// The outage window closes after 20 dropped requests; the half-open
+	// probe readmits the trainer and the breaker closes again.
+	deadline = time.After(20 * time.Second)
+	for follower.State() != repro.BreakerClosed {
+		select {
+		case <-deadline:
+			log.Fatal("breaker never closed after the outage window")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(readStop)
+	readWG.Wait()
+	st := follower.Stats()
+	evMu.Lock()
+	first, last := breakerEvents[0], breakerEvents[len(breakerEvents)-1]
+	n := len(breakerEvents)
+	evMu.Unlock()
+	fmt.Printf("healed: %d breaker transitions (%s ... %s), circuit opened %d times; %d reads served across the outage, %d fetch errors absorbed (%d retries)\n",
+		n, first, last, st.BreakerOpens, reads.Load(), st.Errors(), st.Retries)
 }
 
 // nextBatch pulls up to n instances into one batch.

@@ -1,0 +1,485 @@
+// Package faults is a deterministic fault-injection harness for the
+// network serving tier: a seedable Injector that wraps an
+// http.RoundTripper (client side) or a net.Listener (server side) and
+// injects failures from a fixed rule set — dropped connections,
+// connection resets, added latency, synthesized 5xx/429 responses and
+// truncated bodies — with per-rule probability and an optional
+// request-count schedule (an outage window).
+//
+// Determinism is the point: the Injector draws every probability coin
+// from one seeded source in request order, and a rule's schedule is
+// keyed to its own matching-request counter, so a test (or `dmtserve
+// -chaos`) replays the exact same fault sequence for the same seed and
+// traffic order. Injected errors implement net.Error, so clients
+// classify them exactly like real network failures.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a fault class.
+type Kind int
+
+const (
+	// Drop fails the request as if the dial never connected.
+	Drop Kind = iota
+	// Reset fails the request as if the peer reset the connection
+	// (listener side: the accepted connection is cut after KeepBytes
+	// written, with SO_LINGER 0 so TCP sends a real RST).
+	Reset
+	// Delay holds the request for Rule.Delay before forwarding it.
+	Delay
+	// Status short-circuits with a synthesized Rule.Status response
+	// (e.g. 503, or a 429 carrying a Retry-After hint).
+	Status
+	// Truncate forwards the request but cuts the response body after
+	// Rule.KeepBytes — the checkpoint-envelope corruption case: the
+	// client sees a complete-looking but short body, which the persist
+	// layer's framing/CRC must reject.
+	Truncate
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Reset:
+		return "reset"
+	case Delay:
+		return "delay"
+	case Status:
+		return "status"
+	case Truncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule is one fault class with its probability and schedule. The zero
+// schedule applies to every matching request; After/Until restrict the
+// rule to matching requests [After, Until) in arrival order (Until 0 =
+// unbounded), which is how tests stage a deterministic outage window.
+type Rule struct {
+	// Kind is the fault class.
+	Kind Kind
+	// P is the injection probability in [0, 1].
+	P float64
+	// Delay is the added latency of a Delay rule.
+	Delay time.Duration
+	// Status is the synthesized status code of a Status rule.
+	Status int
+	// RetryAfter, when positive on a Status rule, stamps the response
+	// with a Retry-After header (whole seconds, rounded up).
+	RetryAfter time.Duration
+	// KeepBytes is how much of the body a Truncate (or listener-side
+	// Reset) lets through before cutting.
+	KeepBytes int
+	// PathPrefix restricts a client-side rule to request paths with
+	// this prefix ("" matches everything; listener-side decisions have
+	// no path, so prefixed rules never fire there).
+	PathPrefix string
+	// After and Until bound the rule to matching requests [After,
+	// Until) in arrival order; Until 0 means no upper bound.
+	After, Until int
+}
+
+// Injector decides, per request (or per accepted connection), whether
+// one of its rules fires. Decisions consume one random draw per
+// matching rule whether or not it fires, so the fault sequence is a
+// pure function of the seed and the traffic order. Safe for concurrent
+// use; concurrent traffic is serialised at the decision point.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []Rule
+	matched []int // per-rule matching-request counters (the schedule cursor)
+
+	seen     atomic.Uint64
+	injected [numKinds]atomic.Uint64
+}
+
+// New builds an Injector over the rules with a seeded random source.
+func New(seed int64, rules ...Rule) *Injector {
+	rs := make([]Rule, len(rules))
+	copy(rs, rules)
+	for i := range rs {
+		rs[i].P = math.Min(math.Max(rs[i].P, 0), 1)
+	}
+	return &Injector{
+		rng:     rand.New(rand.NewSource(seed)),
+		rules:   rs,
+		matched: make([]int, len(rs)),
+	}
+}
+
+// NewFromSpec is New over Parse(spec).
+func NewFromSpec(seed int64, spec string) (*Injector, error) {
+	rules, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rules...), nil
+}
+
+// decide returns the first rule that fires for this request, consuming
+// one coin per matching rule regardless of outcome.
+func (in *Injector) decide(path string) (Rule, bool) {
+	in.seen.Add(1)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	fired, hit := Rule{}, false
+	for i, r := range in.rules {
+		if r.PathPrefix != "" && !strings.HasPrefix(path, r.PathPrefix) {
+			continue
+		}
+		n := in.matched[i]
+		in.matched[i]++
+		coin := in.rng.Float64()
+		if hit {
+			continue // coin consumed; a rule already fired
+		}
+		if n < r.After || (r.Until > 0 && n >= r.Until) {
+			continue
+		}
+		if coin < r.P {
+			fired, hit = r, true
+			in.injected[r.Kind].Add(1)
+		}
+	}
+	return fired, hit
+}
+
+// Seen returns how many requests/connections were inspected.
+func (in *Injector) Seen() uint64 { return in.seen.Load() }
+
+// Injected returns how many faults of kind k were injected.
+func (in *Injector) Injected(k Kind) uint64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return in.injected[k].Load()
+}
+
+// InjectedTotal returns the total injected fault count across kinds.
+func (in *Injector) InjectedTotal() uint64 {
+	var total uint64
+	for k := Kind(0); k < numKinds; k++ {
+		total += in.injected[k].Load()
+	}
+	return total
+}
+
+// String summarises traffic and injections, e.g. for a -chaos exit log.
+func (in *Injector) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: %d/%d injected", in.InjectedTotal(), in.Seen())
+	for k := Kind(0); k < numKinds; k++ {
+		if n := in.injected[k].Load(); n > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, n)
+		}
+	}
+	return b.String()
+}
+
+// Error is an injected failure. It implements net.Error so transport
+// users classify it like a real network failure.
+type Error struct {
+	What Kind
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "faults: injected " + e.What.String() }
+
+// Timeout implements net.Error (injected drops/resets are not timeouts;
+// timeouts arise naturally from Delay rules against client deadlines).
+func (e *Error) Timeout() bool { return false }
+
+// Temporary implements net.Error.
+func (e *Error) Temporary() bool { return true }
+
+var _ net.Error = (*Error)(nil)
+
+// --- client side: RoundTripper ---------------------------------------
+
+// RoundTripper wraps next (nil = http.DefaultTransport) with fault
+// injection on every outgoing request.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &roundTripper{in: in, next: next}
+}
+
+// Client is a convenience: an *http.Client with an injecting transport.
+func (in *Injector) Client(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout, Transport: in.RoundTripper(nil)}
+}
+
+type roundTripper struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	r, ok := rt.in.decide(req.URL.Path)
+	if !ok {
+		return rt.next.RoundTrip(req)
+	}
+	switch r.Kind {
+	case Drop:
+		closeBody(req)
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: &Error{What: Drop}}
+	case Reset:
+		closeBody(req)
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: &Error{What: Reset}}
+	case Delay:
+		t := time.NewTimer(r.Delay)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			closeBody(req)
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+		return rt.next.RoundTrip(req)
+	case Status:
+		closeBody(req)
+		h := make(http.Header)
+		h.Set("Content-Type", "text/plain; charset=utf-8")
+		if r.RetryAfter > 0 {
+			h.Set("Retry-After", strconv.Itoa(ceilSeconds(r.RetryAfter)))
+		}
+		body := fmt.Sprintf("faults: injected status %d\n", r.Status)
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+			StatusCode:    r.Status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Truncate:
+		resp, err := rt.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		// Present a complete-looking but short body: the length header
+		// is dropped so the client reads KeepBytes and a clean EOF, and
+		// the payload's own framing/CRC must catch the damage.
+		resp.Header.Del("Content-Length")
+		resp.ContentLength = -1
+		resp.Body = &truncatedBody{rc: resp.Body, remain: r.KeepBytes}
+		return resp, nil
+	}
+	return rt.next.RoundTrip(req)
+}
+
+// closeBody honours the RoundTripper contract: the request body is
+// always closed, even when the transport fails before sending it.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+func ceilSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// truncatedBody serves the first remain bytes of rc, then a clean EOF.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > t.remain {
+		p = p[:t.remain]
+	}
+	n, err := t.rc.Read(p)
+	t.remain -= n
+	if t.remain <= 0 && err == nil {
+		err = io.EOF
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }
+
+// --- server side: Listener -------------------------------------------
+
+// Listener wraps ln with per-connection fault injection: Drop closes
+// the accepted connection immediately, Delay stalls the accept, Reset
+// and Truncate cut the connection after KeepBytes written (Reset with
+// SO_LINGER 0, so the peer sees a TCP RST). Status rules never fire at
+// this layer.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		r, ok := l.in.decide("")
+		if !ok {
+			return c, nil
+		}
+		switch r.Kind {
+		case Drop:
+			c.Close()
+			continue
+		case Delay:
+			time.Sleep(r.Delay)
+			return c, nil
+		case Reset:
+			return &cutConn{Conn: c, remain: r.KeepBytes, rst: true}, nil
+		case Truncate:
+			return &cutConn{Conn: c, remain: r.KeepBytes}, nil
+		default:
+			return c, nil
+		}
+	}
+}
+
+// cutConn lets remain bytes through each direction's write side, then
+// cuts the connection (with an RST when rst is set).
+type cutConn struct {
+	net.Conn
+	mu     sync.Mutex
+	remain int
+	rst    bool
+	done   bool
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return 0, &Error{What: Reset}
+	}
+	if len(p) <= c.remain {
+		c.remain -= len(p)
+		return c.Conn.Write(p)
+	}
+	n, _ := c.Conn.Write(p[:c.remain])
+	c.remain, c.done = 0, true
+	if c.rst {
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+	c.Conn.Close()
+	return n, &Error{What: Reset}
+}
+
+// --- spec parsing (-chaos) -------------------------------------------
+
+// Parse compiles a chaos spec into rules. The grammar is a
+// comma-separated list of clauses:
+//
+//	drop@P           drop the connection with probability P
+//	reset@P          reset the connection
+//	delay=DUR@P      add DUR latency (e.g. delay=50ms@0.2)
+//	status=CODE@P    synthesize CODE (429 responses carry Retry-After: 1)
+//	truncate=N@P     cut the response body after N bytes
+//
+// "@P" defaults to 1 (always). Example:
+//
+//	drop@0.1,status=503@0.05,truncate=256@0.1
+func Parse(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		body, prob := clause, 1.0
+		if at := strings.LastIndexByte(clause, '@'); at >= 0 {
+			p, err := strconv.ParseFloat(clause[at+1:], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faults: bad probability in %q", clause)
+			}
+			body, prob = clause[:at], p
+		}
+		name, arg, hasArg := strings.Cut(body, "=")
+		r := Rule{P: prob}
+		switch name {
+		case "drop":
+			r.Kind = Drop
+		case "reset":
+			r.Kind = Reset
+		case "delay":
+			if !hasArg {
+				return nil, fmt.Errorf("faults: delay needs a duration in %q", clause)
+			}
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: bad delay in %q", clause)
+			}
+			r.Kind, r.Delay = Delay, d
+		case "status":
+			if !hasArg {
+				return nil, fmt.Errorf("faults: status needs a code in %q", clause)
+			}
+			code, err := strconv.Atoi(arg)
+			if err != nil || code < 100 || code > 599 {
+				return nil, fmt.Errorf("faults: bad status code in %q", clause)
+			}
+			r.Kind, r.Status = Status, code
+			if code == http.StatusTooManyRequests {
+				r.RetryAfter = time.Second
+			}
+		case "truncate":
+			if !hasArg {
+				return nil, fmt.Errorf("faults: truncate needs a byte count in %q", clause)
+			}
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: bad truncate length in %q", clause)
+			}
+			r.Kind, r.KeepBytes = Truncate, n
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q (want drop, reset, delay=, status= or truncate=)", clause)
+		}
+		if hasArg && (name == "drop" || name == "reset") {
+			return nil, fmt.Errorf("faults: %s takes no argument in %q", name, clause)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: empty spec")
+	}
+	return rules, nil
+}

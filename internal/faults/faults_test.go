@@ -1,0 +1,224 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Same seed + same traffic order => the exact same fault sequence.
+func TestDeterministicDecisions(t *testing.T) {
+	rules := []Rule{
+		{Kind: Drop, P: 0.3},
+		{Kind: Status, P: 0.2, Status: 503},
+	}
+	run := func() []bool {
+		in := New(42, rules...)
+		out := make([]bool, 200)
+		for i := range out {
+			_, out[i] = in.decide("/v1/envelope")
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identically seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no faults fired in 200 requests at ~44% combined rate")
+	}
+	in := New(43, rules...)
+	diff := 0
+	for i := range a {
+		_, hit := in.decide("/v1/envelope")
+		if hit != a[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seed produced an identical fault sequence")
+	}
+}
+
+// After/Until stage a deterministic outage window.
+func TestScheduleWindow(t *testing.T) {
+	in := New(1, Rule{Kind: Drop, P: 1, After: 3, Until: 6})
+	for i := 0; i < 10; i++ {
+		_, hit := in.decide("/")
+		want := i >= 3 && i < 6
+		if hit != want {
+			t.Fatalf("request %d: injected=%v, want %v", i, hit, want)
+		}
+	}
+	if got := in.Injected(Drop); got != 3 {
+		t.Fatalf("injected %d drops, want 3", got)
+	}
+}
+
+// PathPrefix scopes a rule; other paths pass clean.
+func TestPathPrefixScoping(t *testing.T) {
+	in := New(1, Rule{Kind: Drop, P: 1, PathPrefix: "/v1/envelope"})
+	if _, hit := in.decide("/v1/predict"); hit {
+		t.Fatal("rule fired outside its path prefix")
+	}
+	if _, hit := in.decide("/v1/envelope"); !hit {
+		t.Fatal("rule did not fire on its path prefix")
+	}
+}
+
+func TestRoundTripperFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1000))
+	}))
+	defer ts.Close()
+
+	t.Run("drop is a net.Error", func(t *testing.T) {
+		client := New(1, Rule{Kind: Drop, P: 1}).Client(time.Second)
+		_, err := client.Get(ts.URL)
+		var ne net.Error
+		if !errors.As(err, &ne) {
+			t.Fatalf("injected drop is not a net.Error: %v", err)
+		}
+		if ne.Timeout() {
+			t.Fatal("injected drop reports Timeout")
+		}
+	})
+
+	t.Run("status synthesizes retry-after", func(t *testing.T) {
+		client := New(1, Rule{Kind: Status, P: 1, Status: 429, RetryAfter: 2 * time.Second}).Client(time.Second)
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 429 {
+			t.Fatalf("status %d, want 429", resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "2" {
+			t.Fatalf("Retry-After %q, want \"2\"", ra)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if len(body) == 0 {
+			t.Fatal("synthesized response has no body")
+		}
+	})
+
+	t.Run("truncate cuts the body cleanly", func(t *testing.T) {
+		client := New(1, Rule{Kind: Truncate, P: 1, KeepBytes: 100}).Client(time.Second)
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("truncated body must end in a clean EOF, got %v", err)
+		}
+		if len(body) != 100 {
+			t.Fatalf("read %d bytes, want 100", len(body))
+		}
+	})
+
+	t.Run("delay holds the request", func(t *testing.T) {
+		client := New(1, Rule{Kind: Delay, P: 1, Delay: 50 * time.Millisecond}).Client(5 * time.Second)
+		start := time.Now()
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if d := time.Since(start); d < 50*time.Millisecond {
+			t.Fatalf("request returned in %v, want >= 50ms", d)
+		}
+	})
+}
+
+func TestListenerDropAndCut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First connection dropped, the rest cut after 10 bytes.
+	in := New(1,
+		Rule{Kind: Drop, P: 1, Until: 1},
+		Rule{Kind: Truncate, P: 1, KeepBytes: 10, After: 1},
+	)
+	fl := in.Listener(ln)
+	defer fl.Close()
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write([]byte(strings.Repeat("y", 100)))
+			}(c)
+		}
+	}()
+
+	// Connection 1 is dropped: the server never writes anything.
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n1, _ := io.ReadAll(c1)
+	c1.Close()
+	if len(n1) != 0 {
+		t.Fatalf("dropped connection delivered %d bytes", len(n1))
+	}
+
+	// Connection 2 is cut after 10 bytes.
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, _ := io.ReadAll(c2)
+	c2.Close()
+	if len(got) > 10 {
+		t.Fatalf("cut connection delivered %d bytes, want <= 10", len(got))
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse("drop@0.1, reset@0.2, delay=50ms@0.3, status=503@0.4, status=429, truncate=256@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Kind: Drop, P: 0.1},
+		{Kind: Reset, P: 0.2},
+		{Kind: Delay, P: 0.3, Delay: 50 * time.Millisecond},
+		{Kind: Status, P: 0.4, Status: 503},
+		{Kind: Status, P: 1, Status: 429, RetryAfter: time.Second},
+		{Kind: Truncate, P: 0.5, KeepBytes: 256},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("%d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d: %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "zap@0.1", "drop@1.5", "delay@0.1", "status=abc", "truncate=-1", "drop=3"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// chaosFollowConfig is the fast-knob config every chaos test shares:
+// millisecond-scale backoff and cooldown so a full open -> half-open ->
+// closed cycle fits in test time, and a fixed Seed so the retry
+// schedule (and with it the whole test) is deterministic.
+func chaosFollowConfig(transport http.RoundTripper) FollowConfig {
+	return FollowConfig{
+		Interval:         2 * time.Millisecond,
+		Timeout:          2 * time.Second,
+		Transport:        transport,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       10 * time.Millisecond,
+		BreakerThreshold: 4,
+		BreakerCooldown:  10 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+// advanceVersion trains sc until its structure version moves off from,
+// returning the new version.
+func advanceVersion(t *testing.T, sc serve.Scorer, from uint64, seed int64) uint64 {
+	t.Helper()
+	gen := synth.NewSEA(40000, 0.1, seed)
+	for i := 0; i < 400; i++ {
+		b, err := stream.NextBatch(gen, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Learn(b)
+		if cur, _ := sc.StructureVersion(); cur != from {
+			return cur
+		}
+	}
+	t.Fatal("trainer structure version never moved")
+	return 0
+}
+
+// The acceptance matrix: under every fault class at a ~30% rate, a
+// Follower converges to the trainer's final structure version — drops,
+// resets, 5xx/429 storms, and truncated envelopes (which the persist
+// CRC rejects; a damaged envelope is never installed).
+func TestChaosFollowConverges(t *testing.T) {
+	cases := []struct {
+		name        string
+		rules       []faults.Rule
+		wantRejects bool // truncation must surface as restore/decode errors
+	}{
+		{name: "drops", rules: []faults.Rule{{Kind: faults.Drop, P: 0.3}}},
+		{name: "resets", rules: []faults.Rule{{Kind: faults.Reset, P: 0.3}}},
+		{name: "429 storm", rules: []faults.Rule{{Kind: faults.Status, P: 0.3, Status: 429}}},
+		{name: "503s", rules: []faults.Rule{{Kind: faults.Status, P: 0.3, Status: 503}}},
+		{
+			// The first envelope fetches are always cut short (a 304
+			// poll has no body to damage, so probabilistic truncation
+			// alone could only ever hit empty responses), then a 30%
+			// rate rides along for the rest of the run.
+			name: "truncated envelopes",
+			rules: []faults.Rule{
+				{Kind: faults.Truncate, P: 1, Until: 3, KeepBytes: 512, PathPrefix: "/v1/envelope"},
+				{Kind: faults.Truncate, P: 0.3, After: 3, KeepBytes: 512, PathPrefix: "/v1/envelope"},
+			},
+			wantRejects: true,
+		},
+		{name: "everything at once", rules: []faults.Rule{
+			{Kind: faults.Drop, P: 0.1},
+			{Kind: faults.Reset, P: 0.1},
+			{Kind: faults.Status, P: 0.05, Status: 503},
+			{Kind: faults.Truncate, P: 0.1, KeepBytes: 256, PathPrefix: "/v1/envelope"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trainer := newTrainedScorer(t, 120)
+			_, trainerTS := newTestServer(t, trainer, Config{})
+			v0, _ := trainer.StructureVersion()
+
+			in := faults.New(7, tc.rules...)
+			replica := newTrainedScorer(t, 10)
+			f := NewFollower(trainerTS.URL, replica, chaosFollowConfig(in.RoundTripper(nil)))
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan struct{})
+			go func() { defer close(done); f.Run(ctx) }()
+
+			waitInstalled := func(want uint64) {
+				t.Helper()
+				deadline := time.Now().Add(20 * time.Second)
+				for {
+					if v, ok := f.InstalledVersion(); ok && v == want {
+						return
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("never converged to version %d: %+v", want, f.Stats())
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			// Converge to the trainer's current version, then let the
+			// poll loop run until the injector has sampled enough
+			// traffic that every rule has had real chances to fire
+			// (convergence alone can take a handful of fetches).
+			waitInstalled(v0)
+			deadline := time.Now().Add(20 * time.Second)
+			for in.Seen() < 80 {
+				if time.Now().After(deadline) {
+					t.Fatalf("poll traffic stalled at %d requests: %+v", in.Seen(), f.Stats())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			// Advance the trainer and converge again to its final
+			// version.
+			v1 := advanceVersion(t, trainer, v0, 77)
+			waitInstalled(v1)
+			cancel()
+			<-done
+
+			st := f.Stats()
+			if in.InjectedTotal() == 0 {
+				t.Fatal("chaos run injected zero faults — the test proved nothing")
+			}
+			if st.Errors() == 0 {
+				t.Fatalf("faults fired (%d) but no errors were counted: %+v", in.InjectedTotal(), st)
+			}
+			if tc.wantRejects && st.RestoreErrors+st.DecodeErrors == 0 {
+				t.Fatalf("truncated envelopes never rejected: %+v", st)
+			}
+			t.Logf("injected=%d stats=%+v", in.InjectedTotal(), st)
+
+			// The converged replica predicts exactly what the trainer's
+			// final envelope says.
+			X, _ := seaRows(32, 23)
+			raw, _, err := Fetch(context.Background(), http.DefaultClient, trainerTS.URL, ^uint64(0), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := serve.FromCheckpoint(bytes.NewReader(raw), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want, got := ref.PredictBatch(X, nil), replica.PredictBatch(X, nil); !equalInts(want, got) {
+				t.Fatal("converged replica disagrees with the trainer envelope")
+			}
+		})
+	}
+}
+
+// A trainer partition is graceful degradation, not an outage: the
+// replica keeps answering every prediction from its last installed
+// snapshot, reports nonzero staleness, stamps degraded responses with
+// X-Repro-Staleness, and /healthz flips to degraded (but stays ready).
+// When the partition heals the follower reconverges and the staleness
+// markers clear.
+func TestChaosTrainerPartitionDegradesGracefully(t *testing.T) {
+	trainer := newTrainedScorer(t, 120)
+	_, trainerTS := newTestServer(t, trainer, Config{})
+	v0, _ := trainer.StructureVersion()
+
+	// The first 6 requests pass (bootstrap + a few polls), then a total
+	// outage for the next 60 matching requests, then the partition
+	// heals.
+	in := faults.New(3, faults.Rule{Kind: faults.Drop, P: 1, After: 6, Until: 66})
+	replica := newTrainedScorer(t, 10)
+	f := NewFollower(trainerTS.URL, replica, chaosFollowConfig(in.RoundTripper(nil)))
+
+	repSrv := New(replica, Config{})
+	repSrv.SetStalenessSource(f)
+	repTS := httptest.NewServer(repSrv.Handler())
+	t.Cleanup(func() { repTS.Close(); repSrv.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+
+	// Wait for the first install, then hammer the replica throughout
+	// the partition: zero tolerated prediction errors.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := f.InstalledVersion(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bootstrap install never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	X, _ := seaRows(8, 41)
+	stop := make(chan struct{})
+	var reads, failures atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp := postJSON(t, repTS.URL+"/v1/predict", predictRequest{X: X[(g+i)%len(X)]})
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				reads.Add(1)
+			}
+		}(g)
+	}
+
+	// The partition must trip the breaker: the replica is degraded.
+	deadline = time.Now().Add(10 * time.Second)
+	for f.State() == BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatal("partition never opened the breaker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if lag, degraded := f.Staleness(); !degraded || lag <= 0 {
+		t.Fatalf("partitioned replica staleness (%v, %v)", lag, degraded)
+	}
+
+	// Degraded predictions still answer 200, stamped with staleness.
+	resp := postJSON(t, repTS.URL+"/v1/predict", predictRequest{X: X[0]})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded replica answered %s", resp.Status)
+	}
+	stale := resp.Header.Get(StalenessHeader)
+	if stale == "" {
+		t.Fatal("degraded prediction missing the staleness header")
+	}
+	if secs, err := strconv.ParseFloat(stale, 64); err != nil || secs <= 0 {
+		t.Fatalf("staleness header %q", stale)
+	}
+
+	// /healthz: live, ready (it still serves!), degraded with lag.
+	hresp, err := http.Get(repTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !h.Live || !h.Ready || !h.Degraded || h.StalenessSeconds <= 0 {
+		t.Fatalf("degraded /healthz: code %d, %+v", hresp.StatusCode, h)
+	}
+
+	// Advance the trainer during the partition; once it heals the
+	// follower must reconverge to the final version and clear the
+	// degraded state.
+	v1 := advanceVersion(t, trainer, v0, 99)
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		v, ok := f.InstalledVersion()
+		if ok && v == v1 && f.State() == BreakerClosed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reconverged after the partition healed: %+v", f.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(stop)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d reads failed across the partition", failures.Load(), reads.Load())
+	}
+	if reads.Load() == 0 {
+		t.Fatal("hammer never read")
+	}
+
+	// Healed: no staleness header on fresh predictions.
+	resp = postJSON(t, repTS.URL+"/v1/predict", predictRequest{X: X[0]})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(StalenessHeader); got != "" {
+		t.Fatalf("healed replica still stamps staleness %q", got)
+	}
+	if st := f.Stats(); st.BreakerOpens == 0 || st.DialErrors == 0 {
+		t.Fatalf("partition left no trace in the stats: %+v", st)
+	}
+	t.Logf("served %d reads across a trainer partition, zero failures", reads.Load())
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,8 +40,10 @@ type coalescer struct {
 	window   time.Duration
 	maxBatch int
 
-	jobs chan *predictJob
-	stop chan struct{}
+	jobs      chan *predictJob
+	stop      chan struct{} // closed by close(): dispatcher begins shutdown
+	stopped   chan struct{} // closed by run() after the final queue drain
+	closeOnce sync.Once
 
 	batches atomic.Uint64 // PredictBatch dispatches issued
 	rows    atomic.Uint64 // rows answered through those dispatches
@@ -54,14 +57,15 @@ func newCoalescer(sc serve.Scorer, window time.Duration, maxBatch, queue int) *c
 		// The job queue mirrors the admission bound: admitted requests
 		// always find a slot, so enqueueing never blocks a handler for
 		// long, and the select below stays honest.
-		jobs: make(chan *predictJob, queue+maxBatch),
-		stop: make(chan struct{}),
+		jobs:    make(chan *predictJob, queue+maxBatch),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
 	}
 	go c.run()
 	return c
 }
 
-func (c *coalescer) close() { close(c.stop) }
+func (c *coalescer) close() { c.closeOnce.Do(func() { close(c.stop) }) }
 
 // predict submits one row and waits for its coalesced answer.
 func (c *coalescer) predict(ctx context.Context, x []float64) (int, error) {
@@ -73,12 +77,23 @@ func (c *coalescer) predict(ctx context.Context, x []float64) (int, error) {
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
-	// Once enqueued the job WILL be resolved (dispatched, or failed at
-	// close); waiting on done alone would leak nothing, but honouring
-	// ctx keeps cancelled clients from holding an admission slot.
+	// An enqueued job is normally resolved by the dispatcher, but the
+	// buffered jobs channel leaves a shutdown race: predict can win the
+	// enqueue select against <-c.stop after run()'s final drain has
+	// already emptied the queue, and then nothing will ever close done.
+	// stopped (closed strictly after that drain) bounds the wait: once
+	// it fires, one non-blocking recheck of done tells answered from
+	// abandoned.
 	select {
 	case <-j.done:
 		return j.y, j.err
+	case <-c.stopped:
+		select {
+		case <-j.done:
+			return j.y, j.err
+		default:
+			return 0, ErrClosed
+		}
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
@@ -91,13 +106,15 @@ func (c *coalescer) run() {
 		if timer != nil {
 			timer.Stop()
 		}
-		// Fail whatever is still queued so no handler waits forever.
+		// Fail whatever is still queued so no handler waits forever,
+		// then close stopped so late enqueuers stop waiting too.
 		for {
 			select {
 			case j := <-c.jobs:
 				j.err = ErrClosed
 				close(j.done)
 			default:
+				close(c.stopped)
 				return
 			}
 		}

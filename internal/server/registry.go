@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RegistryConfig tunes the trainer-side replica registry.
+type RegistryConfig struct {
+	// TTL is how long a heartbeat keeps a replica fresh; a replica
+	// silent for longer than TTL is unhealthy (default 3s).
+	TTL time.Duration
+	// MaxVersionLag health-gates replicas by envelope-version lag: a
+	// replica more than this many structure versions behind the
+	// trainer is unhealthy until it catches up (0 disables the gate).
+	MaxVersionLag uint64
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.TTL <= 0 {
+		c.TTL = 3 * time.Second
+	}
+	return c
+}
+
+// ReplicaInfo is one registry entry as listed by GET /v1/replicas: the
+// replica's announcement plus the health verdict computed at listing
+// time.
+type ReplicaInfo struct {
+	// ID is the replica's self-chosen identity (stable across
+	// heartbeats).
+	ID string `json:"id"`
+	// URL is where the replica serves predictions.
+	URL string `json:"url"`
+	// Version is the replica's last installed envelope version.
+	Version uint64 `json:"version"`
+	// HasVersion is false while the replica has installed nothing.
+	HasVersion bool `json:"has_version"`
+	// Ready is the replica's own readiness (false while draining or
+	// restoring).
+	Ready bool `json:"ready"`
+	// Healthy is the registry's verdict: fresh heartbeat AND ready AND
+	// within the version-lag gate. Load balancers pick healthy
+	// replicas only.
+	Healthy bool `json:"healthy"`
+	// LagVersions is how many structure versions the replica trails
+	// the trainer (0 when the trainer tracks no version).
+	LagVersions uint64 `json:"lag_versions"`
+	// AgeSeconds is how long ago the last heartbeat arrived.
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// ReplicaAnnounce is the heartbeat body a replica POSTs to
+// /v1/replicas. Announcing is registering: the first heartbeat creates
+// the entry, later ones refresh it, and Leaving deletes it.
+type ReplicaAnnounce struct {
+	ID         string `json:"id"`
+	URL        string `json:"url"`
+	Version    uint64 `json:"version"`
+	HasVersion bool   `json:"has_version"`
+	Ready      bool   `json:"ready"`
+	Leaving    bool   `json:"leaving,omitempty"`
+}
+
+// ReplicaList is the GET /v1/replicas document.
+type ReplicaList struct {
+	TrainerVersion    uint64        `json:"trainer_version"`
+	HasTrainerVersion bool          `json:"has_trainer_version"`
+	Replicas          []ReplicaInfo `json:"replicas"`
+}
+
+type replicaEntry struct {
+	ann      ReplicaAnnounce
+	lastSeen time.Time
+}
+
+// Registry tracks a fleet of serving replicas by heartbeat. The
+// trainer's Server hosts one behind POST/GET /v1/replicas; health is
+// computed at listing time from heartbeat freshness, the replica's own
+// readiness (drain on swap: a replica mid-restore reports not-ready
+// and is health-gated out until the install finishes), and the
+// envelope-version lag gate.
+type Registry struct {
+	cfg RegistryConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	replicas map[string]*replicaEntry
+}
+
+// NewRegistry builds a Registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{
+		cfg:      cfg.withDefaults(),
+		now:      time.Now,
+		replicas: make(map[string]*replicaEntry),
+	}
+}
+
+// Upsert registers or refreshes a replica from its announcement.
+func (r *Registry) Upsert(a ReplicaAnnounce) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicas[a.ID] = &replicaEntry{ann: a, lastSeen: r.now()}
+}
+
+// Remove deletes a replica (explicit deregistration).
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.replicas, id)
+}
+
+// Len returns the registered replica count (healthy or not).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.replicas)
+}
+
+// List returns every registered replica with health computed against
+// the trainer's current version, sorted by ID. Entries silent for
+// longer than 10×TTL are reaped.
+func (r *Registry) List(trainerVersion uint64, hasTrainerVersion bool) []ReplicaInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	out := make([]ReplicaInfo, 0, len(r.replicas))
+	for id, e := range r.replicas {
+		age := now.Sub(e.lastSeen)
+		if age > 10*r.cfg.TTL {
+			delete(r.replicas, id)
+			continue
+		}
+		info := ReplicaInfo{
+			ID:         e.ann.ID,
+			URL:        e.ann.URL,
+			Version:    e.ann.Version,
+			HasVersion: e.ann.HasVersion,
+			Ready:      e.ann.Ready,
+			AgeSeconds: age.Seconds(),
+		}
+		if hasTrainerVersion && e.ann.HasVersion && trainerVersion > e.ann.Version {
+			info.LagVersions = trainerVersion - e.ann.Version
+		}
+		info.Healthy = age <= r.cfg.TTL && e.ann.Ready &&
+			(r.cfg.MaxVersionLag == 0 || info.LagVersions <= r.cfg.MaxVersionLag)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- replica-side heartbeat client -----------------------------------
+
+// Announce POSTs one heartbeat to the trainer's registry.
+func Announce(ctx context.Context, client *http.Client, trainerURL string, a ReplicaAnnounce) error {
+	if client == nil {
+		client = httpClient(nil, 5*time.Second)
+	}
+	if a.ID == "" {
+		return fmt.Errorf("follow: announce needs a replica ID")
+	}
+	body, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, trainerURL+"/v1/replicas", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("follow: announce: %s", resp.Status)
+	}
+	return nil
+}
+
+// RunHeartbeats announces state() to the trainer every interval until
+// ctx is cancelled, then sends one best-effort leaving announcement so
+// the registry drops the replica immediately instead of waiting out
+// the TTL. Announce failures are absorbed — the registry's TTL is the
+// real liveness signal.
+func RunHeartbeats(ctx context.Context, client *http.Client, trainerURL string, interval time.Duration, state func() ReplicaAnnounce) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if client == nil {
+		client = httpClient(nil, 5*time.Second)
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		_ = Announce(ctx, client, trainerURL, state())
+		select {
+		case <-ctx.Done():
+			bye := state()
+			bye.Leaving = true
+			byeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = Announce(byeCtx, client, trainerURL, bye)
+			cancel()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// --- registry HTTP handlers (mounted by the Server) -------------------
+
+func (s *Server) handleReplicaAnnounce(w http.ResponseWriter, r *http.Request) {
+	var a ReplicaAnnounce
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&a); err != nil {
+		http.Error(w, "bad announce body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if a.ID == "" {
+		http.Error(w, "announce needs an id", http.StatusBadRequest)
+		return
+	}
+	if a.Leaving {
+		s.reg.Remove(a.ID)
+	} else {
+		s.reg.Upsert(a)
+	}
+	v, hasV := s.scorer.StructureVersion()
+	writeJSON(w, ReplicaList{TrainerVersion: v, HasTrainerVersion: hasV, Replicas: s.reg.List(v, hasV)})
+}
+
+func (s *Server) handleReplicaList(w http.ResponseWriter, _ *http.Request) {
+	v, hasV := s.scorer.StructureVersion()
+	writeJSON(w, ReplicaList{TrainerVersion: v, HasTrainerVersion: hasV, Replicas: s.reg.List(v, hasV)})
+}
+
+// --- client-side picker ----------------------------------------------
+
+// ReplicaSetConfig tunes a ReplicaSet.
+type ReplicaSetConfig struct {
+	// Refresh is the registry poll period of Run (default 1s).
+	Refresh time.Duration
+	// BreakerThreshold opens a replica's circuit after this many
+	// consecutive reported failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is each replica breaker's open -> half-open
+	// delay (default 2s).
+	BreakerCooldown time.Duration
+	// Client fetches the replica list (nil = shared default, 5s
+	// timeout).
+	Client *http.Client
+	// OnStateChange, when non-nil, observes per-replica breaker
+	// transitions (ejections and readmissions).
+	OnStateChange func(id string, from, to BreakerState)
+}
+
+func (c ReplicaSetConfig) withDefaults() ReplicaSetConfig {
+	if c.Refresh <= 0 {
+		c.Refresh = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = httpClient(nil, 5*time.Second)
+	}
+	return c
+}
+
+// ReplicaSet is the load-balancer side of the registry: it polls the
+// trainer's GET /v1/replicas, keeps the health-gated listing, and
+// round-robins Pick over the replicas that are both registry-healthy
+// and admitted by their local circuit breaker. Callers Report each
+// request's outcome; consecutive failures eject a replica (its breaker
+// opens), and a successful half-open probe readmits it.
+type ReplicaSet struct {
+	trainerURL string
+	cfg        ReplicaSetConfig
+
+	mu       sync.Mutex
+	replicas []ReplicaInfo
+	breakers map[string]*breaker
+	next     int
+}
+
+// NewReplicaSet builds a ReplicaSet over the trainer's registry. Call
+// Refresh (or start Run) before the first Pick.
+func NewReplicaSet(trainerURL string, cfg ReplicaSetConfig) *ReplicaSet {
+	return &ReplicaSet{
+		trainerURL: trainerURL,
+		cfg:        cfg.withDefaults(),
+		breakers:   make(map[string]*breaker),
+	}
+}
+
+// Refresh pulls the current replica list from the trainer.
+func (rs *ReplicaSet) Refresh(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.trainerURL+"/v1/replicas", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rs.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("follow: replica list: %s", resp.Status)
+	}
+	var list ReplicaList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return fmt.Errorf("follow: replica list: %w", err)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.replicas = list.Replicas
+	// Prune breakers of replicas that left the registry.
+	alive := make(map[string]bool, len(list.Replicas))
+	for _, r := range list.Replicas {
+		alive[r.ID] = true
+	}
+	for id := range rs.breakers {
+		if !alive[id] {
+			delete(rs.breakers, id)
+		}
+	}
+	return nil
+}
+
+// Run refreshes on the configured period until ctx is cancelled.
+func (rs *ReplicaSet) Run(ctx context.Context) error {
+	t := time.NewTicker(rs.cfg.Refresh)
+	defer t.Stop()
+	for {
+		_ = rs.Refresh(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// breakerFor returns (creating if needed) the replica's breaker;
+// callers hold rs.mu.
+func (rs *ReplicaSet) breakerFor(id string) *breaker {
+	b, ok := rs.breakers[id]
+	if !ok {
+		onChange := rs.cfg.OnStateChange
+		var cb func(from, to BreakerState)
+		if onChange != nil {
+			cb = func(from, to BreakerState) { onChange(id, from, to) }
+		}
+		b = newBreaker(rs.cfg.BreakerThreshold, rs.cfg.BreakerCooldown, cb)
+		rs.breakers[id] = b
+	}
+	return b
+}
+
+// Pick returns the next replica in round-robin order among those that
+// are registry-healthy (fresh heartbeat, ready, within the lag gate)
+// and whose circuit breaker admits a call. ok is false when no replica
+// qualifies — the caller should fall back (e.g. to the trainer) or
+// shed the request.
+func (rs *ReplicaSet) Pick() (ReplicaInfo, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := len(rs.replicas)
+	for i := 0; i < n; i++ {
+		r := rs.replicas[rs.next%n]
+		rs.next++
+		if !r.Healthy {
+			continue
+		}
+		if !rs.breakerFor(r.ID).allow() {
+			continue
+		}
+		return r, true
+	}
+	return ReplicaInfo{}, false
+}
+
+// Report feeds a request outcome into the replica's breaker: failures
+// eject it after the threshold, a successful probe readmits it.
+func (rs *ReplicaSet) Report(id string, ok bool) {
+	rs.mu.Lock()
+	b := rs.breakerFor(id)
+	rs.mu.Unlock()
+	if ok {
+		b.success()
+	} else {
+		b.failure()
+	}
+}
+
+// Healthy returns how many replicas of the last refresh are
+// registry-healthy (before breaker gating).
+func (rs *ReplicaSet) Healthy() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := 0
+	for _, r := range rs.replicas {
+		if r.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the replica count of the last refresh.
+func (rs *ReplicaSet) Len() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.replicas)
+}

@@ -59,6 +59,12 @@ const (
 	VersionHeader = "X-Repro-Structure-Version"
 	// ModelHeader carries the served model's registered name.
 	ModelHeader = "X-Repro-Model"
+	// StalenessHeader is stamped on prediction responses from a
+	// degraded replica (trainer unreachable, breaker open): how many
+	// seconds the served model has been cut off from its trainer. A
+	// degraded replica keeps answering — the header is the signal that
+	// the answers come from a snapshot that has stopped advancing.
+	StalenessHeader = "X-Repro-Staleness"
 )
 
 // Config tunes a Server. The zero value serves with the defaults noted
@@ -84,6 +90,9 @@ type Config struct {
 	// LongPollMax caps the ?wait= duration of /v1/envelope long polls
 	// (default 30s).
 	LongPollMax time.Duration
+	// Registry tunes the replica registry behind /v1/replicas
+	// (heartbeat TTL, version-lag health gate).
+	Registry RegistryConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -108,8 +117,20 @@ func (c Config) withDefaults() Config {
 	if c.LongPollMax <= 0 {
 		c.LongPollMax = 30 * time.Second
 	}
+	c.Registry = c.Registry.withDefaults()
 	return c
 }
+
+// StalenessSource reports how far the served model trails its upstream
+// (the Follower implements it): the lag since the last successful
+// trainer contact, and whether the replica is degraded (cut off — the
+// follow breaker is open). A degraded server stamps StalenessHeader on
+// prediction responses and reports degraded on /healthz and /statusz.
+type StalenessSource interface {
+	Staleness() (lag time.Duration, degraded bool)
+}
+
+type stalenessHolder struct{ src StalenessSource }
 
 // Server serves prediction traffic for one serve.Scorer. Create with
 // New, expose via Handler (it composes into any mux), stop with Close.
@@ -121,8 +142,15 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 	co     *coalescer
+	reg    *Registry
 
 	inflight chan struct{} // admission slots; len() is the live queue depth
+
+	closing   chan struct{} // closed by Close; releases parked long-polls
+	closeOnce sync.Once
+
+	draining atomic.Int32                    // >0: not ready (an envelope restore is in flight)
+	stale    atomic.Pointer[stalenessHolder] // optional upstream-staleness source
 
 	started  time.Time
 	served   atomic.Uint64 // rows answered across both prediction endpoints
@@ -145,7 +173,9 @@ func New(sc serve.Scorer, cfg Config) *Server {
 	s := &Server{
 		scorer:   sc,
 		cfg:      cfg,
+		reg:      NewRegistry(cfg.Registry),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
+		closing:  make(chan struct{}),
 		started:  time.Now(),
 	}
 	s.co = newCoalescer(sc, cfg.CoalesceWindow, cfg.MaxBatch, cfg.MaxInFlight)
@@ -154,6 +184,8 @@ func New(sc serve.Scorer, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/predict_batch", s.handlePredictBatch)
 	mux.HandleFunc("POST /v1/swap", s.handleSwap)
 	mux.HandleFunc("GET /v1/envelope", s.handleEnvelope)
+	mux.HandleFunc("POST /v1/replicas", s.handleReplicaAnnounce)
+	mux.HandleFunc("GET /v1/replicas", s.handleReplicaList)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux = mux
@@ -163,15 +195,71 @@ func New(sc serve.Scorer, cfg Config) *Server {
 // Handler returns the server's http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the coalescer. In-flight coalesced requests are failed
-// with 503; the HTTP server owning the handler shuts down separately.
-func (s *Server) Close() { s.co.close() }
+// Close stops the coalescer and releases any parked /v1/envelope long
+// polls promptly (they answer 503), so a graceful drain is bounded by
+// its deadline instead of a replica's ?wait=. In-flight coalesced
+// requests are failed with 503; the HTTP server owning the handler
+// shuts down separately. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		s.co.close()
+	})
+}
 
 // Scorer returns the served scorer (for a co-located training loop).
 func (s *Server) Scorer() serve.Scorer { return s.scorer }
 
 // Swaps returns the number of completed hot model swaps.
 func (s *Server) Swaps() uint64 { return s.swaps.Load() }
+
+// Registry returns the server's replica registry (the trainer side of
+// the fleet protocol behind /v1/replicas).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// BeginDrain marks the server not-ready (an envelope restore is about
+// to replace the served model): /healthz reports ready=false, the
+// replica's heartbeats propagate it, and the registry health-gates the
+// replica out so load balancers stop picking it. In-flight reads still
+// finish — draining gates new picks, not running requests. Calls nest;
+// EndDrain releases one level. The Server implements the follow
+// client's Drainer.
+func (s *Server) BeginDrain() { s.draining.Add(1) }
+
+// EndDrain releases one BeginDrain level.
+func (s *Server) EndDrain() { s.draining.Add(-1) }
+
+// Ready reports serving readiness: not draining and not closing.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.closing:
+		return false
+	default:
+	}
+	return s.draining.Load() == 0
+}
+
+// SetStalenessSource wires the upstream-staleness source (a replica's
+// Follower) into health reporting and the StalenessHeader stamp.
+func (s *Server) SetStalenessSource(src StalenessSource) {
+	s.stale.Store(&stalenessHolder{src: src})
+}
+
+// staleness reads the wired source (0, false without one).
+func (s *Server) staleness() (time.Duration, bool) {
+	if h := s.stale.Load(); h != nil && h.src != nil {
+		return h.src.Staleness()
+	}
+	return 0, false
+}
+
+// stampStaleness marks responses served while degraded (see
+// StalenessHeader). Call before the first body write.
+func (s *Server) stampStaleness(w http.ResponseWriter) {
+	if lag, degraded := s.staleness(); degraded {
+		w.Header().Set(StalenessHeader, strconv.FormatFloat(lag.Seconds(), 'f', 3, 64))
+	}
+}
 
 // admit claims an admission slot, or answers 429 + Retry-After and
 // returns false. Callers must release() iff admit returned true.
@@ -329,6 +417,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.stampStaleness(w)
 	if wantProba {
 		proba := s.scorer.Proba(x, nil)
 		y := argmax(proba)
@@ -376,6 +465,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.stampStaleness(w)
 	if wantProba {
 		proba := s.scorer.ProbaBatch(rows, nil)
 		preds := make([]int, len(proba))
@@ -404,7 +494,13 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 // fail and never see a half-swapped model.
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := s.scorer.Restore(body); err != nil {
+	// Drain around the install: readiness drops, so the registry stops
+	// routing new work here while the model is replaced; in-flight
+	// reads finish against the scorer's hot-swap guarantees.
+	s.BeginDrain()
+	err := s.scorer.Restore(body)
+	s.EndDrain()
+	if err != nil {
 		http.Error(w, "swap rejected: "+err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
@@ -515,6 +611,11 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-s.closing:
+			// Close releases parked long-polls promptly so a graceful
+			// drain is bounded by its deadline, not by ?wait=.
+			http.Error(w, "server closing", http.StatusServiceUnavailable)
+			return
 		case <-time.After(poll):
 		}
 	}
@@ -522,9 +623,39 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 
 // --- health and status -----------------------------------------------
 
+// Health is the /healthz document. Live is always true from a serving
+// process (the probe reaching the handler is the liveness signal);
+// Ready is false while an envelope restore drains the replica or the
+// server is closing (load balancers must stop picking it); Degraded is
+// true when the replica is cut off from its trainer (it keeps serving
+// its last snapshot, with StalenessSeconds reporting the lag).
+type Health struct {
+	Live             bool    `json:"live"`
+	Ready            bool    `json:"ready"`
+	Degraded         bool    `json:"degraded"`
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
+}
+
+// Health collects the live/ready/degraded verdict.
+func (s *Server) Health() Health {
+	lag, degraded := s.staleness()
+	h := Health{Live: true, Ready: s.Ready(), Degraded: degraded}
+	if degraded {
+		h.StalenessSeconds = lag.Seconds()
+	}
+	return h
+}
+
+// handleHealthz distinguishes live from ready: the response body always
+// says live (the process answers), but the status is 503 while the
+// server drains an install or shuts down, so ?readiness probes and
+// load balancers stop routing to it without killing the pod.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	h := s.Health()
+	if !h.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, h)
 }
 
 // Status is the /statusz document (also returned by Status() for
@@ -545,6 +676,11 @@ type Status struct {
 	MaxBatch            int           `json:"max_batch"`
 	CoalesceWindowMS    float64       `json:"coalesce_window_ms"`
 	UptimeSeconds       float64       `json:"uptime_seconds"`
+	Ready               bool          `json:"ready"`
+	Degraded            bool          `json:"degraded"`
+	StalenessSeconds    float64       `json:"staleness_seconds,omitempty"`
+	ReplicasTotal       int           `json:"replicas_total,omitempty"`
+	ReplicasHealthy     int           `json:"replicas_healthy,omitempty"`
 }
 
 // Status collects the live serving metadata.
@@ -565,6 +701,17 @@ func (s *Server) Status() Status {
 		MaxBatch:            s.cfg.MaxBatch,
 		CoalesceWindowMS:    float64(s.cfg.CoalesceWindow) / float64(time.Millisecond),
 		UptimeSeconds:       time.Since(s.started).Seconds(),
+		Ready:               s.Ready(),
+	}
+	if lag, degraded := s.staleness(); degraded {
+		st.Degraded = true
+		st.StalenessSeconds = lag.Seconds()
+	}
+	for _, rep := range s.reg.List(v, hasV) {
+		st.ReplicasTotal++
+		if rep.Healthy {
+			st.ReplicasHealthy++
+		}
 	}
 	if snap, ok := s.scorer.(*serve.SnapshotScorer); ok {
 		st.Publishes = snap.Publishes()
