@@ -12,6 +12,12 @@
 //
 //	dmtserve -addr :8081 -follow http://localhost:8080
 //
+// Replicas negotiate delta chains by default: each poll asks
+// GET /v1/envelope?since=<installed> and applies the structural diffs to
+// the envelope bytes it already holds, falling back to a full fetch when
+// the trainer has compacted the base or a chain fails validation.
+// -no-delta forces full envelopes on every install.
+//
 // Endpoints on either role: POST /v1/predict, POST /v1/predict_batch,
 // POST /v1/swap, GET /v1/envelope, GET /healthz, GET /statusz.
 //
@@ -65,6 +71,7 @@ func main() {
 		publish   = flag.Int("publish", 1, "snapshot publish cadence in batches")
 		ckptPath  = flag.String("checkpoint", "", "bootstrap the model from this checkpoint file instead of training fresh")
 		follow    = flag.String("follow", "", "replica mode: bootstrap from and follow this trainer URL")
+		noDelta   = flag.Bool("no-delta", false, "replica mode: always fetch full envelopes instead of negotiating delta chains")
 		interval  = flag.Duration("interval", 500*time.Millisecond, "replica poll interval")
 		wait      = flag.Duration("wait", 10*time.Second, "replica long-poll duration (0 = plain polling)")
 		window    = flag.Duration("window", time.Millisecond, "request coalescing window")
@@ -130,7 +137,7 @@ func main() {
 		runReplica(ctx, replicaOpts{
 			addr: *addr, trainerURL: *follow, id: id, advertise: adv,
 			publish: *publish, interval: *interval, wait: *wait,
-			heartbeat: *heartbeat, cfg: cfg, chaos: chaos,
+			heartbeat: *heartbeat, cfg: cfg, chaos: chaos, noDelta: *noDelta,
 		})
 		return
 	}
@@ -224,6 +231,7 @@ type replicaOpts struct {
 	heartbeat  time.Duration
 	cfg        repro.ServerConfig
 	chaos      *repro.FaultInjector
+	noDelta    bool
 }
 
 // runReplica bootstraps a scorer from the trainer's envelope, serves
@@ -242,12 +250,15 @@ func runReplica(ctx context.Context, o replicaOpts) {
 	client := &http.Client{Timeout: o.wait + 30*time.Second, Transport: transport}
 
 	// Bootstrap with retries: a trainer mid-restart (or injected chaos)
-	// must not kill a replica before it ever serves.
+	// must not kill a replica before it ever serves. The raw bootstrap
+	// bytes seed the follower's delta base, so its first poll can already
+	// answer with a chain instead of a full envelope.
 	var scorer repro.Scorer
 	var v uint64
+	var bootRaw []byte
 	for attempt := 0; ; attempt++ {
 		var err error
-		scorer, v, err = repro.BootstrapScorerWith(ctx, client, o.trainerURL, o.publish)
+		scorer, v, bootRaw, err = repro.BootstrapScorerRaw(ctx, client, o.trainerURL, o.publish)
 		if err == nil {
 			break
 		}
@@ -270,6 +281,7 @@ func runReplica(ctx context.Context, o replicaOpts) {
 		Interval:  o.interval,
 		Wait:      o.wait,
 		Transport: transport,
+		NoDelta:   o.noDelta,
 		Drainer:   ps, // not-ready while an envelope installs
 		OnInstall: func(v uint64) {
 			fmt.Fprintf(os.Stderr, "dmtserve: installed envelope at version %d\n", v)
@@ -282,6 +294,9 @@ func runReplica(ctx context.Context, o replicaOpts) {
 		},
 	})
 	ps.SetStalenessSource(f) // degraded responses carry X-Repro-Staleness
+	if !o.noDelta {
+		f.SeedInstalled(v, bootRaw)
+	}
 	go f.Run(ctx)
 	go repro.RunHeartbeats(ctx, nil, o.trainerURL, o.heartbeat, func() repro.ReplicaAnnounce {
 		iv, hasV := f.InstalledVersion()
@@ -297,8 +312,8 @@ func runReplica(ctx context.Context, o replicaOpts) {
 		fail(err)
 	}
 	st := f.Stats()
-	fmt.Fprintf(os.Stderr, "dmtserve: follow stats: %d fetches, %d installs, %d retries, errors dial=%d timeout=%d status=%d decode=%d restore=%d, breaker opened %d times\n",
-		st.Fetches, st.Installs, st.Retries, st.DialErrors, st.TimeoutErrors, st.StatusErrors, st.DecodeErrors, st.RestoreErrors, st.BreakerOpens)
+	fmt.Fprintf(os.Stderr, "dmtserve: follow stats: %d fetches, %d installs (%d via delta, %d delta fallbacks), %d retries, errors dial=%d timeout=%d status=%d decode=%d restore=%d, breaker opened %d times\n",
+		st.Fetches, st.Installs, st.DeltaInstalls, st.DeltaFallbacks, st.Retries, st.DialErrors, st.TimeoutErrors, st.StatusErrors, st.DecodeErrors, st.RestoreErrors, st.BreakerOpens)
 }
 
 // runSmoke is the CI self-test: an in-process trainer under live
@@ -476,9 +491,11 @@ func runChaosSmoke(cfg repro.ServerConfig, chaos *repro.FaultInjector) error {
 	defer cancel()
 
 	var replica repro.Scorer
+	var bootV uint64
+	var bootRaw []byte
 	for attempt := 0; ; attempt++ {
 		var err error
-		replica, _, err = repro.BootstrapScorerWith(ctx, client, trainerTS.URL, 1)
+		replica, bootV, bootRaw, err = repro.BootstrapScorerRaw(ctx, client, trainerTS.URL, 1)
 		if err == nil {
 			break
 		}
@@ -501,6 +518,10 @@ func runChaosSmoke(cfg repro.ServerConfig, chaos *repro.FaultInjector) error {
 		Drainer:          replicaPS,
 	})
 	replicaPS.SetStalenessSource(f)
+	// Seed the delta base from the bootstrap envelope: the follow loop
+	// under chaos then exercises the delta path too — chains that arrive
+	// intact install incrementally, corrupted ones fall back to full.
+	f.SeedInstalled(bootV, bootRaw)
 	followCtx, stopFollow := context.WithCancel(ctx)
 	defer stopFollow()
 	followDone := make(chan struct{})
@@ -586,8 +607,15 @@ func runChaosSmoke(cfg repro.ServerConfig, chaos *repro.FaultInjector) error {
 	if st.Errors() == 0 {
 		return fmt.Errorf("faults fired but the follower counted no errors: %+v", st)
 	}
-	fmt.Fprintf(os.Stderr, "dmtserve: chaos smoke: %d faults over %d requests (%s), %d reads ok, converged at version %d; follow errors dial=%d timeout=%d status=%d decode=%d restore=%d, %d breaker opens\n",
+	// The follower is delta-seeded, so every install attempt starts as a
+	// ?since= negotiation: any install at all must show up as a delta
+	// install or a counted fallback to full.
+	if st.Installs > 0 && st.DeltaInstalls+st.DeltaFallbacks == 0 {
+		return fmt.Errorf("installs happened but the delta path never engaged: %+v", st)
+	}
+	fmt.Fprintf(os.Stderr, "dmtserve: chaos smoke: %d faults over %d requests (%s), %d reads ok, converged at version %d; %d installs (%d via delta, %d delta fallbacks); follow errors dial=%d timeout=%d status=%d decode=%d restore=%d, %d breaker opens\n",
 		chaos.InjectedTotal(), chaos.Seen(), chaos, reads.Load(), finalV,
+		st.Installs, st.DeltaInstalls, st.DeltaFallbacks,
 		st.DialErrors, st.TimeoutErrors, st.StatusErrors, st.DecodeErrors, st.RestoreErrors, st.BreakerOpens)
 	return nil
 }

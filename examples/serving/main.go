@@ -9,8 +9,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -324,6 +326,127 @@ func faultToleranceDemo() {
 	evMu.Unlock()
 	fmt.Printf("healed: %d breaker transitions (%s ... %s), circuit opened %d times; %d reads served across the outage, %d fetch errors absorbed (%d retries)\n",
 		n, first, last, st.BreakerOpens, reads.Load(), st.Errors(), st.Retries)
+
+	deltaFollowDemo()
+}
+
+// deltaFollowDemo shows the ?since= protocol on the wire: a replica
+// seeded with its bootstrap envelope bytes follows the trainer through
+// several structural advances installing delta chains instead of full
+// envelopes, and after each converged install the demo fetches both
+// wire formats for that version step — the delta the follower actually
+// transferred vs the full envelope a -no-delta follower would have
+// refetched. The reconstruction is CRC-pinned end to end, so the
+// delta-converged replica's checkpoint is byte-identical to the
+// trainer's envelope. (How much a delta saves depends on how much
+// learning happened between the versions it connects: a young VFDT
+// churns sufficient statistics in every leaf between splits, so the
+// per-step saving here is real but modest; a localized structural
+// change in a large model is ~2 KB against a ~480 KB envelope — see
+// BenchmarkDeltaBytesOp.)
+func deltaFollowDemo() {
+	gen := repro.NewSEA(120_000, 0.1, 11)
+	trainer := repro.MustServe("VFDT (MC)", gen.Schema(),
+		repro.WithServeModelOptions(repro.WithSeed(11)))
+	for i := 0; i < 200; i++ {
+		b, err := nextBatch(gen, 100)
+		if err != nil {
+			break
+		}
+		trainer.Learn(b)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainerPS := repro.NewPredictionServer(trainer, repro.ServerConfig{})
+	defer trainerPS.Close()
+	hs := &http.Server{Handler: trainerPS.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	trainerURL := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The raw bootstrap keeps the envelope bytes: seeding them into the
+	// follower is what lets its very first poll negotiate a delta chain.
+	replica, v0, raw0, err := repro.BootstrapScorerRaw(ctx, nil, trainerURL, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	installs := make(chan uint64, 16)
+	follower := repro.NewFollower(trainerURL, replica, repro.FollowConfig{
+		Interval:  5 * time.Millisecond,
+		Wait:      2 * time.Second,
+		OnInstall: func(v uint64) { installs <- v },
+	})
+	follower.SeedInstalled(v0, raw0)
+	go follower.Run(ctx)
+
+	// Three structural advances, each converged before the next, so each
+	// poll ships exactly the diff for one version step. After each
+	// install, fetch that step in both wire formats for the comparison.
+	get := func(url string) ([]byte, http.Header) {
+		resp, err := http.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return body, resp.Header
+	}
+	cur := v0
+	var deltaWire, fullWire int
+	var fullBytes []byte
+	for step := 0; step < 3; step++ {
+		prev := cur
+		for i := 0; i < 600; i++ {
+			b, err := nextBatch(gen, 100)
+			if err != nil {
+				break
+			}
+			trainer.Learn(b)
+			if v, _ := trainer.StructureVersion(); v != cur {
+				break
+			}
+		}
+		next, _ := trainer.StructureVersion()
+		if next == cur {
+			break // stream ran dry before another split
+		}
+		deadline := time.After(10 * time.Second)
+		for cur != next {
+			select {
+			case cur = <-installs:
+			case <-deadline:
+				log.Fatal("replica never installed the advance")
+			}
+		}
+		fullBytes, _ = get(trainerURL + "/v1/envelope")
+		chainBytes, chdr := get(fmt.Sprintf("%s/v1/envelope?since=%d", trainerURL, prev))
+		if chdr.Get("Content-Type") != "application/x-repro-delta" {
+			log.Fatalf("?since=%d did not answer with a delta chain", prev)
+		}
+		deltaWire += len(chainBytes)
+		fullWire += len(fullBytes)
+		fmt.Printf("  step %d→%d: delta %d bytes vs full %d bytes (%.0f%% of a full refetch)\n",
+			prev, cur, len(chainBytes), len(fullBytes),
+			100*float64(len(chainBytes))/float64(len(fullBytes)))
+	}
+
+	st := follower.Stats()
+	fmt.Printf("delta follow: %d installs, %d via delta chain (%d fallbacks); %d bytes on the wire vs %d a -no-delta follower would have fetched\n",
+		st.Installs, st.DeltaInstalls, st.DeltaFallbacks, deltaWire, fullWire)
+
+	// Byte-identical convergence: the replica's own checkpoint is the
+	// trainer's envelope, bit for bit.
+	var ckpt bytes.Buffer
+	if err := replica.Checkpoint(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replica checkpoint == trainer envelope: %v\n", bytes.Equal(ckpt.Bytes(), fullBytes))
 }
 
 // nextBatch pulls up to n instances into one batch.

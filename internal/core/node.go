@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/glm"
 	"repro/internal/linalg"
+	"repro/internal/model"
 	"repro/internal/stream"
 )
 
@@ -31,6 +32,12 @@ type node struct {
 	threshold   float64
 	left, right *node
 	depth       int
+
+	// snap caches the immutable SnapNode that froze this subtree at the
+	// last publish. update() clears it along every learn-visited path
+	// (conservative: any node that received rows may have changed), so
+	// Snapshot() re-freezes only cache misses — copy-on-write publishing.
+	snap *model.SnapNode
 }
 
 func (n *node) isLeaf() bool { return n.left == nil }

@@ -134,6 +134,12 @@ func (t *Tree) Learn(b stream.Batch) {
 // update recursively processes one node: statistics first (top-down),
 // then children, then this node's structural decision (bottom-up).
 func (t *Tree) update(n *node, b stream.Batch) {
+	// Any node that receives rows may change (model drift at least,
+	// structure at most), so its frozen-subtree cache is stale. The nodes
+	// a structural change touches are exactly the visited ones: splits and
+	// replaces fire at n itself, prunes drop the (also invalidated)
+	// subtree below n.
+	n.snap = nil
 	inner := !n.isLeaf()
 	if !inner || !t.cfg.DisableInnerUpdates {
 		t.updateStats(n, b)
@@ -326,19 +332,38 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, model.LeafModel, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// freeze returns the immutable SnapNode of n's subtree, reusing the one
+// cached at the last publish when no learn path has visited n since.
+// Leaf predictors are cloned at freeze time, so the snapshot shares no
+// mutable state with the live tree.
+func freeze(n *node) *model.SnapNode {
+	if n.snap != nil {
+		return n.snap
+	}
+	if n.isLeaf() {
+		n.snap = model.FreezeLeaf(n.mod.Clone())
+	} else {
+		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+	}
+	return n.snap
+}
+
 // Snapshot implements model.Snapshotter: an immutable serving copy of
 // the current tree structure with cloned leaf simple models. Inner-node
 // models, candidate indices and scratch are learn-path state and are not
 // captured — the snapshot serves Predict/Proba/Complexity only.
+//
+// Publishing is copy-on-write: subtrees untouched since the previous
+// Snapshot call are shared with it via the per-node freeze cache, so a
+// publish after one local change costs O(changed path), not O(tree).
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
-	snap.Root = model.AddTree(snap, t.root, func(n *node) (model.SnapshotNode, *node, *node) {
-		if n.isLeaf() {
-			return model.SnapshotNode{Leaf: n.mod.Clone()}, nil, nil
-		}
-		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
-	})
-	return snap
+	root := freeze(t.root)
+	return &model.CowTree{
+		ModelName:     t.Name(),
+		Comp:          model.TreeComplexity(root.Inner, root.Leaves, root.Depth, model.LeafModel, t.schema.NumFeatures, t.schema.NumClasses),
+		Root:          root,
+		NonFiniteLeft: true,
+	}
 }
 
 // Changes returns the retained structural-change history (oldest first).

@@ -46,6 +46,12 @@ type enode struct {
 	left, right *enode
 	depth       int
 	sinceReeval float64
+
+	// snap caches the immutable SnapNode that froze this subtree at the
+	// last publish; the learn walk clears it along its path (every
+	// structural revisit — install, replace, retract — happens at a
+	// visited node), so Snapshot() re-freezes only what changed.
+	snap *model.SnapNode
 }
 
 func (n *enode) isLeaf() bool { return n.left == nil }
@@ -93,6 +99,7 @@ func (t *Tree) Learn(b stream.Batch) {
 func (t *Tree) learnOne(x []float64, y int) {
 	cur := t.root
 	for {
+		cur.snap = nil
 		cur.stats.Observe(x, y, 1)
 		if cur.isLeaf() {
 			t.attemptInitialSplit(cur)
@@ -232,18 +239,32 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, model.LeafMajority, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// freeze returns the immutable SnapNode of n's subtree, reusing the one
+// cached at the last publish when no learn walk has visited n since.
+func freeze(n *enode) *model.SnapNode {
+	if n.snap != nil {
+		return n.snap
+	}
+	if n.isLeaf() {
+		n.snap = model.FreezeLeaf(n.stats.ServingClone())
+	} else {
+		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+	}
+	return n.snap
+}
+
 // Snapshot implements model.Snapshotter: an immutable serving copy of
 // the current tree. Inner-node statistics exist only to re-evaluate
-// splits and are not captured; leaves get serving clones.
+// splits and are not captured; leaves get serving clones. Publishing is
+// copy-on-write via the per-node freeze cache.
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
-	snap.Root = model.AddTree(snap, t.root, func(n *enode) (model.SnapshotNode, *enode, *enode) {
-		if n.isLeaf() {
-			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
-		}
-		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
-	})
-	return snap
+	root := freeze(t.root)
+	return &model.CowTree{
+		ModelName:     t.Name(),
+		Comp:          model.TreeComplexity(root.Inner, root.Leaves, root.Depth, model.LeafMajority, t.schema.NumFeatures, t.schema.NumClasses),
+		Root:          root,
+		NonFiniteLeft: true,
+	}
 }
 
 // Revisions returns the number of split replacements and retractions.

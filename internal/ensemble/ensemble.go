@@ -343,12 +343,18 @@ func (s *ensembleSnapshot) Complexity() model.Complexity { return s.comp }
 func (s *ensembleSnapshot) Name() string { return s.name }
 
 // Snapshot implements model.Snapshotter: frozen member trees voting with
-// the error-since-swap weights at capture time.
+// the error-since-swap weights at capture time. Sharing is
+// member-granular: each member tree publishes copy-on-write, so only the
+// subtrees that member's learning touched since the last publish
+// re-freeze, and the capture-time complexity is summed from the frozen
+// members' O(1) counts instead of re-walking every live tree.
 func (a *ARF) Snapshot() model.Snapshot {
-	s := &ensembleSnapshot{name: a.Name(), comp: a.Complexity(), classes: a.schema.NumClasses}
+	s := &ensembleSnapshot{name: a.Name(), classes: a.schema.NumClasses}
 	for _, m := range a.members {
-		s.trees = append(s.trees, m.tree.Snapshot())
+		ts := m.tree.Snapshot()
+		s.trees = append(s.trees, ts)
 		s.weights = append(s.weights, m.voteWeight())
+		s.comp = s.comp.Add(ts.Complexity())
 	}
 	return s
 }
@@ -509,12 +515,16 @@ func (l *LevBag) Complexity() model.Complexity {
 }
 
 // Snapshot implements model.Snapshotter: frozen member trees under
-// unweighted majority vote, like the live ensemble.
+// unweighted majority vote, like the live ensemble. Member trees publish
+// copy-on-write (see ARF.Snapshot), and the capture-time complexity sums
+// the frozen members' O(1) counts.
 func (l *LevBag) Snapshot() model.Snapshot {
-	s := &ensembleSnapshot{name: l.Name(), comp: l.Complexity(), classes: l.schema.NumClasses}
+	s := &ensembleSnapshot{name: l.Name(), classes: l.schema.NumClasses}
 	for _, m := range l.members {
-		s.trees = append(s.trees, m.tree.Snapshot())
+		ts := m.tree.Snapshot()
+		s.trees = append(s.trees, ts)
 		s.weights = append(s.weights, 1)
+		s.comp = s.comp.Add(ts.Complexity())
 	}
 	return s
 }

@@ -93,6 +93,12 @@ type fnode struct {
 	ph          *drift.PageHinkley
 
 	depth int
+
+	// snap caches the immutable SnapNode that froze this subtree at the
+	// last publish; learnOne clears it while routing (every mutation —
+	// leaf training, splits, Page-Hinkley branch deletions — happens on
+	// the routed path), so Snapshot() re-freezes only what changed.
+	snap *model.SnapNode
 }
 
 func (n *fnode) isLeaf() bool { return n.left == nil }
@@ -169,6 +175,7 @@ func (t *Tree) learnOne(x []float64, y int) {
 	path := t.path[:0]
 	cur := t.root
 	for !cur.isLeaf() {
+		cur.snap = nil
 		path = append(path, cur)
 		if routeLeft(x[cur.feature], cur.threshold) {
 			cur = cur.left
@@ -176,6 +183,7 @@ func (t *Tree) learnOne(x []float64, y int) {
 			cur = cur.right
 		}
 	}
+	cur.snap = nil
 	t.path = path
 	leaf := cur
 
@@ -337,18 +345,32 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, model.LeafModel, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// freeze returns the immutable SnapNode of n's subtree, reusing the one
+// cached at the last publish when no routed instance has visited n since.
+func freeze(n *fnode) *model.SnapNode {
+	if n.snap != nil {
+		return n.snap
+	}
+	if n.isLeaf() {
+		n.snap = model.FreezeLeaf(n.mod.Clone())
+	} else {
+		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+	}
+	return n.snap
+}
+
 // Snapshot implements model.Snapshotter: an immutable serving copy of
 // the current tree (structure plus cloned leaf models), routing
-// non-finite values left like the live tree.
+// non-finite values left like the live tree. Publishing is copy-on-write
+// via the per-node freeze cache.
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
-	snap.Root = model.AddTree(snap, t.root, func(n *fnode) (model.SnapshotNode, *fnode, *fnode) {
-		if n.isLeaf() {
-			return model.SnapshotNode{Leaf: n.mod.Clone()}, nil, nil
-		}
-		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
-	})
-	return snap
+	root := freeze(t.root)
+	return &model.CowTree{
+		ModelName:     t.Name(),
+		Comp:          model.TreeComplexity(root.Inner, root.Leaves, root.Depth, model.LeafModel, t.schema.NumFeatures, t.schema.NumClasses),
+		Root:          root,
+		NonFiniteLeft: true,
+	}
 }
 
 // Prunes returns the number of Page-Hinkley branch deletions so far.

@@ -66,6 +66,13 @@ type anode struct {
 	alt       *anode
 	altErrMon *drift.ADWIN
 	altTicks  int
+
+	// snap caches the immutable SnapNode that froze this subtree at the
+	// last publish; the learn walk clears it along its path so Snapshot()
+	// re-freezes only what changed (copy-on-write). Alternate subtrees
+	// are never frozen — a promotion rewires n in place, and n itself is
+	// always on the invalidated path.
+	snap *model.SnapNode
 }
 
 func (n *anode) isLeaf() bool { return n.left == nil }
@@ -136,6 +143,7 @@ func (t *Tree) learnOne(x []float64, y int) {
 
 	cur := t.root
 	for {
+		cur.snap = nil // leaf training, splits and promotions all happen on this path
 		t.monitorNode(cur, x, y, mainErr)
 		if cur.isLeaf() {
 			break
@@ -263,18 +271,32 @@ func (t *Tree) Complexity() model.Complexity {
 	return model.TreeComplexity(inner, leaves, depth, model.LeafMajority, t.schema.NumFeatures, t.schema.NumClasses)
 }
 
+// freeze returns the immutable SnapNode of n's subtree, reusing the one
+// cached at the last publish when no learn walk has visited n since.
+func freeze(n *anode) *model.SnapNode {
+	if n.snap != nil {
+		return n.snap
+	}
+	if n.isLeaf() {
+		n.snap = model.FreezeLeaf(n.stats.ServingClone())
+	} else {
+		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+	}
+	return n.snap
+}
+
 // Snapshot implements model.Snapshotter: an immutable serving copy of
 // the deployed main tree (alternate subtrees are growth scaffolding and
-// never serve predictions, so they are not captured).
+// never serve predictions, so they are not captured). Publishing is
+// copy-on-write via the per-node freeze cache.
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
-	snap.Root = model.AddTree(snap, t.root, func(n *anode) (model.SnapshotNode, *anode, *anode) {
-		if n.isLeaf() {
-			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
-		}
-		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
-	})
-	return snap
+	root := freeze(t.root)
+	return &model.CowTree{
+		ModelName:     t.Name(),
+		Comp:          model.TreeComplexity(root.Inner, root.Leaves, root.Depth, model.LeafMajority, t.schema.NumFeatures, t.schema.NumClasses),
+		Root:          root,
+		NonFiniteLeft: true,
+	}
 }
 
 // Promotions returns how many alternate subtrees replaced their main

@@ -20,6 +20,11 @@ type node struct {
 	threshold   float64
 	left, right *node
 	depth       int
+
+	// snap caches the immutable SnapNode that froze this subtree at the
+	// last publish; learn traversals clear it along their path so
+	// Snapshot() re-freezes only what changed (copy-on-write).
+	snap *model.SnapNode
 }
 
 func (n *node) isLeaf() bool { return n.left == nil }
@@ -35,6 +40,38 @@ func (n *node) sortTo(x []float64) *node {
 		}
 	}
 	return cur
+}
+
+// sortLearn is sortTo for learn traversals: it additionally clears the
+// frozen-subtree cache of every node on the path, since the leaf's
+// statistics will change and the leaf may split under it.
+func (n *node) sortLearn(x []float64) *node {
+	cur := n
+	for {
+		cur.snap = nil
+		if cur.isLeaf() {
+			return cur
+		}
+		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+}
+
+// freeze returns the immutable SnapNode of n's subtree, reusing the one
+// cached at the last publish when no learn path has visited n since.
+func freeze(n *node) *model.SnapNode {
+	if n.snap != nil {
+		return n.snap
+	}
+	if n.isLeaf() {
+		n.snap = model.FreezeLeaf(n.stats.ServingClone())
+	} else {
+		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+	}
+	return n.snap
 }
 
 // Tree is a Hoeffding tree (VFDT). The zero value is not usable; construct
@@ -79,14 +116,14 @@ func (t *Tree) Learn(b stream.Batch) {
 // LearnOne updates the tree with one weighted instance (the ensembles use
 // Poisson weights).
 func (t *Tree) LearnOne(x []float64, y int, w float64) {
-	t.learnAt(t.root.sortTo(x), x, y, w)
+	t.learnAt(t.root.sortLearn(x), x, y, w)
 }
 
 // PredictLearnOne routes x to its leaf once, returns the prediction made
 // before learning, then applies the weighted update — the test-then-train
 // step of the ensembles in a single traversal.
 func (t *Tree) PredictLearnOne(x []float64, y int, w float64) int {
-	leaf := t.root.sortTo(x)
+	leaf := t.root.sortLearn(x)
 	pred := leaf.stats.Predict(x)
 	t.learnAt(leaf, x, y, w)
 	return pred
@@ -164,15 +201,21 @@ func (t *Tree) Complexity() model.Complexity {
 
 // Snapshot implements model.Snapshotter: an immutable serving copy of
 // the tree structure with serving clones of the leaf statistics.
+// Publishing is copy-on-write: subtrees no learn path has visited since
+// the previous Snapshot are shared with it via the per-node freeze
+// cache.
 func (t *Tree) Snapshot() model.Snapshot {
-	snap := &model.TreeSnapshot{ModelName: t.Name(), Comp: t.Complexity(), NonFiniteLeft: true}
-	snap.Root = model.AddTree(snap, t.root, func(n *node) (model.SnapshotNode, *node, *node) {
-		if n.isLeaf() {
-			return model.SnapshotNode{Leaf: n.stats.ServingClone()}, nil, nil
-		}
-		return model.SnapshotNode{Feature: n.feature, Threshold: n.threshold}, n.left, n.right
-	})
-	return snap
+	root := freeze(t.root)
+	kind := model.LeafMajority
+	if t.cfg.LeafMode != MajorityClass {
+		kind = model.LeafModel
+	}
+	return &model.CowTree{
+		ModelName:     t.Name(),
+		Comp:          model.TreeComplexity(root.Inner, root.Leaves, root.Depth, kind, t.schema.NumFeatures, t.schema.NumClasses),
+		Root:          root,
+		NonFiniteLeft: true,
+	}
 }
 
 // LifetimeSplits returns the number of split events since construction.

@@ -1,0 +1,90 @@
+package model
+
+// Copy-on-write serving snapshots. CowTree is a pointer-linked
+// alternative to the flat TreeSnapshot: each SnapNode is immutable after
+// construction, so two consecutive published snapshots may share every
+// subtree that did not change between publishes. A live tree keeps a
+// per-node cache pointer to the SnapNode that froze that subtree and
+// clears it along every learn-visited path; Snapshot() then re-freezes
+// only cache misses, making publish cost O(changed path) instead of
+// O(tree) — the structural-sharing counterpart of the paper's local
+// split/replace/prune updates.
+
+// SnapNode is one immutable node of a CowTree. Inner nodes carry the
+// binary test (x[Feature] <= Threshold routes left) and two non-nil
+// children; leaves carry a frozen predictor. The subtree counts are
+// frozen at construction so a snapshot's Complexity never walks the
+// shared structure.
+type SnapNode struct {
+	Feature   int
+	Threshold float64
+	// Left and Right are non-nil exactly at inner nodes.
+	Left, Right *SnapNode
+	// Leaf is non-nil exactly at leaves.
+	Leaf LeafScorer
+	// Inner, Leaves and Depth describe the subtree rooted here; a leaf
+	// is (0, 1, 0).
+	Inner, Leaves, Depth int
+}
+
+// FreezeLeaf freezes one leaf predictor. The caller passes an immutable
+// clone — the SnapNode retains it forever.
+func FreezeLeaf(leaf LeafScorer) *SnapNode {
+	return &SnapNode{Leaf: leaf, Leaves: 1}
+}
+
+// FreezeInner freezes one inner node over two already-frozen children.
+func FreezeInner(feature int, threshold float64, left, right *SnapNode) *SnapNode {
+	d := left.Depth
+	if right.Depth > d {
+		d = right.Depth
+	}
+	return &SnapNode{
+		Feature:   feature,
+		Threshold: threshold,
+		Left:      left,
+		Right:     right,
+		Inner:     left.Inner + right.Inner + 1,
+		Leaves:    left.Leaves + right.Leaves,
+		Depth:     d + 1,
+	}
+}
+
+// CowTree is an immutable serving snapshot built from shared SnapNodes.
+// It implements Snapshot and ProbaSnapshot exactly like TreeSnapshot;
+// only the construction differs.
+type CowTree struct {
+	ModelName string
+	Comp      Complexity
+	Root      *SnapNode
+	// NonFiniteLeft routes NaN/±Inf feature values to the left child
+	// (see TreeSnapshot.NonFiniteLeft).
+	NonFiniteLeft bool
+}
+
+// LeafFor routes x to its frozen leaf predictor.
+func (t *CowTree) LeafFor(x []float64) LeafScorer {
+	n := t.Root
+	for n.Leaf == nil {
+		if RouteLeft(x[n.Feature], n.Threshold, t.NonFiniteLeft) {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Leaf
+}
+
+// Predict implements Snapshot.
+func (t *CowTree) Predict(x []float64) int { return t.LeafFor(x).Predict(x) }
+
+// Proba implements ProbaSnapshot.
+func (t *CowTree) Proba(x []float64, out []float64) []float64 {
+	return t.LeafFor(x).Proba(x, out)
+}
+
+// Complexity implements Snapshot with the complexity at capture time.
+func (t *CowTree) Complexity() Complexity { return t.Comp }
+
+// Name implements Snapshot.
+func (t *CowTree) Name() string { return t.ModelName }

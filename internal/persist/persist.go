@@ -65,6 +65,13 @@ type Header struct {
 	// PayloadLen and PayloadCRC frame and checksum the payload bytes.
 	PayloadLen int64
 	PayloadCRC uint32
+	// StructVersion records the model's StructureVersion at save time;
+	// HasStructVersion distinguishes a genuine zero from a model that
+	// reports no version. Delta envelopes (see delta.go) key their chains
+	// on it. Gob tolerates the added fields in both directions, so the
+	// format version stays 2.
+	StructVersion    uint64
+	HasStructVersion bool
 }
 
 // Envelope is one decoded checkpoint: the header plus the verified
@@ -111,6 +118,10 @@ func Save(w io.Writer, c model.Classifier) error {
 	}
 	if pr, ok := c.(registry.ParamsReporter); ok {
 		h.Params = pr.CheckpointParams()
+	}
+	if sv, ok := c.(model.StructureVersioner); ok {
+		h.StructVersion = sv.StructureVersion()
+		h.HasStructVersion = true
 	}
 	var hdr bytes.Buffer
 	if err := gob.NewEncoder(&hdr).Encode(h); err != nil {

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/persist"
+	"repro/internal/registry"
+)
+
+// In publish-on-change mode a Checkpoint with an unmoved structure
+// version re-serves the cached capture byte-for-byte instead of
+// re-encoding, and a moved version recaptures.
+func TestCheckpointCacheOnChange(t *testing.T) {
+	batches, schema := seaBatches(t, 400, 50, 42)
+	c, err := registry.New("VFDT (MC)", schema, registry.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSnapshotOnChange(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[:200] {
+		s.Learn(b)
+	}
+	sv := s.Unwrap().(model.StructureVersioner)
+	if sv.StructureVersion() == 0 {
+		t.Fatal("precondition: the tree should have split at least once")
+	}
+
+	var a, b bytes.Buffer
+	if err := s.Checkpoint(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("back-to-back checkpoints at one version differ")
+	}
+
+	// Advance the structure version; the next checkpoint must reflect it.
+	v0 := sv.StructureVersion()
+	for _, batch := range batches[200:] {
+		s.Learn(batch)
+		if sv.StructureVersion() != v0 {
+			break
+		}
+	}
+	if sv.StructureVersion() == v0 {
+		t.Fatal("structure version never moved across 200 batches")
+	}
+	var c2 bytes.Buffer
+	if err := s.Checkpoint(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c2.Bytes()) {
+		t.Fatal("checkpoint did not recapture after the version moved")
+	}
+	_, h, err := persist.ReadRaw(bytes.NewReader(c2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasStructVersion || h.StructVersion != sv.StructureVersion() {
+		t.Fatalf("cached checkpoint header at version %d, live is %d", h.StructVersion, sv.StructureVersion())
+	}
+}
+
+// CheckpointDelta emits a full envelope first, then delta envelopes
+// whose chain reconstructs the current checkpoint byte-identically.
+func TestCheckpointDeltaChainRoundTrip(t *testing.T) {
+	batches, schema := seaBatches(t, 400, 50, 7)
+	c, err := registry.New("VFDT (MC)", schema, registry.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSnapshotOnChange(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := s.Unwrap().(model.StructureVersioner)
+
+	var first bytes.Buffer
+	full, err := s.CheckpointDelta(&first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full {
+		t.Fatal("first CheckpointDelta was not a full envelope")
+	}
+	base := append([]byte(nil), first.Bytes()...)
+
+	var deltas []*persist.Delta
+	captured := 0
+	for i := 0; i < len(batches) && captured < 3; i++ {
+		v := sv.StructureVersion()
+		s.Learn(batches[i])
+		if sv.StructureVersion() == v {
+			continue
+		}
+		var buf bytes.Buffer
+		full, err := s.CheckpointDelta(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full {
+			t.Fatalf("capture %d fell back to a full envelope", captured)
+		}
+		d, err := persist.ReadDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas = append(deltas, d)
+		captured++
+	}
+	if captured < 3 {
+		t.Fatalf("only %d structural events in %d batches", captured, len(batches))
+	}
+
+	head, err := persist.ApplyChain(base, deltas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := s.Checkpoint(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(head, want.Bytes()) {
+		t.Fatal("base+delta chain is not byte-identical to the full checkpoint")
+	}
+	if _, err := persist.Load(bytes.NewReader(head)); err != nil {
+		t.Fatalf("reconstructed head does not load: %v", err)
+	}
+}
+
+// A Restore resets both the capture cache and the delta base: the next
+// CheckpointDelta after a hot swap is a full envelope again.
+func TestCheckpointDeltaResetOnRestore(t *testing.T) {
+	batches, schema := seaBatches(t, 100, 50, 21)
+	c, err := registry.New("VFDT (MC)", schema, registry.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSnapshotOnChange(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		s.Learn(b)
+	}
+	var first bytes.Buffer
+	if full, err := s.CheckpointDelta(&first); err != nil || !full {
+		t.Fatalf("first capture: full=%v err=%v", full, err)
+	}
+	if err := s.Restore(bytes.NewReader(first.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var next bytes.Buffer
+	full, err := s.CheckpointDelta(&next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full {
+		t.Fatal("CheckpointDelta after Restore did not reset to a full envelope")
+	}
+}

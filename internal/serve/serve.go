@@ -315,6 +315,18 @@ type SnapshotScorer struct {
 	lastVersion  uint64
 	publishes    atomic.Uint64
 	cur          atomic.Pointer[published]
+
+	// Checkpoint capture cache, publish-on-change mode only: the full
+	// envelope bytes of the last capture and the live structure version
+	// they were taken at. While the version has not moved, Checkpoint
+	// re-serves these bytes instead of re-encoding full state — the same
+	// staleness contract the published snapshot already has in this mode
+	// (leaf drift between structural events is not visible either).
+	ckptRaw     []byte
+	ckptVersion uint64
+	// deltaBase is the previous CheckpointDelta capture, the base the
+	// next delta envelope is computed against.
+	deltaBase []byte
 }
 
 // NewSnapshot wraps a snapshot-capable classifier. publishEvery <= 1
@@ -408,13 +420,69 @@ func (s *SnapshotScorer) Learn(b stream.Batch) {
 	}
 }
 
+// checkpointRaw returns the scorer's current full envelope bytes. In
+// publish-on-change mode the bytes are cached keyed by the live
+// structure version, so repeated checkpoints between structural events
+// cost a version check instead of a full re-encode; cadence and default
+// modes always capture fresh (leaf parameters drift without the version
+// moving, and those modes promise full-fidelity checkpoints). Callers
+// hold s.mu.
+func (s *SnapshotScorer) checkpointRaw() ([]byte, error) {
+	if s.onChange && s.ckptRaw != nil && s.sv.StructureVersion() == s.ckptVersion {
+		return s.ckptRaw, nil
+	}
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, s.live); err != nil {
+		return nil, err
+	}
+	if s.onChange {
+		s.ckptRaw, s.ckptVersion = buf.Bytes(), s.sv.StructureVersion()
+	}
+	return buf.Bytes(), nil
+}
+
 // Checkpoint implements Scorer: the live model as one envelope,
 // captured under the writer mutex so it is snapshot-consistent with the
-// published state (no Learn can interleave).
+// published state (no Learn can interleave). In publish-on-change mode
+// an unchanged StructureVersion re-serves the cached capture.
 func (s *SnapshotScorer) Checkpoint(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return persist.Save(w, s.live)
+	raw, err := s.checkpointRaw()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// CheckpointDelta writes the scorer's state as a delta envelope against
+// the previous CheckpointDelta (or Checkpoint-seeded) capture, falling
+// back to a full envelope on the first call or whenever no usable base
+// exists. It reports whether a full envelope was written. Applying the
+// emitted chain to the first full envelope reconstructs the current
+// checkpoint byte-identically (see persist.ApplyChain).
+func (s *SnapshotScorer) CheckpointDelta(w io.Writer) (full bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := s.checkpointRaw()
+	if err != nil {
+		return false, err
+	}
+	prev := s.deltaBase
+	s.deltaBase = raw
+	if prev == nil {
+		_, err = w.Write(raw)
+		return true, err
+	}
+	d, err := persist.MakeDelta(prev, raw)
+	if err != nil {
+		// The previous capture is unusable as a base (e.g. state was
+		// swapped underneath us): recover with a full envelope.
+		_, werr := w.Write(raw)
+		return true, werr
+	}
+	return false, persist.WriteDelta(w, d)
 }
 
 // Restore implements Scorer: the live model is replaced by the
@@ -450,6 +518,9 @@ func (s *SnapshotScorer) install(c model.Classifier) error {
 	}
 	s.sv = sv
 	s.live, s.src = c, src
+	// The capture cache and delta base described the replaced state; the
+	// next Checkpoint re-encodes and the next CheckpointDelta is full.
+	s.ckptRaw, s.deltaBase = nil, nil
 	s.publish()
 	return nil
 }

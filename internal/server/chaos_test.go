@@ -164,6 +164,103 @@ func TestChaosFollowConverges(t *testing.T) {
 	}
 }
 
+// deltaCorrupter scrambles the first `remaining` delta-chain response
+// bodies (header bytes, length preserved) and passes everything else to
+// the wrapped transport — the deterministic "bad chain" fault the
+// probabilistic injector cannot target by response type.
+type deltaCorrupter struct {
+	next      http.RoundTripper
+	remaining int32
+}
+
+func (d *deltaCorrupter) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := d.next.RoundTrip(req)
+	if err != nil || resp.Header.Get("Content-Type") != ContentTypeDeltaChain {
+		return resp, err
+	}
+	if atomic.AddInt32(&d.remaining, -1) < 0 {
+		return resp, nil
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	for i := 16; i < 24 && i < len(body); i++ {
+		body[i] ^= 0xff
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+// Delta follow under chaos: with corrupted delta chains and background
+// connection drops, the follower falls back to full envelopes exactly
+// when a chain is unusable, keeps converging through every round, and
+// ends byte-identical to the trainer — its own checkpoint equals the
+// trainer's envelope.
+func TestChaosDeltaFollowFallsBackAndConverges(t *testing.T) {
+	trainer := newTrainedScorer(t, 120)
+	_, trainerTS := newTestServer(t, trainer, Config{})
+
+	replica, v0, raw0, err := BootstrapRaw(context.Background(), nil, trainerTS.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(5, faults.Rule{Kind: faults.Drop, P: 0.1})
+	corrupt := &deltaCorrupter{next: in.RoundTripper(nil), remaining: 2}
+	f := NewFollower(trainerTS.URL, replica, chaosFollowConfig(corrupt))
+	f.SeedInstalled(v0, raw0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+
+	// Several structural rounds: the first two delta chains arrive
+	// corrupted and must be recovered by full fetches, later rounds
+	// install via clean chains.
+	cur := v0
+	for round := 0; round < 4; round++ {
+		cur = advanceVersion(t, trainer, cur, int64(300+round))
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			if v, ok := f.InstalledVersion(); ok && v == cur {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d never converged to %d: %+v", round, cur, f.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	<-done
+
+	st := f.Stats()
+	if st.DeltaFallbacks < 2 {
+		t.Fatalf("corrupted chains did not force fallbacks: %+v", st)
+	}
+	if st.DeltaInstalls == 0 {
+		t.Fatalf("no clean delta chain ever installed: %+v", st)
+	}
+	t.Logf("injected=%d stats=%+v", in.InjectedTotal(), st)
+
+	// Byte-identical convergence: the replica's checkpoint equals the
+	// trainer's current envelope.
+	rawHead, _, err := Fetch(context.Background(), http.DefaultClient, trainerTS.URL, ^uint64(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repCkpt bytes.Buffer
+	if err := replica.Checkpoint(&repCkpt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repCkpt.Bytes(), rawHead) {
+		t.Fatal("chaos-converged replica checkpoint differs from the trainer envelope")
+	}
+}
+
 // A trainer partition is graceful degradation, not an outage: the
 // replica keeps answering every prediction from its last installed
 // snapshot, reports nonzero staleness, stamps degraded responses with

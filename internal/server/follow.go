@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/serve"
 )
 
@@ -129,6 +130,12 @@ type FollowConfig struct {
 	// EndDrain after — the replica reports not-ready while an envelope
 	// installs (drain on swap).
 	Drainer Drainer
+	// NoDelta disables delta negotiation: every fetch transfers a full
+	// envelope. Default off — a follower that still holds its last
+	// installed envelope bytes asks the trainer for a ?since= delta
+	// chain and falls back to a full fetch automatically when the chain
+	// cannot be served or applied.
+	NoDelta bool
 	// OnInstall, when non-nil, is called after each successful envelope
 	// install with the version it was stamped with.
 	OnInstall func(version uint64)
@@ -179,12 +186,27 @@ func (c FollowConfig) withDefaults() FollowConfig {
 // come back as a *FetchError classifying the cause and carrying any
 // Retry-After hint; the request is bound to ctx end to end.
 func Fetch(ctx context.Context, client *http.Client, baseURL string, version uint64, wait time.Duration) ([]byte, uint64, error) {
+	raw, v, _, err := fetchEnvelope(ctx, client, baseURL, version, wait, 0, false)
+	return raw, v, err
+}
+
+// FetchSince is Fetch with delta negotiation: since is the version of
+// the full envelope bytes the caller still holds, passed as ?since= so
+// the trainer may answer with a delta chain instead of a full envelope.
+// isDelta reports which one the body is: when true, the bytes are a
+// concatenation of delta envelopes to apply against the caller's base
+// (see persist.ApplyChain) and the returned version is the chain head.
+func FetchSince(ctx context.Context, client *http.Client, baseURL string, version uint64, wait time.Duration, since uint64) (raw []byte, v uint64, isDelta bool, err error) {
+	return fetchEnvelope(ctx, client, baseURL, version, wait, since, true)
+}
+
+func fetchEnvelope(ctx context.Context, client *http.Client, baseURL string, version uint64, wait time.Duration, since uint64, haveSince bool) ([]byte, uint64, bool, error) {
 	if client == nil {
 		client = httpClient(nil, wait+30*time.Second)
 	}
 	u, err := url.Parse(baseURL)
 	if err != nil {
-		return nil, 0, &FetchError{Cause: CauseDecode, Err: fmt.Errorf("bad base URL: %w", err)}
+		return nil, 0, false, &FetchError{Cause: CauseDecode, Err: fmt.Errorf("bad base URL: %w", err)}
 	}
 	u = u.JoinPath("/v1/envelope")
 	q := u.Query()
@@ -194,24 +216,27 @@ func Fetch(ctx context.Context, client *http.Client, baseURL string, version uin
 	if wait > 0 {
 		q.Set("wait", wait.String())
 	}
+	if haveSince {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
 	u.RawQuery = q.Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {
-		return nil, 0, &FetchError{Cause: CauseDecode, Err: err}
+		return nil, 0, false, &FetchError{Cause: CauseDecode, Err: err}
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, 0, &FetchError{Cause: classify(err), Err: err}
+		return nil, 0, false, &FetchError{Cause: classify(err), Err: err}
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNotModified:
 		io.Copy(io.Discard, resp.Body)
-		return nil, version, nil
+		return nil, version, false, nil
 	case http.StatusOK:
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
-		return nil, 0, &FetchError{
+		return nil, 0, false, &FetchError{
 			Cause:      CauseStatus,
 			Status:     resp.StatusCode,
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
@@ -224,13 +249,13 @@ func Fetch(ctx context.Context, client *http.Client, baseURL string, version uin
 		if c := classify(err); c == CauseTimeout {
 			cause = c
 		}
-		return nil, 0, &FetchError{Cause: cause, Err: fmt.Errorf("read envelope: %w", err)}
+		return nil, 0, false, &FetchError{Cause: cause, Err: fmt.Errorf("read envelope: %w", err)}
 	}
 	v, err := strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
 	if err != nil {
-		return nil, 0, &FetchError{Cause: CauseDecode, Err: fmt.Errorf("envelope missing %s header: %w", VersionHeader, err)}
+		return nil, 0, false, &FetchError{Cause: CauseDecode, Err: fmt.Errorf("envelope missing %s header: %w", VersionHeader, err)}
 	}
-	return raw, v, nil
+	return raw, v, resp.Header.Get("Content-Type") == ContentTypeDeltaChain, nil
 }
 
 // parseRetryAfter reads an RFC 9110 delay-seconds Retry-After value
@@ -257,6 +282,12 @@ type FollowStats struct {
 	NotModified uint64 `json:"not_modified"`
 	// Retries counts backoff sleeps taken after a failure.
 	Retries uint64 `json:"retries"`
+	// DeltaInstalls counts installs that arrived as delta chains
+	// (transferring only what changed); DeltaFallbacks counts delta
+	// responses that could not be applied — version gap, rejected base,
+	// corrupt link — and were recovered by an immediate full fetch.
+	DeltaInstalls  uint64 `json:"delta_installs"`
+	DeltaFallbacks uint64 `json:"delta_fallbacks"`
 	// Per-cause failure counters.
 	DialErrors    uint64 `json:"dial_errors"`
 	TimeoutErrors uint64 `json:"timeout_errors"`
@@ -300,15 +331,22 @@ type Follower struct {
 	br      *breaker
 	rng     *rand.Rand // jitter; only touched by the Run goroutine
 
-	fetches     atomic.Uint64
-	installs    atomic.Uint64
-	notModified atomic.Uint64
-	retries     atomic.Uint64
-	dialErrs    atomic.Uint64
-	timeoutErrs atomic.Uint64
-	statusErrs  atomic.Uint64
-	decodeErrs  atomic.Uint64
-	restoreErrs atomic.Uint64
+	// lastRaw holds the full envelope bytes of the last install — the
+	// base the next ?since= delta chain is applied against. Only the Run
+	// goroutine and pre-Run SeedInstalled touch it.
+	lastRaw []byte
+
+	fetches        atomic.Uint64
+	installs       atomic.Uint64
+	notModified    atomic.Uint64
+	retries        atomic.Uint64
+	deltaInstalls  atomic.Uint64
+	deltaFallbacks atomic.Uint64
+	dialErrs       atomic.Uint64
+	timeoutErrs    atomic.Uint64
+	statusErrs     atomic.Uint64
+	decodeErrs     atomic.Uint64
+	restoreErrs    atomic.Uint64
 
 	installedVersion atomic.Uint64
 	hasInstalled     atomic.Bool
@@ -339,6 +377,8 @@ func (f *Follower) Stats() FollowStats {
 		Installs:         f.installs.Load(),
 		NotModified:      f.notModified.Load(),
 		Retries:          f.retries.Load(),
+		DeltaInstalls:    f.deltaInstalls.Load(),
+		DeltaFallbacks:   f.deltaFallbacks.Load(),
 		DialErrors:       f.dialErrs.Load(),
 		TimeoutErrors:    f.timeoutErrs.Load(),
 		StatusErrors:     f.statusErrs.Load(),
@@ -359,6 +399,17 @@ func (f *Follower) State() BreakerState { return f.br.State() }
 // InstalledVersion returns the last installed envelope version.
 func (f *Follower) InstalledVersion() (uint64, bool) {
 	return f.installedVersion.Load(), f.hasInstalled.Load()
+}
+
+// SeedInstalled records an envelope installed out of band (a Bootstrap
+// that already constructed the scorer) so the follow loop resumes from
+// its version instead of refetching, and — given the raw envelope
+// bytes — can ask the trainer for delta chains from the first poll.
+// Call before Run.
+func (f *Follower) SeedInstalled(v uint64, raw []byte) {
+	f.lastRaw = raw
+	f.installedVersion.Store(v)
+	f.hasInstalled.Store(true)
 }
 
 // Staleness implements the server's StalenessSource: how long the
@@ -417,6 +468,27 @@ func (f *Follower) install(raw []byte, v uint64) error {
 	return nil
 }
 
+// applyDeltaChain parses a delta-chain response body (stacked delta
+// envelopes) and applies it to the last installed envelope bytes,
+// returning the reconstructed head envelope — byte-identical to the
+// full envelope the trainer would have served, or an error when any
+// link is truncated, out of order, gapped or keyed to a different base.
+func (f *Follower) applyDeltaChain(chain []byte) ([]byte, error) {
+	br := bytes.NewReader(chain)
+	var ds []*persist.Delta
+	for br.Len() > 0 {
+		d, err := persist.ReadDelta(br)
+		if err != nil {
+			return nil, fmt.Errorf("delta chain: %w", err)
+		}
+		ds = append(ds, d)
+	}
+	if len(ds) == 0 {
+		return nil, errors.New("delta chain: empty body")
+	}
+	return persist.ApplyChain(f.lastRaw, ds...)
+}
+
 // backoffDelay draws the attempt-th retry delay: full jitter over an
 // exponentially growing window, uniform in [0, base<<attempt) capped
 // at max.
@@ -471,7 +543,15 @@ func (f *Follower) Run(ctx context.Context) error {
 			continue
 		}
 		fctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
-		raw, v, err := Fetch(fctx, f.cfg.Client, f.baseURL, have, f.cfg.Wait)
+		var raw []byte
+		var v uint64
+		var isDelta bool
+		var err error
+		if !f.cfg.NoDelta && f.lastRaw != nil && have != ^uint64(0) {
+			raw, v, isDelta, err = FetchSince(fctx, f.cfg.Client, f.baseURL, have, f.cfg.Wait, have)
+		} else {
+			raw, v, err = Fetch(fctx, f.cfg.Client, f.baseURL, have, f.cfg.Wait)
+		}
 		cancel()
 		f.fetches.Add(1)
 		if ctx.Err() != nil {
@@ -481,16 +561,41 @@ func (f *Follower) Run(ctx context.Context) error {
 			f.lastSync.Store(time.Now().UnixNano())
 			if raw == nil {
 				f.notModified.Add(1)
-			} else if ierr := f.install(raw, v); ierr != nil {
-				f.fail(CauseRestore, ierr)
-				attempt++
-				f.retries.Add(1)
-				if serr := sleepCtx(ctx, backoffDelay(f.rng, attempt-1, f.cfg.BackoffBase, f.cfg.BackoffMax)); serr != nil {
-					return serr
-				}
-				continue
 			} else {
+				full := raw
+				if isDelta {
+					head, derr := f.applyDeltaChain(raw)
+					if derr != nil {
+						// The chain is unusable (gap, wrong base, corrupt
+						// link) but the trainer is reachable: count the
+						// fallback, drop the delta base and refetch full
+						// immediately — no breaker penalty, no backoff.
+						f.deltaFallbacks.Add(1)
+						if f.cfg.OnError != nil {
+							f.cfg.OnError(CauseDecode, derr)
+						}
+						f.lastRaw = nil
+						f.br.success()
+						attempt = 0
+						continue
+					}
+					full = head
+				}
+				if ierr := f.install(full, v); ierr != nil {
+					f.lastRaw = nil // next round fetches full, delta base is suspect
+					f.fail(CauseRestore, ierr)
+					attempt++
+					f.retries.Add(1)
+					if serr := sleepCtx(ctx, backoffDelay(f.rng, attempt-1, f.cfg.BackoffBase, f.cfg.BackoffMax)); serr != nil {
+						return serr
+					}
+					continue
+				}
 				f.installs.Add(1)
+				if isDelta {
+					f.deltaInstalls.Add(1)
+				}
+				f.lastRaw = full
 				have = v
 			}
 			f.br.success()
@@ -530,16 +635,24 @@ func Follow(ctx context.Context, baseURL string, sc serve.Scorer, cfg FollowConf
 // scorer). This is how `dmtserve -follow` starts with no local model.
 // A nil client gets the shared default; the fetch is bound to ctx.
 func Bootstrap(ctx context.Context, client *http.Client, baseURL string, publishEvery int) (serve.Scorer, uint64, error) {
+	sc, v, _, err := BootstrapRaw(ctx, client, baseURL, publishEvery)
+	return sc, v, err
+}
+
+// BootstrapRaw is Bootstrap returning also the fetched envelope's
+// verbatim wire bytes, so the caller can seed a Follower's delta base
+// (SeedInstalled) and the first follow poll already negotiates deltas.
+func BootstrapRaw(ctx context.Context, client *http.Client, baseURL string, publishEvery int) (serve.Scorer, uint64, []byte, error) {
 	if client == nil {
 		client = httpClient(nil, 30*time.Second)
 	}
 	raw, v, err := Fetch(ctx, client, baseURL, ^uint64(0), 0)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	sc, err := serve.FromCheckpoint(bytes.NewReader(raw), publishEvery)
 	if err != nil {
-		return nil, 0, fmt.Errorf("follow: bootstrap envelope: %w", err)
+		return nil, 0, nil, fmt.Errorf("follow: bootstrap envelope: %w", err)
 	}
-	return sc, v, nil
+	return sc, v, raw, nil
 }

@@ -54,9 +54,20 @@ const (
 	// ContentTypeEnvelope is the checkpoint envelope content type served
 	// by /v1/envelope and accepted by /v1/swap.
 	ContentTypeEnvelope = "application/x-repro-envelope"
+	// ContentTypeDeltaChain is the content type of a ?since= delta
+	// response: a concatenation of REPRODLT delta envelopes that turn the
+	// client's base envelope into the current head (see persist.Delta).
+	ContentTypeDeltaChain = "application/x-repro-delta"
 	// VersionHeader carries the structure version an envelope response
-	// was captured at (and /statusz's structure_version).
+	// was captured at (and /statusz's structure_version). On a delta
+	// response it is the chain's head version.
 	VersionHeader = "X-Repro-Structure-Version"
+	// DeltaBaseHeader is the base structure version a delta-chain
+	// response must be applied against (the client's ?since= value).
+	DeltaBaseHeader = "X-Repro-Delta-Base"
+	// DeltaCountHeader is the number of stacked delta envelopes in a
+	// delta-chain response body.
+	DeltaCountHeader = "X-Repro-Delta-Count"
 	// ModelHeader carries the served model's registered name.
 	ModelHeader = "X-Repro-Model"
 	// StalenessHeader is stamped on prediction responses from a
@@ -90,6 +101,11 @@ type Config struct {
 	// LongPollMax caps the ?wait= duration of /v1/envelope long polls
 	// (default 30s).
 	LongPollMax time.Duration
+	// EnvelopeHistory bounds the /v1/envelope capture history: how many
+	// recent envelopes (with the deltas linking them) are kept so
+	// ?since= requests can be answered with a delta chain instead of a
+	// full envelope (default 8). A base older than the ring answers full.
+	EnvelopeHistory int
 	// Registry tunes the replica registry behind /v1/replicas
 	// (heartbeat TTL, version-lag health gate).
 	Registry RegistryConfig
@@ -116,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LongPollMax <= 0 {
 		c.LongPollMax = 30 * time.Second
+	}
+	if c.EnvelopeHistory <= 0 {
+		c.EnvelopeHistory = 8
 	}
 	c.Registry = c.Registry.withDefaults()
 	return c
@@ -159,11 +178,26 @@ type Server struct {
 
 	// Envelope cache for /v1/envelope: capturing a checkpoint costs a
 	// full state serialisation, so captures are reused until the
-	// structure version moves (or a swap invalidates them).
-	envMu  sync.Mutex
-	envRaw []byte
-	envVer uint64
-	envSeq uint64 // capture counter, the version surrogate for versionless models
+	// structure version moves (or a swap invalidates them). envHist is
+	// the bounded capture history behind ?since= delta serving.
+	envMu   sync.Mutex
+	envRaw  []byte
+	envVer  uint64
+	envSeq  uint64 // capture counter, the version surrogate for versionless models
+	envHist []envEntry
+
+	deltasServed atomic.Uint64 // ?since= requests answered with a chain
+}
+
+// envEntry is one capture in the bounded envelope history: its structure
+// version, its full wire bytes, and the wire bytes of the delta envelope
+// leading to it from the previous entry (nil when none could be
+// computed — the ring's first entry, or a scorer whose checkpoint is not
+// a single envelope, e.g. the sharded stream).
+type envEntry struct {
+	ver   uint64
+	raw   []byte
+	dwire []byte
 }
 
 // New builds a Server over the scorer. Close must be called when the
@@ -514,12 +548,14 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// invalidateEnvelope drops the cached envelope capture (after a swap:
-// the cache key is the structure version, which a restored model could
-// plausibly collide with).
+// invalidateEnvelope drops the cached envelope capture and the delta
+// history (after a swap: the cache key is the structure version, which a
+// restored model could plausibly collide with — a stale history entry
+// would then hand a follower a chain whose base CRC can never match).
 func (s *Server) invalidateEnvelope() {
 	s.envMu.Lock()
 	s.envRaw = nil
+	s.envHist = nil
 	s.envMu.Unlock()
 }
 
@@ -547,7 +583,67 @@ func (s *Server) envelope() ([]byte, uint64, error) {
 		v = s.envSeq
 	}
 	s.envRaw, s.envVer = buf.Bytes(), v
+	if hasVersion {
+		s.pushHistory(v, s.envRaw)
+	}
 	return s.envRaw, s.envVer, nil
+}
+
+// pushHistory appends a capture to the bounded envelope history,
+// computing the delta envelope from the previous capture. Versionless
+// models never reach here — their surrogate versions could not key a
+// delta chain. Callers hold envMu.
+func (s *Server) pushHistory(v uint64, raw []byte) {
+	if n := len(s.envHist); n > 0 {
+		if s.envHist[n-1].ver == v {
+			return
+		}
+		var dwire []byte
+		// A capture whose bytes are not one plain envelope (the sharded
+		// scorer stacks one per replica) fails MakeDelta; the entry then
+		// simply breaks the chain and ?since= falls back to full.
+		if d, err := persist.MakeDelta(s.envHist[n-1].raw, raw); err == nil {
+			var db bytes.Buffer
+			if persist.WriteDelta(&db, d) == nil {
+				dwire = db.Bytes()
+			}
+		}
+		s.envHist = append(s.envHist, envEntry{ver: v, raw: raw, dwire: dwire})
+	} else {
+		s.envHist = append(s.envHist, envEntry{ver: v, raw: raw})
+	}
+	if max := s.cfg.EnvelopeHistory; len(s.envHist) > max {
+		s.envHist = append([]envEntry(nil), s.envHist[len(s.envHist)-max:]...)
+	}
+}
+
+// deltaChain returns the concatenated delta envelopes leading from the
+// client's version to the history head, with the head version and link
+// count. ok is false when the history cannot serve the request — the
+// base was compacted out of the ring, the base is already the head, or a
+// link in between has no delta — and the caller serves a full envelope.
+func (s *Server) deltaChain(since uint64) (chain []byte, head uint64, count int, ok bool) {
+	s.envMu.Lock()
+	defer s.envMu.Unlock()
+	i := -1
+	for j := range s.envHist {
+		if s.envHist[j].ver == since {
+			i = j
+			break
+		}
+	}
+	if i < 0 || i == len(s.envHist)-1 {
+		return nil, 0, 0, false
+	}
+	var buf bytes.Buffer
+	for _, e := range s.envHist[i+1:] {
+		if e.dwire == nil {
+			return nil, 0, 0, false
+		}
+		buf.Write(e.dwire)
+		count++
+	}
+	return buf.Bytes(), s.envHist[len(s.envHist)-1].ver, count, true
 }
 
 // handleEnvelope serves the trainer side of the replica-follow
@@ -555,7 +651,11 @@ func (s *Server) envelope() ([]byte, uint64, error) {
 // structure version. A client that passes ?version=N (its last
 // installed version) gets 304 Not Modified while the version still
 // equals N; with ?wait=DURATION the 304 is deferred — the handler long
-// polls until the version moves or the wait expires.
+// polls until the version moves or the wait expires. A client that also
+// passes ?since=N (it still holds the full envelope bytes of version N)
+// is answered with a delta chain when the capture history still covers
+// N — ContentTypeDeltaChain, DeltaBaseHeader/DeltaCountHeader stamped —
+// and with a full envelope otherwise.
 func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var since uint64
@@ -567,6 +667,16 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		since, haveSince = v, true
+	}
+	var deltaBase uint64
+	haveDeltaBase := false
+	if qs := q.Get("since"); qs != "" {
+		v, err := strconv.ParseUint(qs, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		deltaBase, haveDeltaBase = v, true
 	}
 	var wait time.Duration
 	if qs := q.Get("wait"); qs != "" {
@@ -588,6 +698,18 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				http.Error(w, "capture failed: "+err.Error(), http.StatusInternalServerError)
 				return
+			}
+			if haveDeltaBase && hasVersion && deltaBase != v {
+				if chain, head, n, ok := s.deltaChain(deltaBase); ok {
+					s.deltasServed.Add(1)
+					w.Header().Set("Content-Type", ContentTypeDeltaChain)
+					w.Header().Set(ModelHeader, s.scorer.Name())
+					w.Header().Set(VersionHeader, strconv.FormatUint(head, 10))
+					w.Header().Set(DeltaBaseHeader, strconv.FormatUint(deltaBase, 10))
+					w.Header().Set(DeltaCountHeader, strconv.Itoa(n))
+					w.Write(chain)
+					return
+				}
 			}
 			w.Header().Set("Content-Type", ContentTypeEnvelope)
 			w.Header().Set(ModelHeader, s.scorer.Name())
@@ -671,6 +793,7 @@ type Status struct {
 	CoalescedRows       uint64        `json:"coalesced_rows"`
 	Rejected            uint64        `json:"rejected"`
 	Swaps               uint64        `json:"swaps"`
+	DeltasServed        uint64        `json:"deltas_served,omitempty"`
 	QueueDepth          int           `json:"queue_depth"`
 	MaxInFlight         int           `json:"max_in_flight"`
 	MaxBatch            int           `json:"max_batch"`
@@ -696,6 +819,7 @@ func (s *Server) Status() Status {
 		CoalescedRows:       s.co.rows.Load(),
 		Rejected:            s.rejected.Load(),
 		Swaps:               s.swaps.Load(),
+		DeltasServed:        s.deltasServed.Load(),
 		QueueDepth:          len(s.inflight),
 		MaxInFlight:         s.cfg.MaxInFlight,
 		MaxBatch:            s.cfg.MaxBatch,

@@ -206,6 +206,14 @@ func BootstrapScorerWith(ctx context.Context, client *http.Client, trainerURL st
 	return server.Bootstrap(ctx, client, trainerURL, publishEvery)
 }
 
+// BootstrapScorerRaw is BootstrapScorerWith returning the fetched
+// envelope bytes alongside the Scorer — seed them into a Follower with
+// SeedInstalled so its very first poll can negotiate delta chains
+// (GET /v1/envelope?since=V) instead of refetching full envelopes.
+func BootstrapScorerRaw(ctx context.Context, client *http.Client, trainerURL string, publishEvery int) (Scorer, uint64, []byte, error) {
+	return server.BootstrapRaw(ctx, client, trainerURL, publishEvery)
+}
+
 // ScorerFromCheckpoint reconstructs a Scorer from checkpoint bytes
 // written by any Scorer's Checkpoint — the single envelope of a locked
 // or snapshot scorer, or the counted per-shard sequence of a sharded
