@@ -3,12 +3,12 @@
 # registry).
 #
 # `make bench` runs the Benchmark*Op hot-path micro-benchmarks with
-# -benchmem and writes BENCH_PR8.json (ns/op, B/op, allocs/op and
+# -benchmem and writes BENCH_PR9.json (ns/op, B/op, allocs/op and
 # custom metrics — the server load benchmarks report p50-ns/p99-ns/qps,
 # the depth-sweep checkpoint benchmarks report ckpt-bytes/delta-bytes —
-# per benchmark, joined with the baseline recorded before the PR-8
-# copy-on-write snapshot work in bench/BASELINE_PR8.txt, plus the
-# BENCH_PR2..PR6 history as a cross-PR trend table), so the perf
+# per benchmark, joined with the baseline recorded before the PR-9
+# categorical-attributes work in bench/BASELINE_PR9.txt, plus the
+# BENCH_PR2..PR8 history as a cross-PR trend table), so the perf
 # trajectory is tracked PR over PR.
 # `make bench-all` additionally replays the full table/figure
 # reproduction benchmarks.
@@ -51,9 +51,9 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Op$$' -benchmem -benchtime $(BENCHTIME) ./... > $(BENCH_TXT)
 	@cat $(BENCH_TXT)
-	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR8.txt \
-		-history BENCH_PR2.json,BENCH_PR3.json,BENCH_PR4.json,BENCH_PR5.json,BENCH_PR6.json -out BENCH_PR8.json
-	@echo "wrote BENCH_PR8.json"
+	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR9.txt \
+		-history BENCH_PR2.json,BENCH_PR3.json,BENCH_PR4.json,BENCH_PR5.json,BENCH_PR6.json,BENCH_PR8.json -out BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -82,3 +82,64 @@ func TestFIMTDDLearnZeroAllocs(t *testing.T) {
 		t.Fatalf("steady-state FIMT-DD Learn allocates %.2f allocs/op, want 0", avg)
 	}
 }
+
+// Categorical learn and predict must match the numeric path's zero-alloc
+// steady state: the categorical candidate buckets, the observer counts
+// and the subset-scan buffers all live in preallocated arenas.
+func TestDMTCategoricalZeroAllocs(t *testing.T) {
+	schema := Schema{
+		NumFeatures: 4, NumClasses: 2, Name: "cat-alloc",
+		Kinds: []FeatureKind{
+			NumericKind(), NumericKind(), CategoricalKind(6), CategoricalKind(3),
+		},
+	}
+	// Single-class batches: candidates update (including the categorical
+	// exact-match buckets) but no informative split exists, so the
+	// structure stays put and the measurement sees the steady state.
+	X := make([][]float64, 32)
+	Y := make([]int, 32)
+	for i := range X {
+		X[i] = []float64{float64(i) / 32, float64(31-i) / 32, float64(i % 6), float64(i % 3)}
+	}
+	b := Batch{X: X, Y: Y}
+	tree := NewDMT(DMTConfig{Seed: 4}, schema)
+	for i := 0; i < 100; i++ {
+		tree.Learn(b)
+	}
+	if tree.Complexity().Inner != 0 {
+		t.Skip("tree split during warm-up; steady state not reachable with this data")
+	}
+	if avg := testing.AllocsPerRun(300, func() { tree.Learn(b) }); avg != 0 {
+		t.Fatalf("categorical DMT Learn allocates %.2f allocs/op, want 0", avg)
+	}
+	x := X[7]
+	if avg := testing.AllocsPerRun(300, func() { tree.Predict(x) }); avg != 0 {
+		t.Fatalf("categorical DMT Predict allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// The Hoeffding tree's categorical observers must not allocate in the
+// steady state either.
+func TestVFDTCategoricalZeroAllocs(t *testing.T) {
+	schema := Schema{
+		NumFeatures: 3, NumClasses: 2, Name: "cat-alloc",
+		Kinds: []FeatureKind{NumericKind(), NumericKind(), CategoricalKind(8)},
+	}
+	X := make([][]float64, 32)
+	Y := make([]int, 32)
+	for i := range X {
+		X[i] = []float64{float64(i) / 32, float64(31-i) / 32, float64(i % 8)}
+	}
+	b := Batch{X: X, Y: Y}
+	tree := NewVFDT(VFDTConfig{Seed: 4}, schema)
+	for i := 0; i < 100; i++ {
+		tree.Learn(b)
+	}
+	if avg := testing.AllocsPerRun(300, func() { tree.Learn(b) }); avg != 0 {
+		t.Fatalf("categorical VFDT Learn allocates %.2f allocs/op, want 0", avg)
+	}
+	x := X[5]
+	if avg := testing.AllocsPerRun(300, func() { tree.Predict(x) }); avg != 0 {
+		t.Fatalf("categorical VFDT Predict allocates %.2f allocs/op, want 0", avg)
+	}
+}

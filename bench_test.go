@@ -20,12 +20,14 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/attrobs"
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/ensemble"
 	"repro/internal/eval"
 	"repro/internal/glm"
 	"repro/internal/hoeffding"
+	"repro/internal/split"
 	"repro/internal/stream"
 	"repro/internal/synth"
 )
@@ -517,5 +519,66 @@ func BenchmarkEnsembleLearnOp(b *testing.B) {
 				ens.Learn(batches[i&63])
 			}
 		})
+	}
+}
+
+// catBenchBatches materialises planted categorical-concept batches.
+func catBenchBatches(count, size int) []stream.Batch {
+	gen := synth.NewCategoricalConcept(count*size+size, 8, 0.05, 1)
+	out := make([]stream.Batch, count)
+	for k := range out {
+		b, err := stream.NextBatch(gen, size)
+		if err != nil {
+			panic(err)
+		}
+		out[k] = b
+	}
+	return out
+}
+
+// BenchmarkCategoricalScanOp measures one native categorical split scan
+// — every seen level as an equality candidate plus the CART-ordered
+// subset prefixes — over a warmed 16-level observer.
+func BenchmarkCategoricalScanOp(b *testing.B) {
+	obs := attrobs.NewCategorical(2, 16)
+	rng := rand.New(rand.NewSource(1))
+	pre := make([]float64, 2)
+	for i := 0; i < 5000; i++ {
+		lv, y := rng.Intn(16), rng.Intn(2)
+		obs.Observe(float64(lv), y, 1)
+		pre[y]++
+	}
+	buf := attrobs.NewScanBuf(2)
+	buf.ReserveLevels(16)
+	crit := split.InfoGain{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.BestSplit(pre, crit, buf)
+	}
+}
+
+// BenchmarkDMTCategoricalLearnOp measures DMT batch learning on the
+// planted categorical stream (equality-bucket candidate updates and the
+// categorical split scan included).
+func BenchmarkDMTCategoricalLearnOp(b *testing.B) {
+	batches := catBenchBatches(256, 100)
+	tree := core.New(core.Config{Seed: 1}, synth.NewCategoricalConcept(100, 8, 0.05, 1).Schema())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Learn(batches[i&255])
+	}
+}
+
+// BenchmarkVFDTCategoricalLearnOp measures Hoeffding-tree batch learning
+// with a categorical observer on the planted categorical stream.
+func BenchmarkVFDTCategoricalLearnOp(b *testing.B) {
+	batches := catBenchBatches(256, 100)
+	tree := hoeffding.New(hoeffding.Config{Seed: 1}, synth.NewCategoricalConcept(100, 8, 0.05, 1).Schema())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Learn(batches[i&255])
 	}
 }

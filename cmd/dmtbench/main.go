@@ -34,10 +34,13 @@ func main() {
 		seed      = flag.Int64("seed", 42, "random seed for streams and models")
 		batch     = flag.Float64("batch", 0.001, "prequential batch fraction (paper: 0.001)")
 		dsFlag    = flag.String("datasets", "", "comma-separated data sets (default: all 13)")
+		csvPath   = flag.String("csv", "", "benchmark the selected models on a CSV file instead of the Table I grid")
+		classes   = flag.Int("classes", 0, "class count of the -csv stream; > 0 streams the file lazily row by row, 0 loads it into memory and infers the count")
 		modelFlag = flag.String("models", "", "comma-separated models (default: all 8)")
 		table     = flag.String("table", "all", "which table to print: all,1,2,3,4,5,6,none")
 		figure    = flag.String("figure", "all", "which figure to print: all,3,4,none")
 		ablation  = flag.Bool("ablation", false, "also run the DMT ablation study")
+		catFlag   = flag.Bool("categorical", false, "also run the categorical payoff scenario (native vs factorised splits)")
 		parallel  = flag.Int("parallel", 1, fmt.Sprintf("concurrent experiment cells (this machine: up to %d); timing in Table V is only meaningful at 1", runtime.GOMAXPROCS(0)))
 		scorer    = flag.String("scorer", "", "evaluate through the serving layer: locked, snapshot or sharded (empty = bare classifiers; snapshot is result-identical to bare, sharded is a different algorithm)")
 		shards    = flag.Int("shards", 2, "replica count for -scorer sharded")
@@ -54,6 +57,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *csvPath != "" {
+		runCSV(ctx, *csvPath, *classes, splitList(*modelFlag), *seed, *batch)
+		return
+	}
 
 	suite := repro.ExperimentSuite{
 		Scale:         *scale,
@@ -111,6 +119,15 @@ func main() {
 		fmt.Println(res.Figure4())
 	}
 
+	if *catFlag {
+		out, err := repro.RunCategoricalScenario(*scale, *seed, suite.Progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtbench categorical:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
 	if *ablation {
 		out, err := repro.RunAblation(*scale, *seed, suite.Progress)
 		if err != nil {
@@ -118,6 +135,64 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+}
+
+// runCSV benchmarks the selected models on a CSV file stream instead of
+// the Table I grid: each model runs prequentially over the same file and
+// one summary row is printed per model. classes > 0 streams the file
+// lazily through repro.OpenCSVStream (no whole-file materialisation);
+// classes 0 loads it into memory and infers the class count.
+func runCSV(ctx context.Context, path string, classes int, models []string, seed int64, batch float64) {
+	var strm repro.Stream
+	if classes > 0 {
+		fs, err := repro.OpenCSVStream(path, classes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtbench:", err)
+			os.Exit(1)
+		}
+		defer fs.Close()
+		strm = fs
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtbench:", err)
+			os.Exit(1)
+		}
+		mem, err := repro.ReadCSVStream(f, path, 0)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtbench:", err)
+			os.Exit(1)
+		}
+		strm = mem
+	}
+	if len(models) == 0 {
+		models = repro.Models()
+	}
+	fmt.Printf("dmtbench: %s (%d features, %d classes)\n\n", strm.Schema().Name, strm.Schema().NumFeatures, strm.Schema().NumClasses)
+	for _, name := range models {
+		strm.Reset()
+		clf, err := repro.New(name, strm.Schema(), repro.WithSeed(seed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmtbench: %s: %v\n", name, err)
+			continue
+		}
+		res, err := repro.PrequentialContext(ctx, clf, strm, repro.EvalOptions{BatchFraction: batch})
+		interrupted := errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
+			fmt.Fprintf(os.Stderr, "dmtbench: %s: %v\n", name, err)
+			continue
+		}
+		f1m, f1s := res.F1()
+		spm, _ := res.Splits()
+		pm, _ := res.Params()
+		tm, _ := res.Seconds()
+		fmt.Printf("  %-14s F1 %.3f ± %.3f   splits %6.1f   params %7.0f   %.4fs/it\n", name, f1m, f1s, spm, pm, tm)
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "dmtbench: interrupted")
+			return
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 		modelName = flag.String("model", "DMT", "registered model name (see -list)")
 		dsName    = flag.String("dataset", "SEA", "Table I data set name")
 		csvPath   = flag.String("csv", "", "evaluate on a CSV stream instead of a Table I data set")
+		classes   = flag.Int("classes", 0, "class count of the -csv stream; > 0 reads the file lazily row by row (large files), 0 loads it into memory and infers the count from the labels")
 		scale     = flag.Float64("scale", 0.05, "fraction of the Table I stream length")
 		seed      = flag.Int64("seed", 42, "random seed")
 		batch     = flag.Float64("batch", 0.001, "prequential batch fraction")
@@ -53,7 +54,16 @@ func main() {
 	defer stop()
 
 	var strm repro.Stream
-	if *csvPath != "" {
+	switch {
+	case *csvPath != "" && *classes > 0:
+		// Streaming mode: the file is read lazily, one row per step.
+		fs, err := repro.OpenCSVStream(*csvPath, *classes)
+		if err != nil {
+			fail(err)
+		}
+		defer fs.Close()
+		strm = fs
+	case *csvPath != "":
 		f, err := os.Open(*csvPath)
 		if err != nil {
 			fail(err)
@@ -64,7 +74,7 @@ func main() {
 			fail(err)
 		}
 		strm = mem
-	} else {
+	default:
 		entry, err := repro.DatasetByName(*dsName)
 		if err != nil {
 			fail(err)
@@ -171,8 +181,8 @@ func main() {
 				fmt.Printf("  ... %d earlier changes elided ...\n", lo)
 			}
 			for _, ev := range changes[lo:] {
-				fmt.Printf("  step %4d: %-7s depth=%d feature=%s <= %.4g  gain=%.1f (threshold %.1f)\n",
-					ev.Step, ev.Kind, ev.Depth, strm.Schema().FeatureName(ev.Feature), ev.Threshold, ev.Gain, ev.AICThreshold)
+				fmt.Printf("  step %4d: %-7s depth=%d %s  gain=%.1f (threshold %.1f)\n",
+					ev.Step, ev.Kind, ev.Depth, ev.Test(strm.Schema()), ev.Gain, ev.AICThreshold)
 			}
 		}
 	}

@@ -93,9 +93,9 @@ func main() {
 	//    the loss gain that passed the AIC test of eq. (11).
 	fmt.Println("\nStructural change log:")
 	for _, ev := range dmt.Changes() {
-		fmt.Printf("  step %4d: %-7s depth=%d on %s <= %.3f  gain=%.1f (AIC threshold %.1f)\n",
-			ev.Step, ev.Kind, ev.Depth, gen.Schema().FeatureName(ev.Feature),
-			ev.Threshold, ev.Gain, ev.AICThreshold)
+		fmt.Printf("  step %4d: %-7s depth=%d on %s  gain=%.1f (AIC threshold %.1f)\n",
+			ev.Step, ev.Kind, ev.Depth, ev.Test(gen.Schema()),
+			ev.Gain, ev.AICThreshold)
 	}
 
 	// 3) The final deployed model is small enough to print whole.

@@ -1,0 +1,232 @@
+package attrobs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/split"
+)
+
+// naiveCat is the reference implementation: plain per-(level, class)
+// count maps with no buffering tricks.
+type naiveCat struct {
+	classes, card int
+	counts        map[[2]int]float64
+}
+
+func newNaiveCat(classes, card int) *naiveCat {
+	return &naiveCat{classes: classes, card: card, counts: map[[2]int]float64{}}
+}
+
+func (n *naiveCat) observe(v float64, class int, w float64) {
+	if class < 0 || class >= n.classes {
+		return
+	}
+	if v != math.Trunc(v) || v < 0 || v >= float64(n.card) {
+		return
+	}
+	n.counts[[2]int{int(v), class}] += w
+}
+
+func (n *naiveCat) branch(member func(level int) bool) (left, right []float64) {
+	left = make([]float64, n.classes)
+	right = make([]float64, n.classes)
+	for key, w := range n.counts {
+		if member(key[0]) {
+			left[key[1]] += w
+		} else {
+			right[key[1]] += w
+		}
+	}
+	return left, right
+}
+
+// Randomised operations against the naive reference: every observation
+// sequence (including invalid codes, classes and weights that the
+// observer must ignore) yields identical class weights, branch
+// distributions and Naive Bayes likelihoods.
+func TestCategoricalObserverMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		classes := 2 + rng.Intn(3)
+		card := 2 + rng.Intn(7)
+		obs := NewCategorical(classes, card)
+		ref := newNaiveCat(classes, card)
+		for i := 0; i < 200; i++ {
+			var v float64
+			switch rng.Intn(6) {
+			case 0:
+				v = math.NaN()
+			case 1:
+				v = -1 - rng.Float64()
+			case 2:
+				v = float64(card) + rng.Float64()
+			case 3:
+				v = rng.Float64() + 0.25 // non-integral
+			default:
+				v = float64(rng.Intn(card))
+			}
+			class := rng.Intn(classes+1) - 1 // sometimes -1
+			w := float64(1 + rng.Intn(3))
+			obs.Observe(v, class, w)
+			ref.observe(v, class, w)
+		}
+		for k := 0; k < classes; k++ {
+			want := 0.0
+			for lv := 0; lv < card; lv++ {
+				want += ref.counts[[2]int{lv, k}]
+			}
+			if got := obs.ClassWeight(k); got != want {
+				t.Fatalf("trial %d: ClassWeight(%d) = %v, want %v", trial, k, got, want)
+			}
+		}
+		// Equality splits on every level.
+		for lv := 0; lv < card; lv++ {
+			wantL, wantR := ref.branch(func(l int) bool { return l == lv })
+			gotL, gotR := obs.DistributionsFor(model.SplitEquality, float64(lv), 0)
+			for k := 0; k < classes; k++ {
+				if gotL[k] != wantL[k] || gotR[k] != wantR[k] {
+					t.Fatalf("trial %d: equality lv%d class %d: (%v,%v) want (%v,%v)",
+						trial, lv, k, gotL[k], gotR[k], wantL[k], wantR[k])
+				}
+			}
+		}
+		// A random subset split.
+		mask := uint64(rng.Intn(1 << uint(card)))
+		wantL, wantR := ref.branch(func(l int) bool { return mask&(1<<uint(l)) != 0 })
+		gotL, gotR := obs.DistributionsFor(model.SplitSubset, 0, mask)
+		for k := 0; k < classes; k++ {
+			if gotL[k] != wantL[k] || gotR[k] != wantR[k] {
+				t.Fatalf("trial %d: subset %b class %d: (%v,%v) want (%v,%v)",
+					trial, mask, k, gotL[k], gotR[k], wantL[k], wantR[k])
+			}
+		}
+		// Pdf agrees with the Laplace formula on the reference counts.
+		for lv := 0; lv < card; lv++ {
+			for k := 0; k < classes; k++ {
+				cw := 0.0
+				for l := 0; l < card; l++ {
+					cw += ref.counts[[2]int{l, k}]
+				}
+				want := 1.0
+				if cw > 0 {
+					want = (ref.counts[[2]int{lv, k}] + 1) / (cw + float64(card))
+				}
+				if got := obs.Pdf(float64(lv), k); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("trial %d: Pdf(lv%d, %d) = %v, want %v", trial, lv, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCategoricalCloneIndependent(t *testing.T) {
+	obs := NewCategorical(2, 4)
+	obs.Observe(1, 0, 3)
+	cl := obs.Clone()
+	cl.Observe(1, 1, 5)
+	if obs.ClassWeight(1) != 0 {
+		t.Fatal("Clone shares counts with the original")
+	}
+	if cl.ClassWeight(1) != 5 || cl.ClassWeight(0) != 3 {
+		t.Fatal("Clone lost the original counts")
+	}
+}
+
+// State round trip mid-sequence: restoring and continuing matches the
+// uninterrupted observer exactly.
+func TestCategoricalStateRoundTrip(t *testing.T) {
+	control := NewCategorical(3, 6)
+	subject := NewCategorical(3, 6)
+	for i := 0; i < 100; i++ {
+		rng2 := rand.New(rand.NewSource(int64(i)))
+		v, c := float64(rng2.Intn(6)), rng2.Intn(3)
+		control.Observe(v, c, 1)
+		subject.Observe(v, c, 1)
+	}
+	restored, err := CategoricalFromState(subject.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 200; i++ {
+		rng2 := rand.New(rand.NewSource(int64(i)))
+		v, c := float64(rng2.Intn(6)), rng2.Intn(3)
+		control.Observe(v, c, 1)
+		restored.Observe(v, c, 1)
+	}
+	for lv := 0; lv < 6; lv++ {
+		cl, cr := control.DistributionsFor(model.SplitEquality, float64(lv), 0)
+		rl, rr := restored.DistributionsFor(model.SplitEquality, float64(lv), 0)
+		for k := 0; k < 3; k++ {
+			if cl[k] != rl[k] || cr[k] != rr[k] {
+				t.Fatalf("level %d class %d diverged after state round trip", lv, k)
+			}
+		}
+	}
+	if control.SeenLevels() != restored.SeenLevels() {
+		t.Fatal("seen-level count diverged")
+	}
+}
+
+// For two classes and a concave impurity the optimal level subset is a
+// prefix of the levels ordered by class probability (Breiman's theorem),
+// so BestSplit must find the exact optimum a brute-force scan over all
+// 2^card subsets finds.
+func TestCategoricalBestSplitMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	crit := split.InfoGain{}
+	for trial := 0; trial < 40; trial++ {
+		card := 3 + rng.Intn(4) // 3..6 levels
+		obs := NewCategorical(2, card)
+		pre := make([]float64, 2)
+		for lv := 0; lv < card; lv++ {
+			for k := 0; k < 2; k++ {
+				w := float64(1 + rng.Intn(30))
+				obs.Observe(float64(lv), k, w)
+				pre[k] += w
+			}
+		}
+		buf := NewScanBuf(2)
+		_, _, _, merit, ok := obs.BestSplit(pre, crit, buf)
+		if !ok {
+			t.Fatalf("trial %d: no split found", trial)
+		}
+		best := math.Inf(-1)
+		left := make([]float64, 2)
+		right := make([]float64, 2)
+		post := [][]float64{left, right}
+		for mask := uint64(1); mask < (1<<uint(card))-1; mask++ {
+			obs.DistributionsForInto(model.SplitSubset, 0, mask, left, right)
+			if m := crit.Merit(pre, post); m > best {
+				best = m
+			}
+		}
+		if math.Abs(merit-best) > 1e-9 {
+			t.Fatalf("trial %d (card %d): BestSplit merit %v, brute force %v", trial, card, merit, best)
+		}
+	}
+}
+
+// Steady-state scans and observations must not allocate once the level
+// buffers are reserved.
+func TestCategoricalZeroAlloc(t *testing.T) {
+	obs := NewCategorical(2, 8)
+	for lv := 0; lv < 8; lv++ {
+		obs.Observe(float64(lv), lv%2, float64(1+lv))
+	}
+	pre := []float64{16, 20}
+	buf := NewScanBuf(2)
+	buf.ReserveLevels(8)
+	crit := split.InfoGain{}
+	if avg := testing.AllocsPerRun(200, func() { obs.Observe(3, 1, 1); pre[1]++ }); avg != 0 {
+		t.Fatalf("Observe allocates %.2f allocs/op", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { obs.BestSplit(pre, crit, buf) }); avg != 0 {
+		t.Fatalf("BestSplit allocates %.2f allocs/op", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { obs.MeritFor(model.SplitSubset, 0, 0b1010, pre, crit, buf) }); avg != 0 {
+		t.Fatalf("MeritFor allocates %.2f allocs/op", avg)
+	}
+}

@@ -7,6 +7,7 @@ package attrobs
 import (
 	"math"
 
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -15,9 +16,20 @@ type CandidateSplit struct {
 	Feature   int
 	Threshold float64
 	Merit     float64
+	// Kind is the routing test of the proposal: the zero value is the
+	// numeric threshold test; categorical observers propose equality
+	// (Threshold holds the level code) or subset (Mask holds the level
+	// bitset) splits.
+	Kind model.SplitKind
+	Mask uint64
 	// Post holds the estimated class distributions of the two branches
 	// (left: value <= threshold). Nil for regression observers.
 	Post [][]float64
+}
+
+// SameTest reports whether two proposals route identically.
+func (c CandidateSplit) SameTest(o CandidateSplit) bool {
+	return c.Feature == o.Feature && c.Kind == o.Kind && c.Threshold == o.Threshold && c.Mask == o.Mask
 }
 
 // Gaussian observes one numeric feature with one Gaussian estimator per
@@ -121,10 +133,32 @@ type Meriter interface {
 // ScanBuf holds the reusable branch-distribution buffers of a threshold
 // scan, so MeritAt and BestThreshold run without allocating. Scans never
 // nest, so one ScanBuf serves a whole tree; it must not be shared across
-// goroutines (each ensemble member owns its own).
+// goroutines (each ensemble member owns its own). The categorical
+// observers lazily grow two extra level-order buffers for their subset
+// scans; after the first scan of the widest feature those scans allocate
+// nothing either.
 type ScanBuf struct {
 	left, right []float64
 	post        [][]float64
+	// ord and score order seen levels for the subset prefix scan
+	// (Categorical.BestSplit); grown on demand, reused forever after.
+	ord   []int
+	score []float64
+}
+
+// ReserveLevels pre-grows the level-order buffers to card levels so the
+// first categorical subset scan does not allocate either; tree scratches
+// call it at construction with the schema's widest cardinality.
+func (b *ScanBuf) ReserveLevels(card int) { b.levelBufs(card) }
+
+// levelBufs returns the level-order buffers with capacity for card
+// levels, growing them on first use.
+func (b *ScanBuf) levelBufs(card int) ([]int, []float64) {
+	if cap(b.ord) < card {
+		b.ord = make([]int, card)
+		b.score = make([]float64, card)
+	}
+	return b.ord[:card], b.score[:card]
 }
 
 // NewScanBuf returns a scan workspace over numClasses classes.

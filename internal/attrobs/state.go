@@ -43,6 +43,56 @@ func GaussianFromState(s GaussianState) (*Gaussian, error) {
 	return g, nil
 }
 
+// CategoricalState is the serialisable state of a Categorical observer.
+// The level-major count matrix is the whole state; level totals and the
+// seen-level count are recomputed on load.
+type CategoricalState struct {
+	NumClasses  int
+	Cardinality int
+	Counts      []float64
+}
+
+// State exports the observer for checkpointing.
+func (c *Categorical) State() CategoricalState {
+	return CategoricalState{
+		NumClasses:  c.numClasses,
+		Cardinality: c.card,
+		Counts:      append([]float64(nil), c.counts...),
+	}
+}
+
+// CategoricalFromState reconstructs an observer from its exported state.
+func CategoricalFromState(s CategoricalState) (*Categorical, error) {
+	if s.NumClasses < 2 {
+		return nil, fmt.Errorf("attrobs: categorical state has %d classes", s.NumClasses)
+	}
+	if s.Cardinality < 2 {
+		return nil, fmt.Errorf("attrobs: categorical state has cardinality %d", s.Cardinality)
+	}
+	if len(s.Counts) != s.NumClasses*s.Cardinality {
+		return nil, fmt.Errorf("attrobs: categorical state has %d counts, want %d", len(s.Counts), s.NumClasses*s.Cardinality)
+	}
+	c := NewCategorical(s.NumClasses, s.Cardinality)
+	for i, v := range s.Counts {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("attrobs: categorical state count %d is %v", i, v)
+		}
+		c.counts[i] = v
+	}
+	for lv := 0; lv < c.card; lv++ {
+		t := 0.0
+		for k := 0; k < c.numClasses; k++ {
+			t += c.counts[lv*c.numClasses+k]
+		}
+		c.levelTot[lv] = t
+		c.total += t
+		if t > 0 {
+			c.seen++
+		}
+	}
+	return c, nil
+}
+
 // EBSTState is the serialisable state of an E-BST observer: the node
 // structure is preserved exactly (insertion order shaped the tree, and
 // the per-node <=-side statistics depend on that shape).

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/stream"
+
 // candEntry is one split-candidate threshold in the per-feature index.
 // The statistics live in the owning candIndex's flat arena at slot; the
 // entry itself is a plain value so the sorted entry array stays
@@ -40,14 +42,24 @@ type candIndex struct {
 	free    []int32     // free arena slots (stack)
 }
 
-// maxSlots returns the arena capacity for m features: the stored pool cap
-// plus the worst-case concurrent proposals (3 quartiles per feature on a
-// cold start, one sampled value per feature afterwards).
-func maxSlots(cfg *Config, m int) int {
-	cap3m := 3 * m
-	slots := candidateCap(cfg, m) + m
-	if slots < cap3m {
-		slots = cap3m
+// maxSlots returns the arena capacity for a schema: the stored pool cap
+// plus the worst-case concurrent proposals — one sampled value per
+// feature in the steady state, or the cold-start burst (3 quartiles per
+// numeric feature, every batch-distinct level of a categorical one,
+// bounded by the feature's pool share).
+func maxSlots(cfg *Config, schema stream.Schema) int {
+	m := schema.NumFeatures
+	slots := candidateCap(cfg, schema) + m
+	cold := 0
+	for j := 0; j < m; j++ {
+		if schema.IsCategorical(j) {
+			cold += featureSlotCap(cfg, schema, j)
+		} else {
+			cold += 3
+		}
+	}
+	if slots < cold {
+		slots = cold
 	}
 	return slots
 }

@@ -219,7 +219,7 @@ func TestStructuralInvariants(t *testing.T) {
 
 func assertInvariants(t *testing.T, tree *Tree) {
 	t.Helper()
-	capSize := candidateCap(&tree.cfg, tree.schema.NumFeatures)
+	capSize := candidateCap(&tree.cfg, tree.schema)
 	var walk func(n *node, depth int)
 	walk = func(n *node, depth int) {
 		if n.depth != depth {

@@ -85,7 +85,7 @@ func naiveUpdate(t *Tree, n *node, b stream.Batch) {
 		naiveUpdateStats(t, n, b)
 	}
 	if inner {
-		left, right := t.partition(b, n.feature, n.threshold, n.depth)
+		left, right := t.partition(b, n)
 		if left.Len() > 0 {
 			naiveUpdate(t, n.left, left)
 		}

@@ -13,7 +13,11 @@ import (
 // node is one DMT node. Leaf and inner nodes are structurally identical —
 // both train a simple model and maintain loss/gradient/count accumulators
 // and candidate statistics (Figure 2 of the paper) — an inner node
-// additionally carries a binary split (x[feature] <= threshold goes left).
+// additionally carries a binary split: a numeric threshold test
+// (x[feature] <= threshold goes left), a categorical equality test
+// (x[feature] == threshold, the threshold holding the level code), or a
+// level-subset membership test (mask bit x[feature] set), discriminated
+// by kind and routed through the shared model.RouteSplit predicate.
 type node struct {
 	mod glm.Model
 
@@ -30,6 +34,8 @@ type node struct {
 
 	feature     int
 	threshold   float64
+	kind        model.SplitKind
+	mask        uint64
 	left, right *node
 	depth       int
 
@@ -53,8 +59,33 @@ func (n *node) resetEpoch() {
 	n.idx.reset()
 }
 
-// candidateCap returns the pool capacity for m features.
-func candidateCap(cfg *Config, m int) int { return cfg.CandidateFactor * m }
+// maxCatLevels bounds the equality candidates of one categorical feature
+// and the width of a subset mask (which is a uint64 of level bits).
+const maxCatLevels = 64
+
+// featureSlotCap returns the stored-pool share of one feature:
+// CandidateFactor thresholds for a numeric feature, one equality
+// candidate per level (capped at maxCatLevels) for a categorical one.
+func featureSlotCap(cfg *Config, schema stream.Schema, j int) int {
+	if c := schema.Cardinality(j); c > 0 {
+		if c > maxCatLevels {
+			return maxCatLevels
+		}
+		return c
+	}
+	return cfg.CandidateFactor
+}
+
+// candidateCap returns the pool capacity for a schema: the sum of the
+// per-feature shares. For an all-numeric schema this is the paper's
+// CandidateFactor * NumFeatures.
+func candidateCap(cfg *Config, schema stream.Schema) int {
+	total := 0
+	for j := 0; j < schema.NumFeatures; j++ {
+		total += featureSlotCap(cfg, schema, j)
+	}
+	return total
+}
 
 // updateStats performs the per-time-step statistics update of Algorithm 1
 // on one node: a single pass over the batch computes each row's loss and
@@ -153,6 +184,7 @@ func (t *Tree) updateStats(n *node, b stream.Batch) {
 			continue
 		}
 		k := hi - lo
+		cat := t.schema.IsCategorical(j)
 		ents := ix.entries[lo:hi]
 		col := sc.cols[j*sc.rowCap : j*sc.rowCap+nu]
 		ids := sc.ids[:nu]
@@ -165,7 +197,45 @@ func (t *Tree) updateStats(n *node, b stream.Batch) {
 		// length (0 = unbucketed). The common path pads the thresholds
 		// to four (-Inf accepts nothing) and uses a short compare chain
 		// — cheap, branch-light and without a data-dependent loop.
+		//
+		// Categorical features instead use exact-match bucketing: the
+		// equality acceptance sets are disjoint, so a row charges the
+		// single entry whose level code matches (0 = no match), and the
+		// per-bucket totals already ARE the candidates' equality-branch
+		// totals — the suffix sweep is skipped.
 		switch {
+		case cat && k <= 8:
+			for r, x := range col {
+				id := int32(0)
+				for p := range ents {
+					if ents[p].value == x {
+						id = int32(p + 1)
+						break
+					}
+				}
+				ids[r] = id
+				cnts[id]++
+			}
+		case cat:
+			// Entries are sorted descending, so an exact match sits just
+			// before the first smaller value.
+			for r, x := range col {
+				blo, bhi := 0, k
+				for blo < bhi {
+					mid := int(uint(blo+bhi) >> 1)
+					if ents[mid].value >= x {
+						blo = mid + 1
+					} else {
+						bhi = mid
+					}
+				}
+				id := int32(0)
+				if blo > 0 && ents[blo-1].value == x {
+					id = int32(blo)
+				}
+				ids[r] = id
+				cnts[id]++
+			}
 		case k <= 4:
 			// The id is the COUNT of accepting thresholds (the accepting
 			// set is a prefix), written as a sum of 0/1 indicators so the
@@ -285,7 +355,9 @@ func (t *Tree) updateStats(n *node, b stream.Batch) {
 			row[1] += float64(len(members))
 			linalg.AddGatherRows(row[2:], sc.rowGrads, members, w)
 		}
-		linalg.SuffixSumRows(buckets[lo*stride:hi*stride], k, stride)
+		if !cat {
+			linalg.SuffixSumRows(buckets[lo*stride:hi*stride], k, stride)
+		}
 		for pos := lo; pos < hi; pos++ {
 			row := buckets[pos*stride : pos*stride+stride : pos*stride+stride]
 			slot := ents[pos-lo].slot
@@ -305,20 +377,35 @@ var quartileFracs = [3]float64{0.25, 0.5, 0.75}
 // propose draws new candidate values from the current batch and inserts
 // them provisionally into the node's candidate index, recording them in
 // the scratch proposal list for admit to resolve. On a node's first batch
-// it proposes the three quartiles of every feature (filling the default
-// pool of size 3m in one step); afterwards it proposes one randomly
-// sampled row value per feature. Values are quantised, and the index
-// insert deduplicates against stored candidates and earlier proposals.
+// it proposes the three quartiles of every numeric feature and every
+// batch-distinct level of every categorical one (bounded by the feature's
+// pool share); afterwards it proposes one randomly sampled row value per
+// feature. Numeric values are quantised, and the index insert
+// deduplicates against stored candidates and earlier proposals.
 func (t *Tree) propose(n *node, b stream.Batch) {
 	sc := t.scratch
 	sc.props = sc.props[:0]
 	m := t.schema.NumFeatures
 
 	if n.idx.size() == 0 {
-		// Cold start: quartiles of each feature within the batch, selected
-		// on one reusable sorted scratch buffer.
+		// Cold start: quartiles of each numeric feature within the batch,
+		// selected on one reusable sorted scratch buffer; distinct levels
+		// of each categorical feature (the insert deduplicates repeats).
 		vals := sc.quartVals
 		for j := 0; j < m; j++ {
+			if t.schema.IsCategorical(j) {
+				capJ := featureSlotCap(&t.cfg, t.schema, j)
+				added := 0
+				for i := range b.X {
+					if added >= capJ {
+						break
+					}
+					if t.addProposal(n, j, b.X[i][j]) {
+						added++
+					}
+				}
+				continue
+			}
 			vals = vals[:0]
 			for i := range b.X {
 				if v := b.X[i][j]; !math.IsNaN(v) && !math.IsInf(v, 0) {
@@ -343,21 +430,32 @@ func (t *Tree) propose(n *node, b stream.Batch) {
 	}
 }
 
-// addProposal quantises a value and inserts it into the candidate index
-// with zeroed statistics; duplicates of stored candidates or earlier
-// proposals are rejected by the index itself.
-func (t *Tree) addProposal(n *node, feature int, value float64) {
-	v := t.cfg.quantize(value)
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return
+// addProposal inserts a value into the candidate index with zeroed
+// statistics and reports whether it went in. Numeric values are
+// quantised; categorical values must be valid level codes and are stored
+// exactly (an equality test needs the code, not a rounding of it).
+// Duplicates of stored candidates or earlier proposals are rejected by
+// the index itself.
+func (t *Tree) addProposal(n *node, feature int, value float64) bool {
+	if c := t.schema.Cardinality(feature); c > 0 {
+		// The Trunc test also rejects NaN; the range tests reject ±Inf.
+		if value != math.Trunc(value) || value < 0 || value >= float64(c) {
+			return false
+		}
+	} else {
+		value = t.cfg.quantize(value)
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return false
+		}
 	}
-	slot, ok := n.idx.insert(feature, v)
+	slot, ok := n.idx.insert(feature, value)
 	if !ok {
-		return
+		return false
 	}
 	sc := t.scratch
 	sc.propSlot[slot] = true
-	sc.props = append(sc.props, proposal{feature: int32(feature), slot: slot, value: v})
+	sc.props = append(sc.props, proposal{feature: int32(feature), slot: slot, value: value})
+	return true
 }
 
 // dropAllProposals removes every provisional proposal again — the batch
@@ -399,7 +497,7 @@ func (t *Tree) admit(n *node, batchLoss float64, batchGrad []float64, used float
 	}
 	sc.sortProposals(scored)
 
-	capSize := candidateCap(cfg, t.schema.NumFeatures)
+	capSize := candidateCap(cfg, t.schema)
 	stored := ix.size() - len(sc.props) // pool size before this batch
 	i := 0
 	for ; i < len(scored) && stored+i < capSize; i++ {
@@ -480,33 +578,124 @@ func (t *Tree) sweepDropped(n *node) {
 	}
 }
 
+// splitChoice is the outcome of a candidate evaluation: the argmax test
+// over the stored pool — a numeric threshold, a categorical equality
+// (threshold holds the level code), or a level-subset membership test
+// assembled from the equality candidates' disjoint statistics.
+type splitChoice struct {
+	feature   int
+	kind      model.SplitKind
+	threshold float64
+	mask      uint64
+	gain      float64
+}
+
+// matches reports whether the choice describes the node's installed test.
+func (c splitChoice) matches(n *node) bool {
+	if c.feature != n.feature || c.kind != n.kind {
+		return false
+	}
+	if c.kind == model.SplitSubset {
+		return c.mask == n.mask
+	}
+	return c.threshold == n.threshold
+}
+
 // bestCandidate evaluates gain (3) (at a leaf, referenceLoss = the node's
 // own accumulated loss) or gain (4) (at an inner node, referenceLoss = the
 // subtree's summed leaf loss) over the stored pool and returns the argmax
 // split. skipCurrent excludes the currently installed split of an inner
 // node.
-func (n *node) bestCandidate(cfg *Config, referenceLoss float64, skipCurrent bool) (bestFeature int, bestValue, bestGain float64, found bool) {
+//
+// Numeric features score each stored threshold. Categorical features
+// score each stored level as an equality test, and — when the cardinality
+// fits a subset mask and at least three levels carry data — additionally
+// scan level subsets: because the equality branches are disjoint, their
+// loss/count/gradient statistics are additive, so a subset's left-branch
+// totals are exact sums, not approximations. Following the classic CART
+// ordering argument, only prefixes of the levels ranked by individual
+// gain are scanned (sizes 2..len-1; size 1 is the equality candidate, the
+// full set is no split at all), keeping the scan linear in levels.
+func (t *Tree) bestCandidate(n *node, referenceLoss float64, skipCurrent bool) (splitChoice, bool) {
+	cfg := &t.cfg
 	ix := n.idx
-	bestGain = math.Inf(-1)
+	sc := t.scratch
+	best := splitChoice{gain: math.Inf(-1)}
+	found := false
 	for j := 0; j < ix.m; j++ {
 		lo, hi := ix.featRange(j)
+		if hi == lo {
+			continue
+		}
+		if !t.schema.IsCategorical(j) {
+			for pos := lo; pos < hi; pos++ {
+				e := ix.entries[pos]
+				g, ok := candidateGain(referenceLoss, n.loss, n.grad, n.n,
+					ix.loss[e.slot], ix.gradOf(e.slot), ix.n[e.slot],
+					cfg.LearningRate, cfg.MinBranchWeight)
+				if !ok {
+					continue
+				}
+				c := splitChoice{feature: j, kind: model.SplitThreshold, threshold: e.value, gain: g}
+				if c.gain > best.gain && !(skipCurrent && c.matches(n)) {
+					best, found = c, true
+				}
+			}
+			continue
+		}
+		// Equality candidates. Gains are computed once with the loose
+		// minN=1 gate so they double as the subset ordering score; the
+		// MinBranchWeight gate of the equality candidates applies on top.
+		ord := sc.catOrd[:0]
+		gains := sc.catGain[:0]
 		for pos := lo; pos < hi; pos++ {
 			e := ix.entries[pos]
-			if skipCurrent && j == n.feature && e.value == n.threshold {
-				continue
-			}
 			g, ok := candidateGain(referenceLoss, n.loss, n.grad, n.n,
 				ix.loss[e.slot], ix.gradOf(e.slot), ix.n[e.slot],
-				cfg.LearningRate, cfg.MinBranchWeight)
+				cfg.LearningRate, 1)
 			if !ok {
 				continue
 			}
-			if g > bestGain {
-				bestFeature, bestValue, bestGain, found = j, e.value, g, true
+			if ix.n[e.slot] >= cfg.MinBranchWeight && n.n-ix.n[e.slot] >= cfg.MinBranchWeight {
+				c := splitChoice{feature: j, kind: model.SplitEquality, threshold: e.value, gain: g}
+				if c.gain > best.gain && !(skipCurrent && c.matches(n)) {
+					best, found = c, true
+				}
+			}
+			ord = append(ord, int32(pos))
+			gains = append(gains, g)
+		}
+		if t.schema.Cardinality(j) <= maxCatLevels && len(ord) >= 3 {
+			sc.catOrd, sc.catGain = ord, gains
+			sc.sortCat()
+			ord, gains = sc.catOrd, sc.catGain
+			cumGrad := sc.catGrad
+			linalg.Zero(cumGrad)
+			var cumLoss, cumN float64
+			var mask uint64
+			for s := 0; s < len(ord)-1; s++ {
+				e := ix.entries[ord[s]]
+				cumLoss += ix.loss[e.slot]
+				cumN += ix.n[e.slot]
+				linalg.Add(cumGrad, ix.gradOf(e.slot))
+				mask |= 1 << uint64(e.value)
+				if s == 0 {
+					continue // a single level is the equality candidate above
+				}
+				g, ok := candidateGain(referenceLoss, n.loss, n.grad, n.n,
+					cumLoss, cumGrad, cumN, cfg.LearningRate, cfg.MinBranchWeight)
+				if !ok {
+					continue
+				}
+				c := splitChoice{feature: j, kind: model.SplitSubset, mask: mask, gain: g}
+				if c.gain > best.gain && !(skipCurrent && c.matches(n)) {
+					best, found = c, true
+				}
 			}
 		}
+		sc.catOrd, sc.catGain = ord[:0], gains[:0]
 	}
-	return
+	return best, found
 }
 
 // subtreeLeafStats walks the subtree and returns the summed leaf loss and

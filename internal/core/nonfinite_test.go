@@ -51,7 +51,7 @@ func TestNonFiniteRoutesLeft(t *testing.T) {
 		X: [][]float64{{math.NaN(), 0.9}, {math.Inf(1), 0.9}, {0.6, 0.1}},
 		Y: []int{0, 0, 1},
 	}
-	left, right := tr.partition(b, tr.root.feature, tr.root.threshold, tr.root.depth)
+	left, right := tr.partition(b, tr.root)
 	if left.Len() != 2 || right.Len() != 1 {
 		t.Fatalf("partition routed %d left / %d right, want 2/1", left.Len(), right.Len())
 	}

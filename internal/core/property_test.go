@@ -92,7 +92,7 @@ func TestPropertyRandomConfigsPreserveInvariants(t *testing.T) {
 // checkInvariants walks the tree verifying structural invariants without
 // failing the test directly (used inside quick properties).
 func checkInvariants(tree *Tree, cfg Config, m int) bool {
-	capSize := candidateCap(&tree.cfg, m)
+	capSize := candidateCap(&tree.cfg, tree.schema)
 	ok := true
 	var walk func(n *node, depth int)
 	walk = func(n *node, depth int) {

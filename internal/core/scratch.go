@@ -65,11 +65,19 @@ type scratch struct {
 	victimGain []float64 // per stored entry: lifetime gain estimate
 	victimPos  []int32   // positions sorted alongside victimGain
 
+	// Subset-scan workspace of bestCandidate: one categorical feature's
+	// entry positions ranked by individual gain, and the cumulative
+	// prefix gradient of the scanned level subsets.
+	catOrd  []int32
+	catGain []float64
+	catGrad []float64 // w-wide cumulative subset gradient
+
 	quartVals []float64 // cold-start per-feature value scratch (sorted once per feature)
 	levels    []levelBufs
 
 	propSort   propSorter
 	victimSort victimSorter
+	catSort    catSorter
 }
 
 func newScratch(w, slots int) *scratch {
@@ -83,6 +91,9 @@ func newScratch(w, slots int) *scratch {
 		cnts:      make([]int32, slots+1),
 		starts:    make([]int32, slots+1),
 		cursor:    make([]int32, slots+1),
+		catOrd:    make([]int32, 0, slots),
+		catGain:   make([]float64, 0, slots),
+		catGrad:   make([]float64, w),
 	}
 }
 
@@ -160,4 +171,31 @@ func (sc *scratch) sortVictims() {
 	sc.victimSort.pos = sc.victimPos
 	sort.Sort(&sc.victimSort)
 	sc.victimSort.gain, sc.victimSort.pos = nil, nil
+}
+
+// catSorter orders one categorical feature's entry positions by
+// individual gain descending (strongest level first, the subset-scan
+// prefix order); ties break on position for determinism.
+type catSorter struct {
+	gain []float64
+	pos  []int32
+}
+
+func (s *catSorter) Len() int { return len(s.pos) }
+func (s *catSorter) Swap(i, j int) {
+	s.gain[i], s.gain[j] = s.gain[j], s.gain[i]
+	s.pos[i], s.pos[j] = s.pos[j], s.pos[i]
+}
+func (s *catSorter) Less(i, j int) bool {
+	if s.gain[i] != s.gain[j] {
+		return s.gain[i] > s.gain[j]
+	}
+	return s.pos[i] < s.pos[j]
+}
+
+func (sc *scratch) sortCat() {
+	sc.catSort.gain = sc.catGain
+	sc.catSort.pos = sc.catOrd
+	sort.Sort(&sc.catSort)
+	sc.catSort.gain, sc.catSort.pos = nil, nil
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/glm"
+	"repro/internal/model"
 	"repro/internal/persist"
 	"repro/internal/rng"
 	"repro/internal/stream"
@@ -41,9 +42,15 @@ type nodeDoc struct {
 	Candidates []candDoc
 	Feature    int
 	Threshold  float64
-	Depth      int
-	Left       *nodeDoc
-	Right      *nodeDoc
+	// Kind and Mask discriminate the split test (threshold, equality or
+	// level subset). Pre-categorical documents carry neither; gob decodes
+	// them as zero values, i.e. the numeric threshold kind — old
+	// checkpoints load unchanged.
+	Kind  uint8
+	Mask  uint64
+	Depth int
+	Left  *nodeDoc
+	Right *nodeDoc
 }
 
 type candDoc struct {
@@ -150,6 +157,9 @@ func loadPayload(r io.Reader, wantSchema *stream.Schema) (*Tree, error) {
 		return nil, fmt.Errorf("core: load DMT: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
 			doc.Schema.NumFeatures, doc.Schema.NumClasses, wantSchema.NumFeatures, wantSchema.NumClasses)
 	}
+	if wantSchema != nil && !doc.Schema.SameKinds(*wantSchema) {
+		return nil, fmt.Errorf("core: load DMT: payload schema feature kinds do not match envelope")
+	}
 	if doc.Root == nil {
 		return nil, fmt.Errorf("core: load DMT: document has no root")
 	}
@@ -174,7 +184,7 @@ func loadPayload(r io.Reader, wantSchema *stream.Schema) (*Tree, error) {
 		return nil, err
 	}
 	t.root = root
-	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, t.schema.NumFeatures))
+	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, t.schema))
 	t.k = float64(t.root.mod.FreeParams())
 	return t, nil
 }
@@ -190,6 +200,8 @@ func encodeNode(n *node) *nodeDoc {
 		N:         n.n,
 		Feature:   n.feature,
 		Threshold: n.threshold,
+		Kind:      uint8(n.kind),
+		Mask:      n.mask,
 		Depth:     n.depth,
 		Left:      encodeNode(n.left),
 		Right:     encodeNode(n.right),
@@ -222,6 +234,9 @@ func (t *Tree) decodeNode(doc *nodeDoc) (*node, error) {
 		return nil, fmt.Errorf("core: load DMT: node gradient length %d, schema wants %d",
 			len(doc.Grad), mod.NumWeights())
 	}
+	if !model.SplitKind(doc.Kind).Valid() {
+		return nil, fmt.Errorf("core: load DMT: node has unknown split kind %d", doc.Kind)
+	}
 	m := t.schema.NumFeatures
 	n := &node{
 		mod:       mod,
@@ -230,8 +245,10 @@ func (t *Tree) decodeNode(doc *nodeDoc) (*node, error) {
 		n:         doc.N,
 		feature:   doc.Feature,
 		threshold: doc.Threshold,
+		kind:      model.SplitKind(doc.Kind),
+		mask:      doc.Mask,
 		depth:     doc.Depth,
-		idx:       newCandIndex(m, mod.NumWeights(), maxSlots(&t.cfg, m)),
+		idx:       newCandIndex(m, mod.NumWeights(), maxSlots(&t.cfg, t.schema)),
 	}
 	for _, c := range doc.Candidates {
 		if len(c.Grad) != mod.NumWeights() {
@@ -243,12 +260,18 @@ func (t *Tree) decodeNode(doc *nodeDoc) (*node, error) {
 		if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
 			return nil, fmt.Errorf("core: load DMT: non-finite candidate threshold")
 		}
+		if card := t.schema.Cardinality(c.Feature); card > 0 {
+			if c.Value != math.Trunc(c.Value) || c.Value < 0 || c.Value >= float64(card) {
+				return nil, fmt.Errorf("core: load DMT: candidate level code %g out of range for feature %d (cardinality %d)",
+					c.Value, c.Feature, card)
+			}
+		}
 		slot, ok := n.idx.insert(c.Feature, c.Value)
 		if !ok {
 			if _, dup := n.idx.find(c.Feature, c.Value); dup {
 				continue // duplicate candidates collapse, as they always did
 			}
-			return nil, fmt.Errorf("core: load DMT: candidate pool exceeds arena (%d slots)", maxSlots(&t.cfg, m))
+			return nil, fmt.Errorf("core: load DMT: candidate pool exceeds arena (%d slots)", maxSlots(&t.cfg, t.schema))
 		}
 		n.idx.loss[slot] = c.Loss
 		n.idx.n[slot] = c.N

@@ -51,9 +51,13 @@ type ChangeEvent struct {
 	// Depth is the depth of the changed node.
 	Depth int
 	// Feature and Threshold describe the new split (for prunes, the
-	// removed one).
+	// removed one). SplitKind discriminates the test — for equality
+	// tests Threshold holds the level code, for subset tests Mask holds
+	// the level set.
 	Feature   int
 	Threshold float64
+	SplitKind model.SplitKind
+	Mask      uint64
 	// Gain is the realised loss-based gain, already past the AIC
 	// threshold of eq. (11).
 	Gain float64
@@ -87,7 +91,7 @@ func New(cfg Config, schema stream.Schema) *Tree {
 	t := &Tree{cfg: cfg, schema: schema}
 	t.rng, t.rngSrc = rng.New(cfg.Seed + 5)
 	t.root = t.newNode(0, nil)
-	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, schema.NumFeatures))
+	t.scratch = newScratch(t.root.mod.NumWeights(), maxSlots(&t.cfg, schema))
 	t.k = float64(t.root.mod.FreeParams())
 	return t
 }
@@ -106,7 +110,7 @@ func (t *Tree) newNode(depth int, parent glm.Model) *node {
 		mod:   mod,
 		grad:  make([]float64, mod.NumWeights()),
 		depth: depth,
-		idx:   newCandIndex(m, mod.NumWeights(), maxSlots(&t.cfg, m)),
+		idx:   newCandIndex(m, mod.NumWeights(), maxSlots(&t.cfg, t.schema)),
 	}
 	return n
 }
@@ -146,7 +150,7 @@ func (t *Tree) update(n *node, b stream.Batch) {
 	}
 
 	if inner {
-		left, right := t.partition(b, n.feature, n.threshold, n.depth)
+		left, right := t.partition(b, n)
 		if left.Len() > 0 {
 			t.update(n.left, left)
 		}
@@ -166,12 +170,12 @@ func (t *Tree) update(n *node, b stream.Batch) {
 // and right halves of depth d stay valid while the subtrees (depths > d)
 // repartition — so the recursion reuses two index slices per level
 // instead of growing fresh ones every level every batch.
-func (t *Tree) partition(b stream.Batch, feature int, threshold float64, depth int) (left, right stream.Batch) {
-	lv := t.scratch.level(depth)
+func (t *Tree) partition(b stream.Batch, n *node) (left, right stream.Batch) {
+	lv := t.scratch.level(n.depth)
 	lv.leftX, lv.leftY = lv.leftX[:0], lv.leftY[:0]
 	lv.rightX, lv.rightY = lv.rightX[:0], lv.rightY[:0]
 	for i, x := range b.X {
-		if model.RouteLeft(x[feature], threshold, true) {
+		if model.RouteSplit(x[n.feature], n.kind, n.threshold, n.mask, true) {
 			lv.leftX = append(lv.leftX, x)
 			lv.leftY = append(lv.leftY, b.Y[i])
 		} else {
@@ -189,28 +193,29 @@ func (t *Tree) trySplit(n *node) {
 	if t.cfg.MaxDepth > 0 && n.depth >= t.cfg.MaxDepth {
 		return
 	}
-	feature, value, gain, ok := n.bestCandidate(&t.cfg, n.loss, false)
+	c, ok := t.bestCandidate(n, n.loss, false)
 	if !ok {
 		return
 	}
 	thr := t.k + t.cfg.logEps()
-	if gain < thr {
+	if c.gain < thr {
 		return
 	}
-	t.split(n, feature, value, gain, thr)
+	t.split(n, c, thr)
 }
 
 // split turns a leaf into an inner node with two warm-started children and
 // restarts the node's epoch so I_t = ∪ J_t holds for the new family.
-func (t *Tree) split(n *node, feature int, value float64, gain, thr float64) {
-	n.feature, n.threshold = feature, value
+func (t *Tree) split(n *node, c splitChoice, thr float64) {
+	n.feature, n.threshold, n.kind, n.mask = c.feature, c.threshold, c.kind, c.mask
 	n.left = t.newNode(n.depth+1, n.mod)
 	n.right = t.newNode(n.depth+1, n.mod)
 	n.resetEpoch()
 	t.splits++
 	t.logChange(ChangeEvent{
 		Step: t.step, Kind: ChangeSplit, Depth: n.depth,
-		Feature: n.feature, Threshold: n.threshold, Gain: gain, AICThreshold: thr,
+		Feature: n.feature, Threshold: n.threshold, SplitKind: n.kind, Mask: n.mask,
+		Gain: c.gain, AICThreshold: thr,
 	})
 }
 
@@ -231,22 +236,22 @@ func (t *Tree) tryRestructure(n *node) {
 	thr5 := (1-subLeaves)*t.k + t.cfg.logEps()
 	prunePass := gain5 >= thr5
 
-	feature, value, gain4, ok4 := n.bestCandidate(&t.cfg, leafLoss, true)
+	c, ok4 := t.bestCandidate(n, leafLoss, true)
 	thr4 := (2-subLeaves)*t.k + t.cfg.logEps()
-	replacePass := ok4 && gain4 >= thr4
+	replacePass := ok4 && c.gain >= thr4
 
 	switch {
 	case prunePass && replacePass:
 		// Compare AIC-adjusted gains; equality favours the smaller tree.
-		if gain5-(1-subLeaves)*t.k >= gain4-(2-subLeaves)*t.k {
+		if gain5-(1-subLeaves)*t.k >= c.gain-(2-subLeaves)*t.k {
 			t.prune(n, gain5, thr5)
 		} else {
-			t.replace(n, feature, value, gain4, thr4)
+			t.replace(n, c, thr4)
 		}
 	case prunePass:
 		t.prune(n, gain5, thr5)
 	case replacePass:
-		t.replace(n, feature, value, gain4, thr4)
+		t.replace(n, c, thr4)
 	}
 }
 
@@ -256,7 +261,8 @@ func (t *Tree) tryRestructure(n *node) {
 func (t *Tree) prune(n *node, gain, thr float64) {
 	ev := ChangeEvent{
 		Step: t.step, Kind: ChangePrune, Depth: n.depth,
-		Feature: n.feature, Threshold: n.threshold, Gain: gain, AICThreshold: thr,
+		Feature: n.feature, Threshold: n.threshold, SplitKind: n.kind, Mask: n.mask,
+		Gain: gain, AICThreshold: thr,
 	}
 	n.left, n.right = nil, nil
 	t.prunes++
@@ -265,15 +271,16 @@ func (t *Tree) prune(n *node, gain, thr float64) {
 
 // replace swaps the subtree below n for a new split with two fresh
 // warm-started leaves and restarts the node's epoch.
-func (t *Tree) replace(n *node, feature int, value float64, gain, thr float64) {
-	n.feature, n.threshold = feature, value
+func (t *Tree) replace(n *node, c splitChoice, thr float64) {
+	n.feature, n.threshold, n.kind, n.mask = c.feature, c.threshold, c.kind, c.mask
 	n.left = t.newNode(n.depth+1, n.mod)
 	n.right = t.newNode(n.depth+1, n.mod)
 	n.resetEpoch()
 	t.replaces++
 	t.logChange(ChangeEvent{
 		Step: t.step, Kind: ChangeReplace, Depth: n.depth,
-		Feature: n.feature, Threshold: n.threshold, Gain: gain, AICThreshold: thr,
+		Feature: n.feature, Threshold: n.threshold, SplitKind: n.kind, Mask: n.mask,
+		Gain: c.gain, AICThreshold: thr,
 	})
 }
 
@@ -285,15 +292,16 @@ func (t *Tree) logChange(ev ChangeEvent) {
 	t.changes = append(t.changes, ev)
 }
 
-// sortTo routes x to its leaf. Non-finite feature values (NaN, ±Inf)
-// deterministically route left via the shared model.RouteLeft predicate,
-// matching FIMT-DD and the serving snapshots — the observers skip
-// non-finite values, so no candidate threshold ever separates them, and
-// routing them left keeps learn and predict paths consistent.
+// sortTo routes x to its leaf via the shared model.RouteSplit predicate.
+// Non-finite feature values (NaN, ±Inf) deterministically route left,
+// matching FIMT-DD and the serving snapshots — the candidate machinery
+// skips non-finite values, so no test ever separates them, and routing
+// them left keeps learn and predict paths consistent. Unseen categorical
+// levels route right, equally deterministically.
 func (t *Tree) sortTo(x []float64) *node {
 	cur := t.root
 	for !cur.isLeaf() {
-		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+		if model.RouteSplit(x[cur.feature], cur.kind, cur.threshold, cur.mask, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -343,7 +351,7 @@ func freeze(n *node) *model.SnapNode {
 	if n.isLeaf() {
 		n.snap = model.FreezeLeaf(n.mod.Clone())
 	} else {
-		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+		n.snap = model.FreezeInnerSplit(n.feature, n.kind, n.threshold, n.mask, freeze(n.left), freeze(n.right))
 	}
 	return n.snap
 }
@@ -416,6 +424,42 @@ func (t *Tree) LeafWeights(x []float64, class int) []float64 {
 	return nil
 }
 
+// describeTest renders one split test against the schema: the numeric
+// threshold form, the equality form with the level's name, or the subset
+// form with the mask's level names.
+func (t *Tree) describeTest(feature int, kind model.SplitKind, threshold float64, mask uint64) string {
+	return describeTest(t.schema, feature, kind, threshold, mask)
+}
+
+func describeTest(schema stream.Schema, feature int, kind model.SplitKind, threshold float64, mask uint64) string {
+	name := schema.FeatureName(feature)
+	switch kind {
+	case model.SplitEquality:
+		return fmt.Sprintf("%s == %s", name, schema.LevelName(feature, int(threshold)))
+	case model.SplitSubset:
+		var sb strings.Builder
+		sb.WriteString(name)
+		sb.WriteString(" in {")
+		for i, lv := range model.MaskLevels(mask) {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(schema.LevelName(feature, lv))
+		}
+		sb.WriteString("}")
+		return sb.String()
+	default:
+		return fmt.Sprintf("%s <= %.4g", name, threshold)
+	}
+}
+
+// Test renders the event's split test against a schema — `x3 <= 0.52`,
+// `cat == blue`, or `cat in {red, blue}` — so change-log renderers show
+// the same condition Describe prints in the tree.
+func (ev ChangeEvent) Test(schema stream.Schema) string {
+	return describeTest(schema, ev.Feature, ev.SplitKind, ev.Threshold, ev.Mask)
+}
+
 // Describe renders the tree structure with split conditions and leaf
 // sizes, a human-readable view of the deployed model.
 func (t *Tree) Describe() string {
@@ -426,7 +470,7 @@ func (t *Tree) Describe() string {
 			fmt.Fprintf(&sb, "%s%sleaf[n=%.0f, loss=%.2f]\n", prefix, label, n.n, n.loss)
 			return
 		}
-		fmt.Fprintf(&sb, "%s%s%s <= %.4g  [n=%.0f]\n", prefix, label, t.schema.FeatureName(n.feature), n.threshold, n.n)
+		fmt.Fprintf(&sb, "%s%s%s  [n=%.0f]\n", prefix, label, t.describeTest(n.feature, n.kind, n.threshold, n.mask), n.n)
 		walk(n.left, prefix+"  ", "Y: ")
 		walk(n.right, prefix+"  ", "N: ")
 	}
@@ -438,12 +482,19 @@ func (t *Tree) Describe() string {
 // threshold — diagnostic output used by tests and tooling.
 func (t *Tree) DebugRoot() string {
 	n := t.root
-	feature, value, gain, ok := n.bestCandidate(&t.cfg, n.loss, false)
+	c, ok := t.bestCandidate(n, n.loss, false)
 	if !ok {
 		return fmt.Sprintf("root{n=%.0f loss=%.1f cands=%d no-gain}", n.n, n.loss, n.idx.size())
 	}
-	return fmt.Sprintf("root{n=%.0f loss=%.1f cands=%d best=x%d<=%.3g gain=%.2f thr=%.2f}",
-		n.n, n.loss, n.idx.size(), feature, value, gain, t.k+t.cfg.logEps())
+	test := fmt.Sprintf("x%d<=%.3g", c.feature, c.threshold)
+	switch c.kind {
+	case model.SplitEquality:
+		test = fmt.Sprintf("x%d==%g", c.feature, c.threshold)
+	case model.SplitSubset:
+		test = fmt.Sprintf("x%d in %v", c.feature, model.MaskLevels(c.mask))
+	}
+	return fmt.Sprintf("root{n=%.0f loss=%.1f cands=%d best=%s gain=%.2f thr=%.2f}",
+		n.n, n.loss, n.idx.size(), test, c.gain, t.k+t.cfg.logEps())
 }
 
 // String renders a compact shape description.

@@ -23,6 +23,8 @@ type nodeDoc struct {
 	Stats       *hoeffding.NodeStatsDoc
 	Feature     int
 	Threshold   float64
+	Kind        uint8
+	Mask        uint64
 	Depth       int
 	SinceReeval float64
 	Left, Right *nodeDoc
@@ -47,6 +49,7 @@ func encodeNode(n *enode) *nodeDoc {
 	return &nodeDoc{
 		Stats:   n.stats.Doc(),
 		Feature: n.feature, Threshold: n.threshold, Depth: n.depth,
+		Kind: uint8(n.kind), Mask: n.mask,
 		SinceReeval: n.sinceReeval,
 		Left:        encodeNode(n.left), Right: encodeNode(n.right),
 	}
@@ -60,9 +63,13 @@ func (t *Tree) decodeNode(d *nodeDoc) (*enode, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !model.SplitKind(d.Kind).Valid() {
+		return nil, fmt.Errorf("efdt: checkpoint node has unknown split kind %d", d.Kind)
+	}
 	n := &enode{
 		stats:   stats,
 		feature: d.Feature, threshold: d.Threshold, depth: d.Depth,
+		kind: model.SplitKind(d.Kind), mask: d.Mask,
 		sinceReeval: d.SinceReeval,
 	}
 	if (d.Left == nil) != (d.Right == nil) {
@@ -124,6 +131,9 @@ func init() {
 		if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
 			return nil, fmt.Errorf("efdt: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
 				doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+		}
+		if !doc.Schema.SameKinds(schema) {
+			return nil, fmt.Errorf("efdt: payload schema feature kinds do not match envelope")
 		}
 		if doc.Root == nil {
 			return nil, fmt.Errorf("efdt: checkpoint has no root")

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/attrobs"
 	"repro/internal/hoeffding"
 	"repro/internal/model"
 	"repro/internal/rng"
@@ -43,6 +44,8 @@ type enode struct {
 	stats       *hoeffding.NodeStats
 	feature     int
 	threshold   float64
+	kind        model.SplitKind
+	mask        uint64
 	left, right *enode
 	depth       int
 	sinceReeval float64
@@ -117,7 +120,7 @@ func (t *Tree) learnOne(x []float64, y int) {
 		if cur.isLeaf() {
 			return
 		}
-		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+		if model.RouteSplit(x[cur.feature], cur.kind, cur.threshold, cur.mask, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -142,15 +145,16 @@ func (t *Tree) attemptInitialSplit(leaf *enode) {
 	}
 	eps := leaf.stats.Bound()
 	if best.Merit > eps || (eps < t.cfg.Tree.Tau && best.Merit > t.cfg.Tree.Tau) {
-		left, right := leaf.stats.DistributionsAt(best.Feature, best.Threshold)
-		t.install(leaf, best.Feature, best.Threshold, [][]float64{left, right})
+		left, right := leaf.stats.DistributionsFor(best)
+		t.install(leaf, best, [][]float64{left, right})
 	}
 }
 
 // install turns the node into an inner node with fresh leaf children
 // (keeping its own statistics, which EFDT continues to update).
-func (t *Tree) install(n *enode, feature int, threshold float64, post [][]float64) {
-	n.feature, n.threshold = feature, threshold
+func (t *Tree) install(n *enode, cand attrobs.CandidateSplit, post [][]float64) {
+	n.feature, n.threshold = cand.Feature, cand.Threshold
+	n.kind, n.mask = cand.Kind, cand.Mask
 	n.left = t.newLeaf(n.depth + 1)
 	n.right = t.newLeaf(n.depth + 1)
 	if len(post) == 2 {
@@ -165,7 +169,13 @@ func (t *Tree) install(n *enode, feature int, threshold float64, post [][]float6
 // (continuously updated) observers, through the tree's scan scratch so
 // periodic re-evaluations allocate nothing.
 func (t *Tree) currentSplitMerit(n *enode) float64 {
-	return n.stats.MeritAt(n.feature, n.threshold)
+	return n.stats.MeritFor(n.installedSplit())
+}
+
+// installedSplit describes the split currently installed at an inner
+// node as a candidate, for re-scoring and identity comparison.
+func (n *enode) installedSplit() attrobs.CandidateSplit {
+	return attrobs.CandidateSplit{Feature: n.feature, Threshold: n.threshold, Kind: n.kind, Mask: n.mask}
 }
 
 // reevaluate revisits the split installed at n. It returns true when the
@@ -184,10 +194,17 @@ func (t *Tree) reevaluate(n *enode) bool {
 		t.retractions++
 		return true
 	}
-	// Replace: a different attribute is now confidently better.
-	if best.Feature != n.feature && best.Merit-cur > eps && best.Merit > 0 {
-		left, right := n.stats.DistributionsAt(best.Feature, best.Threshold)
-		t.install(n, best.Feature, best.Threshold, [][]float64{left, right})
+	// Replace: a confidently better split that names a new attribute —
+	// or, between categorical tests, a different test on the same
+	// attribute (numeric thresholds drift every re-scan, so same-feature
+	// threshold moves are not treated as replacements, matching HATT).
+	differs := best.Feature != n.feature
+	if !differs && (best.Kind != model.SplitThreshold || n.kind != model.SplitThreshold) {
+		differs = !best.SameTest(n.installedSplit())
+	}
+	if differs && best.Merit-cur > eps && best.Merit > 0 {
+		left, right := n.stats.DistributionsFor(best)
+		t.install(n, best, [][]float64{left, right})
 		t.replacements++
 		return true
 	}
@@ -200,7 +217,7 @@ func (t *Tree) reevaluate(n *enode) bool {
 func (t *Tree) sortTo(x []float64) *enode {
 	cur := t.root
 	for !cur.isLeaf() {
-		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+		if model.RouteSplit(x[cur.feature], cur.kind, cur.threshold, cur.mask, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -248,7 +265,7 @@ func freeze(n *enode) *model.SnapNode {
 	if n.isLeaf() {
 		n.snap = model.FreezeLeaf(n.stats.ServingClone())
 	} else {
-		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+		n.snap = model.FreezeInnerSplit(n.feature, n.kind, n.threshold, n.mask, freeze(n.left), freeze(n.right))
 	}
 	return n.snap
 }

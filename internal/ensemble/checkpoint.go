@@ -152,6 +152,9 @@ func checkSchema(kind string, payload, envelope stream.Schema) error {
 		return fmt.Errorf("ensemble: %s payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
 			kind, payload.NumFeatures, payload.NumClasses, envelope.NumFeatures, envelope.NumClasses)
 	}
+	if !payload.SameKinds(envelope) {
+		return fmt.Errorf("ensemble: %s payload schema feature kinds do not match envelope", kind)
+	}
 	return nil
 }
 

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// CategoricalCell is one run of the categorical-concept scenario: one
+// model on one encoding of the planted stream.
+type CategoricalCell struct {
+	Model    string
+	Encoding string // "native" or "factorised"
+	F1       float64
+	Splits   float64
+}
+
+// categoricalModels are the learners with native categorical split
+// support that the scenario compares (FIMT-DD keeps its numeric-only
+// split machinery and is out of scope).
+var categoricalModels = []string{"DMT", "VFDT (MC)"}
+
+// CategoricalScenario runs the paper-style categorical payoff
+// experiment: a planted concept that depends only on a categorical
+// attribute, with level codes ordered so numeric thresholds cannot
+// separate the classes. Each model runs twice — once on the native
+// categorical schema, once on the factorised (code-as-float) baseline —
+// and the native encoding is expected to win on prequential F1 with
+// fewer splits.
+func CategoricalScenario(scale float64, seed int64, progress io.Writer) ([]CategoricalCell, error) {
+	n := int(600_000 * scale)
+	if n < 20_000 {
+		n = 20_000
+	}
+	const (
+		card  = 8
+		noise = 0.05
+	)
+	var cells []CategoricalCell
+	for _, name := range categoricalModels {
+		native := synth.NewCategoricalConcept(n, card, noise, seed)
+		for _, enc := range []struct {
+			label string
+			strm  stream.Stream
+		}{
+			{"native", native},
+			{"factorised", native.Factorised()},
+		} {
+			clf, err := NewClassifier(name, enc.strm.Schema(), seed)
+			if err != nil {
+				return nil, fmt.Errorf("categorical scenario: %s: %w", name, err)
+			}
+			res, err := Prequential(clf, enc.strm, Options{MinBatchSize: 32})
+			if err != nil {
+				return nil, fmt.Errorf("categorical scenario: %s (%s): %w", name, enc.label, err)
+			}
+			f1, _ := res.F1()
+			sp, _ := res.Splits()
+			cells = append(cells, CategoricalCell{Model: name, Encoding: enc.label, F1: f1, Splits: sp})
+			if progress != nil {
+				fmt.Fprintf(progress, "categorical done: %-12s %-11s F1=%.3f splits=%.1f\n", name, enc.label, f1, sp)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RunCategoricalScenario renders CategoricalScenario as a table.
+func RunCategoricalScenario(scale float64, seed int64, progress io.Writer) (string, error) {
+	cells, err := CategoricalScenario(scale, seed, progress)
+	if err != nil {
+		return "", err
+	}
+	t := newTable(fmt.Sprintf("Categorical concept: native vs factorised splits (scale %.3g)", scale),
+		"Model", "Encoding", "F1", "Splits")
+	for _, c := range cells {
+		t.addRow(c.Model, c.Encoding, fmt.Sprintf("%.3f", c.F1), fmt.Sprintf("%.1f", c.Splits))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.render())
+	sb.WriteString("\nThe planted concept is y = 1 iff the categorical level is odd; codes\n")
+	sb.WriteString("alternate between the classes, so threshold splits on the raw code\n")
+	sb.WriteString("cannot separate them while one native subset (or a few equality)\n")
+	sb.WriteString("splits recover the concept exactly.\n")
+	return sb.String(), nil
+}

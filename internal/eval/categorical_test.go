@@ -1,0 +1,33 @@
+package eval
+
+import "testing"
+
+// The categorical scenario runs end to end at a small scale and the
+// native encoding wins for every model — the eval-suite form of the
+// refactor's acceptance criterion.
+func TestCategoricalScenario(t *testing.T) {
+	cells, err := CategoricalScenario(0.04, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*len(categoricalModels) {
+		t.Fatalf("got %d cells, want %d", len(cells), 2*len(categoricalModels))
+	}
+	byKey := map[string]CategoricalCell{}
+	for _, c := range cells {
+		byKey[c.Model+"/"+c.Encoding] = c
+	}
+	for _, m := range categoricalModels {
+		native, fact := byKey[m+"/native"], byKey[m+"/factorised"]
+		if native.F1 <= fact.F1 {
+			t.Errorf("%s: native F1 %.3f does not beat factorised %.3f", m, native.F1, fact.F1)
+		}
+	}
+	out, err := RunCategoricalScenario(0.04, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

@@ -154,13 +154,22 @@ func PrequentialContext(ctx context.Context, c model.Classifier, s stream.Stream
 	if err := schema.Validate(); err != nil {
 		return Result{}, err
 	}
-	sized, ok := s.(stream.Sized)
-	if !ok {
-		return Result{}, errors.New("eval: stream must have a known length for fractional batches")
-	}
-	batch := int(float64(sized.Len()) * opts.BatchFraction)
-	if batch < opts.MinBatchSize {
+	// Fractional batches need the stream length; lazy streams (a CSV file
+	// read row by row) have none, so they run at a fixed batch size —
+	// MinBatchSize, floored at a value large enough for per-batch F1 to
+	// be meaningful.
+	const unsizedBatch = 64
+	var batch int
+	if sized, ok := s.(stream.Sized); ok {
+		batch = int(float64(sized.Len()) * opts.BatchFraction)
+		if batch < opts.MinBatchSize {
+			batch = opts.MinBatchSize
+		}
+	} else {
 		batch = opts.MinBatchSize
+		if batch < unsizedBatch {
+			batch = unsizedBatch
+		}
 	}
 
 	res := Result{Model: c.Name(), Dataset: schema.Name}

@@ -27,6 +27,8 @@ type nodeDoc struct {
 	Stats     *hoeffding.NodeStatsDoc
 	Feature   int
 	Threshold float64
+	Kind      uint8
+	Mask      uint64
 	Depth     int
 
 	ErrMon      *drift.ADWINState
@@ -56,6 +58,7 @@ func encodeNode(n *anode) *nodeDoc {
 	}
 	d := &nodeDoc{
 		Feature: n.feature, Threshold: n.threshold, Depth: n.depth,
+		Kind: uint8(n.kind), Mask: n.mask,
 		Alt: encodeNode(n.alt), AltTicks: n.altTicks,
 		Left: encodeNode(n.left), Right: encodeNode(n.right),
 	}
@@ -74,7 +77,10 @@ func encodeNode(n *anode) *nodeDoc {
 }
 
 func (t *Tree) decodeNode(d *nodeDoc) (*anode, error) {
-	n := &anode{feature: d.Feature, threshold: d.Threshold, depth: d.Depth, altTicks: d.AltTicks}
+	if !model.SplitKind(d.Kind).Valid() {
+		return nil, fmt.Errorf("hatada: checkpoint node has unknown split kind %d", d.Kind)
+	}
+	n := &anode{feature: d.Feature, threshold: d.Threshold, kind: model.SplitKind(d.Kind), mask: d.Mask, depth: d.Depth, altTicks: d.AltTicks}
 	if d.Stats != nil {
 		stats, err := hoeffding.NodeStatsFromDoc(&t.cfg.Tree, t.schema, t.sc, d.Stats)
 		if err != nil {
@@ -165,6 +171,9 @@ func init() {
 		if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
 			return nil, fmt.Errorf("hatada: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
 				doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+		}
+		if !doc.Schema.SameKinds(schema) {
+			return nil, fmt.Errorf("hatada: payload schema feature kinds do not match envelope")
 		}
 		if doc.Root == nil {
 			return nil, fmt.Errorf("hatada: checkpoint has no root")

@@ -59,6 +59,8 @@ type anode struct {
 	stats       *hoeffding.NodeStats
 	feature     int
 	threshold   float64
+	kind        model.SplitKind
+	mask        uint64
 	left, right *anode
 	depth       int
 
@@ -78,12 +80,12 @@ type anode struct {
 func (n *anode) isLeaf() bool { return n.left == nil }
 
 // sortTo routes x to its leaf; non-finite values route left via the
-// shared model.RouteLeft predicate, consistent with learn, predict and
+// shared model.RouteSplit predicate, consistent with learn, predict and
 // snapshot paths.
 func (n *anode) sortTo(x []float64) *anode {
 	cur := n
 	for !cur.isLeaf() {
-		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+		if model.RouteSplit(x[cur.feature], cur.kind, cur.threshold, cur.mask, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -148,7 +150,7 @@ func (t *Tree) learnOne(x []float64, y int) {
 		if cur.isLeaf() {
 			break
 		}
-		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+		if model.RouteSplit(x[cur.feature], cur.kind, cur.threshold, cur.mask, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -200,6 +202,7 @@ func (t *Tree) monitorNode(n *anode, x []float64, y int, mainErr float64) {
 	case n.errMon.Mean()-n.altErrMon.Mean() > bound:
 		// Alternate wins: promote it in place of the current subtree.
 		n.feature, n.threshold = n.alt.feature, n.alt.threshold
+		n.kind, n.mask = n.alt.kind, n.alt.mask
 		n.left, n.right = n.alt.left, n.alt.right
 		n.stats = n.alt.stats
 		n.errMon = n.altErrMon
@@ -225,6 +228,7 @@ func (t *Tree) trainLeaf(leaf *anode, x []float64, y int) {
 		return
 	}
 	leaf.feature, leaf.threshold = cand.Feature, cand.Threshold
+	leaf.kind, leaf.mask = cand.Kind, cand.Mask
 	leaf.left = t.newLeaf(leaf.depth + 1)
 	leaf.right = t.newLeaf(leaf.depth + 1)
 	if len(cand.Post) == 2 {
@@ -280,7 +284,7 @@ func freeze(n *anode) *model.SnapNode {
 	if n.isLeaf() {
 		n.snap = model.FreezeLeaf(n.stats.ServingClone())
 	} else {
-		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+		n.snap = model.FreezeInnerSplit(n.feature, n.kind, n.threshold, n.mask, freeze(n.left), freeze(n.right))
 	}
 	return n.snap
 }

@@ -1,0 +1,113 @@
+package hoeffding
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// On the planted categorical-concept stream the VFDT must install native
+// categorical splits on the categorical feature — never a threshold on
+// the raw level code, which cannot separate the alternating classes.
+func TestVFDTPicksCategoricalSplit(t *testing.T) {
+	gen := synth.NewCategoricalConcept(30_000, 8, 0.02, 31)
+	tr := New(Config{Seed: 3}, gen.Schema())
+	for {
+		b, err := stream.NextBatch(gen, 256)
+		if err != nil {
+			break
+		}
+		tr.Learn(b)
+	}
+	if tr.root.isLeaf() {
+		t.Fatal("VFDT never split on the planted categorical concept")
+	}
+	// The informative splits must be native categorical tests on feature
+	// 2. (Deep, near-pure leaves may still split on noise features via
+	// the tie-break — that is Hoeffding-tree behaviour, not a split-kind
+	// defect — so the assertion is on the root and on the kind of every
+	// feature-2 split.)
+	if tr.root.feature != 2 {
+		t.Fatalf("root split on feature %d, want the categorical feature 2", tr.root.feature)
+	}
+	seen := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.isLeaf() {
+			return
+		}
+		if n.feature == 2 {
+			if n.kind != model.SplitEquality && n.kind != model.SplitSubset {
+				t.Fatalf("split kind %v on the categorical feature, want a native categorical kind", n.kind)
+			}
+			seen++
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(tr.root)
+	if seen == 0 {
+		t.Fatal("no categorical split installed")
+	}
+	// And the concept is actually recovered: clean-label accuracy on a
+	// fresh sample from the same concept.
+	probe := synth.NewCategoricalConcept(2_000, 8, 0, 99)
+	good, total := 0, 0
+	for {
+		inst, err := probe.Next()
+		if err != nil {
+			break
+		}
+		if tr.Predict(inst.X) == inst.Y {
+			good++
+		}
+		total++
+	}
+	if acc := float64(good) / float64(total); acc < 0.9 {
+		t.Fatalf("accuracy %.3f on the planted concept, want >= 0.9", acc)
+	}
+}
+
+// Save → load → continue with a categorical schema stays byte-identical
+// for the VFDT.
+func TestVFDTCategoricalCheckpointContinue(t *testing.T) {
+	gen := synth.NewCategoricalConcept(20_000, 8, 0.02, 33)
+	schema := gen.Schema()
+	var batches []stream.Batch
+	for i := 0; i < 40; i++ {
+		b, err := stream.NextBatch(gen, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, b)
+	}
+	control := New(Config{Seed: 5}, schema)
+	subject := New(Config{Seed: 5}, schema)
+	half := len(batches) / 2
+	for i := 0; i < half; i++ {
+		control.Learn(batches[i])
+		subject.Learn(batches[i])
+	}
+	var buf bytes.Buffer
+	if err := subject.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := loadTree(schema, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(batches); i++ {
+		control.Learn(batches[i])
+		restored.Learn(batches[i])
+	}
+	for _, b := range batches {
+		for _, x := range b.X {
+			if control.Predict(x) != restored.Predict(x) {
+				t.Fatal("VFDT prediction diverged after categorical checkpoint resume")
+			}
+		}
+	}
+}

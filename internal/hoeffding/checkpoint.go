@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/attrobs"
+	"repro/internal/model"
 	"repro/internal/nbayes"
 	"repro/internal/registry"
 	"repro/internal/rng"
@@ -68,16 +69,21 @@ func ConfigFromDoc(d ConfigDoc) (Config, error) {
 }
 
 // NodeStatsDoc is the serialisable state of one node's sufficient
-// statistics.
+// statistics. CatObservers is parallel to Observers: for a categorical
+// feature the Gaussian entry is zero-valued and the categorical one
+// holds the state, and vice versa. Documents written before categorical
+// kinds existed decode with CatObservers nil, which is exactly the
+// all-numeric case.
 type NodeStatsDoc struct {
-	Counts    []float64
-	Observers []attrobs.GaussianState
-	Features  []int // observed feature subset; nil means all
-	NB        *nbayes.ModelState
-	McOK      float64
-	NbOK      float64
-	Seen      float64
-	LastEval  float64
+	Counts       []float64
+	Observers    []attrobs.GaussianState
+	CatObservers []attrobs.CategoricalState
+	Features     []int // observed feature subset; nil means all
+	NB           *nbayes.ModelState
+	McOK         float64
+	NbOK         float64
+	Seen         float64
+	LastEval     float64
 }
 
 // Doc exports the statistics for checkpointing.
@@ -88,8 +94,18 @@ func (s *NodeStats) Doc() *NodeStatsDoc {
 		Features:  append([]int(nil), s.features...),
 		McOK:      s.mcOK, NbOK: s.nbOK, Seen: s.seen, LastEval: s.lastEval,
 	}
+	if s.cats != nil {
+		d.CatObservers = make([]attrobs.CategoricalState, len(s.cats))
+	}
 	for j, o := range s.observers {
-		d.Observers[j] = o.State()
+		if o != nil {
+			d.Observers[j] = o.State()
+		}
+	}
+	for j, c := range s.cats {
+		if c != nil {
+			d.CatObservers[j] = c.State()
+		}
 	}
 	if s.nb != nil {
 		st := s.nb.State()
@@ -108,13 +124,30 @@ func NodeStatsFromDoc(cfg *Config, schema stream.Schema, sc *Scratch, d *NodeSta
 	if len(d.Observers) != schema.NumFeatures {
 		return nil, fmt.Errorf("hoeffding: checkpoint node has %d observers, schema wants %d", len(d.Observers), schema.NumFeatures)
 	}
+	if schema.HasCategorical() && len(d.CatObservers) != schema.NumFeatures {
+		return nil, fmt.Errorf("hoeffding: checkpoint node has %d categorical observers, schema wants %d", len(d.CatObservers), schema.NumFeatures)
+	}
 	s := &NodeStats{
 		cfg: cfg, schema: schema, sc: sc,
 		counts:    append([]float64(nil), d.Counts...),
 		observers: make([]*attrobs.Gaussian, len(d.Observers)),
 		mcOK:      d.McOK, nbOK: d.NbOK, seen: d.Seen, lastEval: d.LastEval,
 	}
+	if schema.HasCategorical() {
+		s.cats = make([]*attrobs.Categorical, schema.NumFeatures)
+	}
 	for j := range d.Observers {
+		if schema.IsCategorical(j) {
+			c, err := attrobs.CategoricalFromState(d.CatObservers[j])
+			if err != nil {
+				return nil, fmt.Errorf("hoeffding: checkpoint categorical observer %d: %w", j, err)
+			}
+			if c.Cardinality() != schema.Cardinality(j) {
+				return nil, fmt.Errorf("hoeffding: checkpoint categorical observer %d has cardinality %d, schema wants %d", j, c.Cardinality(), schema.Cardinality(j))
+			}
+			s.cats[j] = c
+			continue
+		}
 		o, err := attrobs.GaussianFromState(d.Observers[j])
 		if err != nil {
 			return nil, fmt.Errorf("hoeffding: checkpoint observer %d: %w", j, err)
@@ -143,11 +176,15 @@ func NodeStatsFromDoc(cfg *Config, schema stream.Schema, sc *Scratch, d *NodeSta
 }
 
 // TreeNodeDoc is one serialised VFDT node. Stats is nil at inner nodes
-// (a plain VFDT stops observing after a split).
+// (a plain VFDT stops observing after a split). Kind and Mask carry the
+// categorical split tests; documents written before categorical kinds
+// existed decode with the zero Kind, the numeric threshold test.
 type TreeNodeDoc struct {
 	Stats       *NodeStatsDoc
 	Feature     int
 	Threshold   float64
+	Kind        uint8
+	Mask        uint64
 	Depth       int
 	Left, Right *TreeNodeDoc
 }
@@ -172,6 +209,7 @@ func (t *Tree) Doc() *TreeDoc {
 		}
 		d := &TreeNodeDoc{
 			Feature: n.feature, Threshold: n.threshold, Depth: n.depth,
+			Kind: uint8(n.kind), Mask: n.mask,
 			Left: export(n.left), Right: export(n.right),
 		}
 		if n.stats != nil {
@@ -208,7 +246,10 @@ func TreeFromDoc(doc *TreeDoc) (*Tree, error) {
 	t.rng, t.src = rng.Restore(doc.RNG)
 	var build func(d *TreeNodeDoc) (*node, error)
 	build = func(d *TreeNodeDoc) (*node, error) {
-		n := &node{feature: d.Feature, threshold: d.Threshold, depth: d.Depth}
+		if !model.SplitKind(d.Kind).Valid() {
+			return nil, fmt.Errorf("hoeffding: checkpoint node has unknown split kind %d", d.Kind)
+		}
+		n := &node{feature: d.Feature, threshold: d.Threshold, kind: model.SplitKind(d.Kind), mask: d.Mask, depth: d.Depth}
 		if d.Stats != nil {
 			stats, err := NodeStatsFromDoc(&t.cfg, t.schema, t.sc, d.Stats)
 			if err != nil {
@@ -269,6 +310,9 @@ func loadTree(schema stream.Schema, r io.Reader) (*Tree, error) {
 	if doc.Schema.NumFeatures != schema.NumFeatures || doc.Schema.NumClasses != schema.NumClasses {
 		return nil, fmt.Errorf("hoeffding: payload schema (%d features, %d classes) does not match envelope (%d features, %d classes)",
 			doc.Schema.NumFeatures, doc.Schema.NumClasses, schema.NumFeatures, schema.NumClasses)
+	}
+	if !doc.Schema.SameKinds(schema) {
+		return nil, fmt.Errorf("hoeffding: payload schema feature kinds do not match envelope")
 	}
 	return TreeFromDoc(&doc)
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/attrobs"
 	"repro/internal/linalg"
+	"repro/internal/model"
 	"repro/internal/nbayes"
 	"repro/internal/split"
 	"repro/internal/stream"
@@ -99,11 +100,16 @@ func (c Config) WithDefaults() Config {
 // and the adaptive-mode accuracy counters. It is reused by the HAT and
 // EFDT trees, whose inner nodes also keep observing.
 type NodeStats struct {
-	cfg       *Config
-	schema    stream.Schema
-	sc        *Scratch // per-tree shared workspace (never nil)
-	counts    []float64
+	cfg    *Config
+	schema stream.Schema
+	sc     *Scratch // per-tree shared workspace (never nil)
+	counts []float64
+	// observers[j] observes numeric feature j; cats[j] observes
+	// categorical feature j. Exactly one of the two is non-nil per
+	// feature, per the schema's kinds; cats is nil for the all-numeric
+	// schemas that predate feature kinds.
 	observers []*attrobs.Gaussian
+	cats      []*attrobs.Categorical
 	features  []int // observed feature subset; nil means all
 	nb        *nbayes.Model
 	mcOK      float64
@@ -127,7 +133,14 @@ func NewNodeStats(cfg *Config, schema stream.Schema, rng *rand.Rand, sc *Scratch
 		counts:    make([]float64, schema.NumClasses),
 		observers: make([]*attrobs.Gaussian, schema.NumFeatures),
 	}
+	if schema.HasCategorical() {
+		s.cats = make([]*attrobs.Categorical, schema.NumFeatures)
+	}
 	for j := range s.observers {
+		if s.cats != nil && schema.IsCategorical(j) {
+			s.cats[j] = attrobs.NewCategorical(schema.NumClasses, schema.Cardinality(j))
+			continue
+		}
 		s.observers[j] = attrobs.NewGaussian(schema.NumClasses, cfg.Bins)
 	}
 	if cfg.LeafMode != MajorityClass {
@@ -189,7 +202,11 @@ func (s *NodeStats) Observe(x []float64, y int, w float64) {
 	s.counts[y] += w
 	s.seen += w
 	for _, j := range s.featureSet() {
-		s.observers[j].Observe(x[j], y, w)
+		if s.cats != nil && s.cats[j] != nil {
+			s.cats[j].Observe(x[j], y, w)
+		} else {
+			s.observers[j].Observe(x[j], y, w)
+		}
 	}
 	if s.nb != nil {
 		s.nb.Observe(x, y, w)
@@ -284,56 +301,98 @@ type splitRef struct {
 	feature   int
 	threshold float64
 	merit     float64
+	kind      model.SplitKind
+	mask      uint64
 }
 
 // bestSplits scans the observed features for the two highest-merit
 // candidate splits through the shared scan buffers, allocating nothing.
+// Numeric features propose threshold splits; categorical features
+// propose native equality/subset splits from their exact level counts.
 func (s *NodeStats) bestSplits() (best, second splitRef, ok bool) {
 	best.merit, second.merit = math.Inf(-1), math.Inf(-1)
 	for _, j := range s.featureSet() {
-		thr, m, found := s.observers[j].BestThreshold(s.counts, s.cfg.Criterion, s.sc.scan)
+		var ref splitRef
+		var found bool
+		if s.cats != nil && s.cats[j] != nil {
+			kind, thr, mask, m, f := s.cats[j].BestSplit(s.counts, s.cfg.Criterion, s.sc.scan)
+			ref, found = splitRef{feature: j, threshold: thr, merit: m, kind: kind, mask: mask}, f
+		} else {
+			thr, m, f := s.observers[j].BestThreshold(s.counts, s.cfg.Criterion, s.sc.scan)
+			ref, found = splitRef{feature: j, threshold: thr, merit: m}, f
+		}
 		if !found {
 			continue
 		}
-		if m > best.merit {
+		if ref.merit > best.merit {
 			second = best
-			best = splitRef{feature: j, threshold: thr, merit: m}
-		} else if m > second.merit {
-			second = splitRef{feature: j, threshold: thr, merit: m}
+			best = ref
+		} else if ref.merit > second.merit {
+			second = ref
 		}
 		ok = true
 	}
 	return best, second, ok
 }
 
+// candOf converts a scan reference into a CandidateSplit (no Post).
+func candOf(r splitRef) attrobs.CandidateSplit {
+	return attrobs.CandidateSplit{Feature: r.feature, Threshold: r.threshold, Merit: r.merit, Kind: r.kind, Mask: r.mask}
+}
+
 // BestSplits returns the two highest-merit candidates across the observed
 // features, ordered best first. ok is false when no feature has usable
 // spread. The candidates carry no Post distributions — materialise them
-// with DistributionsAt when a split is actually installed; the scan
+// with DistributionsFor when a split is actually installed; the scan
 // itself stays allocation-free.
 func (s *NodeStats) BestSplits() (best, second attrobs.CandidateSplit, ok bool) {
 	b, sec, ok := s.bestSplits()
-	best = attrobs.CandidateSplit{Feature: b.feature, Threshold: b.threshold, Merit: b.merit}
-	second = attrobs.CandidateSplit{Feature: sec.feature, Threshold: sec.threshold, Merit: sec.merit}
-	return best, second, ok
+	return candOf(b), candOf(sec), ok
 }
 
 // DistributionsAt estimates the branch class distributions of splitting
-// this node on (feature, threshold), from the node's own observers.
+// this node on a numeric (feature, threshold) test, from the node's own
+// observers.
 func (s *NodeStats) DistributionsAt(feature int, threshold float64) (left, right []float64) {
-	if feature < 0 || feature >= len(s.observers) {
+	if feature < 0 || feature >= len(s.observers) || s.observers[feature] == nil {
 		return nil, nil
 	}
 	return s.observers[feature].DistributionsAt(threshold)
 }
 
-// MeritAt re-scores the (feature, threshold) split from the node's own
-// observers without allocating — EFDT's re-evaluation hot path.
+// DistributionsFor returns the branch class distributions of a candidate
+// split of any kind, from the node's own observers: Gaussian CDF
+// estimates for threshold tests, exact level-count sums for categorical
+// tests.
+func (s *NodeStats) DistributionsFor(c attrobs.CandidateSplit) (left, right []float64) {
+	if c.Feature < 0 || c.Feature >= s.schema.NumFeatures {
+		return nil, nil
+	}
+	if s.cats != nil && s.cats[c.Feature] != nil {
+		return s.cats[c.Feature].DistributionsFor(c.Kind, c.Threshold, c.Mask)
+	}
+	return s.DistributionsAt(c.Feature, c.Threshold)
+}
+
+// MeritAt re-scores a numeric (feature, threshold) split from the node's
+// own observers without allocating.
 func (s *NodeStats) MeritAt(feature int, threshold float64) float64 {
-	if feature < 0 || feature >= len(s.observers) {
+	if feature < 0 || feature >= len(s.observers) || s.observers[feature] == nil {
 		return 0
 	}
 	return s.observers[feature].MeritAt(threshold, s.counts, s.cfg.Criterion, s.sc.scan)
+}
+
+// MeritFor re-scores a candidate split of any kind without allocating —
+// EFDT's re-evaluation hot path.
+func (s *NodeStats) MeritFor(c attrobs.CandidateSplit) float64 {
+	if c.Feature < 0 || c.Feature >= s.schema.NumFeatures {
+		return 0
+	}
+	if s.cats != nil && s.cats[c.Feature] != nil {
+		return s.cats[c.Feature].MeritFor(c.Kind, c.Threshold, c.Mask, s.counts, s.cfg.Criterion, s.sc.scan)
+	}
+	return s.MeritAt(c.Feature, c.Threshold)
 }
 
 // ShouldAttempt reports whether enough weight accumulated since the last
@@ -370,13 +429,10 @@ func (s *NodeStats) DecideSplit() (attrobs.CandidateSplit, bool) {
 		secondMerit = second.merit
 	}
 	if best.merit-secondMerit > eps || eps < s.cfg.Tau {
-		left, right := s.DistributionsAt(best.feature, best.threshold)
-		return attrobs.CandidateSplit{
-			Feature:   best.feature,
-			Threshold: best.threshold,
-			Merit:     best.merit,
-			Post:      [][]float64{left, right},
-		}, true
+		cand := candOf(best)
+		left, right := s.DistributionsFor(cand)
+		cand.Post = [][]float64{left, right}
+		return cand, true
 	}
 	return attrobs.CandidateSplit{}, false
 }

@@ -33,12 +33,18 @@ func NewScratch(schema stream.Schema) *Scratch {
 	for j := range all {
 		all[j] = j
 	}
-	return &Scratch{
+	sc := &Scratch{
 		all:     all,
 		perm:    make([]int, schema.NumFeatures),
 		scan:    attrobs.NewScanBuf(schema.NumClasses),
 		logPost: make([]float64, schema.NumClasses),
 	}
+	for j := 0; j < schema.NumFeatures; j++ {
+		if c := schema.Cardinality(j); c > 0 {
+			sc.scan.ReserveLevels(c)
+		}
+	}
+	return sc
 }
 
 // sampleSubspace draws a sorted random k-subset of the m features via a

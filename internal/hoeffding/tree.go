@@ -4,20 +4,26 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/attrobs"
 	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
-// node is one tree node: a leaf carries statistics, an inner node a binary
-// numeric split (x[feature] <= threshold goes left; non-finite values
-// route left via the shared model.RouteLeft predicate — the observers
-// skip them, so no threshold ever separates them, and deterministic
-// routing keeps learn, predict and snapshot paths consistent).
+// node is one tree node: a leaf carries statistics, an inner node a
+// binary split — the numeric threshold test (x[feature] <= threshold
+// goes left) or a categorical equality/subset test, discriminated by
+// kind and routed through the shared model.RouteSplit predicate.
+// Non-finite values route left for every kind — the observers skip
+// them, so no test ever separates them, and deterministic routing keeps
+// learn, predict and snapshot paths consistent. Unseen categorical
+// levels route right, equally deterministically.
 type node struct {
 	stats       *NodeStats
 	feature     int
 	threshold   float64
+	kind        model.SplitKind
+	mask        uint64
 	left, right *node
 	depth       int
 
@@ -33,7 +39,7 @@ func (n *node) isLeaf() bool { return n.left == nil }
 func (n *node) sortTo(x []float64) *node {
 	cur := n
 	for !cur.isLeaf() {
-		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+		if model.RouteSplit(x[cur.feature], cur.kind, cur.threshold, cur.mask, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -52,7 +58,7 @@ func (n *node) sortLearn(x []float64) *node {
 		if cur.isLeaf() {
 			return cur
 		}
-		if model.RouteLeft(x[cur.feature], cur.threshold, true) {
+		if model.RouteSplit(x[cur.feature], cur.kind, cur.threshold, cur.mask, true) {
 			cur = cur.left
 		} else {
 			cur = cur.right
@@ -69,7 +75,7 @@ func freeze(n *node) *model.SnapNode {
 	if n.isLeaf() {
 		n.snap = model.FreezeLeaf(n.stats.ServingClone())
 	} else {
-		n.snap = model.FreezeInner(n.feature, n.threshold, freeze(n.left), freeze(n.right))
+		n.snap = model.FreezeInnerSplit(n.feature, n.kind, n.threshold, n.mask, freeze(n.left), freeze(n.right))
 	}
 	return n.snap
 }
@@ -143,13 +149,16 @@ func (t *Tree) learnAt(leaf *node, x []float64, y int, w float64) {
 	if !ok {
 		return
 	}
-	t.splitLeaf(leaf, cand.Feature, cand.Threshold, cand.Post)
+	t.splitLeaf(leaf, cand)
 }
 
 // splitLeaf converts a leaf into an inner node with two fresh children.
-func (t *Tree) splitLeaf(leaf *node, feature int, threshold float64, post [][]float64) {
-	leaf.feature = feature
-	leaf.threshold = threshold
+func (t *Tree) splitLeaf(leaf *node, cand attrobs.CandidateSplit) {
+	post := cand.Post
+	leaf.feature = cand.Feature
+	leaf.threshold = cand.Threshold
+	leaf.kind = cand.Kind
+	leaf.mask = cand.Mask
 	leaf.left = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng, t.sc), depth: leaf.depth + 1}
 	leaf.right = &node{stats: NewNodeStats(&t.cfg, t.schema, t.rng, t.sc), depth: leaf.depth + 1}
 	if len(post) == 2 {

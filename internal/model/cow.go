@@ -11,13 +11,17 @@ package model
 // split/replace/prune updates.
 
 // SnapNode is one immutable node of a CowTree. Inner nodes carry the
-// binary test (x[Feature] <= Threshold routes left) and two non-nil
+// binary test (RouteSplit over Kind/Threshold/Mask) and two non-nil
 // children; leaves carry a frozen predictor. The subtree counts are
 // frozen at construction so a snapshot's Complexity never walks the
 // shared structure.
 type SnapNode struct {
 	Feature   int
 	Threshold float64
+	// Kind selects the routing test; the zero value is the numeric
+	// threshold test. Mask is the level bitset of a SplitSubset test.
+	Kind SplitKind
+	Mask uint64
 	// Left and Right are non-nil exactly at inner nodes.
 	Left, Right *SnapNode
 	// Leaf is non-nil exactly at leaves.
@@ -33,8 +37,15 @@ func FreezeLeaf(leaf LeafScorer) *SnapNode {
 	return &SnapNode{Leaf: leaf, Leaves: 1}
 }
 
-// FreezeInner freezes one inner node over two already-frozen children.
+// FreezeInner freezes one threshold-split inner node over two
+// already-frozen children.
 func FreezeInner(feature int, threshold float64, left, right *SnapNode) *SnapNode {
+	return FreezeInnerSplit(feature, SplitThreshold, threshold, 0, left, right)
+}
+
+// FreezeInnerSplit freezes one inner node of any split kind over two
+// already-frozen children.
+func FreezeInnerSplit(feature int, kind SplitKind, threshold float64, mask uint64, left, right *SnapNode) *SnapNode {
 	d := left.Depth
 	if right.Depth > d {
 		d = right.Depth
@@ -42,6 +53,8 @@ func FreezeInner(feature int, threshold float64, left, right *SnapNode) *SnapNod
 	return &SnapNode{
 		Feature:   feature,
 		Threshold: threshold,
+		Kind:      kind,
+		Mask:      mask,
 		Left:      left,
 		Right:     right,
 		Inner:     left.Inner + right.Inner + 1,
@@ -66,7 +79,7 @@ type CowTree struct {
 func (t *CowTree) LeafFor(x []float64) LeafScorer {
 	n := t.Root
 	for n.Leaf == nil {
-		if RouteLeft(x[n.Feature], n.Threshold, t.NonFiniteLeft) {
+		if RouteSplit(x[n.Feature], n.Kind, n.Threshold, n.Mask, t.NonFiniteLeft) {
 			n = n.Left
 		} else {
 			n = n.Right

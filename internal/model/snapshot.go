@@ -43,11 +43,14 @@ type Snapshotter interface {
 }
 
 // SnapshotNode is one node of a TreeSnapshot: an inner node carries the
-// binary test (x[Feature] <= Threshold routes left), a leaf carries its
-// frozen predictor.
+// binary test (RouteSplit over Kind/Threshold/Mask; the zero Kind is the
+// numeric x[Feature] <= Threshold test), a leaf carries its frozen
+// predictor.
 type SnapshotNode struct {
 	Feature   int
 	Threshold float64
+	Kind      SplitKind
+	Mask      uint64
 	// Left and Right index into TreeSnapshot.Nodes; -1 marks a leaf.
 	Left, Right int32
 	// Leaf is non-nil exactly at leaves.
@@ -110,7 +113,7 @@ func (t *TreeSnapshot) LeafFor(x []float64) LeafScorer {
 		if n.Leaf != nil {
 			return n.Leaf
 		}
-		if RouteLeft(x[n.Feature], n.Threshold, t.NonFiniteLeft) {
+		if RouteSplit(x[n.Feature], n.Kind, n.Threshold, n.Mask, t.NonFiniteLeft) {
 			i = n.Left
 		} else {
 			i = n.Right

@@ -1,0 +1,79 @@
+package model
+
+import "math/bits"
+
+// SplitKind discriminates the binary tests a tree node can carry. The
+// zero value is the historical threshold test, so checkpoint documents
+// written before categorical splits existed decode to SplitThreshold and
+// stay valid.
+type SplitKind uint8
+
+const (
+	// SplitThreshold routes left when x[Feature] <= Threshold (the
+	// numeric test every tree used before categorical kinds existed).
+	SplitThreshold SplitKind = iota
+	// SplitEquality routes left when x[Feature] equals the level code
+	// stored in Threshold. It works for any cardinality; unseen level
+	// codes route right.
+	SplitEquality
+	// SplitSubset routes left when the integer level code x[Feature] is a
+	// member of the Mask bitset (bit i = level i). Only valid for
+	// categorical features with cardinality <= 64; codes outside [0, 64)
+	// — including unseen levels — route right.
+	SplitSubset
+)
+
+// String renders the kind for diagnostics.
+func (k SplitKind) String() string {
+	switch k {
+	case SplitThreshold:
+		return "threshold"
+	case SplitEquality:
+		return "equality"
+	case SplitSubset:
+		return "subset"
+	}
+	return "unknown"
+}
+
+// Valid reports whether k is a known split kind.
+func (k SplitKind) Valid() bool { return k <= SplitSubset }
+
+// RouteSplit is the one routing predicate shared by every live tree and
+// every snapshot once categorical splits exist: it generalises RouteLeft
+// to the three split kinds. Non-finite feature values route left exactly
+// when nonFiniteLeft is set, for every kind, so a tree's deterministic
+// NaN rule is preserved across split kinds. For categorical tests,
+// level codes the split has no opinion about — unseen levels, codes >=
+// 64 under a subset mask — route right, deterministically.
+func RouteSplit(v float64, kind SplitKind, threshold float64, mask uint64, nonFiniteLeft bool) bool {
+	if v-v != 0 { // non-finite (NaN or ±Inf), branchless check
+		if kind == SplitThreshold {
+			return RouteLeft(v, threshold, nonFiniteLeft)
+		}
+		return nonFiniteLeft
+	}
+	switch kind {
+	case SplitEquality:
+		return v == threshold
+	case SplitSubset:
+		if v < 0 || v >= 64 || float64(uint64(v)) != v {
+			return false
+		}
+		return mask&(1<<uint64(v)) != 0
+	default:
+		return v <= threshold
+	}
+}
+
+// MaskLevels returns the level codes set in a subset mask, for rendering
+// and tests.
+func MaskLevels(mask uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(mask))
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		out = append(out, i)
+		mask &^= 1 << uint(i)
+	}
+	return out
+}

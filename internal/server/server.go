@@ -315,12 +315,28 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 
 func (s *Server) release() { <-s.inflight }
 
-// validateRow checks one request row against the served schema. A zero
-// schema (an external model exposing none) skips width validation.
+// validateRow checks one request row against the served schema: width,
+// and for categorical features a valid level code. Errors name the first
+// offending row and column so the 400 locates the defect. A zero schema
+// (an external model exposing none) skips validation.
 func (s *Server) validateRow(i int, row []float64) error {
-	m := s.scorer.Schema().NumFeatures
-	if m > 0 && len(row) != m {
+	schema := s.scorer.Schema()
+	m := schema.NumFeatures
+	if m == 0 {
+		return nil
+	}
+	if len(row) != m {
 		return fmt.Errorf("row %d has %d features, model serves %d", i, len(row), m)
+	}
+	if !schema.HasCategorical() {
+		return nil
+	}
+	for j := 0; j < m; j++ {
+		if card := schema.Cardinality(j); card > 0 {
+			if err := stream.CheckCode(row[j], card); err != nil {
+				return fmt.Errorf("row %d column %d (%s): %v", i, j, schema.FeatureName(j), err)
+			}
+		}
 	}
 	return nil
 }

@@ -9,12 +9,65 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 )
 
-// Schema describes a classification stream: the feature dimensionality and
-// the number of target classes. Following the paper's preprocessing
-// (Section VI-B), all features are numeric and normalised to [0, 1];
-// categorical variables are factorised to numeric codes before scaling.
+// FeatureKind describes one feature column: numeric (the zero value) or
+// categorical with a fixed number of levels. Categorical features travel
+// through batches as float64 level codes 0..Cardinality-1 — stable small
+// integers, not measurements — so learners that honour the kind can split
+// by equality or level subsets instead of imposing an arbitrary ordering
+// on the codes. The zero value is the numeric kind, which keeps
+// pre-existing all-numeric schemas (Kinds == nil) byte-compatible.
+type FeatureKind struct {
+	// Categorical marks the feature as categorical. False is numeric.
+	Categorical bool
+	// Cardinality is the number of distinct levels (>= 2) when
+	// Categorical; it must be 0 for numeric features.
+	Cardinality int
+	// Levels optionally names the levels for display and CSV round-trips;
+	// when non-nil its length must equal Cardinality. Level i is encoded
+	// as the float64 code i.
+	Levels []string
+}
+
+// Numeric returns the numeric feature kind (the zero value, spelled out).
+func Numeric() FeatureKind { return FeatureKind{} }
+
+// Categorical returns a categorical kind with the given number of levels.
+func Categorical(cardinality int) FeatureKind {
+	return FeatureKind{Categorical: true, Cardinality: cardinality}
+}
+
+// CategoricalLevels returns a categorical kind whose levels are named;
+// level i encodes as the float64 code i.
+func CategoricalLevels(levels ...string) FeatureKind {
+	return FeatureKind{Categorical: true, Cardinality: len(levels), Levels: levels}
+}
+
+// Validate reports whether the kind is internally consistent.
+func (k FeatureKind) Validate() error {
+	if !k.Categorical {
+		if k.Cardinality != 0 || k.Levels != nil {
+			return errors.New("numeric kind must have zero cardinality and no levels")
+		}
+		return nil
+	}
+	if k.Cardinality < 2 {
+		return fmt.Errorf("categorical kind has cardinality %d, need >= 2", k.Cardinality)
+	}
+	if k.Levels != nil && len(k.Levels) != k.Cardinality {
+		return fmt.Errorf("categorical kind names %d of %d levels", len(k.Levels), k.Cardinality)
+	}
+	return nil
+}
+
+// Schema describes a classification stream: the feature dimensionality,
+// the number of target classes and, optionally, per-feature kinds.
+// Following the paper's preprocessing (Section VI-B), the default is
+// all-numeric features normalised to [0, 1]; Kinds lets a stream declare
+// categorical columns instead of factorising them to arbitrary numeric
+// codes, so learners can use native equality/subset splits.
 type Schema struct {
 	// NumFeatures is the number of input features m.
 	NumFeatures int
@@ -25,6 +78,11 @@ type Schema struct {
 	// FeatureNames optionally labels the features for interpretability
 	// output. When nil, callers should synthesise x0..x{m-1}.
 	FeatureNames []string
+	// Kinds optionally declares per-feature kinds. Nil means all numeric
+	// (the historical schema); when non-nil its length must equal
+	// NumFeatures. Checkpoint envelopes written before kinds existed
+	// decode with Kinds == nil and stay loadable.
+	Kinds []FeatureKind
 }
 
 // Validate reports whether the schema is internally consistent.
@@ -38,6 +96,16 @@ func (s Schema) Validate() error {
 	if s.FeatureNames != nil && len(s.FeatureNames) != s.NumFeatures {
 		return fmt.Errorf("stream: schema %q names %d of %d features", s.Name, len(s.FeatureNames), s.NumFeatures)
 	}
+	if s.Kinds != nil {
+		if len(s.Kinds) != s.NumFeatures {
+			return fmt.Errorf("stream: schema %q declares kinds for %d of %d features", s.Name, len(s.Kinds), s.NumFeatures)
+		}
+		for j, k := range s.Kinds {
+			if err := k.Validate(); err != nil {
+				return fmt.Errorf("stream: schema %q feature %d (%s): %w", s.Name, j, s.FeatureName(j), err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -47,6 +115,57 @@ func (s Schema) FeatureName(j int) string {
 		return s.FeatureNames[j]
 	}
 	return fmt.Sprintf("x%d", j)
+}
+
+// Kind returns the kind of feature j; features outside a declared Kinds
+// slice (including every feature of a nil-Kinds schema) are numeric.
+func (s Schema) Kind(j int) FeatureKind {
+	if s.Kinds != nil && j >= 0 && j < len(s.Kinds) {
+		return s.Kinds[j]
+	}
+	return FeatureKind{}
+}
+
+// IsCategorical reports whether feature j is categorical.
+func (s Schema) IsCategorical(j int) bool { return s.Kind(j).Categorical }
+
+// Cardinality returns the number of levels of categorical feature j, or 0
+// for numeric features.
+func (s Schema) Cardinality(j int) int { return s.Kind(j).Cardinality }
+
+// HasCategorical reports whether any feature is categorical.
+func (s Schema) HasCategorical() bool {
+	for _, k := range s.Kinds {
+		if k.Categorical {
+			return true
+		}
+	}
+	return false
+}
+
+// SameKinds reports whether two schemas agree on every feature's kind
+// and cardinality. Level names are display metadata and not compared.
+func (s Schema) SameKinds(o Schema) bool {
+	if s.NumFeatures != o.NumFeatures {
+		return false
+	}
+	for j := 0; j < s.NumFeatures; j++ {
+		a, b := s.Kind(j), o.Kind(j)
+		if a.Categorical != b.Categorical || a.Cardinality != b.Cardinality {
+			return false
+		}
+	}
+	return true
+}
+
+// LevelName renders level code of categorical feature j for display: the
+// declared level name when one exists, otherwise the bare code.
+func (s Schema) LevelName(j, code int) string {
+	k := s.Kind(j)
+	if k.Levels != nil && code >= 0 && code < len(k.Levels) {
+		return k.Levels[code]
+	}
+	return fmt.Sprintf("%d", code)
 }
 
 // Instance is one labelled observation.
@@ -72,17 +191,40 @@ func (b Batch) Slice(lo, hi int) Batch {
 	return Batch{X: b.X[lo:hi], Y: b.Y[lo:hi]}
 }
 
-// Validate checks rectangular shape and label range against the schema.
+// CheckCode validates one categorical cell value against a declared
+// cardinality: the code must be a finite integer in [0, cardinality).
+// The error names the defect precisely; callers prefix row/column.
+func CheckCode(v float64, cardinality int) error {
+	if v != math.Trunc(v) {
+		return fmt.Errorf("categorical code %v is not an integer", v)
+	}
+	if v < 0 || v >= float64(cardinality) {
+		return fmt.Errorf("categorical code %v outside [0,%d)", v, cardinality)
+	}
+	return nil
+}
+
+// Validate checks rectangular shape, label range and categorical code
+// range against the schema. Errors name the first offending row (and
+// column, for cell-level defects) so a bad batch is locatable.
 func (b Batch) Validate(s Schema) error {
 	if len(b.X) != len(b.Y) {
 		return fmt.Errorf("stream: batch has %d feature rows but %d labels", len(b.X), len(b.Y))
 	}
 	for i, row := range b.X {
 		if len(row) != s.NumFeatures {
-			return fmt.Errorf("stream: row %d has %d features, schema wants %d", i, len(row), s.NumFeatures)
+			return fmt.Errorf("stream: row %d has %d features, schema wants %d (first offending row)", i, len(row), s.NumFeatures)
 		}
 		if b.Y[i] < 0 || b.Y[i] >= s.NumClasses {
-			return fmt.Errorf("stream: row %d has label %d outside [0,%d)", i, b.Y[i], s.NumClasses)
+			return fmt.Errorf("stream: row %d has label %d outside [0,%d) (first offending row)", i, b.Y[i], s.NumClasses)
+		}
+		for j, k := range s.Kinds {
+			if !k.Categorical {
+				continue
+			}
+			if err := CheckCode(row[j], k.Cardinality); err != nil {
+				return fmt.Errorf("stream: row %d column %d (%s): %w", i, j, s.FeatureName(j), err)
+			}
 		}
 	}
 	return nil

@@ -240,7 +240,7 @@ func TestReadCSVErrors(t *testing.T) {
 	cases := []string{
 		"",                        // no header
 		"a\n1\n",                  // single column
-		"a,class\nnope,0\n",       // bad float
+		"a,class\n1,0\nnope,0\n",  // bad float in a numeric column
 		"a,class\n1,zero\n",       // bad label
 		"a,class\n1,-3\n",         // negative label
 		"a,b,class\n1,2,0\n3,1\n", // ragged row

@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// CategoricalConcept is a planted-concept stream whose label depends only
+// on a categorical attribute: y = 1 exactly when the drawn level belongs
+// to a hidden subset of levels (plus label noise). The positive subset is
+// the ODD level codes {1, 3, 5, ...}, so the level codes alternate
+// between the classes: no numeric threshold on the code separates them —
+// every cut point leaves both classes on both sides — while a single
+// native equality or subset split recovers the concept exactly. This is
+// the adversarial ordering that makes factorised "categorical as float"
+// baselines provably underperform native categorical splits (the
+// Table V-style payoff scenario).
+//
+// The stream has two uniform numeric noise features and one categorical
+// feature of the given cardinality; levels are drawn uniformly.
+type CategoricalConcept struct {
+	seed    int64
+	samples int
+	card    int
+	noise   float64
+
+	rng *rand.Rand
+	pos int
+}
+
+// NewCategoricalConcept returns a planted categorical-concept stream.
+// samples <= 0 defaults to 100k, card < 2 defaults to 8.
+func NewCategoricalConcept(samples, card int, noise float64, seed int64) *CategoricalConcept {
+	if samples <= 0 {
+		samples = 100_000
+	}
+	if card < 2 {
+		card = 8
+	}
+	c := &CategoricalConcept{seed: seed, samples: samples, card: card, noise: noise}
+	c.Reset()
+	return c
+}
+
+// Schema implements stream.Stream. Feature 2 is categorical with the
+// configured cardinality and named levels lv0..lv<card-1>.
+func (c *CategoricalConcept) Schema() stream.Schema {
+	levels := make([]string, c.card)
+	for i := range levels {
+		levels[i] = fmt.Sprintf("lv%d", i)
+	}
+	return stream.Schema{
+		NumFeatures:  3,
+		NumClasses:   2,
+		Name:         "CatConcept",
+		FeatureNames: []string{"n1", "n2", "cat"},
+		Kinds: []stream.FeatureKind{
+			stream.Numeric(), stream.Numeric(), stream.CategoricalLevels(levels...),
+		},
+	}
+}
+
+// Len implements stream.Sized.
+func (c *CategoricalConcept) Len() int { return c.samples }
+
+// Reset implements stream.Stream.
+func (c *CategoricalConcept) Reset() {
+	c.rng = rand.New(rand.NewSource(c.seed))
+	c.pos = 0
+}
+
+// PositiveLevels returns the hidden positive subset (the odd level
+// codes), for tests asserting that a learner recovered the concept.
+func (c *CategoricalConcept) PositiveLevels() []int {
+	var out []int
+	for lv := 1; lv < c.card; lv += 2 {
+		out = append(out, lv)
+	}
+	return out
+}
+
+// Next implements stream.Stream.
+func (c *CategoricalConcept) Next() (stream.Instance, error) {
+	if c.pos >= c.samples {
+		return stream.Instance{}, stream.ErrEnd
+	}
+	n1 := c.rng.Float64()
+	n2 := c.rng.Float64()
+	lv := c.rng.Intn(c.card)
+	y := lv % 2
+	if c.noise > 0 && c.rng.Float64() < c.noise {
+		y = 1 - y
+	}
+	c.pos++
+	return stream.Instance{X: []float64{n1, n2, float64(lv)}, Y: y}, nil
+}
+
+// Factorised returns the same stream with the categorical kind erased
+// from the schema: the level code is served as a plain numeric feature,
+// the "categorical as float" baseline that native splits are measured
+// against.
+func (c *CategoricalConcept) Factorised() stream.Stream {
+	return &factorised{inner: NewCategoricalConcept(c.samples, c.card, c.noise, c.seed)}
+}
+
+// factorised strips the Kinds from an inner stream's schema, presenting
+// every feature as numeric.
+type factorised struct {
+	inner *CategoricalConcept
+}
+
+func (f *factorised) Schema() stream.Schema {
+	s := f.inner.Schema()
+	s.Kinds = nil
+	s.Name += " (factorised)"
+	return s
+}
+
+func (f *factorised) Len() int                       { return f.inner.Len() }
+func (f *factorised) Reset()                         { f.inner.Reset() }
+func (f *factorised) Next() (stream.Instance, error) { return f.inner.Next() }

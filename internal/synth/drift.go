@@ -1,0 +1,190 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// SwitchKind selects how a ConceptSwitch moves between its concepts.
+type SwitchKind int
+
+const (
+	// SwitchAbrupt jumps to the next concept exactly at each boundary.
+	SwitchAbrupt SwitchKind = iota
+	// SwitchGradual mixes the outgoing and incoming concepts over a
+	// transition window centred on each boundary: the probability of
+	// drawing from the incoming concept ramps linearly from 0 to 1.
+	SwitchGradual
+	// SwitchRecurring cycles through the concepts repeatedly: segment i
+	// replays concept i mod len(concepts), so earlier concepts return.
+	SwitchRecurring
+)
+
+func (k SwitchKind) String() string {
+	switch k {
+	case SwitchAbrupt:
+		return "abrupt"
+	case SwitchGradual:
+		return "gradual"
+	case SwitchRecurring:
+		return "recurring"
+	}
+	return fmt.Sprintf("SwitchKind(%d)", int(k))
+}
+
+// ConceptSwitch composes existing generators into a drift scenario: the
+// stream is divided into equal-length segments and each segment draws
+// its instances from one underlying concept. All concepts must share the
+// same shape (feature count, class count and feature kinds). The
+// combinator is seed-deterministic — the gradual mixing draws come from
+// its own seeded source, and Reset rewinds both the mixer and every
+// underlying concept — so two identically-built switches replay
+// identical streams.
+type ConceptSwitch struct {
+	kind     SwitchKind
+	seed     int64
+	samples  int
+	segments int
+	width    int // gradual transition window (instances)
+	concepts []stream.Stream
+
+	rng *rand.Rand
+	pos int
+}
+
+// NewAbruptSwitch returns a stream that switches concepts abruptly:
+// one segment per concept, in order.
+func NewAbruptSwitch(samples int, seed int64, concepts ...stream.Stream) *ConceptSwitch {
+	return newSwitch(SwitchAbrupt, samples, len(concepts), 0, seed, concepts)
+}
+
+// NewGradualSwitch is NewAbruptSwitch with a linear mixing window of the
+// given width (instances) centred on each concept boundary.
+func NewGradualSwitch(samples, width int, seed int64, concepts ...stream.Stream) *ConceptSwitch {
+	if width < 0 {
+		width = 0
+	}
+	return newSwitch(SwitchGradual, samples, len(concepts), width, seed, concepts)
+}
+
+// NewRecurringSwitch returns a stream of the given number of segments
+// cycling through the concepts: segment i replays concept i mod
+// len(concepts), so each concept recurs.
+func NewRecurringSwitch(samples, segments int, seed int64, concepts ...stream.Stream) *ConceptSwitch {
+	if segments < len(concepts) {
+		segments = len(concepts)
+	}
+	return newSwitch(SwitchRecurring, samples, segments, 0, seed, concepts)
+}
+
+func newSwitch(kind SwitchKind, samples, segments, width int, seed int64, concepts []stream.Stream) *ConceptSwitch {
+	if len(concepts) == 0 {
+		panic("synth: ConceptSwitch needs at least one concept")
+	}
+	if samples <= 0 {
+		samples = 100_000
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	want := concepts[0].Schema()
+	for i, c := range concepts[1:] {
+		got := c.Schema()
+		if got.NumFeatures != want.NumFeatures || got.NumClasses != want.NumClasses || !got.SameKinds(want) {
+			panic(fmt.Sprintf("synth: ConceptSwitch concept %d has shape %dx%d, concept 0 has %dx%d (or feature kinds differ)",
+				i+1, got.NumFeatures, got.NumClasses, want.NumFeatures, want.NumClasses))
+		}
+	}
+	s := &ConceptSwitch{kind: kind, seed: seed, samples: samples, segments: segments, width: width, concepts: concepts}
+	s.Reset()
+	return s
+}
+
+// Schema implements stream.Stream: the first concept's schema, renamed
+// to record the composition.
+func (s *ConceptSwitch) Schema() stream.Schema {
+	sc := s.concepts[0].Schema()
+	sc.Name = fmt.Sprintf("%s[%s x%d]", s.kind, sc.Name, s.segments)
+	return sc
+}
+
+// Len implements stream.Sized.
+func (s *ConceptSwitch) Len() int { return s.samples }
+
+// Reset implements stream.Stream: rewinds the mixer and every concept.
+func (s *ConceptSwitch) Reset() {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.pos = 0
+	for _, c := range s.concepts {
+		c.Reset()
+	}
+}
+
+// DriftPositions returns the segment boundaries (the instance indices at
+// which the active concept changes).
+func (s *ConceptSwitch) DriftPositions() []int {
+	seg := s.samples / s.segments
+	out := make([]int, 0, s.segments-1)
+	for i := 1; i < s.segments; i++ {
+		out = append(out, seg*i)
+	}
+	return out
+}
+
+// conceptAt maps a segment index to the concept that serves it.
+func (s *ConceptSwitch) conceptAt(segment int) stream.Stream {
+	if segment >= s.segments {
+		segment = s.segments - 1
+	}
+	return s.concepts[segment%len(s.concepts)]
+}
+
+// Next implements stream.Stream. Underlying concepts are drawn lazily —
+// only the concept actually serving an instance advances — and a concept
+// that runs out is Reset and replayed, so short generators can back long
+// scenarios.
+func (s *ConceptSwitch) Next() (stream.Instance, error) {
+	if s.pos >= s.samples {
+		return stream.Instance{}, stream.ErrEnd
+	}
+	seg := s.samples / s.segments
+	if seg < 1 {
+		seg = 1
+	}
+	segment := s.pos / seg
+	if segment >= s.segments {
+		segment = s.segments - 1
+	}
+	src := s.conceptAt(segment)
+	if s.kind == SwitchGradual && s.width > 0 {
+		// Distance to the nearest boundary decides the mixing weight:
+		// within width/2 after a boundary the incoming concept has already
+		// won with probability ramping up; within width/2 before the next
+		// boundary the upcoming concept starts to bleed in.
+		into := s.pos - segment*seg // position within the segment
+		if segment > 0 && into < s.width/2 {
+			// Ramp from 0.5 at the boundary up to 1.0 at width/2.
+			p := 0.5 + float64(into)/float64(s.width)
+			if s.rng.Float64() >= p {
+				src = s.conceptAt(segment - 1)
+			}
+		} else if segment < s.segments-1 && seg-into <= s.width/2 {
+			p := 0.5 - float64(seg-into)/float64(s.width)
+			if s.rng.Float64() < p {
+				src = s.conceptAt(segment + 1)
+			}
+		}
+	}
+	inst, err := src.Next()
+	if err == stream.ErrEnd {
+		src.Reset()
+		inst, err = src.Next()
+	}
+	if err != nil {
+		return stream.Instance{}, err
+	}
+	s.pos++
+	return inst, nil
+}

@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func sameRun(t *testing.T, a, b stream.Stream, n int) {
+	t.Helper()
+	ia := drain(t, a, n)
+	ib := drain(t, b, n)
+	for i := 0; i < n; i++ {
+		if ia[i].Y != ib[i].Y {
+			t.Fatalf("label %d diverged", i)
+		}
+		for j := range ia[i].X {
+			if ia[i].X[j] != ib[i].X[j] {
+				t.Fatalf("instance %d feature %d diverged", i, j)
+			}
+		}
+	}
+}
+
+// With zero noise the planted labels follow the concept exactly, and the
+// positive subset is the odd level codes.
+func TestCategoricalConceptPlantedLabels(t *testing.T) {
+	c := NewCategoricalConcept(2_000, 6, 0, 1)
+	for i := 0; i < 2_000; i++ {
+		inst, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lv := int(inst.X[2])
+		if want := lv % 2; inst.Y != want {
+			t.Fatalf("instance %d: level %d labelled %d, want %d", i, lv, inst.Y, want)
+		}
+	}
+	pos := c.PositiveLevels()
+	if len(pos) != 3 || pos[0] != 1 || pos[2] != 5 {
+		t.Fatalf("PositiveLevels = %v", pos)
+	}
+	if err := c.Schema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Schema().IsCategorical(2) || c.Schema().Cardinality(2) != 6 {
+		t.Fatal("schema does not declare the categorical feature")
+	}
+}
+
+// The factorised view serves the identical data under a numeric-only
+// schema.
+func TestCategoricalConceptFactorised(t *testing.T) {
+	native := NewCategoricalConcept(500, 8, 0.1, 7)
+	fact := native.Factorised()
+	if fact.Schema().HasCategorical() {
+		t.Fatal("factorised schema still declares categorical kinds")
+	}
+	native.Reset()
+	sameRun(t, native, fact, 500)
+}
+
+// Identically-built switches replay identical streams, and Reset rewinds
+// exactly.
+func TestConceptSwitchDeterministic(t *testing.T) {
+	build := func() *ConceptSwitch {
+		return NewGradualSwitch(1_000, 200, 5,
+			NewCategoricalConcept(600, 4, 0.1, 1),
+			NewCategoricalConcept(600, 4, 0.1, 2),
+		)
+	}
+	sameRun(t, build(), build(), 1_000)
+
+	s := build()
+	first := drain(t, s, 1_000)
+	s.Reset()
+	again := drain(t, s, 1_000)
+	for i := range first {
+		for j := range first[i].X {
+			if first[i].X[j] != again[i].X[j] {
+				t.Fatalf("Reset replay diverged at %d", i)
+			}
+		}
+	}
+}
+
+// Abrupt switches serve each concept in its own segment; recurring
+// switches cycle.
+func TestConceptSwitchSegments(t *testing.T) {
+	a := NewSEA(1_000, 0, 1)
+	b := NewSEA(1_000, 0, 2)
+	sw := NewAbruptSwitch(1_000, 9, a, b)
+	if got := sw.DriftPositions(); len(got) != 1 || got[0] != 500 {
+		t.Fatalf("DriftPositions = %v", got)
+	}
+	if sw.Len() != 1_000 {
+		t.Fatalf("Len = %d", sw.Len())
+	}
+	drain(t, sw, 1_000)
+	if _, err := sw.Next(); err != stream.ErrEnd {
+		t.Fatalf("want ErrEnd, got %v", err)
+	}
+
+	rec := NewRecurringSwitch(900, 3, 9,
+		NewSEA(400, 0, 1), NewSEA(400, 0, 2))
+	if got := rec.DriftPositions(); len(got) != 2 {
+		t.Fatalf("recurring DriftPositions = %v", got)
+	}
+	// Segment 2 replays concept 0 (2 mod 2): the stream must not end
+	// early even though each inner concept is shorter than the scenario.
+	drain(t, rec, 900)
+}
+
+// Concepts with mismatched shapes are rejected at construction.
+func TestConceptSwitchShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched concept shapes did not panic")
+		}
+	}()
+	NewAbruptSwitch(100, 1, NewSEA(100, 0, 1), NewHyperplane(100, 5, 0, 1))
+}
+
+// The switch schema preserves the feature kinds of its concepts, so
+// categorical drift scenarios flow through learners natively.
+func TestConceptSwitchKeepsKinds(t *testing.T) {
+	sw := NewAbruptSwitch(200, 3,
+		NewCategoricalConcept(100, 4, 0, 1),
+		NewCategoricalConcept(100, 4, 0, 2))
+	if !sw.Schema().IsCategorical(2) {
+		t.Fatal("switch schema lost the categorical kind")
+	}
+	if err := sw.Schema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

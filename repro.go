@@ -53,6 +53,9 @@ import (
 type (
 	// Schema describes a classification stream (features, classes, name).
 	Schema = stream.Schema
+	// FeatureKind declares one feature column as numeric or categorical
+	// (with a cardinality and optional level names) on Schema.Kinds.
+	FeatureKind = stream.FeatureKind
 	// Instance is one labelled observation.
 	Instance = stream.Instance
 	// Batch is a row-major mini-batch.
@@ -70,6 +73,19 @@ type (
 
 // ErrEndOfStream signals stream exhaustion from Stream.Next.
 var ErrEndOfStream = stream.ErrEnd
+
+// NumericKind declares a numeric feature column (the default).
+func NumericKind() FeatureKind { return stream.Numeric() }
+
+// CategoricalKind declares a categorical feature column whose values are
+// integer level codes in [0, cardinality).
+func CategoricalKind(cardinality int) FeatureKind { return stream.Categorical(cardinality) }
+
+// CategoricalKindLevels declares a categorical feature column with named
+// levels; the cardinality is the level count and code i means levels[i].
+func CategoricalKindLevels(levels ...string) FeatureKind {
+	return stream.CategoricalLevels(levels...)
+}
 
 // Dynamic Model Tree (the paper's contribution).
 type (
@@ -191,6 +207,43 @@ func NewHyperplane(samples, features int, noise float64, seed int64) *Hyperplane
 // NewClusterStream returns a Gaussian-cluster surrogate stream.
 func NewClusterStream(cfg ClusterConfig) *ClusterStream { return synth.NewCluster(cfg) }
 
+// Categorical planted-concept stream and drift-scenario combinators.
+type (
+	// CategoricalConcept is the planted categorical-concept stream: the
+	// label depends only on a hidden subset of a categorical attribute's
+	// levels, with codes ordered so numeric thresholds cannot separate
+	// the classes. Its Factorised method returns the same stream with the
+	// categorical kind erased — the numeric-baseline comparison.
+	CategoricalConcept = synth.CategoricalConcept
+	// ConceptSwitch composes generators into abrupt, gradual or recurring
+	// drift scenarios.
+	ConceptSwitch = synth.ConceptSwitch
+)
+
+// NewCategoricalConcept returns a planted categorical-concept stream
+// (samples, cardinality of the categorical feature, label noise, seed).
+func NewCategoricalConcept(samples, card int, noise float64, seed int64) *CategoricalConcept {
+	return synth.NewCategoricalConcept(samples, card, noise, seed)
+}
+
+// NewAbruptSwitch chains concepts with abrupt boundaries (one segment
+// per concept).
+func NewAbruptSwitch(samples int, seed int64, concepts ...Stream) *ConceptSwitch {
+	return synth.NewAbruptSwitch(samples, seed, concepts...)
+}
+
+// NewGradualSwitch chains concepts with a linear mixing window of the
+// given width (instances) at each boundary.
+func NewGradualSwitch(samples, width int, seed int64, concepts ...Stream) *ConceptSwitch {
+	return synth.NewGradualSwitch(samples, width, seed, concepts...)
+}
+
+// NewRecurringSwitch cycles through the concepts over the given number
+// of segments, so each concept recurs.
+func NewRecurringSwitch(samples, segments int, seed int64, concepts ...Stream) *ConceptSwitch {
+	return synth.NewRecurringSwitch(samples, segments, seed, concepts...)
+}
+
 // MajorityPriors builds class priors with the given majority share.
 func MajorityPriors(classes int, majorityShare float64) []float64 {
 	return synth.MajorityPriors(classes, majorityShare)
@@ -220,6 +273,14 @@ type (
 	ExperimentResult = eval.SuiteResult
 )
 
+// RunCategoricalScenario runs the categorical payoff experiment — each
+// native-split model on the planted categorical concept, native schema
+// versus factorised (code-as-float) baseline — and renders the result
+// table. progress may be nil.
+func RunCategoricalScenario(scale float64, seed int64, progress io.Writer) (string, error) {
+	return eval.RunCategoricalScenario(scale, seed, progress)
+}
+
 // Prequential runs test-then-train evaluation of a classifier on a
 // stream (batches of EvalOptions.BatchFraction, default 0.1%).
 func Prequential(c Classifier, s Stream, opts EvalOptions) (EvalResult, error) {
@@ -239,4 +300,20 @@ func WriteCSVStream(w io.Writer, s Stream) (int, error) { return stream.WriteCSV
 // numClasses 0 infers the class count from the labels.
 func ReadCSVStream(r io.Reader, name string, numClasses int) (Stream, error) {
 	return stream.ReadCSV(r, name, numClasses)
+}
+
+// FileStream is a stream backed by an open file; Close releases it.
+type FileStream interface {
+	Stream
+	io.Closer
+}
+
+// OpenCSVStream opens a CSV file as a lazily-read stream: one row per
+// Next, no whole-file materialisation — the loader for data sets larger
+// than memory. numClasses 0 defaults to binary classification (a lazy
+// reader cannot scan ahead to infer the label range); kinds and level
+// dictionaries are honoured from the file's kinds row when present. The
+// caller should Close the returned stream when done.
+func OpenCSVStream(path string, numClasses int) (FileStream, error) {
+	return stream.OpenCSV(path, stream.CSVOptions{NumClasses: numClasses})
 }
