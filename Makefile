@@ -3,13 +3,13 @@
 # registry).
 #
 # `make bench` runs the Benchmark*Op hot-path micro-benchmarks with
-# -benchmem and writes BENCH_PR9.json (ns/op, B/op, allocs/op and
+# -benchmem and writes BENCH_PR10.json (ns/op, B/op, allocs/op and
 # custom metrics — the server load benchmarks report p50-ns/p99-ns/qps,
 # the depth-sweep checkpoint benchmarks report ckpt-bytes/delta-bytes —
-# per benchmark, joined with the baseline recorded before the PR-9
-# categorical-attributes work in bench/BASELINE_PR9.txt, plus the
-# BENCH_PR2..PR8 history as a cross-PR trend table), so the perf
-# trajectory is tracked PR over PR.
+# per benchmark, joined with the baseline recorded before the PR-10
+# model-racing work in bench/BASELINE_PR10.txt, plus the BENCH_PR2..PR9
+# history as a cross-PR trend table), so the perf trajectory is tracked
+# PR over PR.
 # `make bench-all` additionally replays the full table/figure
 # reproduction benchmarks.
 # `make serve-smoke` runs the dmtserve self-test: an in-process
@@ -23,6 +23,10 @@
 # replica tolerates zero errors. The follower is delta-seeded, so the
 # run also exercises ?since= delta chains (and their full-envelope
 # fallback) under fault injection.
+# `make race-smoke` runs the model-racing self-test: a three-arm race
+# trainer (race:glm,vfdt,nb) learns a recurring-drift stream under a
+# prediction hammer; the leader must change at least once, /statusz must
+# carry the per-arm scoreboard, and zero requests may fail.
 
 GO ?= go
 BENCH_TXT ?= /tmp/repro_bench_current.txt
@@ -30,11 +34,11 @@ BENCHTIME ?= 1s
 CHAOS_SPEC ?= drop@0.15,reset@0.05,status=503@0.05,status=429@0.02,truncate=512@0.1
 CHAOS_SEED ?= 7
 
-.PHONY: all ci vet build test race bench bench-all serve-smoke chaos-smoke fmt
+.PHONY: all ci vet build test race bench bench-all serve-smoke chaos-smoke race-smoke fmt
 
 all: ci
 
-ci: vet build test race serve-smoke chaos-smoke
+ci: vet build test race serve-smoke chaos-smoke race-smoke
 
 vet:
 	$(GO) vet ./...
@@ -51,9 +55,9 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Op$$' -benchmem -benchtime $(BENCHTIME) ./... > $(BENCH_TXT)
 	@cat $(BENCH_TXT)
-	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR9.txt \
-		-history BENCH_PR2.json,BENCH_PR3.json,BENCH_PR4.json,BENCH_PR5.json,BENCH_PR6.json,BENCH_PR8.json -out BENCH_PR9.json
-	@echo "wrote BENCH_PR9.json"
+	$(GO) run ./cmd/benchjson -new $(BENCH_TXT) -old bench/BASELINE_PR10.txt \
+		-history BENCH_PR2.json,BENCH_PR3.json,BENCH_PR4.json,BENCH_PR5.json,BENCH_PR6.json,BENCH_PR8.json,BENCH_PR9.json -out BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json"
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -63,6 +67,9 @@ serve-smoke:
 
 chaos-smoke:
 	$(GO) run ./cmd/dmtserve -smoke -chaos '$(CHAOS_SPEC)' -chaos-seed $(CHAOS_SEED)
+
+race-smoke:
+	$(GO) run ./cmd/dmtserve -smoke -model 'race:glm,vfdt,nb'
 
 fmt:
 	gofmt -l .

@@ -582,3 +582,63 @@ func BenchmarkVFDTCategoricalLearnOp(b *testing.B) {
 		tree.Learn(batches[i&255])
 	}
 }
+
+// BenchmarkRacerLearnOp measures one racer Learn on a 100-row SEA
+// batch: every arm scores the rows prequentially (windowed error +
+// ADWIN on the 0/1 error stream) and trains, then the leader is
+// re-elected and a fresh serving snapshot publishes. The per-row cost
+// is roughly the sum of the arms' costs plus the scoring overhead —
+// what a fixed-model deployment pays to keep the racing option open.
+func BenchmarkRacerLearnOp(b *testing.B) {
+	batches := seaBatches(64, 100)
+	r, err := Race(synth.NewSEA(100, 0.1, 1).Schema(), Arms("glm", "vfdt", "nb"), WithRaceSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bt := range batches {
+		r.Learn(bt)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Learn(batches[i&63])
+	}
+}
+
+// BenchmarkRacerReadOp measures one Predict against the racer's leader
+// snapshot while a background goroutine keeps training all arms — the
+// wait-free read path every serving request takes, which must not pay
+// for the N-arm training happening behind it.
+func BenchmarkRacerReadOp(b *testing.B) {
+	batches := seaBatches(64, 100)
+	r, err := Race(synth.NewSEA(100, 0.1, 1).Schema(), Arms("glm", "vfdt", "nb"), WithRaceSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bt := range batches {
+		r.Learn(bt)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Learn(batches[i&63])
+		}
+	}()
+	x := batches[0].X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Predict(x)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -41,6 +41,7 @@ func main() {
 		figure    = flag.String("figure", "all", "which figure to print: all,3,4,none")
 		ablation  = flag.Bool("ablation", false, "also run the DMT ablation study")
 		catFlag   = flag.Bool("categorical", false, "also run the categorical payoff scenario (native vs factorised splits)")
+		raceFlag  = flag.Bool("race", false, "also run the model-racing scenario (fixed arms vs the racer across drift kinds, with leader timelines)")
 		parallel  = flag.Int("parallel", 1, fmt.Sprintf("concurrent experiment cells (this machine: up to %d); timing in Table V is only meaningful at 1", runtime.GOMAXPROCS(0)))
 		scorer    = flag.String("scorer", "", "evaluate through the serving layer: locked, snapshot or sharded (empty = bare classifiers; snapshot is result-identical to bare, sharded is a different algorithm)")
 		shards    = flag.Int("shards", 2, "replica count for -scorer sharded")
@@ -123,6 +124,15 @@ func main() {
 		out, err := repro.RunCategoricalScenario(*scale, *seed, suite.Progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmtbench categorical:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *raceFlag {
+		out, err := repro.RunRaceScenario(*scale, *seed, suite.Progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtbench race:", err)
 			os.Exit(1)
 		}
 		fmt.Println(out)

@@ -25,6 +25,17 @@
 // few hundred mixed requests including a hot swap mid-traffic, exit 0
 // only if every request succeeded (wired into `make serve-smoke`).
 //
+// -model also accepts a race lineup, e.g.
+//
+//	dmtserve -addr :8080 -model 'race:glm,vfdt,nb' -dataset Agrawal
+//
+// which trains every named arm on the stream and serves each prediction
+// from the arm currently winning the windowed prequential race
+// (/statusz carries the per-arm scoreboard and leader timeline).
+// Combined with -smoke it runs the racing self-test: a race trainer on
+// a drifting stream under a prediction hammer must change leaders at
+// least once while zero requests fail (wired into `make race-smoke`).
+//
 // -chaos injects deterministic faults from a seeded spec, e.g.
 //
 //	dmtserve -addr :8081 -follow http://localhost:8080 \
@@ -106,19 +117,19 @@ func main() {
 
 	if *smoke {
 		var err error
-		if chaos != nil {
-			err = runChaosSmoke(cfg, chaos)
-		} else {
-			err = runSmoke(cfg)
+		var kind string
+		switch {
+		case chaos != nil:
+			kind, err = "chaos ", runChaosSmoke(cfg, chaos)
+		case repro.IsRaceSpec(*modelName):
+			kind, err = "race ", runRaceSmoke(cfg, *modelName, *seed)
+		default:
+			kind, err = "", runSmoke(cfg)
 		}
 		if err != nil {
 			fail(err)
 		}
-		if chaos != nil {
-			fmt.Println("dmtserve: chaos smoke test passed")
-		} else {
-			fmt.Println("dmtserve: smoke test passed")
-		}
+		fmt.Printf("dmtserve: %ssmoke test passed\n", kind)
 		return
 	}
 
@@ -176,7 +187,9 @@ func runTrainer(ctx context.Context, addr, modelName, dsName, ckptPath string, s
 		}
 		scorer, err = repro.Serve(modelName, strm.Schema(), opts...)
 		if err != nil {
-			fail(err)
+			// The registry error already lists the registered names; add
+			// the lineup grammar so a near-miss like -model race finds it.
+			fail(fmt.Errorf("-model %q: %w (a race lineup also works: -model 'race:dmt,vfdt,arf')", modelName, err))
 		}
 	}
 
@@ -617,6 +630,128 @@ func runChaosSmoke(cfg repro.ServerConfig, chaos *repro.FaultInjector) error {
 		chaos.InjectedTotal(), chaos.Seen(), chaos, reads.Load(), finalV,
 		st.Installs, st.DeltaInstalls, st.DeltaFallbacks,
 		st.DialErrors, st.TimeoutErrors, st.StatusErrors, st.DecodeErrors, st.RestoreErrors, st.BreakerOpens)
+	return nil
+}
+
+// runRaceSmoke is the model-racing self-test: a race trainer (the
+// lineup from -model) learns a drifting stream — a linearly separable
+// hyperplane regime alternating with a Gaussian-cluster regime, so no
+// single arm wins throughout — while a prediction hammer runs against
+// it. The run passes only if zero requests failed, the leader changed
+// at least once, and /statusz carries the per-arm race scoreboard
+// (wired into `make race-smoke`).
+func runRaceSmoke(cfg repro.ServerConfig, spec string, seed int64) error {
+	const (
+		samples  = 24_000
+		segments = 4
+		features = 5
+	)
+	linear := repro.NewHyperplane(samples, features, 0.02, seed+1)
+	clusters := repro.NewClusterStream(repro.ClusterConfig{
+		Name: "clusters", Samples: samples, Features: features, Classes: 2,
+		ClustersPerClass: 3, Std: 0.07, Seed: seed + 2,
+	})
+	strm := repro.NewRecurringSwitch(samples, segments, seed, linear, clusters)
+
+	scorer, err := repro.Serve(spec, strm.Schema(), repro.WithServeModelOptions(repro.WithSeed(seed)))
+	if err != nil {
+		return err
+	}
+
+	ps := repro.NewPredictionServer(scorer, cfg)
+	defer ps.Close()
+	ts := httptest.NewServer(ps.Handler())
+	defer ts.Close()
+
+	probe, err := repro.NextBatch(strm, 32)
+	if err != nil {
+		return err
+	}
+	scorer.Learn(probe)
+
+	// Hammer the racer while it trains through every drift: leader swaps
+	// must never surface as request errors.
+	hammerStop := make(chan struct{})
+	var reads, readFailures atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-hammerStop:
+					return
+				default:
+				}
+				body, _ := json.Marshal(map[string]any{"x": probe.X[(w+i)%len(probe.X)]})
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					readFailures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					readFailures.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				reads.Add(1)
+			}
+		}(w)
+	}
+
+	for {
+		b, err := repro.NextBatch(strm, 100)
+		if errors.Is(err, repro.ErrEndOfStream) {
+			break
+		}
+		if err != nil {
+			close(hammerStop)
+			wg.Wait()
+			return err
+		}
+		scorer.Learn(b)
+	}
+	// Training can outrun the HTTP hammer; keep serving until the hammer
+	// has produced a meaningful request count (time-bounded).
+	deadline := time.Now().Add(10 * time.Second)
+	for reads.Load() < 400 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(hammerStop)
+	wg.Wait()
+
+	if n := readFailures.Load(); n != 0 {
+		return fmt.Errorf("%d of %d predictions failed during the race", n, reads.Load())
+	}
+	if reads.Load() == 0 {
+		return fmt.Errorf("prediction hammer never ran")
+	}
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		return err
+	}
+	var st repro.ServerStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if st.Race == nil {
+		return fmt.Errorf("statusz carries no race scoreboard for %s", scorer.Name())
+	}
+	if len(st.Race.Arms) < 2 {
+		return fmt.Errorf("race scoreboard lists %d arms, want >= 2", len(st.Race.Arms))
+	}
+	if st.Race.LeaderChanges == 0 {
+		return fmt.Errorf("leader never changed across %d rows and %d re-races — the race proved nothing", st.Race.Rows, st.Race.ReRaces)
+	}
+	if st.ServedRows == 0 {
+		return fmt.Errorf("statusz reports no served rows after %d requests", reads.Load())
+	}
+	fmt.Fprintf(os.Stderr, "dmtserve: race smoke: %s served %d reads over %d rows, %d re-races, %d leader changes (%d drift-triggered), final leader %s\n",
+		scorer.Name(), reads.Load(), st.Race.Rows, st.Race.ReRaces, st.Race.LeaderChanges, st.Race.DriftChanges, st.Race.Leader)
 	return nil
 }
 

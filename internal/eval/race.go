@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/race"
+	"repro/internal/synth"
+)
+
+// RaceCell is one run of the racing scenario: one competitor (a fixed
+// arm or the racer itself) on one drift kind.
+type RaceCell struct {
+	Drift    string // "abrupt", "gradual" or "recurring"
+	Model    string
+	Accuracy float64
+	Error    float64
+	Racer    bool
+	// Racer-only fields: the re-race / leader-change counters and the
+	// swap-event timeline.
+	ReRaces       uint64
+	LeaderChanges uint64
+	DriftChanges  uint64
+	Events        []race.SwapEvent
+	DriftRows     []int // planted drift positions of the stream
+}
+
+// raceArms are the scenario's competitors: a linear model (wins the
+// hyperplane regimes), a tree (wins the cluster regimes) and a
+// probabilistic baseline — no fixed arm wins every regime, which is
+// the racing payoff.
+var raceArms = []string{"GLM", "VFDT (MC)", "Naive Bayes"}
+
+// raceStream builds the scenario stream for one drift kind: a linearly
+// separable hyperplane concept alternating with a multi-modal
+// Gaussian-cluster concept.
+func raceStream(kind string, samples int, seed int64) (*synth.ConceptSwitch, error) {
+	const features = 5
+	linear := synth.NewHyperplane(samples, features, 0.02, seed+1)
+	clusters := synth.NewCluster(synth.ClusterConfig{
+		Name: "clusters", Samples: samples, Features: features, Classes: 2,
+		ClustersPerClass: 3, Std: 0.07, Seed: seed + 2,
+	})
+	switch kind {
+	case "abrupt":
+		return synth.NewAbruptSwitch(samples, seed, linear, clusters), nil
+	case "gradual":
+		return synth.NewGradualSwitch(samples, samples/20, seed, linear, clusters), nil
+	case "recurring":
+		return synth.NewRecurringSwitch(samples, 4, seed, linear, clusters), nil
+	}
+	return nil, fmt.Errorf("race scenario: unknown drift kind %q", kind)
+}
+
+// RaceScenario crosses the racing arms with drift kinds: every fixed
+// arm runs the stream prequentially, then the racer runs the identical
+// stream, and each cell records the final accuracy. The racer's cells
+// additionally carry the leader timeline.
+func RaceScenario(scale float64, seed int64, progress io.Writer) ([]RaceCell, error) {
+	n := int(800_000 * scale)
+	if n < 16_000 {
+		n = 16_000
+	}
+	accOf := func(res Result) float64 {
+		mean, _ := res.MeanStd(func(s IterStats) float64 { return s.Accuracy })
+		return mean
+	}
+	var cells []RaceCell
+	for _, kind := range []string{"abrupt", "gradual", "recurring"} {
+		for _, name := range raceArms {
+			s, err := raceStream(kind, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			clf, err := NewClassifier(name, s.Schema(), seed)
+			if err != nil {
+				return nil, fmt.Errorf("race scenario: %s: %w", name, err)
+			}
+			res, err := Prequential(clf, s, Options{BatchFraction: 0.001})
+			if err != nil {
+				return nil, fmt.Errorf("race scenario: %s (%s): %w", name, kind, err)
+			}
+			acc := accOf(res)
+			cells = append(cells, RaceCell{Drift: kind, Model: name, Accuracy: acc, Error: 1 - acc})
+			if progress != nil {
+				fmt.Fprintf(progress, "race done: %-9s %-12s acc=%.3f\n", kind, name, acc)
+			}
+		}
+		s, err := raceStream(kind, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		r, err := race.New(race.Config{Schema: s.Schema(), Arms: armSpecs(), Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("race scenario: racer: %w", err)
+		}
+		res, err := Prequential(r, s, Options{BatchFraction: 0.001})
+		if err != nil {
+			return nil, fmt.Errorf("race scenario: racer (%s): %w", kind, err)
+		}
+		acc := accOf(res)
+		st := r.RaceStatus()
+		cells = append(cells, RaceCell{
+			Drift: kind, Model: st.Name, Accuracy: acc, Error: 1 - acc, Racer: true,
+			ReRaces: st.ReRaces, LeaderChanges: st.LeaderChanges, DriftChanges: st.DriftChanges,
+			Events: st.Events, DriftRows: s.DriftPositions(),
+		})
+		if progress != nil {
+			fmt.Fprintf(progress, "race done: %-9s racer        acc=%.3f re-races=%d swaps=%d\n",
+				kind, acc, st.ReRaces, st.LeaderChanges)
+		}
+	}
+	return cells, nil
+}
+
+func armSpecs() []race.Arm {
+	arms := make([]race.Arm, len(raceArms))
+	for i, n := range raceArms {
+		arms[i] = race.Arm{Model: n}
+	}
+	return arms
+}
+
+// RunRaceScenario renders RaceScenario: the arms × drift-kinds accuracy
+// table (the racer's row per kind last) followed by each racer's leader
+// timeline against the planted drift positions.
+func RunRaceScenario(scale float64, seed int64, progress io.Writer) (string, error) {
+	cells, err := RaceScenario(scale, seed, progress)
+	if err != nil {
+		return "", err
+	}
+	t := newTable(fmt.Sprintf("Model racing on drifting streams (scale %.3g)", scale),
+		"Drift", "Model", "Accuracy", "Error")
+	for _, c := range cells {
+		model := c.Model
+		if c.Racer {
+			model = "» " + model
+		}
+		t.addRow(c.Drift, model, fmt.Sprintf("%.3f", c.Accuracy), fmt.Sprintf("%.3f", c.Error))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.render())
+	for _, c := range cells {
+		if !c.Racer {
+			continue
+		}
+		sb.WriteString(fmt.Sprintf("\n%s leader timeline (planted drifts at %v; %d re-races, %d drift-triggered swaps):\n",
+			c.Drift, c.DriftRows, c.ReRaces, c.DriftChanges))
+		if len(c.Events) == 0 {
+			sb.WriteString("  no leader change\n")
+			continue
+		}
+		for _, ev := range c.Events {
+			mark := ""
+			if ev.Drift {
+				mark = "  [drift]"
+			}
+			sb.WriteString(fmt.Sprintf("  row %6d: %s -> %s%s\n", ev.Row, ev.FromModel, ev.ToModel, mark))
+		}
+	}
+	sb.WriteString("\nThe racer serves every prediction from the arm currently winning the\n")
+	sb.WriteString("ADWIN-managed prequential window, so on drifting streams it tracks\n")
+	sb.WriteString("whichever arm wins each regime instead of committing to one model.\n")
+	return sb.String(), nil
+}

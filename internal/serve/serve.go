@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/persist"
+	"repro/internal/race"
 	"repro/internal/registry"
 	"repro/internal/stream"
 )
@@ -914,6 +915,33 @@ func New(cfg Config) (Scorer, error) {
 	if mode == "" {
 		mode = ModeSnapshot
 	}
+	// A "race:dmt,vfdt,arf" model spec builds the racing meta-scorer
+	// instead of a single model. The racer is its own serving
+	// implementation (wait-free leader snapshot reads), so the mode
+	// knob does not apply.
+	if race.IsSpec(cfg.Model) {
+		arms, err := race.ParseSpec(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		// Only the racer-level knobs pass through: each arm runs its
+		// paper-default configuration with a seed derived per arm, so
+		// a shared WithSeed cannot collapse same-family arms into
+		// clones.
+		var p registry.Params
+		for _, opt := range cfg.Options {
+			if opt != nil {
+				opt(&p)
+			}
+		}
+		return race.New(race.Config{
+			Schema:     cfg.Schema,
+			Arms:       arms,
+			Seed:       p.Seed,
+			Workers:    p.EnsembleWorkers,
+			DriftDelta: p.DriftDelta,
+		})
+	}
 	build := func(extra ...registry.Option) (model.Classifier, error) {
 		return registry.New(cfg.Model, cfg.Schema, append(append([]registry.Option{}, cfg.Options...), extra...)...)
 	}
@@ -987,6 +1015,9 @@ const maxCheckpointShards = 1 << 12
 // models that cannot snapshot).
 func FromCheckpoint(r io.Reader, publishEvery int) (Scorer, error) {
 	br := bufio.NewReader(r)
+	if peek, err := br.Peek(len(race.Magic)); err == nil && string(peek) == race.Magic {
+		return race.FromCheckpoint(br)
+	}
 	peek, err := br.Peek(len(shardedMagic))
 	if err == nil && string(peek) == shardedMagic {
 		var head [8]byte

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // RegistryConfig tunes the trainer-side replica registry.
@@ -93,7 +95,15 @@ type Registry struct {
 
 	mu       sync.Mutex
 	replicas map[string]*replicaEntry
+	// lag is the rolling replica-lag tracker behind /statusz: every
+	// heartbeat observes whether the replica was fresh (zero version
+	// lag) plus its lag in versions, windowed over the most recent
+	// announcements (see stats.Preq).
+	lag *stats.Preq
 }
+
+// lagWindow is how many heartbeats the rolling lag display covers.
+const lagWindow = 256
 
 // NewRegistry builds a Registry.
 func NewRegistry(cfg RegistryConfig) *Registry {
@@ -101,6 +111,7 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		cfg:      cfg.withDefaults(),
 		now:      time.Now,
 		replicas: make(map[string]*replicaEntry),
+		lag:      stats.NewPreq(lagWindow),
 	}
 }
 
@@ -109,6 +120,34 @@ func (r *Registry) Upsert(a ReplicaAnnounce) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.replicas[a.ID] = &replicaEntry{ann: a, lastSeen: r.now()}
+}
+
+// ObserveLag feeds one heartbeat into the rolling lag tracker: the
+// "correct" channel records whether the replica announced the trainer's
+// current version (fresh), the loss channel its lag in versions.
+// Heartbeats from replicas that have installed nothing yet, or arriving
+// while the trainer tracks no version, are skipped — they carry no lag
+// signal.
+func (r *Registry) ObserveLag(a ReplicaAnnounce, trainerVersion uint64, hasTrainerVersion bool) {
+	if !hasTrainerVersion || !a.HasVersion {
+		return
+	}
+	var lag uint64
+	if trainerVersion > a.Version {
+		lag = trainerVersion - a.Version
+	}
+	r.mu.Lock()
+	r.lag.Observe(lag == 0, float64(lag))
+	r.mu.Unlock()
+}
+
+// LagStats reports the rolling heartbeat-lag window: the fraction of
+// recent heartbeats that were fresh, the mean version lag, and how many
+// heartbeats the window currently holds.
+func (r *Registry) LagStats() (freshRate, meanLag float64, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lag.Accuracy(), r.lag.MeanLoss(), r.lag.Len()
 }
 
 // Remove deletes a replica (explicit deregistration).
@@ -230,12 +269,13 @@ func (s *Server) handleReplicaAnnounce(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "announce needs an id", http.StatusBadRequest)
 		return
 	}
+	v, hasV := s.scorer.StructureVersion()
 	if a.Leaving {
 		s.reg.Remove(a.ID)
 	} else {
 		s.reg.Upsert(a)
+		s.reg.ObserveLag(a, v, hasV)
 	}
-	v, hasV := s.scorer.StructureVersion()
 	writeJSON(w, ReplicaList{TrainerVersion: v, HasTrainerVersion: hasV, Replicas: s.reg.List(v, hasV)})
 }
 

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/race"
 	"repro/internal/serve"
 	"repro/internal/stream"
 )
@@ -820,6 +821,16 @@ type Status struct {
 	StalenessSeconds    float64       `json:"staleness_seconds,omitempty"`
 	ReplicasTotal       int           `json:"replicas_total,omitempty"`
 	ReplicasHealthy     int           `json:"replicas_healthy,omitempty"`
+	// Rolling replica-lag window over recent heartbeats (see
+	// Registry.LagStats): fraction announcing the trainer's current
+	// version, mean version lag, and window fill.
+	ReplicaFreshRate float64 `json:"replica_fresh_rate,omitempty"`
+	ReplicaMeanLag   float64 `json:"replica_mean_lag,omitempty"`
+	ReplicaLagWindow int     `json:"replica_lag_window,omitempty"`
+	// Race is the racing meta-scorer's scoreboard (per-arm windowed
+	// error, leader identity, re-race counters) when the served model
+	// is a race; nil otherwise.
+	Race *race.Status `json:"race,omitempty"`
 }
 
 // Status collects the live serving metadata.
@@ -855,6 +866,13 @@ func (s *Server) Status() Status {
 	}
 	if snap, ok := s.scorer.(*serve.SnapshotScorer); ok {
 		st.Publishes = snap.Publishes()
+	}
+	if fresh, lag, n := s.reg.LagStats(); n > 0 {
+		st.ReplicaFreshRate, st.ReplicaMeanLag, st.ReplicaLagWindow = fresh, lag, n
+	}
+	if rs, ok := s.scorer.(interface{ RaceStatus() race.Status }); ok {
+		status := rs.RaceStatus()
+		st.Race = &status
 	}
 	return st
 }

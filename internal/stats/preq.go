@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Preq is a windowed prequential-performance tracker: a fixed-capacity
+// sliding window over per-observation outcomes, reporting rolling error
+// rate / accuracy and a rolling auxiliary loss (log-loss for
+// classifiers, staleness for replicas — any non-negative per-observation
+// cost). It is the shared bookkeeping of the racing meta-scorer's arms
+// and the /statusz replica-lag display, and it checkpoints exactly via
+// State / PreqFromState so a restored tracker continues byte-identically.
+type Preq struct {
+	errs   *Window
+	losses *Window
+	rows   uint64 // lifetime observations (survives window eviction and Reset)
+}
+
+// NewPreq returns a tracker whose rolling statistics cover the most
+// recent capacity observations.
+func NewPreq(capacity int) *Preq {
+	return &Preq{errs: NewWindow(capacity), losses: NewWindow(capacity)}
+}
+
+// Observe records one prequential outcome: whether the prediction was
+// correct, plus an auxiliary loss. Pass a NaN loss when the observation
+// has none (model without probabilities, replica without a lag sample) —
+// the loss window simply skips it.
+func (p *Preq) Observe(correct bool, loss float64) {
+	if correct {
+		p.errs.Add(0)
+	} else {
+		p.errs.Add(1)
+	}
+	if !math.IsNaN(loss) {
+		p.losses.Add(loss)
+	}
+	p.rows++
+}
+
+// Len returns the number of outcomes currently inside the window.
+func (p *Preq) Len() int { return p.errs.Len() }
+
+// Cap returns the window capacity.
+func (p *Preq) Cap() int { return len(p.errs.buf) }
+
+// Rows returns the lifetime observation count (not reset by Reset).
+func (p *Preq) Rows() uint64 { return p.rows }
+
+// ErrorRate returns the windowed misclassification rate (0 when empty).
+func (p *Preq) ErrorRate() float64 { return p.errs.Mean() }
+
+// Accuracy returns 1 - ErrorRate over the window (0 when empty, so an
+// unraced arm never looks perfect).
+func (p *Preq) Accuracy() float64 {
+	if p.errs.Len() == 0 {
+		return 0
+	}
+	return 1 - p.errs.Mean()
+}
+
+// MeanLoss returns the windowed mean of the auxiliary loss (log-loss
+// for classifier arms; 0 when no loss was ever observed).
+func (p *Preq) MeanLoss() float64 { return p.losses.Mean() }
+
+// LossLen returns the number of loss samples inside the window.
+func (p *Preq) LossLen() int { return p.losses.Len() }
+
+// Reset empties both windows, keeping the lifetime row count — this is
+// the race-window reset that follows a drift detection.
+func (p *Preq) Reset() {
+	p.errs.Reset()
+	p.losses.Reset()
+}
+
+// PreqState is the serialisable state of a Preq tracker. Values are
+// exported oldest-first, exactly as the windows replay them on restore.
+type PreqState struct {
+	Capacity int
+	Errs     []float64
+	Losses   []float64
+	Rows     uint64
+}
+
+// State exports the tracker for checkpointing.
+func (p *Preq) State() PreqState {
+	return PreqState{
+		Capacity: p.Cap(),
+		Errs:     p.errs.Values(),
+		Losses:   p.losses.Values(),
+		Rows:     p.rows,
+	}
+}
+
+// PreqFromState reconstructs a tracker from its exported state. The
+// windows are rebuilt by replaying the exported values, so every rolling
+// statistic — including the incrementally maintained sums — matches the
+// checkpointed tracker observation for observation.
+func PreqFromState(s PreqState) (*Preq, error) {
+	if s.Capacity < 1 {
+		return nil, fmt.Errorf("stats: preq state has capacity %d", s.Capacity)
+	}
+	if len(s.Errs) > s.Capacity || len(s.Losses) > s.Capacity {
+		return nil, fmt.Errorf("stats: preq state holds %d/%d samples over capacity %d",
+			len(s.Errs), len(s.Losses), s.Capacity)
+	}
+	p := NewPreq(s.Capacity)
+	for _, e := range s.Errs {
+		p.errs.Add(e)
+	}
+	for _, l := range s.Losses {
+		p.losses.Add(l)
+	}
+	p.rows = s.Rows
+	return p, nil
+}

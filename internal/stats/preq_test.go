@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPreqRolling(t *testing.T) {
+	p := NewPreq(4)
+	if p.Accuracy() != 0 || p.ErrorRate() != 0 {
+		t.Fatal("empty tracker must report zero accuracy and error")
+	}
+	p.Observe(true, 0.1)
+	p.Observe(false, 0.9)
+	if got := p.ErrorRate(); got != 0.5 {
+		t.Fatalf("error rate %v, want 0.5", got)
+	}
+	if got := p.Accuracy(); got != 0.5 {
+		t.Fatalf("accuracy %v, want 0.5", got)
+	}
+	if got := p.MeanLoss(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean loss %v, want 0.5", got)
+	}
+	// NaN loss observations update the error window only.
+	p.Observe(true, math.NaN())
+	if p.Len() != 3 || p.LossLen() != 2 {
+		t.Fatalf("len %d lossLen %d, want 3 and 2", p.Len(), p.LossLen())
+	}
+	// Roll past capacity: the window forgets the oldest outcomes.
+	p.Observe(true, 0.2)
+	p.Observe(true, 0.2)
+	if p.Len() != 4 {
+		t.Fatalf("len %d, want capacity 4", p.Len())
+	}
+	if got := p.ErrorRate(); got != 0.25 {
+		t.Fatalf("rolled error rate %v, want 0.25", got)
+	}
+	if p.Rows() != 5 {
+		t.Fatalf("lifetime rows %d, want 5", p.Rows())
+	}
+	p.Reset()
+	if p.Len() != 0 || p.LossLen() != 0 {
+		t.Fatal("reset must empty the windows")
+	}
+	if p.Rows() != 5 {
+		t.Fatal("reset must keep the lifetime row count")
+	}
+}
+
+func TestPreqStateRoundTrip(t *testing.T) {
+	p := NewPreq(8)
+	for i := 0; i < 13; i++ {
+		p.Observe(i%3 == 0, float64(i)*0.07)
+	}
+	q, err := PreqFromState(p.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() || q.LossLen() != p.LossLen() || q.Rows() != p.Rows() {
+		t.Fatalf("restored shape differs: %d/%d/%d vs %d/%d/%d",
+			q.Len(), q.LossLen(), q.Rows(), p.Len(), p.LossLen(), p.Rows())
+	}
+	if q.ErrorRate() != p.ErrorRate() || q.MeanLoss() != p.MeanLoss() {
+		t.Fatal("restored statistics differ")
+	}
+	// Continue both identically.
+	p.Observe(false, 0.4)
+	q.Observe(false, 0.4)
+	if q.ErrorRate() != p.ErrorRate() || q.MeanLoss() != p.MeanLoss() {
+		t.Fatal("restored tracker diverged after continuing")
+	}
+}
+
+func TestPreqStateValidation(t *testing.T) {
+	if _, err := PreqFromState(PreqState{Capacity: 0}); err == nil {
+		t.Fatal("zero capacity must fail")
+	}
+	if _, err := PreqFromState(PreqState{Capacity: 2, Errs: []float64{0, 1, 0}}); err == nil {
+		t.Fatal("overfull window must fail")
+	}
+}
